@@ -1,0 +1,157 @@
+// Engine micro-benchmarks (E17): google-benchmark throughput numbers for
+// the simulated map-reduce substrate itself — shuffle rate, thread
+// scaling, and two end-to-end kernels (word count, one-phase matmul).
+// These validate that the substrate is fast enough that the paper-level
+// benches measure schema behaviour, not harness overhead.
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/engine/job.h"
+#include "src/join/aggregate.h"
+#include "src/matmul/matrix.h"
+#include "src/matmul/mr_multiply.h"
+
+namespace {
+
+void BM_ShuffleThroughput(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [](const std::uint64_t& x,
+                   mrcost::engine::Emitter<std::uint64_t, std::uint64_t>&
+                       emitter) {
+    emitter.Emit(mrcost::common::Mix64(x) % 1024, x);
+  };
+  auto reduce_fn = [](const std::uint64_t&,
+                      const std::vector<std::uint64_t>& values,
+                      std::vector<std::uint64_t>& out) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values) sum += v;
+    out.push_back(sum);
+  };
+  for (auto _ : state) {
+    auto result = mrcost::engine::RunMapReduce<std::uint64_t, std::uint64_t,
+                                               std::uint64_t, std::uint64_t>(
+        inputs, map_fn, reduce_fn, {});
+    benchmark::DoNotOptimize(result.outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ShuffleThroughput)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_ReplicationFanout(benchmark::State& state) {
+  // Each input emitted to `fanout` keys: stresses the replication path the
+  // paper's schemas exercise.
+  const std::size_t n = 1 << 14;
+  const int fanout = static_cast<int>(state.range(0));
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [fanout](const std::uint64_t& x,
+                         mrcost::engine::Emitter<std::uint64_t,
+                                                 std::uint64_t>& emitter) {
+    for (int i = 0; i < fanout; ++i) {
+      emitter.Emit(mrcost::common::Mix64(x * 31 + i) % 4096, x);
+    }
+  };
+  auto reduce_fn = [](const std::uint64_t&,
+                      const std::vector<std::uint64_t>& values,
+                      std::vector<std::size_t>& out) {
+    out.push_back(values.size());
+  };
+  for (auto _ : state) {
+    auto result = mrcost::engine::RunMapReduce<std::uint64_t, std::uint64_t,
+                                               std::uint64_t, std::size_t>(
+        inputs, map_fn, reduce_fn, {});
+    benchmark::DoNotOptimize(result.metrics.pairs_shuffled);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          fanout);
+}
+BENCHMARK(BM_ReplicationFanout)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ThreadScaling(benchmark::State& state) {
+  const std::size_t n = 1 << 17;
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  mrcost::engine::JobOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  auto map_fn = [](const std::uint64_t& x,
+                   mrcost::engine::Emitter<std::uint64_t, std::uint64_t>&
+                       emitter) {
+    // A mildly expensive map body so threads have work to share.
+    std::uint64_t h = x;
+    for (int i = 0; i < 64; ++i) h = mrcost::common::Mix64(h);
+    emitter.Emit(h % 997, h);
+  };
+  auto reduce_fn = [](const std::uint64_t&,
+                      const std::vector<std::uint64_t>& values,
+                      std::vector<std::uint64_t>& out) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t v : values) acc ^= v;
+    out.push_back(acc);
+  };
+  for (auto _ : state) {
+    auto result = mrcost::engine::RunMapReduce<std::uint64_t, std::uint64_t,
+                                               std::uint64_t, std::uint64_t>(
+        inputs, map_fn, reduce_fn, options);
+    benchmark::DoNotOptimize(result.outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_WordCount(benchmark::State& state) {
+  std::vector<std::string> docs;
+  mrcost::common::SplitMix64 rng(1);
+  for (int d = 0; d < 200; ++d) {
+    std::string doc;
+    for (int w = 0; w < 100; ++w) {
+      doc += "word" + std::to_string(rng.UniformBelow(500)) + " ";
+    }
+    docs.push_back(doc);
+  }
+  const auto words = mrcost::join::Tokenize(docs);
+  for (auto _ : state) {
+    auto result = mrcost::join::WordCount(words);
+    benchmark::DoNotOptimize(result.counts);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * words.size());
+}
+BENCHMARK(BM_WordCount);
+
+void BM_MatMulOnePhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mrcost::common::SplitMix64 rng(2);
+  mrcost::matmul::Matrix a(n, n), b(n, n);
+  a.FillRandom(rng);
+  b.FillRandom(rng);
+  for (auto _ : state) {
+    auto result = mrcost::matmul::MultiplyOnePhase(a, b, n / 4);
+    benchmark::DoNotOptimize(result->product);
+  }
+}
+BENCHMARK(BM_MatMulOnePhase)->Arg(32)->Arg(64);
+
+void BM_MatMulTwoPhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mrcost::common::SplitMix64 rng(3);
+  mrcost::matmul::Matrix a(n, n), b(n, n);
+  a.FillRandom(rng);
+  b.FillRandom(rng);
+  for (auto _ : state) {
+    auto result = mrcost::matmul::MultiplyTwoPhase(a, b, n / 4, n / 8);
+    benchmark::DoNotOptimize(result->product);
+  }
+}
+BENCHMARK(BM_MatMulTwoPhase)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

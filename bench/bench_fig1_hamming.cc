@@ -1,0 +1,124 @@
+// Regenerates Figure 1 of the paper: the Hamming-distance-1 tradeoff
+// between reducer size (log2 q on the x-axis) and replication rate. The
+// hyperbola r = b/log2(q) is the lower bound; the Splitting algorithms at
+// c = b/log2(q) sit exactly on it. Also covers E16: the Section 1.2 /
+// Example 1.1 cost-model optimum over the measured curve.
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/core/cost_model.h"
+#include "src/core/schema_stats.h"
+#include "src/core/tradeoff.h"
+#include "src/hamming/bounds.h"
+#include "src/hamming/schemas.h"
+
+namespace {
+
+using mrcost::common::Table;
+
+/// Measured algorithm points: run every divisor-c Splitting schema on the
+/// full 2^b domain and record (log2 q, r).
+void MeasuredCurve(int b) {
+  Table t({"algorithm", "c", "log2(q)", "measured r", "bound b/log2(q)",
+           "on the hyperbola?"});
+  std::vector<mrcost::core::TradeoffPoint> curve;
+  for (int c = 1; c <= b; ++c) {
+    if (b % c != 0) continue;
+    auto schema = mrcost::hamming::SplittingSchema::Make(b, c);
+    const auto stats = mrcost::core::ComputeSchemaStats(
+        *schema, std::uint64_t{1} << b);
+    const double log2q = static_cast<double>(b) / c;
+    const double bound = c == 1
+                             ? 1.0
+                             : mrcost::hamming::Hamming1LowerBound(
+                                   b, std::ldexp(1.0, b / c));
+    t.AddRow()
+        .Add(c == 1 ? "single reducer" : "splitting")
+        .Add(c)
+        .Add(log2q)
+        .Add(stats.replication_rate)
+        .Add(bound)
+        .Add(stats.replication_rate == bound ? "yes" : "no");
+    curve.push_back({std::ldexp(1.0, b / c), stats.replication_rate,
+                     "c=" + std::to_string(c)});
+  }
+  // Uneven-segment splitting fills the non-divisor gaps on the hyperbola
+  // (within one bit of optimal).
+  for (int c = 2; c < b; ++c) {
+    if (b % c == 0) continue;  // covered above
+    auto schema = mrcost::hamming::UnevenSplittingSchema::Make(b, c);
+    const auto stats = mrcost::core::ComputeSchemaStats(
+        *schema, std::uint64_t{1} << b);
+    const double q = static_cast<double>(stats.max_reducer_load);
+    t.AddRow()
+        .Add("splitting-uneven")
+        .Add(c)
+        .Add(std::log2(q))
+        .Add(stats.replication_rate)
+        .Add(mrcost::hamming::Hamming1LowerBound(b, q))
+        .Add(stats.replication_rate ==
+                     mrcost::hamming::Hamming1LowerBound(b, q)
+                 ? "yes"
+                 : "within 1 bit");
+    curve.push_back({q, stats.replication_rate,
+                     "uneven c=" + std::to_string(c)});
+  }
+
+  // The q=2 extreme (one reducer per output pair).
+  {
+    const mrcost::hamming::PairsSchema schema(b);
+    const auto stats = mrcost::core::ComputeSchemaStats(
+        schema, std::uint64_t{1} << b);
+    t.AddRow()
+        .Add("pairs (q=2)")
+        .Add(b)
+        .Add(1)
+        .Add(stats.replication_rate)
+        .Add(mrcost::hamming::Hamming1LowerBound(b, 2))
+        .Add(stats.replication_rate ==
+                     mrcost::hamming::Hamming1LowerBound(b, 2)
+                 ? "yes"
+                 : "no");
+    curve.push_back({2.0, stats.replication_rate, "pairs"});
+  }
+  t.Print(std::cout, "Figure 1 (measured points), b=" + std::to_string(b));
+
+  // E16: pick the cheapest point for three cluster price profiles.
+  Table costs({"price profile (a,b,c)", "chosen algorithm", "q", "r"});
+  for (const auto& [model, label] :
+       std::vector<std::pair<mrcost::core::CostModel, std::string>>{
+           {{1.0, 0.0, 0.0}, "communication only (1,0,0)"},
+           {{1000.0, 1.0, 0.0}, "comm + linear reducers (1000,1,0)"},
+           {{100000.0, 0.0, 1.0}, "comm + quadratic wall clock (1e5,0,1)"}}) {
+    const auto best = mrcost::core::PickCheapest(curve, model);
+    costs.AddRow().Add(label).Add(best.label).Add(best.q).Add(best.r);
+  }
+  costs.Print(std::cout,
+              "Example 1.1 cost-model optimum over the measured curve");
+}
+
+/// The analytic hyperbola at a larger b for the shape comparison.
+void AnalyticCurve(int b) {
+  Table t({"log2(q)", "lower bound r = b/log2(q)"});
+  const auto curve = mrcost::core::SampleLowerBoundCurve(
+      mrcost::hamming::Hamming1Recipe(b), 2.0, std::ldexp(1.0, b), 16);
+  for (const auto& point : curve) {
+    t.AddRow().Add(std::log2(point.q)).Add(point.r);
+  }
+  t.Print(std::cout,
+          "Figure 1 (analytic hyperbola), b=" + std::to_string(b));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_fig1_hamming: the Figure 1 tradeoff ===\n";
+  MeasuredCurve(12);
+  MeasuredCurve(16);
+  AnalyticCurve(40);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Regenerates the Section 3.4 / 3.5 analysis (E4, E5): the weight-based
+// algorithms for q close to 2^b. For each cell side k we measure the
+// replication rate (paper: 1 + 2/k in 2-D, 1 + d/k in d dimensions) and
+// the most populous cell (paper: k^2 2^b/(pi b) via Stirling), including
+// the Figure 2 border-replication scheme.
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/core/schema_stats.h"
+#include "src/hamming/bounds.h"
+#include "src/hamming/schemas.h"
+
+namespace {
+
+using mrcost::common::Table;
+using mrcost::core::ComputeSchemaStats;
+
+void TwoDimensional(int b) {
+  Table t({"k", "groups", "measured r", "paper 1+2/k", "measured max q",
+           "Stirling k^2 2^b/(pi b)", "log2(q) position"});
+  for (int k = 1; k <= b / 2; ++k) {
+    if ((b / 2) % k != 0) continue;
+    auto schema = mrcost::hamming::Weight2DSchema::Make(b, k);
+    const auto stats =
+        ComputeSchemaStats(*schema, std::uint64_t{1} << b);
+    t.AddRow()
+        .Add(k)
+        .Add(schema->num_groups())
+        .Add(stats.replication_rate)
+        .Add(1.0 + 2.0 / k)
+        .Add(stats.max_reducer_load)
+        .Add(mrcost::hamming::Weight2DCellEstimate(b, k))
+        .Add(std::log2(static_cast<double>(stats.max_reducer_load)));
+  }
+  t.Print(std::cout, "Section 3.4: 2-D weight partition, b=" +
+                         std::to_string(b) +
+                         " (log2 q near b - log2 b; r near 1 + 2/k)");
+}
+
+void DDimensional(int b) {
+  Table t({"d", "k", "measured r", "paper 1+d/k", "measured max q",
+           "Stirling estimate"});
+  for (int d : {2, 4}) {
+    if (b % d != 0) continue;
+    const int piece = b / d;
+    for (int k = 1; k <= piece; ++k) {
+      if (piece % k != 0) continue;
+      auto schema = mrcost::hamming::WeightKDSchema::Make(b, d, k);
+      const auto stats =
+          ComputeSchemaStats(*schema, std::uint64_t{1} << b);
+      t.AddRow()
+          .Add(d)
+          .Add(k)
+          .Add(stats.replication_rate)
+          .Add(1.0 + static_cast<double>(d) / k)
+          .Add(stats.max_reducer_load)
+          .Add(mrcost::hamming::WeightKDCellEstimate(b, d, k));
+    }
+  }
+  t.Print(std::cout, "Section 3.5: d-dimensional generalization, b=" +
+                         std::to_string(b));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_hamming_weight: large-q weight-based algorithms "
+               "(Sections 3.4-3.5, Figure 2 scheme) ===\n";
+  TwoDimensional(16);
+  TwoDimensional(20);
+  TwoDimensional(24);  // 16M strings: the asymptotics visibly tighten
+  DDimensional(16);
+  DDimensional(24);
+  return 0;
+}

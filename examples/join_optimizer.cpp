@@ -1,0 +1,103 @@
+// Star-schema analytics with the Shares optimizer — the Section 5.5
+// workload: a large fact table joined with several dimension tables in a
+// single map-reduce round.
+//
+// We synthesize a sales fact table (1M-ish rows scaled down for the demo)
+// with three dimensions, let the optimizer allocate hash shares across
+// attributes for a given number of reducers p, round them to integers,
+// run the HyperCube join on the engine, and compare the measured
+// communication against both the optimizer's prediction and the paper's
+// closed form (dimension attributes get share 1, fact attributes p^{1/N}).
+//
+// Run: ./build/examples/join_optimizer
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/table.h"
+#include "src/join/hypercube.h"
+#include "src/join/query.h"
+#include "src/join/relation.h"
+#include "src/join/serial_join.h"
+#include "src/join/shares.h"
+
+int main() {
+  using namespace mrcost;        // NOLINT: example brevity
+  using namespace mrcost::join;  // NOLINT
+
+  const int kDims = 3;
+  const Query query = StarQuery(kDims);
+  common::SplitMix64 rng(555);
+
+  // Fact table: 60k rows over three dimension keys; dimensions: 300 rows
+  // each mapping key -> attribute. (Sales, customers, products, stores.)
+  const Value key_domain = 300;
+  Relation fact("F", {"A1", "A2", "A3"});
+  for (int i = 0; i < 60000; ++i) {
+    fact.Add({static_cast<Value>(rng.UniformBelow(key_domain)),
+              static_cast<Value>(rng.UniformBelow(key_domain)),
+              static_cast<Value>(rng.UniformBelow(key_domain))});
+  }
+  std::vector<Relation> dims;
+  for (int d = 0; d < kDims; ++d) {
+    Relation dim("D" + std::to_string(d + 1),
+                 {"A" + std::to_string(d + 1), "B" + std::to_string(d + 1)});
+    for (Value key = 0; key < key_domain; ++key) {
+      dim.Add({key, static_cast<Value>(rng.UniformBelow(1000))});
+    }
+    dims.push_back(std::move(dim));
+  }
+  std::vector<const Relation*> rels{&fact};
+  for (const auto& d : dims) rels.push_back(&d);
+  std::vector<std::uint64_t> sizes{fact.size()};
+  for (const auto& d : dims) sizes.push_back(d.size());
+
+  std::cout << "Star schema: fact " << fact.size() << " rows, " << kDims
+            << " dimensions x " << key_domain << " rows\n\n";
+
+  common::Table t({"p", "shares (A1 A2 A3 | B1 B2 B3)", "predicted comm",
+                   "closed-form comm", "measured pairs", "measured r",
+                   "max q", "join results"});
+  for (double p : {8.0, 64.0, 512.0}) {
+    auto opt = OptimizeShares(query, sizes, p);
+    if (!opt.ok()) {
+      std::cerr << opt.status() << "\n";
+      return 1;
+    }
+    const SharesSolution closed = StarShares(query, sizes, p);
+    const auto rounded = RoundShares(opt->shares, p);
+    auto result = HyperCubeJoin(query, rels, rounded, /*seed=*/8);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    std::string share_str;
+    for (std::size_t i = 0; i < rounded.size(); ++i) {
+      if (i == static_cast<std::size_t>(kDims)) share_str += "| ";
+      share_str += std::to_string(rounded[i]) + " ";
+    }
+    t.AddRow()
+        .Add(p)
+        .Add(share_str)
+        .Add(PredictedCommunication(
+            query, sizes,
+            std::vector<double>(rounded.begin(), rounded.end())))
+        .Add(closed.communication)
+        .Add(result->metrics.pairs_shuffled)
+        .Add(result->metrics.replication_rate())
+        .Add(result->metrics.max_reducer_input)
+        .Add(result->results.size());
+  }
+  t.Print(std::cout,
+          "Shares allocation for the star join (predicted == measured; "
+          "dimension B-attributes correctly get share 1)");
+
+  std::cout << "\nAs p grows, only the fact-table attributes receive "
+               "shares (p^{1/3} each), and\nthe replication of the tiny "
+               "dimension tables grows as p^{2/3} while the huge\nfact "
+               "table is never replicated — the Section 5.5.2 analysis.\n";
+  return 0;
+}

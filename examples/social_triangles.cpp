@@ -1,0 +1,73 @@
+// Community analysis on a social graph — the Section 4 motivation for
+// triangle finding ("analysis of communities in social networks ...
+// applied to large but sparse graphs").
+//
+// We build a preferential-attachment network (heavy-tailed degrees, like
+// real social graphs), pick the bucket count k from a per-reducer memory
+// budget using the paper's sparse rescaling (Section 4.2), run the MR
+// partition algorithm, and report triangle statistics plus the global
+// clustering coefficient.
+//
+// Run: ./build/examples/social_triangles
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/graph/generators.h"
+#include "src/graph/triangle.h"
+#include "src/graph/two_path.h"
+
+int main() {
+  using namespace mrcost;  // NOLINT: example brevity
+
+  const graph::NodeId n = 3000;
+  const graph::Graph g =
+      graph::PreferentialAttachmentGraph(n, /*attach=*/5, /*seed=*/2026);
+  const std::uint64_t m = g.num_edges();
+  std::cout << "Social graph: " << n << " users, " << m << " edges\n";
+
+  // Memory budget: each reducer may hold at most q_budget edges. The
+  // partition algorithm sends ~6m/k^2 edges to the largest reducer (3
+  // bucket-pair classes of ~m/C(k,2) edges each), so pick the smallest k
+  // that fits — maximal parallelism within memory, per Section 1.1.
+  const double q_budget = 6000;
+  int k = 2;
+  while (6.0 * static_cast<double>(m) / (static_cast<double>(k) * k) >
+         q_budget) {
+    ++k;
+  }
+  std::cout << "Memory budget q <= " << q_budget << " edges -> k = " << k
+            << " buckets (expected max load ~" << 6.0 * m / (k * k)
+            << ")\n\n";
+
+  const auto result = graph::MRTriangles(g, k, /*seed=*/99);
+  const std::uint64_t triangles = result.triangles.size();
+  const std::uint64_t wedges = graph::SerialTwoPathCount(g);
+  common::Table t({"metric", "value"});
+  t.AddRow().Add("triangles").Add(triangles);
+  t.AddRow().Add("wedges (2-paths)").Add(wedges);
+  t.AddRow().Add("global clustering coefficient").Add(
+      wedges == 0 ? 0.0
+                  : 3.0 * static_cast<double>(triangles) /
+                        static_cast<double>(wedges));
+  t.AddRow().Add("replication rate r (= k)").Add(
+      result.metrics.replication_rate());
+  t.AddRow().Add("edges shuffled").Add(result.metrics.pairs_shuffled);
+  t.AddRow().Add("max reducer load").Add(result.metrics.max_reducer_input);
+  t.AddRow().Add("sparse lower bound sqrt(m/q) at measured q").Add(
+      graph::SparseTriangleLowerBound(
+          m, static_cast<double>(result.metrics.max_reducer_input)));
+  t.Print(std::cout, "Triangle run");
+
+  // Sanity: the MR result matches the serial baseline.
+  if (triangles != graph::SerialTriangleCount(g)) {
+    std::cerr << "ERROR: MR and serial counts disagree\n";
+    return 1;
+  }
+  std::cout << "\nVerified against the serial baseline. The measured r sits "
+               "a small constant\nabove sqrt(m/q) — the Section 4.2 bound "
+               "is tight up to constants.\n";
+  return 0;
+}

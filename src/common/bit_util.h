@@ -1,0 +1,52 @@
+#ifndef MRCOST_COMMON_BIT_UTIL_H_
+#define MRCOST_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace mrcost::common {
+
+/// Number of set bits (the "weight" of a bit string in the paper's
+/// Section 3.4 sense).
+inline int PopCount(std::uint64_t x) { return std::popcount(x); }
+
+/// Floor of log base 2; precondition x > 0.
+inline int FloorLog2(std::uint64_t x) {
+  return 63 - std::countl_zero(x);
+}
+
+/// True iff x is a power of two (x > 0).
+inline bool IsPowerOfTwo(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Mask with the low `n` bits set; n in [0, 64].
+inline std::uint64_t LowBitsMask(int n) {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Extracts `len` bits of `x` starting at bit position `pos` (bit 0 =
+/// least-significant). Precondition: pos + len <= 64.
+inline std::uint64_t ExtractBits(std::uint64_t x, int pos, int len) {
+  return (x >> pos) & LowBitsMask(len);
+}
+
+/// Replaces the `len`-bit field of `x` at `pos` with `field`.
+inline std::uint64_t DepositBits(std::uint64_t x, int pos, int len,
+                                 std::uint64_t field) {
+  const std::uint64_t mask = LowBitsMask(len) << pos;
+  return (x & ~mask) | ((field << pos) & mask);
+}
+
+/// Removes the `len`-bit field at `pos` from `x`, shifting higher bits down.
+/// This is the Splitting Algorithm's "string with the i-th segment deleted"
+/// (Section 3.3 of the paper). Precondition: pos + len <= 64.
+inline std::uint64_t RemoveBitField(std::uint64_t x, int pos, int len) {
+  const std::uint64_t low = x & LowBitsMask(pos);
+  const std::uint64_t high = (pos + len >= 64) ? 0 : (x >> (pos + len));
+  return low | (high << pos);
+}
+
+}  // namespace mrcost::common
+
+#endif  // MRCOST_COMMON_BIT_UTIL_H_

@@ -1,0 +1,138 @@
+#include "src/common/combinatorics.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+namespace mrcost::common {
+namespace {
+
+constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+// Multiplies a*b, saturating at UINT64_MAX.
+std::uint64_t SatMul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+}  // namespace
+
+std::uint64_t BinomialExact(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i. The running product of i consecutive
+    // integers is divisible by i!, so cancelling gcd factors of the
+    // denominator against both the new numerator and the accumulated result
+    // always leaves denominator 1.
+    std::uint64_t numer = static_cast<std::uint64_t>(n - k + i);
+    std::uint64_t denom = static_cast<std::uint64_t>(i);
+    const std::uint64_t g1 = std::gcd(numer, denom);
+    numer /= g1;
+    denom /= g1;
+    const std::uint64_t g2 = std::gcd(result, denom);
+    result /= g2;
+    denom /= g2;
+    // denom divides result*numer and is coprime to both factors, so it is 1.
+    if (result == kSaturated || result > kSaturated / numer) return kSaturated;
+    result *= numer;
+  }
+  return result;
+}
+
+double BinomialDouble(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  return std::exp(LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k));
+}
+
+std::uint64_t FactorialExact(int n) {
+  if (n < 0) return 0;
+  if (n > 20) return kSaturated;
+  std::uint64_t result = 1;
+  for (int i = 2; i <= n; ++i) result = SatMul(result, i);
+  return result;
+}
+
+double LogFactorial(int n) {
+  if (n <= 1) return 0.0;
+  if (n < 256) {
+    // Exact summation: cheap and maximally accurate for the sizes used in
+    // the paper's estimates.
+    double sum = 0.0;
+    for (int i = 2; i <= n; ++i) sum += std::log(static_cast<double>(i));
+    return sum;
+  }
+  const double x = static_cast<double>(n);
+  // Stirling series with the 1/(12n) correction term.
+  return x * std::log(x) - x + 0.5 * std::log(2.0 * M_PI * x) +
+         1.0 / (12.0 * x);
+}
+
+double Log2Binomial(int n, int k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  constexpr double kLn2 = 0.6931471805599453;
+  return (LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k)) / kLn2;
+}
+
+double CentralBinomial(int n) { return BinomialDouble(n, n / 2); }
+
+std::uint64_t CombinationRank(int n, const std::vector<int>& subset) {
+  const int k = static_cast<int>(subset.size());
+  std::uint64_t rank = 0;
+  int prev = -1;
+  for (int i = 0; i < k; ++i) {
+    // Count subsets starting with an element in (prev, subset[i]).
+    for (int v = prev + 1; v < subset[i]; ++v) {
+      rank += BinomialExact(n - v - 1, k - i - 1);
+    }
+    prev = subset[i];
+  }
+  return rank;
+}
+
+std::vector<int> CombinationUnrank(int n, int k, std::uint64_t rank) {
+  std::vector<int> subset;
+  subset.reserve(k);
+  int v = 0;
+  for (int i = 0; i < k; ++i) {
+    while (true) {
+      const std::uint64_t count = BinomialExact(n - v - 1, k - i - 1);
+      if (rank < count) break;
+      rank -= count;
+      ++v;
+    }
+    subset.push_back(v);
+    ++v;
+  }
+  return subset;
+}
+
+std::vector<std::vector<int>> AllSubsetsOfSize(int n, int k) {
+  std::vector<std::vector<int>> out;
+  ForEachSubsetOfSize(n, k,
+                      [&out](const std::vector<int>& s) { out.push_back(s); });
+  return out;
+}
+
+std::uint64_t MultisetCount(int n, int s) {
+  return BinomialExact(n + s - 1, s);
+}
+
+std::uint64_t MultisetRank(int n, const std::vector<int>& multiset) {
+  std::vector<int> combo(multiset.size());
+  for (std::size_t i = 0; i < multiset.size(); ++i) {
+    combo[i] = multiset[i] + static_cast<int>(i);
+  }
+  return CombinationRank(n + static_cast<int>(multiset.size()) - 1, combo);
+}
+
+std::vector<int> MultisetUnrank(int n, int s, std::uint64_t rank) {
+  std::vector<int> combo = CombinationUnrank(n + s - 1, s, rank);
+  for (int i = 0; i < s; ++i) combo[i] -= i;
+  return combo;
+}
+
+}  // namespace mrcost::common

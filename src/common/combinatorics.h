@@ -1,0 +1,74 @@
+#ifndef MRCOST_COMMON_COMBINATORICS_H_
+#define MRCOST_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mrcost::common {
+
+/// Exact binomial coefficient C(n, k) as uint64; saturates at UINT64_MAX on
+/// overflow. C(n, k) = 0 for k > n or k < 0.
+std::uint64_t BinomialExact(int n, int k);
+
+/// Binomial coefficient as double (valid far beyond uint64 range).
+double BinomialDouble(int n, int k);
+
+/// Exact factorial for n <= 20; saturates at UINT64_MAX above.
+std::uint64_t FactorialExact(int n);
+
+/// Stirling's approximation ln(n!) = n ln n - n + 0.5 ln(2 pi n) + ...,
+/// exact summation for small n. Used for the paper's max-cell population
+/// estimates (Sections 3.4 and 3.5).
+double LogFactorial(int n);
+
+/// log2 of C(n, k), computed stably via LogFactorial.
+double Log2Binomial(int n, int k);
+
+/// Central binomial estimate from the paper (Section 3.4): the number of
+/// b/2-bit strings of weight b/4 is approximately 2^{b/2} / sqrt(pi b / 2)
+/// (Stirling). Returns C(n, n/2) as a double for even n.
+double CentralBinomial(int n);
+
+/// Enumerates all k-subsets of {0, ..., n-1} in lexicographic order.
+std::vector<std::vector<int>> AllSubsetsOfSize(int n, int k);
+
+/// Lexicographic rank of the sorted k-subset `subset` of {0,...,n-1}, in
+/// [0, C(n,k)). Inverse of CombinationUnrank.
+std::uint64_t CombinationRank(int n, const std::vector<int>& subset);
+
+/// The sorted k-subset of {0,...,n-1} with lexicographic rank `rank`.
+std::vector<int> CombinationUnrank(int n, int k, std::uint64_t rank);
+
+/// Number of size-s multisets over {0,...,n-1}: C(n+s-1, s).
+std::uint64_t MultisetCount(int n, int s);
+
+/// Lexicographic rank of the sorted multiset `multiset` (ascending, values
+/// in {0,...,n-1}), in [0, MultisetCount(n, |multiset|)). Implemented via
+/// the standard bijection with combinations (add i to the i-th element).
+std::uint64_t MultisetRank(int n, const std::vector<int>& multiset);
+
+/// Inverse of MultisetRank.
+std::vector<int> MultisetUnrank(int n, int s, std::uint64_t rank);
+
+/// Calls `fn(subset)` for each k-subset of {0,...,n-1} without materializing
+/// the full list. `fn` receives a const std::vector<int>& that is reused
+/// across calls.
+template <typename Fn>
+void ForEachSubsetOfSize(int n, int k, Fn&& fn) {
+  if (k < 0 || k > n) return;
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    fn(static_cast<const std::vector<int>&>(idx));
+    // Advance to the next combination.
+    int i = k - 1;
+    while (i >= 0 && idx[i] == n - k + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace mrcost::common
+
+#endif  // MRCOST_COMMON_COMBINATORICS_H_

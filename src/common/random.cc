@@ -1,0 +1,57 @@
+#include "src/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace mrcost::common {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double exponent) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+std::uint64_t ZipfDistribution::Sample(SplitMix64& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+std::vector<std::uint64_t> SampleWithoutReplacement(std::uint64_t n,
+                                                    std::uint64_t k,
+                                                    SplitMix64& rng) {
+  if (k >= n) {
+    std::vector<std::uint64_t> all(n);
+    for (std::uint64_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  if (k > n / 4) {
+    // Dense case: shuffle a full index vector and take a prefix.
+    std::vector<std::uint64_t> all(n);
+    for (std::uint64_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all, rng);
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: Floyd's algorithm, O(k) expected.
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.UniformBelow(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcost::common

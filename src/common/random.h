@@ -1,0 +1,96 @@
+#ifndef MRCOST_COMMON_RANDOM_H_
+#define MRCOST_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mrcost::common {
+
+/// SplitMix64: a tiny, fast, high-quality deterministic PRNG. All randomness
+/// in the library flows through this type with explicit seeds, so every test
+/// and bench run is reproducible.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); precondition bound > 0. Uses rejection
+  /// sampling to avoid modulo bias.
+  std::uint64_t UniformBelow(std::uint64_t bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (true) {
+      const std::uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; precondition lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    UniformBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fisher-Yates shuffle of `items` using `rng`.
+template <typename T>
+void Shuffle(std::vector<T>& items, SplitMix64& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.UniformBelow(i);
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+/// Samples `k` distinct values from [0, n) uniformly (Floyd's algorithm when
+/// k is small relative to n, shuffle otherwise). Result is unsorted.
+std::vector<std::uint64_t> SampleWithoutReplacement(std::uint64_t n,
+                                                    std::uint64_t k,
+                                                    SplitMix64& rng);
+
+/// Samples from a Zipf(s) distribution over {0, ..., n-1} by inverse CDF
+/// (precomputed); rank 0 is the most frequent. Used to synthesize the
+/// skewed key distributions (word frequencies, social-graph degrees) the
+/// paper's skew discussion concerns.
+class ZipfDistribution {
+ public:
+  /// Requires n >= 1; `exponent` is the Zipf parameter (1.0 = classic).
+  ZipfDistribution(std::uint64_t n, double exponent);
+
+  std::uint64_t Sample(SplitMix64& rng) const;
+  std::uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// A stateless 64-bit mix usable as a hash for bucketing (the `h` of the
+/// paper's bucket-based algorithms). Distinct from std::hash so bucket
+/// assignments are stable across standard libraries.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace mrcost::common
+
+#endif  // MRCOST_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/bit_util.h"
+
+namespace mrcost::common {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
+double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::skew() const {
+  if (count_ == 0 || mean_ == 0.0) return 0.0;
+  return max_ / mean_;
+}
+
+std::string RunningStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " min=" << min()
+     << " max=" << max() << " sd=" << stddev();
+  return os.str();
+}
+
+void Log2Histogram::Add(std::uint64_t x) {
+  ++total_;
+  if (x == 0) {
+    ++zeros_;
+    return;
+  }
+  const int bucket = FloorLog2(x);
+  if (buckets_.size() <= static_cast<std::size_t>(bucket)) {
+    buckets_.resize(bucket + 1, 0);
+  }
+  ++buckets_[bucket];
+}
+
+std::string Log2Histogram::ToString() const {
+  if (total_ == 0) return "";
+  std::ostringstream os;
+  std::int64_t max_count = zeros_;
+  for (std::int64_t c : buckets_) max_count = std::max(max_count, c);
+  auto render = [&](const std::string& label, std::int64_t count) {
+    if (count == 0) return;
+    const int width =
+        static_cast<int>(40.0 * static_cast<double>(count) /
+                         static_cast<double>(std::max<std::int64_t>(
+                             max_count, 1)));
+    os << "  " << label << " | " << std::string(std::max(width, 1), '#') << " "
+       << count << "\n";
+  };
+  render("[0]        ", zeros_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    std::ostringstream label;
+    label << "[2^" << i << ", 2^" << i + 1 << ")";
+    std::string padded = label.str();
+    if (padded.size() < 11) padded.resize(11, ' ');
+    render(padded, buckets_[i]);
+  }
+  return os.str();
+}
+
+}  // namespace mrcost::common

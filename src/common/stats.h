@@ -1,0 +1,57 @@
+#ifndef MRCOST_COMMON_STATS_H_
+#define MRCOST_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrcost::common {
+
+/// Streaming summary statistics over a sequence of observations (Welford's
+/// algorithm for the variance). Used for reducer input sizes, per-worker
+/// loads, and bench series.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+  /// Ratio max/mean, a standard load-skew measure; 0 when empty.
+  double skew() const;
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A fixed-bucket histogram over non-negative integer observations,
+/// bucketed by powers of two. Bucket i holds values in [2^i, 2^{i+1}).
+class Log2Histogram {
+ public:
+  void Add(std::uint64_t x);
+  /// Multi-line ASCII rendering; empty string when no observations.
+  std::string ToString() const;
+  std::int64_t total() const { return total_; }
+
+ private:
+  std::vector<std::int64_t> buckets_;
+  std::int64_t zeros_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace mrcost::common
+
+#endif  // MRCOST_COMMON_STATS_H_

@@ -1,0 +1,155 @@
+#ifndef MRCOST_COMMON_STATUS_H_
+#define MRCOST_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mrcost::common {
+
+/// Error categories used across the library. Modeled on absl::StatusCode but
+/// reduced to the cases this library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotFound,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result. Library code returns Status instead
+/// of throwing: map-reduce schema construction has many user-parameterized
+/// preconditions (divisibility of segment lengths, reducer-size limits) that
+/// callers need to handle programmatically.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error union, analogous to absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return value;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  /// Precondition: ok(). Aborts otherwise — callers must check first.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result accessed with error: "
+                << std::get<Status>(rep_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// CHECK-style invariant assertion, active in all build types. Used for
+/// programmer errors (not user input); user input errors return Status.
+#define MRCOST_CHECK(expr)                                         \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::mrcost::common::internal::CheckFailed(__FILE__, __LINE__,  \
+                                              #expr);              \
+    }                                                              \
+  } while (false)
+
+#define MRCOST_CHECK_OK(status_expr)                                \
+  do {                                                              \
+    const ::mrcost::common::Status _mrcost_s = (status_expr);       \
+    if (!_mrcost_s.ok()) {                                          \
+      std::cerr << _mrcost_s.ToString() << "\n";                    \
+      ::mrcost::common::internal::CheckFailed(__FILE__, __LINE__,   \
+                                              #status_expr);        \
+    }                                                               \
+  } while (false)
+
+}  // namespace mrcost::common
+
+#endif  // MRCOST_COMMON_STATUS_H_

@@ -1,0 +1,107 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace mrcost::common {
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  if (v != 0.0 && (std::abs(v) >= 1e7 || std::abs(v) < 1e-4)) {
+    os << std::scientific << std::setprecision(3) << v;
+  } else {
+    os << std::fixed << std::setprecision(4) << v;
+  }
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::AddRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(std::string cell) {
+  MRCOST_CHECK(!rows_.empty());
+  MRCOST_CHECK(rows_.back().size() < headers_.size());
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::Add(const char* cell) { return Add(std::string(cell)); }
+
+Table& Table::Add(std::int64_t v) { return Add(std::to_string(v)); }
+Table& Table::Add(std::uint64_t v) { return Add(std::to_string(v)); }
+Table& Table::Add(int v) { return Add(std::to_string(v)); }
+Table& Table::Add(double v) { return Add(FormatDouble(v)); }
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::Print(std::ostream& os, const std::string& title) const {
+  os << "\n== " << title << " ==\n";
+  // MRCOST_CSV=1 switches all bench tables to machine-readable CSV
+  // (documented in README) without touching each bench binary.
+  const char* csv = std::getenv("MRCOST_CSV");
+  if (csv != nullptr && csv[0] == '1') {
+    os << ToCsv();
+  } else {
+    os << ToString();
+  }
+}
+
+}  // namespace mrcost::common

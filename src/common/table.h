@@ -1,0 +1,51 @@
+#ifndef MRCOST_COMMON_TABLE_H_
+#define MRCOST_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrcost::common {
+
+/// A small column-aligned table writer used by the bench harnesses to print
+/// paper-style result tables (Table 1, Table 2, the Figure 1 series, ...).
+/// Cells are strings; convenience Add* overloads format numbers with a
+/// fixed precision suitable for comparing measured values against the
+/// paper's closed forms.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  Table& AddRow();
+  Table& Add(std::string cell);
+  Table& Add(const char* cell);
+  Table& Add(std::int64_t v);
+  Table& Add(std::uint64_t v);
+  Table& Add(int v);
+  /// Doubles print with 4 significant digits; exact integers print bare.
+  Table& Add(double v);
+
+  /// Renders with a header rule and column alignment.
+  std::string ToString() const;
+  /// Comma-separated rendering for machine consumption.
+  std::string ToCsv() const;
+
+  /// Convenience: prints ToString() to `os` with a title line.
+  void Print(std::ostream& os, const std::string& title) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` the way Table::Add(double) does; exposed for tests and for
+/// inline annotations in bench output.
+std::string FormatDouble(double v);
+
+}  // namespace mrcost::common
+
+#endif  // MRCOST_COMMON_TABLE_H_

@@ -1,0 +1,55 @@
+#ifndef MRCOST_COMMON_THREAD_POOL_H_
+#define MRCOST_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mrcost::common {
+
+/// A fixed-size worker pool. The map-reduce engine runs map tasks and
+/// reduce tasks on it to model the cluster's parallel workers; it is also
+/// usable directly via ParallelFor.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs as soon as a worker is free.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across `pool`, blocking until done.
+/// Work is divided into contiguous chunks, one batch per thread, to keep
+/// scheduling overhead negligible for fine-grained bodies.
+void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace mrcost::common
+
+#endif  // MRCOST_COMMON_THREAD_POOL_H_

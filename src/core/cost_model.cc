@@ -1,0 +1,65 @@
+#include "src/core/cost_model.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/core/lower_bound.h"
+
+namespace mrcost::core {
+
+TradeoffPoint PickCheapest(const std::vector<TradeoffPoint>& curve,
+                           const CostModel& model) {
+  MRCOST_CHECK(!curve.empty());
+  const TradeoffPoint* best = &curve[0];
+  double best_cost = model.Cost(best->r, best->q);
+  for (const TradeoffPoint& p : curve) {
+    const double cost = model.Cost(p.r, p.q);
+    if (cost < best_cost || (cost == best_cost && p.q < best->q)) {
+      best = &p;
+      best_cost = cost;
+    }
+  }
+  return *best;
+}
+
+double GoldenSectionMinimize(const std::function<double(double)>& f,
+                             double lo, double hi, double tol) {
+  MRCOST_CHECK(lo <= hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c), fd = f(d);
+  while ((b - a) > tol * (std::abs(a) + std::abs(b) + 1.0)) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  return (a + b) / 2;
+}
+
+double OptimalQOnCurve(const Recipe& recipe, const CostModel& model,
+                       double q_lo, double q_hi) {
+  MRCOST_CHECK(q_lo > 0 && q_hi >= q_lo);
+  // Optimize in log-q space: the curves of interest are hyperbola-like and
+  // unimodal there over many orders of magnitude.
+  const double log_q = GoldenSectionMinimize(
+      [&](double lq) {
+        const double q = std::exp(lq);
+        return model.Cost(ClampedReplicationLowerBound(recipe, q), q);
+      },
+      std::log(q_lo), std::log(q_hi));
+  return std::exp(log_q);
+}
+
+}  // namespace mrcost::core

@@ -1,0 +1,51 @@
+#include "src/core/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace mrcost::core {
+
+double ReplicationLowerBound(const Recipe& recipe, double q) {
+  const double gq = recipe.g(q);
+  if (gq <= 0.0) {
+    return recipe.num_outputs > 0
+               ? std::numeric_limits<double>::infinity()
+               : 0.0;
+  }
+  return q * recipe.num_outputs / (gq * recipe.num_inputs);
+}
+
+double ClampedReplicationLowerBound(const Recipe& recipe, double q) {
+  return std::max(1.0, ReplicationLowerBound(recipe, q));
+}
+
+common::Status CheckMonotoneGOverQ(const Recipe& recipe, double q_lo,
+                                   double q_hi, int samples) {
+  if (q_lo <= 0 || q_hi < q_lo || samples < 2) {
+    return common::Status::InvalidArgument(
+        "CheckMonotoneGOverQ: need 0 < q_lo <= q_hi and samples >= 2");
+  }
+  const double ratio = std::pow(q_hi / q_lo, 1.0 / (samples - 1));
+  double prev_q = q_lo;
+  double prev = recipe.g(q_lo) / q_lo;
+  // Tolerate tiny floating-point wobble.
+  constexpr double kSlack = 1e-9;
+  for (int i = 1; i < samples; ++i) {
+    const double q = q_lo * std::pow(ratio, i);
+    const double cur = recipe.g(q) / q;
+    if (cur + kSlack * std::abs(cur) < prev) {
+      std::ostringstream os;
+      os << recipe.problem_name << ": g(q)/q decreases between q=" << prev_q
+         << " (" << prev << ") and q=" << q << " (" << cur
+         << "); the recipe bound is not valid on this range";
+      return common::Status::FailedPrecondition(os.str());
+    }
+    prev = cur;
+    prev_q = q;
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace mrcost::core

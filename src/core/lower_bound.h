@@ -1,0 +1,48 @@
+#ifndef MRCOST_CORE_LOWER_BOUND_H_
+#define MRCOST_CORE_LOWER_BOUND_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace mrcost::core {
+
+/// The generic lower-bound recipe of Section 2.4, as an executable object.
+///
+/// A recipe consists of the three problem-specific quantities the paper's
+/// four steps consume:
+///   1. g(q): an upper bound on the number of outputs a reducer with q
+///      inputs can cover,
+///   2. |I|: the number of inputs, and
+///   3. |O|: the number of outputs.
+/// Given those, for any reducer-size limit q the replication rate of every
+/// valid mapping schema satisfies r >= q*|O| / (g(q)*|I|)  (Equation 4),
+/// provided g(q)/q is monotonically increasing in q — the condition under
+/// which the paper's "manipulation trick" (Equations 2-3) is sound.
+struct Recipe {
+  std::string problem_name;
+  /// g(q); must be defined for q >= 1.
+  std::function<double(double)> g;
+  double num_inputs = 0;   // |I|
+  double num_outputs = 0;  // |O|
+};
+
+/// Equation 4: the lower bound on replication rate at reducer size q.
+/// Returns +inf if g(q) == 0 while |O| > 0 (no reducer can cover anything,
+/// so no finite schema exists at this q).
+double ReplicationLowerBound(const Recipe& recipe, double q);
+
+/// Verifies numerically that g(q)/q is monotonically increasing on
+/// [q_lo, q_hi] by sampling `samples` geometrically spaced points.
+/// The recipe's bound is only valid where this holds (Section 2.4).
+common::Status CheckMonotoneGOverQ(const Recipe& recipe, double q_lo,
+                                   double q_hi, int samples = 64);
+
+/// The trivial bound r >= 1 that replaces Equation 4 whenever the recipe
+/// bound drops below 1 (discussed for 2-paths in Section 5.4.1).
+double ClampedReplicationLowerBound(const Recipe& recipe, double q);
+
+}  // namespace mrcost::core
+
+#endif  // MRCOST_CORE_LOWER_BOUND_H_

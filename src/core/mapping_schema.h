@@ -1,0 +1,58 @@
+#ifndef MRCOST_CORE_MAPPING_SCHEMA_H_
+#define MRCOST_CORE_MAPPING_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/problem.h"
+
+namespace mrcost::core {
+
+/// A mapping schema (Section 2.2): an assignment of each input to a set of
+/// reducers. A valid schema for reducer-size limit q must (1) assign at most
+/// q inputs to every reducer and (2) cover every output — some reducer
+/// receives all of the output's inputs. Validation is performed by
+/// ValidateSchema in schema_validator.h.
+///
+/// Implementations are deterministic pure functions of the input id, which
+/// is exactly the paper's independence assumption for mappers (Section 2.3).
+class MappingSchema {
+ public:
+  virtual ~MappingSchema() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Total number of reducers used by the schema; reducer ids are
+  /// 0..num_reducers()-1.
+  virtual std::uint64_t num_reducers() const = 0;
+
+  /// The reducers to which `input` is sent. The length of this list summed
+  /// over all inputs, divided by |I|, is the schema's replication rate.
+  virtual std::vector<ReducerId> ReducersOfInput(InputId input) const = 0;
+};
+
+/// A schema given by explicit per-input lists, for tests.
+class ExplicitSchema final : public MappingSchema {
+ public:
+  ExplicitSchema(std::string name, std::uint64_t num_reducers,
+                 std::vector<std::vector<ReducerId>> assignment)
+      : name_(std::move(name)),
+        num_reducers_(num_reducers),
+        assignment_(std::move(assignment)) {}
+
+  std::string name() const override { return name_; }
+  std::uint64_t num_reducers() const override { return num_reducers_; }
+  std::vector<ReducerId> ReducersOfInput(InputId input) const override {
+    return assignment_[input];
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t num_reducers_;
+  std::vector<std::vector<ReducerId>> assignment_;
+};
+
+}  // namespace mrcost::core
+
+#endif  // MRCOST_CORE_MAPPING_SCHEMA_H_

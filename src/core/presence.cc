@@ -1,0 +1,64 @@
+#include "src/core/presence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace mrcost::core {
+
+std::string PresenceStats::ToString() const {
+  std::ostringstream os;
+  os << "x=" << presence_probability << " q_t=" << target_q
+     << " expected=" << expected_load
+     << " realized max " << realized_max_load.ToString()
+     << " | rel.dev " << relative_deviation.ToString();
+  return os.str();
+}
+
+PresenceStats SimulatePresence(const MappingSchema& schema,
+                               std::uint64_t num_inputs, double x,
+                               int trials, std::uint64_t seed) {
+  MRCOST_CHECK(x > 0.0 && x <= 1.0);
+  MRCOST_CHECK(trials >= 1);
+  PresenceStats stats;
+  stats.presence_probability = x;
+
+  // Materialize the assignment once.
+  std::vector<std::vector<ReducerId>> assignment(num_inputs);
+  std::vector<std::uint64_t> potential(schema.num_reducers(), 0);
+  for (InputId input = 0; input < num_inputs; ++input) {
+    assignment[input] = schema.ReducersOfInput(input);
+    for (ReducerId r : assignment[input]) ++potential[r];
+  }
+  for (std::uint64_t p : potential) {
+    stats.target_q = std::max(stats.target_q, p);
+  }
+  stats.expected_load = x * static_cast<double>(stats.target_q);
+
+  common::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> load(schema.num_reducers());
+  for (int t = 0; t < trials; ++t) {
+    std::fill(load.begin(), load.end(), 0);
+    for (InputId input = 0; input < num_inputs; ++input) {
+      if (!rng.Bernoulli(x)) continue;
+      for (ReducerId r : assignment[input]) ++load[r];
+    }
+    std::uint64_t max_load = 0;
+    for (ReducerId r = 0; r < schema.num_reducers(); ++r) {
+      max_load = std::max(max_load, load[r]);
+      if (potential[r] > 0) {
+        const double expected = x * static_cast<double>(potential[r]);
+        stats.relative_deviation.Add(
+            std::abs(static_cast<double>(load[r]) - expected) / expected);
+      }
+    }
+    stats.realized_max_load.Add(static_cast<double>(max_load));
+  }
+  return stats;
+}
+
+}  // namespace mrcost::core

@@ -1,0 +1,49 @@
+#ifndef MRCOST_CORE_PRESENCE_H_
+#define MRCOST_CORE_PRESENCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/core/mapping_schema.h"
+
+namespace mrcost::core {
+
+/// Section 2.3's presence model, executable: mapping schemas assign
+/// *potential* inputs, but any instance contains each input independently
+/// with probability x. A reducer assigned q_t potential inputs therefore
+/// receives about x * q_t real ones, with vanishing relative deviation as
+/// q_t grows — which justifies the paper's q = q_real / x rescaling (and
+/// its Section 4.2 use for sparse graphs).
+struct PresenceStats {
+  double presence_probability = 0.0;
+  /// Largest potential assignment over reducers (the schema's q_t).
+  std::uint64_t target_q = 0;
+  /// x * target_q: the expected realized load of the fullest reducer.
+  double expected_load = 0.0;
+  /// Across trials: the maximum realized reducer load.
+  common::RunningStats realized_max_load;
+  /// Across trials and reducers with >= 1 potential input: the relative
+  /// deviation |load - x*assigned| / (x*assigned).
+  common::RunningStats relative_deviation;
+
+  std::string ToString() const;
+};
+
+/// Monte-Carlo simulation of the presence model over `trials` random
+/// instances. Enumerates the schema's assignment once (O(|I| * r)), then
+/// samples instances. Intended for domains up to ~2^20 inputs.
+PresenceStats SimulatePresence(const MappingSchema& schema,
+                               std::uint64_t num_inputs, double x,
+                               int trials, std::uint64_t seed);
+
+/// The paper's rescaling: to keep the expected realized reducer load at
+/// q_real when inputs appear with probability x, budget the schema at
+/// q_t = q_real / x potential inputs per reducer (Section 2.3).
+inline double EffectiveTargetQ(double q_real, double x) {
+  return q_real / x;
+}
+
+}  // namespace mrcost::core
+
+#endif  // MRCOST_CORE_PRESENCE_H_

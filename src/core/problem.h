@@ -1,0 +1,68 @@
+#ifndef MRCOST_CORE_PROBLEM_H_
+#define MRCOST_CORE_PROBLEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrcost::core {
+
+/// Identifier of a (hypothetical) input in a problem's finite input domain.
+using InputId = std::uint64_t;
+/// Identifier of a (hypothetical) output.
+using OutputId = std::uint64_t;
+/// Identifier of a reducer in a mapping schema.
+using ReducerId = std::uint64_t;
+
+/// A "problem" in the paper's model (Section 2): finite sets of hypothetical
+/// inputs and outputs, plus a mapping from each output to the set of inputs
+/// it depends on. Implementations enumerate the full domains, which is what
+/// the lower-bound analysis assumes (Section 2.3: all possible inputs are
+/// treated as present).
+///
+/// This interface is the bridge between the paper's abstract model and the
+/// concrete problem modules: schema validators and replication-rate
+/// calculators are written once against Problem and reused by every module.
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// |I|: size of the input domain. Inputs are identified by 0..|I|-1.
+  virtual std::uint64_t num_inputs() const = 0;
+
+  /// |O|: size of the output domain. Outputs are identified by 0..|O|-1.
+  virtual std::uint64_t num_outputs() const = 0;
+
+  /// The set of inputs output `output` is mapped to (Section 2, item 2).
+  /// An output can be produced only by a reducer that receives all of them.
+  virtual std::vector<InputId> InputsOfOutput(OutputId output) const = 0;
+};
+
+/// A problem given by explicit enumeration, for tests and tiny examples
+/// (e.g., the natural-join example of Example 2.1 on a 2x2x2 domain).
+class ExplicitProblem final : public Problem {
+ public:
+  ExplicitProblem(std::string name, std::uint64_t num_inputs,
+                  std::vector<std::vector<InputId>> outputs)
+      : name_(std::move(name)),
+        num_inputs_(num_inputs),
+        outputs_(std::move(outputs)) {}
+
+  std::string name() const override { return name_; }
+  std::uint64_t num_inputs() const override { return num_inputs_; }
+  std::uint64_t num_outputs() const override { return outputs_.size(); }
+  std::vector<InputId> InputsOfOutput(OutputId output) const override {
+    return outputs_[output];
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t num_inputs_;
+  std::vector<std::vector<InputId>> outputs_;
+};
+
+}  // namespace mrcost::core
+
+#endif  // MRCOST_CORE_PROBLEM_H_

@@ -1,0 +1,40 @@
+#include "src/core/schema_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mrcost::core {
+
+std::string SchemaStats::ToString() const {
+  std::ostringstream os;
+  os << "inputs=" << num_inputs << " reducers=" << num_reducers
+     << " (nonempty " << nonempty_reducers << ")"
+     << " assignments=" << total_assignments
+     << " max_q=" << max_reducer_load << " r=" << replication_rate;
+  return os.str();
+}
+
+SchemaStats ComputeSchemaStats(const MappingSchema& schema,
+                               std::uint64_t num_inputs) {
+  SchemaStats stats;
+  stats.num_inputs = num_inputs;
+  stats.num_reducers = schema.num_reducers();
+  std::vector<std::uint64_t> load(schema.num_reducers(), 0);
+  for (InputId input = 0; input < num_inputs; ++input) {
+    for (ReducerId r : schema.ReducersOfInput(input)) {
+      ++load[r];
+      ++stats.total_assignments;
+    }
+  }
+  for (std::uint64_t l : load) {
+    if (l > 0) ++stats.nonempty_reducers;
+    stats.max_reducer_load = std::max(stats.max_reducer_load, l);
+  }
+  stats.replication_rate =
+      num_inputs == 0 ? 0.0
+                      : static_cast<double>(stats.total_assignments) /
+                            static_cast<double>(num_inputs);
+  return stats;
+}
+
+}  // namespace mrcost::core

@@ -1,0 +1,36 @@
+#ifndef MRCOST_CORE_SCHEMA_STATS_H_
+#define MRCOST_CORE_SCHEMA_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/mapping_schema.h"
+
+namespace mrcost::core {
+
+/// Measured properties of a mapping schema over a problem's full input
+/// domain: the realized q_i per reducer and the replication rate
+/// r = Sum_i q_i / |I| (Section 2.2's figure of merit).
+struct SchemaStats {
+  std::uint64_t num_inputs = 0;
+  std::uint64_t num_reducers = 0;
+  /// Reducers that received at least one input.
+  std::uint64_t nonempty_reducers = 0;
+  std::uint64_t total_assignments = 0;  // Sum_i q_i
+  std::uint64_t max_reducer_load = 0;   // max_i q_i
+  double replication_rate = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes SchemaStats by enumerating every input in [0, num_inputs).
+/// `num_inputs` is passed explicitly (rather than taken from a Problem) so
+/// that schemas can be measured on domains too large to enumerate outputs
+/// for; pass problem.num_inputs() in the common case.
+SchemaStats ComputeSchemaStats(const MappingSchema& schema,
+                               std::uint64_t num_inputs);
+
+}  // namespace mrcost::core
+
+#endif  // MRCOST_CORE_SCHEMA_STATS_H_

@@ -1,0 +1,71 @@
+#include "src/core/schema_validator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mrcost::core {
+
+common::Status ValidateSchema(const Problem& problem,
+                              const MappingSchema& schema, std::uint64_t q) {
+  const std::uint64_t num_inputs = problem.num_inputs();
+  const std::uint64_t num_reducers = schema.num_reducers();
+
+  // Materialize the assignment once: per-input reducer lists (sorted for
+  // intersection) and per-reducer loads.
+  std::vector<std::vector<ReducerId>> reducers_of_input(num_inputs);
+  std::vector<std::uint64_t> load(num_reducers, 0);
+  for (InputId input = 0; input < num_inputs; ++input) {
+    reducers_of_input[input] = schema.ReducersOfInput(input);
+    auto& rs = reducers_of_input[input];
+    std::sort(rs.begin(), rs.end());
+    rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+    for (ReducerId r : rs) {
+      if (r >= num_reducers) {
+        std::ostringstream os;
+        os << schema.name() << ": input " << input
+           << " assigned to out-of-range reducer " << r << " (num_reducers="
+           << num_reducers << ")";
+        return common::Status::Internal(os.str());
+      }
+      ++load[r];
+    }
+  }
+
+  // Constraint 1: reducer-size limit.
+  for (ReducerId r = 0; r < num_reducers; ++r) {
+    if (load[r] > q) {
+      std::ostringstream os;
+      os << schema.name() << ": reducer " << r << " has " << load[r]
+         << " inputs, exceeding q=" << q;
+      return common::Status::FailedPrecondition(os.str());
+    }
+  }
+
+  // Constraint 2: every output covered. Intersect the (sorted) reducer
+  // lists of the output's inputs.
+  const std::uint64_t num_outputs = problem.num_outputs();
+  std::vector<ReducerId> intersection;
+  std::vector<ReducerId> next;
+  for (OutputId output = 0; output < num_outputs; ++output) {
+    const std::vector<InputId> deps = problem.InputsOfOutput(output);
+    if (deps.empty()) continue;  // vacuously covered
+    intersection = reducers_of_input[deps[0]];
+    for (std::size_t i = 1; i < deps.size() && !intersection.empty(); ++i) {
+      const auto& rs = reducers_of_input[deps[i]];
+      next.clear();
+      std::set_intersection(intersection.begin(), intersection.end(),
+                            rs.begin(), rs.end(), std::back_inserter(next));
+      intersection.swap(next);
+    }
+    if (intersection.empty()) {
+      std::ostringstream os;
+      os << schema.name() << ": output " << output
+         << " is not covered by any reducer";
+      return common::Status::FailedPrecondition(os.str());
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace mrcost::core

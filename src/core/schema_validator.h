@@ -1,0 +1,27 @@
+#ifndef MRCOST_CORE_SCHEMA_VALIDATOR_H_
+#define MRCOST_CORE_SCHEMA_VALIDATOR_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/core/mapping_schema.h"
+#include "src/core/problem.h"
+
+namespace mrcost::core {
+
+/// Checks the two mapping-schema constraints of Section 2.2 against a
+/// problem by exhaustive enumeration:
+///   1. no reducer is assigned more than `q` inputs, and
+///   2. every output is covered: at least one reducer receives all of the
+///      output's inputs.
+/// Returns OK iff both hold; otherwise a FailedPrecondition status naming
+/// the first violated constraint (and the offending reducer/output).
+///
+/// Intended for the exhaustive test domains (b <= ~16 bits, n <= ~60 nodes);
+/// cost is O(|I| * r + |O| * d * r) where d is the inputs-per-output arity.
+common::Status ValidateSchema(const Problem& problem,
+                              const MappingSchema& schema, std::uint64_t q);
+
+}  // namespace mrcost::core
+
+#endif  // MRCOST_CORE_SCHEMA_VALIDATOR_H_

@@ -1,0 +1,26 @@
+#include "src/core/tradeoff.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace mrcost::core {
+
+std::vector<TradeoffPoint> SampleLowerBoundCurve(const Recipe& recipe,
+                                                 double q_lo, double q_hi,
+                                                 int samples, bool clamp) {
+  MRCOST_CHECK(q_lo > 0 && q_hi >= q_lo && samples >= 1);
+  std::vector<TradeoffPoint> curve;
+  curve.reserve(samples);
+  const double ratio =
+      samples > 1 ? std::pow(q_hi / q_lo, 1.0 / (samples - 1)) : 1.0;
+  for (int i = 0; i < samples; ++i) {
+    const double q = q_lo * std::pow(ratio, i);
+    const double r = clamp ? ClampedReplicationLowerBound(recipe, q)
+                           : ReplicationLowerBound(recipe, q);
+    curve.push_back(TradeoffPoint{q, r, recipe.problem_name});
+  }
+  return curve;
+}
+
+}  // namespace mrcost::core

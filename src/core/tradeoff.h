@@ -1,0 +1,23 @@
+#ifndef MRCOST_CORE_TRADEOFF_H_
+#define MRCOST_CORE_TRADEOFF_H_
+
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/lower_bound.h"
+
+namespace mrcost::core {
+
+/// Samples the lower-bound curve r = q|O|/(g(q)|I|) of `recipe` at
+/// `samples` geometrically spaced reducer sizes in [q_lo, q_hi]; the
+/// resulting points form the hyperbola of Figure 1 for plotting/bench
+/// tables. Bounds below 1 are clamped to the trivial bound r >= 1 when
+/// `clamp` is set.
+std::vector<TradeoffPoint> SampleLowerBoundCurve(const Recipe& recipe,
+                                                 double q_lo, double q_hi,
+                                                 int samples,
+                                                 bool clamp = true);
+
+}  // namespace mrcost::core
+
+#endif  // MRCOST_CORE_TRADEOFF_H_

@@ -1,0 +1,83 @@
+#ifndef MRCOST_ENGINE_BYTE_SIZE_H_
+#define MRCOST_ENGINE_BYTE_SIZE_H_
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mrcost::engine {
+
+/// Estimated wire size of a value, used for the engine's byte-level
+/// communication accounting. Trivially copyable types count their object
+/// size; strings and vectors count contents plus a length word. User types
+/// can specialize ByteSizeOf or expose a `ByteSize()` member.
+///
+/// All overloads are declared before any definition so that overloads for
+/// std:: containers are visible from inside the composite overloads
+/// (ordinary lookup happens at template definition time; ADL would not
+/// find them in namespace mrcost::engine).
+template <typename T>
+std::size_t ByteSizeOf(const T& value);
+template <typename A, typename B>
+std::size_t ByteSizeOf(const std::pair<A, B>& p);
+template <typename... Ts>
+std::size_t ByteSizeOf(const std::tuple<Ts...>& t);
+inline std::size_t ByteSizeOf(const std::string& s);
+template <typename T>
+std::size_t ByteSizeOf(const std::vector<T>& v);
+
+namespace internal {
+
+template <typename T, typename = void>
+struct HasByteSizeMember : std::false_type {};
+
+template <typename T>
+struct HasByteSizeMember<T,
+                         std::void_t<decltype(std::declval<const T&>()
+                                                  .ByteSize())>>
+    : std::true_type {};
+
+}  // namespace internal
+
+template <typename A, typename B>
+std::size_t ByteSizeOf(const std::pair<A, B>& p) {
+  return ByteSizeOf(p.first) + ByteSizeOf(p.second);
+}
+
+template <typename... Ts>
+std::size_t ByteSizeOf(const std::tuple<Ts...>& t) {
+  return std::apply(
+      [](const Ts&... elems) { return (std::size_t{0} + ... +
+                                       ByteSizeOf(elems)); },
+      t);
+}
+
+inline std::size_t ByteSizeOf(const std::string& s) {
+  return sizeof(std::size_t) + s.size();
+}
+
+template <typename T>
+std::size_t ByteSizeOf(const std::vector<T>& v) {
+  std::size_t total = sizeof(std::size_t);
+  for (const T& x : v) total += ByteSizeOf(x);
+  return total;
+}
+
+template <typename T>
+std::size_t ByteSizeOf(const T& value) {
+  if constexpr (internal::HasByteSizeMember<T>::value) {
+    return value.ByteSize();
+  } else {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteSizeOf: provide an overload, a ByteSize() member, or "
+                  "a trivially copyable type");
+    return sizeof(T);
+  }
+}
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_BYTE_SIZE_H_

@@ -1,0 +1,278 @@
+#ifndef MRCOST_ENGINE_JOB_H_
+#define MRCOST_ENGINE_JOB_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/engine/byte_size.h"
+#include "src/engine/hashing.h"
+#include "src/engine/metrics.h"
+
+namespace mrcost::engine {
+
+/// Mapper-side sink: map functions call Emit once per key-value pair. Every
+/// Emit is one unit of mapper->reducer communication; the engine charges it
+/// to JobMetrics exactly (Section 2.2's cost model).
+template <typename Key, typename Value>
+class Emitter {
+ public:
+  void Emit(Key key, Value value) {
+    bytes_ += ByteSizeOf(key) + ByteSizeOf(value);
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::pair<Key, Value>>& pairs() { return pairs_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::pair<Key, Value>> pairs_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Execution knobs for one round.
+struct JobOptions {
+  /// Threads used to run map and reduce tasks. 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  /// If nonzero, reduce keys are additionally assigned (by hash) to this
+  /// many simulated reduce workers and JobMetrics::worker_loads reports the
+  /// per-worker input load — the "reduce-worker is assigned many keys"
+  /// model of Section 1.1.
+  std::size_t num_simulated_workers = 0;
+
+  std::size_t ResolvedThreads() const {
+    if (num_threads > 0) return num_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+  }
+};
+
+/// Result of one round: reducer outputs (in deterministic first-seen key
+/// order) plus the exact cost metrics.
+template <typename Output>
+struct JobResult {
+  std::vector<Output> outputs;
+  JobMetrics metrics;
+};
+
+/// Runs one map-reduce round.
+///
+/// `map_fn`   : void(const Input&, Emitter<Key, Value>&)
+/// `reduce_fn`: void(const Key&, const std::vector<Value>&,
+///              std::vector<Output>&)
+///
+/// Semantics mirror the paper's model: every input is mapped independently
+/// (Section 2.3), pairs are shuffled by key, and each distinct key forms one
+/// reducer whose input list is the values emitted for it, in input order.
+/// Determinism: outputs are grouped in first-seen key order and value lists
+/// preserve input order regardless of thread count.
+template <typename Input, typename Key, typename Value, typename Output,
+          typename MapFn, typename ReduceFn>
+JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
+                               MapFn&& map_fn, ReduceFn&& reduce_fn,
+                               const JobOptions& options = {}) {
+  JobResult<Output> result;
+  JobMetrics& metrics = result.metrics;
+  metrics.num_inputs = inputs.size();
+
+  common::ThreadPool pool(options.ResolvedThreads());
+
+  // ---- Map phase: chunked across threads, buffered per chunk so that the
+  // merge below can preserve input order deterministically.
+  const std::size_t num_chunks =
+      std::max<std::size_t>(1, std::min(inputs.size(),
+                                        options.ResolvedThreads() * 4));
+  const std::size_t chunk_size =
+      inputs.empty() ? 0 : (inputs.size() + num_chunks - 1) / num_chunks;
+  std::vector<Emitter<Key, Value>> emitters(num_chunks);
+  if (!inputs.empty()) {
+    common::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(lo + chunk_size, inputs.size());
+      for (std::size_t i = lo; i < hi; ++i) {
+        map_fn(inputs[i], emitters[c]);
+      }
+    });
+  }
+
+  // ---- Shuffle: group values by key, first-seen key order.
+  std::unordered_map<Key, std::size_t, KeyHash> key_index;
+  std::vector<Key> keys;
+  std::vector<std::vector<Value>> groups;
+  for (auto& emitter : emitters) {
+    metrics.bytes_shuffled += emitter.bytes();
+    for (auto& [key, value] : emitter.pairs()) {
+      ++metrics.pairs_shuffled;
+      auto [it, inserted] = key_index.try_emplace(key, keys.size());
+      if (inserted) {
+        keys.push_back(key);
+        groups.emplace_back();
+      }
+      groups[it->second].push_back(std::move(value));
+    }
+    emitter.pairs().clear();
+  }
+  metrics.pairs_before_combine = metrics.pairs_shuffled;
+
+  metrics.num_reducers = keys.size();
+  for (const auto& group : groups) {
+    metrics.reducer_sizes.Add(static_cast<double>(group.size()));
+    metrics.max_reducer_input =
+        std::max<std::uint64_t>(metrics.max_reducer_input, group.size());
+  }
+
+  // ---- Optional cluster placement simulation.
+  if (options.num_simulated_workers > 0) {
+    std::vector<std::uint64_t> load(options.num_simulated_workers, 0);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      load[HashValue(keys[i]) % options.num_simulated_workers] +=
+          groups[i].size();
+    }
+    for (std::uint64_t l : load) {
+      metrics.worker_loads.Add(static_cast<double>(l));
+    }
+  }
+
+  // ---- Reduce phase: parallel across keys, buffered per key so the final
+  // concatenation is in deterministic key order.
+  std::vector<std::vector<Output>> per_key_outputs(keys.size());
+  common::ParallelFor(pool, 0, keys.size(), [&](std::size_t i) {
+    reduce_fn(keys[i], groups[i], per_key_outputs[i]);
+  });
+
+  std::size_t total_outputs = 0;
+  for (const auto& v : per_key_outputs) total_outputs += v.size();
+  result.outputs.reserve(total_outputs);
+  for (auto& v : per_key_outputs) {
+    for (auto& out : v) result.outputs.push_back(std::move(out));
+  }
+  metrics.num_outputs = result.outputs.size();
+  return result;
+}
+
+/// Runs one map-reduce round with a map-side combiner, the standard
+/// Hadoop-style optimization: each mapper chunk pre-merges the values it
+/// emitted for the same key with the associative `combine_fn`
+/// (Value x Value -> Value) before the shuffle. Semantically equivalent to
+/// RunMapReduce whenever `combine_fn` agrees with how `reduce_fn` folds
+/// its value list; the difference shows up only in the metrics:
+/// pairs_shuffled counts post-combine traffic while pairs_before_combine
+/// preserves the raw map output count.
+///
+/// This is the footnote-1 point of the paper made executable: mapper-side
+/// computation can trade against communication, but it cannot reduce the
+/// number of *distinct* (reducer, key) deliveries a mapping schema
+/// requires — combiners help aggregation-shaped problems (Examples 2.4,
+/// 2.5) and do nothing for join-shaped ones.
+template <typename Input, typename Key, typename Value, typename Output,
+          typename MapFn, typename CombineFn, typename ReduceFn>
+JobResult<Output> RunMapReduceCombined(const std::vector<Input>& inputs,
+                                       MapFn&& map_fn,
+                                       CombineFn&& combine_fn,
+                                       ReduceFn&& reduce_fn,
+                                       const JobOptions& options = {}) {
+  JobResult<Output> result;
+  JobMetrics& metrics = result.metrics;
+  metrics.num_inputs = inputs.size();
+
+  common::ThreadPool pool(options.ResolvedThreads());
+
+  const std::size_t num_chunks =
+      std::max<std::size_t>(1, std::min(inputs.size(),
+                                        options.ResolvedThreads() * 4));
+  const std::size_t chunk_size =
+      inputs.empty() ? 0 : (inputs.size() + num_chunks - 1) / num_chunks;
+  std::vector<Emitter<Key, Value>> emitters(num_chunks);
+  std::vector<std::uint64_t> raw_pairs(num_chunks, 0);
+  std::vector<std::uint64_t> combined_bytes(num_chunks, 0);
+  // Per-chunk combined output, in first-seen key order for determinism.
+  std::vector<std::vector<std::pair<Key, Value>>> combined(num_chunks);
+  if (!inputs.empty()) {
+    common::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(lo + chunk_size, inputs.size());
+      for (std::size_t i = lo; i < hi; ++i) {
+        map_fn(inputs[i], emitters[c]);
+      }
+      raw_pairs[c] = emitters[c].pairs().size();
+      // Combine within the chunk.
+      std::unordered_map<Key, std::size_t, KeyHash> local_index;
+      auto& out = combined[c];
+      for (auto& [key, value] : emitters[c].pairs()) {
+        auto [it, inserted] = local_index.try_emplace(key, out.size());
+        if (inserted) {
+          out.emplace_back(key, std::move(value));
+        } else {
+          out[it->second].second =
+              combine_fn(std::move(out[it->second].second),
+                         std::move(value));
+        }
+      }
+      emitters[c].pairs().clear();
+      std::uint64_t bytes = 0;
+      for (const auto& [key, value] : out) {
+        bytes += ByteSizeOf(key) + ByteSizeOf(value);
+      }
+      combined_bytes[c] = bytes;
+    });
+  }
+
+  // ---- Shuffle the combined pairs.
+  std::unordered_map<Key, std::size_t, KeyHash> key_index;
+  std::vector<Key> keys;
+  std::vector<std::vector<Value>> groups;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    metrics.pairs_before_combine += raw_pairs[c];
+    metrics.bytes_shuffled += combined_bytes[c];
+    for (auto& [key, value] : combined[c]) {
+      ++metrics.pairs_shuffled;
+      auto [it, inserted] = key_index.try_emplace(key, keys.size());
+      if (inserted) {
+        keys.push_back(key);
+        groups.emplace_back();
+      }
+      groups[it->second].push_back(std::move(value));
+    }
+    combined[c].clear();
+  }
+
+  metrics.num_reducers = keys.size();
+  for (const auto& group : groups) {
+    metrics.reducer_sizes.Add(static_cast<double>(group.size()));
+    metrics.max_reducer_input =
+        std::max<std::uint64_t>(metrics.max_reducer_input, group.size());
+  }
+  if (options.num_simulated_workers > 0) {
+    std::vector<std::uint64_t> load(options.num_simulated_workers, 0);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      load[HashValue(keys[i]) % options.num_simulated_workers] +=
+          groups[i].size();
+    }
+    for (std::uint64_t l : load) {
+      metrics.worker_loads.Add(static_cast<double>(l));
+    }
+  }
+
+  std::vector<std::vector<Output>> per_key_outputs(keys.size());
+  common::ParallelFor(pool, 0, keys.size(), [&](std::size_t i) {
+    reduce_fn(keys[i], groups[i], per_key_outputs[i]);
+  });
+  std::size_t total_outputs = 0;
+  for (const auto& v : per_key_outputs) total_outputs += v.size();
+  result.outputs.reserve(total_outputs);
+  for (auto& v : per_key_outputs) {
+    for (auto& out : v) result.outputs.push_back(std::move(out));
+  }
+  metrics.num_outputs = result.outputs.size();
+  return result;
+}
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_JOB_H_

@@ -1,0 +1,48 @@
+#include "src/engine/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mrcost::engine {
+
+std::string JobMetrics::ToString() const {
+  std::ostringstream os;
+  os << "inputs=" << num_inputs << " pairs=" << pairs_shuffled;
+  if (pairs_before_combine != pairs_shuffled) {
+    os << " (pre-combine " << pairs_before_combine << ")";
+  }
+  os << " bytes=" << bytes_shuffled << " reducers=" << num_reducers
+     << " max_q=" << max_reducer_input << " outputs=" << num_outputs
+     << " r=" << replication_rate();
+  return os.str();
+}
+
+std::uint64_t PipelineMetrics::total_pairs() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.pairs_shuffled;
+  return total;
+}
+
+std::uint64_t PipelineMetrics::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.bytes_shuffled;
+  return total;
+}
+
+std::uint64_t PipelineMetrics::max_reducer_input() const {
+  std::uint64_t max_q = 0;
+  for (const auto& m : rounds) max_q = std::max(max_q, m.max_reducer_input);
+  return max_q;
+}
+
+std::string PipelineMetrics::ToString() const {
+  std::ostringstream os;
+  os << rounds.size() << " round(s), total pairs=" << total_pairs()
+     << ", total bytes=" << total_bytes();
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    os << "\n  round " << i + 1 << ": " << rounds[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace mrcost::engine

@@ -1,0 +1,66 @@
+#ifndef MRCOST_ENGINE_METRICS_H_
+#define MRCOST_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace mrcost::engine {
+
+/// Exact cost accounting for one map-reduce round, in the units the paper
+/// reasons about (Section 2.2):
+///   * communication = number of key-value pairs crossing the shuffle
+///     (plus a byte estimate),
+///   * reducer size q_i = length of each reducer's value list,
+///   * replication rate r = (sum of q_i) / (number of inputs).
+struct JobMetrics {
+  std::uint64_t num_inputs = 0;
+  /// Key-value pairs crossing the shuffle == Sum_i q_i. When a combiner
+  /// runs, this counts post-combine pairs (what actually crosses the
+  /// network).
+  std::uint64_t pairs_shuffled = 0;
+  /// Pairs emitted by map functions before any map-side combining;
+  /// equals pairs_shuffled when no combiner is used.
+  std::uint64_t pairs_before_combine = 0;
+  std::uint64_t bytes_shuffled = 0;
+  /// Number of distinct reduce keys (the paper's "reducers").
+  std::uint64_t num_reducers = 0;
+  /// Max over reducers of the input-list length (the realized q).
+  std::uint64_t max_reducer_input = 0;
+  std::uint64_t num_outputs = 0;
+
+  /// Distribution of q_i across reducers.
+  common::RunningStats reducer_sizes;
+  /// Distribution of per-worker input load when keys are assigned to
+  /// `num_workers` simulated reduce workers (empty if not simulated).
+  common::RunningStats worker_loads;
+
+  /// r = pairs_shuffled / num_inputs; 0 when there are no inputs.
+  double replication_rate() const {
+    return num_inputs == 0 ? 0.0
+                           : static_cast<double>(pairs_shuffled) /
+                                 static_cast<double>(num_inputs);
+  }
+
+  std::string ToString() const;
+};
+
+/// Accumulated metrics across the rounds of a multi-round computation
+/// (Section 6.3's two-phase matrix multiplication).
+struct PipelineMetrics {
+  std::vector<JobMetrics> rounds;
+
+  void Add(JobMetrics m) { rounds.push_back(std::move(m)); }
+
+  std::uint64_t total_pairs() const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t max_reducer_input() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_METRICS_H_

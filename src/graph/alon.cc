@@ -1,0 +1,109 @@
+#include "src/graph/alon.h"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "src/common/combinatorics.h"
+#include "src/common/status.h"
+
+namespace mrcost::graph {
+namespace {
+
+/// True iff the subgraph of `g` induced by the nodes of `mask` (a bitmask)
+/// has a Hamiltonian cycle. Bitmask DP over <= 10 nodes.
+bool HasHamiltonianCycle(const Graph& g, std::uint32_t mask) {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (mask & (1u << v)) nodes.push_back(v);
+  }
+  const int s = static_cast<int>(nodes.size());
+  if (s < 3) return false;
+  // Local adjacency matrix.
+  std::vector<std::uint32_t> adj(s, 0);
+  for (int i = 0; i < s; ++i) {
+    for (int j = 0; j < s; ++j) {
+      if (i != j && g.HasEdge(nodes[i], nodes[j])) adj[i] |= 1u << j;
+    }
+  }
+  // dp[subset][last]: a path over `subset` starting at node 0, ending at
+  // `last`. Cycle exists iff some full-set path ends adjacent to 0.
+  const std::uint32_t full = (1u << s) - 1;
+  std::vector<std::uint32_t> reach(1u << s, 0);  // bitset over `last`
+  reach[1u << 0] = 1u << 0;
+  for (std::uint32_t subset = 1; subset <= full; ++subset) {
+    if (!(subset & 1u)) continue;  // paths start at local node 0
+    const std::uint32_t ends = reach[subset];
+    if (ends == 0) continue;
+    for (int last = 0; last < s; ++last) {
+      if (!(ends & (1u << last))) continue;
+      std::uint32_t candidates = adj[last] & ~subset;
+      while (candidates) {
+        const int next = std::countr_zero(candidates);
+        candidates &= candidates - 1;
+        reach[subset | (1u << next)] |= 1u << next;
+      }
+    }
+  }
+  return (reach[full] & adj[0]) != 0;
+}
+
+/// Recursive partition search: `assigned` marks nodes already placed.
+bool PartitionSearch(const Graph& g, std::uint32_t assigned,
+                     std::uint32_t all) {
+  if (assigned == all) return true;
+  // Lowest unassigned node anchors the next part (canonical, avoids
+  // revisiting the same partition in different orders).
+  const int anchor = std::countr_zero(~assigned & all);
+  const std::uint32_t remaining = all & ~assigned;
+  // Enumerate subsets of `remaining` containing `anchor`.
+  const std::uint32_t pool = remaining & ~(1u << anchor);
+  // Iterate over all subsets `sub` of pool; part = sub | anchor bit.
+  std::uint32_t sub = pool;
+  while (true) {
+    const std::uint32_t part = sub | (1u << anchor);
+    const int size = std::popcount(part);
+    bool part_ok = false;
+    if (size == 2) {
+      // Must induce a single edge.
+      const int a = std::countr_zero(part);
+      const int b = std::countr_zero(part & (part - 1));
+      part_ok = g.HasEdge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+    } else if (size >= 3 && size % 2 == 1) {
+      part_ok = HasHamiltonianCycle(g, part);
+    }
+    if (part_ok && PartitionSearch(g, assigned | part, all)) return true;
+    if (sub == 0) break;
+    sub = (sub - 1) & pool;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool InAlonClass(const Graph& sample) {
+  MRCOST_CHECK(sample.num_nodes() >= 1 && sample.num_nodes() <= 10);
+  const std::uint32_t all = (1u << sample.num_nodes()) - 1;
+  return PartitionSearch(sample, 0, all);
+}
+
+core::Recipe AlonSampleRecipe(NodeId n, int s) {
+  MRCOST_CHECK(s >= 3);
+  core::Recipe recipe;
+  recipe.problem_name = "alon-sample-graph";
+  recipe.g = [s](double q) { return std::pow(q, s / 2.0); };
+  recipe.num_inputs = static_cast<double>(n) * (n - 1) / 2.0;
+  recipe.num_outputs = std::pow(static_cast<double>(n), s) /
+                       static_cast<double>(common::FactorialExact(s));
+  return recipe;
+}
+
+double AlonSampleLowerBound(NodeId n, int s, double q) {
+  return std::pow(static_cast<double>(n) / std::sqrt(q), s - 2);
+}
+
+double AlonSampleEdgeLowerBound(std::uint64_t m, int s, double q) {
+  return std::pow(std::sqrt(static_cast<double>(m) / q), s - 2);
+}
+
+}  // namespace mrcost::graph

@@ -1,0 +1,33 @@
+#ifndef MRCOST_GRAPH_ALON_H_
+#define MRCOST_GRAPH_ALON_H_
+
+#include "src/core/lower_bound.h"
+#include "src/graph/graph.h"
+
+namespace mrcost::graph {
+
+/// Decides membership in the Alon class of sample graphs (Section 5.1):
+/// the node set must admit a partition into disjoint parts such that each
+/// part's induced subgraph is either
+///   (1) a single edge between two nodes, or
+///   (2) has an odd-length Hamiltonian cycle (so the part size is odd).
+/// Exhaustive search; intended for sample graphs with <= 10 nodes.
+///
+/// Known members exercised by tests: every cycle, every graph with a
+/// perfect matching, every complete graph, odd-length paths. Known
+/// non-member: paths of even length (e.g., the 2-path).
+bool InAlonClass(const Graph& sample);
+
+/// Section 5.2's recipe for an Alon-class sample graph with s nodes over an
+/// n-node data domain: g(q) = q^{s/2}, |I| = C(n,2), |O| = n^s / |Aut| (we
+/// use n^s/s! as the paper's conservative count); closed-form bound
+/// r = Omega((n/sqrt(q))^{s-2}).
+core::Recipe AlonSampleRecipe(NodeId n, int s);
+double AlonSampleLowerBound(NodeId n, int s, double q);
+
+/// Section 5.3's edge-scaled form: r = Omega((sqrt(m/q))^{s-2}).
+double AlonSampleEdgeLowerBound(std::uint64_t m, int s, double q);
+
+}  // namespace mrcost::graph
+
+#endif  // MRCOST_GRAPH_ALON_H_

@@ -1,0 +1,35 @@
+#ifndef MRCOST_GRAPH_BUCKETING_H_
+#define MRCOST_GRAPH_BUCKETING_H_
+
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/graph/graph.h"
+
+namespace mrcost::graph {
+
+/// The hash function `h` of the paper's bucket-based algorithms (Sections 4
+/// and 5.4): maps nodes to `k` buckets, seeded for reproducibility. All
+/// mappers and reducers of one job must share the same NodeBucketer.
+class NodeBucketer {
+ public:
+  NodeBucketer(int k, std::uint64_t seed) : k_(k), seed_(seed) {
+    MRCOST_CHECK(k >= 1);
+  }
+
+  int k() const { return k_; }
+
+  int Bucket(NodeId node) const {
+    return static_cast<int>(
+        common::Mix64(static_cast<std::uint64_t>(node) + seed_ * 0x9e3779b9) %
+        static_cast<std::uint64_t>(k_));
+  }
+
+ private:
+  int k_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mrcost::graph
+
+#endif  // MRCOST_GRAPH_BUCKETING_H_

@@ -1,0 +1,73 @@
+#include "src/graph/generators.h"
+
+#include <vector>
+
+namespace mrcost::graph {
+
+Graph CompleteGraph(NodeId n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph RandomGnm(NodeId n, std::uint64_t m, std::uint64_t seed) {
+  const std::uint64_t possible = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  MRCOST_CHECK(m <= possible);
+  common::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> ranks =
+      common::SampleWithoutReplacement(possible, m, rng);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t r : ranks) {
+    auto [u, v] = PairUnrank(n, r);
+    edges.emplace_back(u, v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph CycleGraph(NodeId n) {
+  MRCOST_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph(n, std::move(edges));
+}
+
+Graph PathGraph(NodeId edges_count) {
+  std::vector<Edge> edges;
+  edges.reserve(edges_count);
+  for (NodeId i = 0; i < edges_count; ++i) edges.emplace_back(i, i + 1);
+  return Graph(edges_count + 1, std::move(edges));
+}
+
+Graph PreferentialAttachmentGraph(NodeId n, int attach, std::uint64_t seed) {
+  MRCOST_CHECK(attach >= 1 && n > static_cast<NodeId>(attach));
+  common::SplitMix64 rng(seed);
+  std::vector<Edge> edges;
+  // Endpoint pool: each node appears once per incident edge, so sampling
+  // from the pool is degree-proportional.
+  std::vector<NodeId> pool;
+  // Seed clique over the first attach+1 nodes.
+  for (NodeId u = 0; u <= static_cast<NodeId>(attach); ++u) {
+    for (NodeId v = u + 1; v <= static_cast<NodeId>(attach); ++v) {
+      edges.emplace_back(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (NodeId u = attach + 1; u < n; ++u) {
+    for (int e = 0; e < attach; ++e) {
+      const NodeId target = pool[rng.UniformBelow(pool.size())];
+      if (target == u) continue;  // skip loops; Graph dedups repeats
+      edges.emplace_back(u, target);
+      pool.push_back(u);
+      pool.push_back(target);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+}  // namespace mrcost::graph

@@ -1,0 +1,32 @@
+#ifndef MRCOST_GRAPH_GENERATORS_H_
+#define MRCOST_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/graph/graph.h"
+
+namespace mrcost::graph {
+
+/// K_n: all C(n,2) edges present — the model's worst-case instance
+/// (Section 2.3: pretend all inputs are present).
+Graph CompleteGraph(NodeId n);
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges sampled uniformly from the
+/// C(n,2) possible ones. The random sparse instance of Section 4.2.
+Graph RandomGnm(NodeId n, std::uint64_t m, std::uint64_t seed);
+
+/// A cycle on n nodes (used for sample-graph tests).
+Graph CycleGraph(NodeId n);
+
+/// A path with `edges` edges (edges+1 nodes).
+Graph PathGraph(NodeId edges);
+
+/// A complete bipartite-free "social network"-like graph with a heavy
+///-tailed degree distribution: preferential attachment, `attach` edges per
+/// new node. Used by the examples as realistic sparse input.
+Graph PreferentialAttachmentGraph(NodeId n, int attach, std::uint64_t seed);
+
+}  // namespace mrcost::graph
+
+#endif  // MRCOST_GRAPH_GENERATORS_H_

@@ -1,0 +1,49 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace mrcost::graph {
+
+Graph::Graph(NodeId n, std::vector<Edge> edges) : n_(n) {
+  edges_.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;  // drop loops
+    MRCOST_CHECK(e.v < n);
+    edges_.push_back(e);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  adjacency_.resize(n);
+  for (const Edge& e : edges_) {
+    adjacency_[e.u].push_back(e.v);
+    adjacency_[e.v].push_back(e.u);
+  }
+  for (auto& neighbors : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  const Edge e(u, v);
+  return std::binary_search(edges_.begin(), edges_.end(), e);
+}
+
+std::uint64_t PairRank(std::uint64_t n, std::uint64_t u, std::uint64_t v) {
+  MRCOST_CHECK(u < v && v < n);
+  // Pairs with first element < u: sum_{i<u} (n-1-i) = u*n - u(u+1)/2.
+  return u * n - u * (u + 1) / 2 + (v - u - 1);
+}
+
+std::pair<NodeId, NodeId> PairUnrank(std::uint64_t n, std::uint64_t rank) {
+  std::uint64_t u = 0;
+  std::uint64_t row = n - 1;  // pairs with this u
+  while (rank >= row) {
+    rank -= row;
+    ++u;
+    --row;
+  }
+  return {static_cast<NodeId>(u), static_cast<NodeId>(u + 1 + rank)};
+}
+
+}  // namespace mrcost::graph

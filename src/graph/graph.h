@@ -1,0 +1,74 @@
+#ifndef MRCOST_GRAPH_GRAPH_H_
+#define MRCOST_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrcost::graph {
+
+using NodeId = std::uint32_t;
+
+/// An undirected edge, stored with u < v.
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  Edge() : u(0), v(0) {}
+  Edge(NodeId a, NodeId b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  bool operator==(const Edge& other) const {
+    return u == other.u && v == other.v;
+  }
+  bool operator<(const Edge& other) const {
+    return u != other.u ? u < other.u : v < other.v;
+  }
+
+  std::uint64_t Hash() const {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+};
+
+/// A simple undirected graph: `n` nodes (0..n-1) and a sorted, deduplicated
+/// edge list. This is the "data graph" of Sections 4 and 5; the set of
+/// *possible* edges (the model's hypothetical input domain) is all C(n,2)
+/// node pairs, indexed by PairRank below.
+class Graph {
+ public:
+  Graph() : n_(0) {}
+  /// Normalizes: orients edges u < v, sorts, drops duplicates and loops.
+  Graph(NodeId n, std::vector<Edge> edges);
+
+  NodeId num_nodes() const { return n_; }
+  std::uint64_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// True iff {u, v} is an edge (binary search; O(log m)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Neighbor lists (built lazily on construction).
+  const std::vector<NodeId>& Neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+  std::uint64_t Degree(NodeId u) const { return adjacency_[u].size(); }
+
+ private:
+  NodeId n_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+/// Rank of the pair (u, v), u < v, among all C(n,2) pairs over n nodes, in
+/// colexicographic-free standard order: pairs with smaller u first. This is
+/// the input id of a possible edge in the model problems.
+std::uint64_t PairRank(std::uint64_t n, std::uint64_t u, std::uint64_t v);
+
+/// Inverse of PairRank.
+std::pair<NodeId, NodeId> PairUnrank(std::uint64_t n, std::uint64_t rank);
+
+}  // namespace mrcost::graph
+
+#endif  // MRCOST_GRAPH_GRAPH_H_

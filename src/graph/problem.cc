@@ -1,0 +1,94 @@
+#include "src/graph/problem.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/combinatorics.h"
+
+namespace mrcost::graph {
+
+std::uint64_t TripleRank(std::uint64_t n, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c) {
+  MRCOST_CHECK(a < b && b < c && c < n);
+  // Triples are ordered lexicographically; count predecessors.
+  std::uint64_t rank = 0;
+  rank += common::BinomialExact(static_cast<int>(n), 3) -
+          common::BinomialExact(static_cast<int>(n - a), 3);
+  rank += common::BinomialExact(static_cast<int>(n - a - 1), 2) -
+          common::BinomialExact(static_cast<int>(n - b), 2);
+  rank += c - b - 1;
+  return rank;
+}
+
+std::array<NodeId, 3> TripleUnrank(std::uint64_t n, std::uint64_t rank) {
+  std::uint64_t a = 0;
+  while (true) {
+    const std::uint64_t block =
+        common::BinomialExact(static_cast<int>(n - a - 1), 2);
+    if (rank < block) break;
+    rank -= block;
+    ++a;
+  }
+  std::uint64_t b = a + 1;
+  while (true) {
+    const std::uint64_t row = n - b - 1;
+    if (rank < row) break;
+    rank -= row;
+    ++b;
+  }
+  const std::uint64_t c = b + 1 + rank;
+  return {static_cast<NodeId>(a), static_cast<NodeId>(b),
+          static_cast<NodeId>(c)};
+}
+
+TriangleProblem::TriangleProblem(NodeId n) : n_(n) { MRCOST_CHECK(n >= 3); }
+
+std::string TriangleProblem::name() const {
+  std::ostringstream os;
+  os << "triangles (n=" << n_ << ")";
+  return os.str();
+}
+
+std::uint64_t TriangleProblem::num_inputs() const {
+  return static_cast<std::uint64_t>(n_) * (n_ - 1) / 2;
+}
+
+std::uint64_t TriangleProblem::num_outputs() const {
+  return common::BinomialExact(static_cast<int>(n_), 3);
+}
+
+std::vector<core::InputId> TriangleProblem::InputsOfOutput(
+    core::OutputId output) const {
+  const auto [a, b, c] = TripleUnrank(n_, output);
+  return {PairRank(n_, a, b), PairRank(n_, a, c), PairRank(n_, b, c)};
+}
+
+TwoPathProblem::TwoPathProblem(NodeId n) : n_(n) { MRCOST_CHECK(n >= 3); }
+
+std::string TwoPathProblem::name() const {
+  std::ostringstream os;
+  os << "2-paths (n=" << n_ << ")";
+  return os.str();
+}
+
+std::uint64_t TwoPathProblem::num_inputs() const {
+  return static_cast<std::uint64_t>(n_) * (n_ - 1) / 2;
+}
+
+std::uint64_t TwoPathProblem::num_outputs() const {
+  return 3 * common::BinomialExact(static_cast<int>(n_), 3);
+}
+
+std::vector<core::InputId> TwoPathProblem::InputsOfOutput(
+    core::OutputId output) const {
+  const auto [a, b, c] = TripleUnrank(n_, output / 3);
+  const int middle_index = static_cast<int>(output % 3);
+  const NodeId mid = middle_index == 0 ? a : (middle_index == 1 ? b : c);
+  const NodeId x = middle_index == 0 ? b : a;
+  const NodeId y = middle_index == 2 ? b : c;
+  // The 2-path x - mid - y needs edges {mid,x} and {mid,y}.
+  return {PairRank(n_, std::min(mid, x), std::max(mid, x)),
+          PairRank(n_, std::min(mid, y), std::max(mid, y))};
+}
+
+}  // namespace mrcost::graph

@@ -1,0 +1,60 @@
+#ifndef MRCOST_GRAPH_PROBLEM_H_
+#define MRCOST_GRAPH_PROBLEM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/problem.h"
+#include "src/graph/graph.h"
+
+namespace mrcost::graph {
+
+/// The triangle-finding problem of Example 2.2 over an n-node domain:
+/// inputs are the C(n,2) possible edges (ids = PairRank), outputs are the
+/// C(n,3) node triples, each mapped to its three edges.
+class TriangleProblem final : public core::Problem {
+ public:
+  explicit TriangleProblem(NodeId n);
+
+  std::string name() const override;
+  std::uint64_t num_inputs() const override;
+  std::uint64_t num_outputs() const override;
+  std::vector<core::InputId> InputsOfOutput(
+      core::OutputId output) const override;
+
+  NodeId n() const { return n_; }
+
+ private:
+  NodeId n_;
+};
+
+/// The 2-path problem of Section 5.4: inputs are the C(n,2) possible edges;
+/// outputs are 3*C(n,3) — each node triple {a,b,c} yields three 2-paths,
+/// one per choice of middle node. Output id = 3*triple_rank + middle_index.
+class TwoPathProblem final : public core::Problem {
+ public:
+  explicit TwoPathProblem(NodeId n);
+
+  std::string name() const override;
+  std::uint64_t num_inputs() const override;
+  std::uint64_t num_outputs() const override;
+  std::vector<core::InputId> InputsOfOutput(
+      core::OutputId output) const override;
+
+  NodeId n() const { return n_; }
+
+ private:
+  NodeId n_;
+};
+
+/// Rank of the sorted triple (a < b < c) among C(n,3) triples; inverse
+/// provided for output-id decoding.
+std::uint64_t TripleRank(std::uint64_t n, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c);
+std::array<NodeId, 3> TripleUnrank(std::uint64_t n, std::uint64_t rank);
+
+}  // namespace mrcost::graph
+
+#endif  // MRCOST_GRAPH_PROBLEM_H_

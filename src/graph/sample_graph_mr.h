@@ -1,0 +1,32 @@
+#ifndef MRCOST_GRAPH_SAMPLE_GRAPH_MR_H_
+#define MRCOST_GRAPH_SAMPLE_GRAPH_MR_H_
+
+#include <cstdint>
+
+#include "src/engine/job.h"
+#include "src/graph/graph.h"
+
+namespace mrcost::graph {
+
+struct SampleGraphJobResult {
+  std::uint64_t instance_count = 0;
+  engine::JobMetrics metrics;
+};
+
+/// Map-reduce enumeration of sample-graph instances (the algorithm family
+/// of [2] that matches the Section 5.2/5.3 bounds): nodes are hashed into k
+/// buckets; one reducer per size-s bucket multiset, where s is the number
+/// of pattern nodes; the edge {u,v} is replicated to every multiset
+/// containing {h(u), h(v)} — Theta(k^{s-2}) reducers, giving
+/// r = Theta(k^{s-2}) = Theta((sqrt(m/q))^{s-2}) at q = Theta(m/k^2).
+///
+/// Each instance is counted by exactly one reducer: the one whose multiset
+/// equals the instance's node-bucket multiset. Requires pattern with
+/// 3 <= s <= 5 nodes and no isolated nodes.
+SampleGraphJobResult MRSampleGraphInstances(
+    const Graph& data, const Graph& pattern, int k, std::uint64_t seed,
+    const engine::JobOptions& options = {});
+
+}  // namespace mrcost::graph
+
+#endif  // MRCOST_GRAPH_SAMPLE_GRAPH_MR_H_

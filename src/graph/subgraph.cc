@@ -1,0 +1,118 @@
+#include "src/graph/subgraph.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace mrcost::graph {
+namespace {
+
+/// Orders pattern nodes so each (after the first) connects to an earlier
+/// one when possible — standard backtracking heuristic.
+std::vector<NodeId> ConnectivityOrder(const Graph& pattern) {
+  const NodeId s = pattern.num_nodes();
+  std::vector<NodeId> order;
+  std::vector<bool> placed(s, false);
+  order.reserve(s);
+  for (NodeId start = 0; start < s; ++start) {
+    if (placed[start]) continue;
+    order.push_back(start);
+    placed[start] = true;
+    // Grow the component breadth-first.
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      for (NodeId nb : pattern.Neighbors(order[head])) {
+        if (!placed[nb]) {
+          placed[nb] = true;
+          order.push_back(nb);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+void ForEachEmbedding(
+    const Graph& pattern, const Graph& data,
+    const std::function<void(const std::vector<NodeId>&)>& fn) {
+  const NodeId s = pattern.num_nodes();
+  MRCOST_CHECK(s >= 1 && s <= 8);
+  if (data.num_nodes() < s) return;
+
+  const std::vector<NodeId> order = ConnectivityOrder(pattern);
+  // For each position p, the pattern neighbors of order[p] that appear
+  // earlier in the order (constraints to check when placing position p).
+  std::vector<std::vector<int>> earlier_neighbors(s);
+  {
+    std::vector<int> position(s);
+    for (int p = 0; p < static_cast<int>(s); ++p) position[order[p]] = p;
+    for (int p = 0; p < static_cast<int>(s); ++p) {
+      for (NodeId nb : pattern.Neighbors(order[p])) {
+        if (position[nb] < p) earlier_neighbors[p].push_back(position[nb]);
+      }
+    }
+  }
+
+  std::vector<NodeId> assigned(s);       // by position in `order`
+  std::vector<NodeId> mapping(s);        // by pattern node id
+  std::vector<bool> used(data.num_nodes(), false);
+
+  std::function<void(int)> recurse = [&](int p) {
+    if (p == static_cast<int>(s)) {
+      for (int i = 0; i < static_cast<int>(s); ++i) {
+        mapping[order[i]] = assigned[i];
+      }
+      fn(mapping);
+      return;
+    }
+    if (!earlier_neighbors[p].empty()) {
+      // Candidates: data neighbors of the first constraining node.
+      const NodeId anchor = assigned[earlier_neighbors[p][0]];
+      for (NodeId cand : data.Neighbors(anchor)) {
+        if (used[cand]) continue;
+        bool ok = true;
+        for (std::size_t c = 1; c < earlier_neighbors[p].size(); ++c) {
+          if (!data.HasEdge(cand, assigned[earlier_neighbors[p][c]])) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        used[cand] = true;
+        assigned[p] = cand;
+        recurse(p + 1);
+        used[cand] = false;
+      }
+    } else {
+      // Unconstrained position (new component): try every unused node.
+      for (NodeId cand = 0; cand < data.num_nodes(); ++cand) {
+        if (used[cand]) continue;
+        used[cand] = true;
+        assigned[p] = cand;
+        recurse(p + 1);
+        used[cand] = false;
+      }
+    }
+  };
+  recurse(0);
+}
+
+std::uint64_t CountEmbeddings(const Graph& pattern, const Graph& data) {
+  std::uint64_t count = 0;
+  ForEachEmbedding(pattern, data,
+                   [&count](const std::vector<NodeId>&) { ++count; });
+  return count;
+}
+
+std::uint64_t CountAutomorphisms(const Graph& pattern) {
+  return CountEmbeddings(pattern, pattern);
+}
+
+std::uint64_t CountInstances(const Graph& pattern, const Graph& data) {
+  const std::uint64_t autos = CountAutomorphisms(pattern);
+  MRCOST_CHECK(autos > 0);
+  return CountEmbeddings(pattern, data) / autos;
+}
+
+}  // namespace mrcost::graph

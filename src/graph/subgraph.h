@@ -1,0 +1,34 @@
+#ifndef MRCOST_GRAPH_SUBGRAPH_H_
+#define MRCOST_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace mrcost::graph {
+
+/// Calls `fn(mapping)` for every embedding (injective, edge-preserving map)
+/// of `pattern`'s nodes into `data`'s nodes; mapping[i] is the data node
+/// for pattern node i. Non-induced semantics: pattern edges must be data
+/// edges, pattern non-edges are unconstrained — the subgraph-instance
+/// notion of Section 5. Backtracking with adjacency pruning; intended for
+/// pattern sizes s <= 8.
+void ForEachEmbedding(const Graph& pattern, const Graph& data,
+                      const std::function<void(const std::vector<NodeId>&)>& fn);
+
+/// Number of embeddings of `pattern` in `data`.
+std::uint64_t CountEmbeddings(const Graph& pattern, const Graph& data);
+
+/// Number of distinct instances (copies) of `pattern` in `data`:
+/// embeddings divided by |Aut(pattern)|. This is the quantity Alon's bound
+/// O(m^{s/2}) (Section 5.2) controls.
+std::uint64_t CountInstances(const Graph& pattern, const Graph& data);
+
+/// |Aut(pattern)| = number of embeddings of the pattern into itself.
+std::uint64_t CountAutomorphisms(const Graph& pattern);
+
+}  // namespace mrcost::graph
+
+#endif  // MRCOST_GRAPH_SUBGRAPH_H_

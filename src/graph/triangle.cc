@@ -1,0 +1,292 @@
+#include "src/graph/triangle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/combinatorics.h"
+
+namespace mrcost::graph {
+
+std::vector<Triangle> SerialTriangles(const Graph& graph) {
+  std::vector<Triangle> out;
+  // For each edge (u,v), intersect the higher-numbered neighbors so each
+  // triangle is found exactly once at its lexicographically least edge.
+  for (const Edge& e : graph.edges()) {
+    const auto& nu = graph.Neighbors(e.u);
+    const auto& nv = graph.Neighbors(e.v);
+    auto iu = std::upper_bound(nu.begin(), nu.end(), e.v);
+    auto iv = std::upper_bound(nv.begin(), nv.end(), e.v);
+    while (iu != nu.end() && iv != nv.end()) {
+      if (*iu < *iv) {
+        ++iu;
+      } else if (*iv < *iu) {
+        ++iv;
+      } else {
+        out.push_back({e.u, e.v, *iu});
+        ++iu;
+        ++iv;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t SerialTriangleCount(const Graph& graph) {
+  return SerialTriangles(graph).size();
+}
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  std::uint64_t wedges = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const std::uint64_t d = graph.Degree(u);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(SerialTriangleCount(graph)) /
+         static_cast<double>(wedges);
+}
+
+TrianglePartitionSchema::TrianglePartitionSchema(NodeId n,
+                                                 const NodeBucketer& bucketer)
+    : n_(n), bucketer_(bucketer) {}
+
+std::string TrianglePartitionSchema::name() const {
+  std::ostringstream os;
+  os << "triangle-partition(k=" << bucketer_.k() << ")";
+  return os.str();
+}
+
+std::uint64_t TrianglePartitionSchema::num_reducers() const {
+  return common::MultisetCount(bucketer_.k(), 3);
+}
+
+std::vector<core::ReducerId> TrianglePartitionSchema::ReducersOfInput(
+    core::InputId input) const {
+  const auto [u, v] = PairUnrank(n_, input);
+  const int a = bucketer_.Bucket(u);
+  const int b = bucketer_.Bucket(v);
+  std::vector<core::ReducerId> out;
+  out.reserve(bucketer_.k());
+  // All size-3 bucket multisets containing {a, b}: one per choice of the
+  // third bucket. Each choice yields a distinct multiset, so r = k exactly.
+  for (int x = 0; x < bucketer_.k(); ++x) {
+    std::array<int, 3> t = {a, b, x};
+    std::sort(t.begin(), t.end());
+    out.push_back(common::MultisetRank(bucketer_.k(),
+                                       std::vector<int>{t[0], t[1], t[2]}));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TriangleJobResult MRTriangles(const Graph& graph, int k, std::uint64_t seed,
+                              const engine::JobOptions& options,
+                              bool dedup_rule) {
+  const NodeBucketer bucketer(k, seed);
+
+  // Key = rank of the sorted bucket multiset; value = the edge.
+  auto map_fn = [&bucketer](const Edge& e,
+                            engine::Emitter<std::uint64_t, Edge>& emitter) {
+    const int a = bucketer.Bucket(e.u);
+    const int b = bucketer.Bucket(e.v);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(bucketer.k());
+    for (int x = 0; x < bucketer.k(); ++x) {
+      std::array<int, 3> t = {a, b, x};
+      std::sort(t.begin(), t.end());
+      keys.push_back(common::MultisetRank(
+          bucketer.k(), std::vector<int>{t[0], t[1], t[2]}));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (std::uint64_t key : keys) emitter.Emit(key, e);
+  };
+
+  auto reduce_fn = [&bucketer, k, dedup_rule](
+                       const std::uint64_t& key,
+                       const std::vector<Edge>& edges,
+                       std::vector<Triangle>& out) {
+    const std::vector<int> owned = common::MultisetUnrank(k, 3, key);
+    // Local adjacency over the nodes present in this reducer.
+    std::unordered_map<NodeId, std::vector<NodeId>> adj;
+    std::unordered_set<std::uint64_t> edge_set;
+    for (const Edge& e : edges) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+      edge_set.insert(e.Hash());
+    }
+    for (auto& [node, neighbors] : adj) {
+      std::sort(neighbors.begin(), neighbors.end());
+      neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                      neighbors.end());
+    }
+    for (const Edge& e : edges) {
+      // Extend each edge by common higher neighbors, as in the serial
+      // algorithm, so each triangle appears once per reducer.
+      const auto& nu = adj[e.u];
+      const auto& nv = adj[e.v];
+      auto iu = std::upper_bound(nu.begin(), nu.end(), e.v);
+      auto iv = std::upper_bound(nv.begin(), nv.end(), e.v);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          const NodeId w = *iu;
+          ++iu;
+          ++iv;
+          if (dedup_rule) {
+            // Ownership: emit only if this triangle's bucket multiset is
+            // exactly the reducer's multiset. Exactly one reducer passes
+            // this test per triangle.
+            std::array<int, 3> t = {bucketer.Bucket(e.u),
+                                    bucketer.Bucket(e.v), bucketer.Bucket(w)};
+            std::sort(t.begin(), t.end());
+            if (t[0] != owned[0] || t[1] != owned[1] || t[2] != owned[2]) {
+              continue;
+            }
+          }
+          out.push_back({e.u, e.v, w});
+        }
+      }
+    }
+  };
+
+  auto job = engine::RunMapReduce<Edge, std::uint64_t, Edge, Triangle>(
+      graph.edges(), map_fn, reduce_fn, options);
+  std::sort(job.outputs.begin(), job.outputs.end());
+  return TriangleJobResult{std::move(job.outputs), std::move(job.metrics)};
+}
+
+TriangleTwoRoundResult MRTrianglesNodeIterator(
+    const Graph& graph, bool low_degree_ordering,
+    const engine::JobOptions& options) {
+  // A wedge record: endpoints (a < b by id) with the middle node; edge
+  // records reuse the key with a marker value.
+  constexpr NodeId kEdgeMarker = 0xFFFFFFFFu;
+
+  // Total order for pivot selection: by (degree, id) when mitigating
+  // skew, so high-degree nodes center few wedges.
+  auto precedes = [&graph, low_degree_ordering](NodeId x, NodeId y) {
+    if (!low_degree_ordering) return false;  // placeholder, unused
+    const std::uint64_t dx = graph.Degree(x);
+    const std::uint64_t dy = graph.Degree(y);
+    return dx != dy ? dx < dy : x < y;
+  };
+
+  // ---- Round 1: group edges around pivot nodes and emit wedges.
+  auto map1 = [&](const Edge& e, engine::Emitter<NodeId, NodeId>& emitter) {
+    if (low_degree_ordering) {
+      // The edge lives only at its smaller endpoint in the (degree, id)
+      // order; the value is the other endpoint.
+      if (precedes(e.u, e.v)) {
+        emitter.Emit(e.u, e.v);
+      } else {
+        emitter.Emit(e.v, e.u);
+      }
+    } else {
+      emitter.Emit(e.u, e.v);
+      emitter.Emit(e.v, e.u);
+    }
+  };
+  struct Wedge {
+    NodeId a;
+    NodeId b;
+    NodeId middle;
+  };
+  auto reduce1 = [](const NodeId& pivot, const std::vector<NodeId>& ends,
+                    std::vector<Wedge>& out) {
+    std::vector<NodeId> sorted = ends;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      for (std::size_t j = i + 1; j < sorted.size(); ++j) {
+        out.push_back(Wedge{sorted[i], sorted[j], pivot});
+      }
+    }
+  };
+  auto round1 = engine::RunMapReduce<Edge, NodeId, NodeId, Wedge>(
+      graph.edges(), map1, reduce1, options);
+
+  // ---- Round 2: join wedges with the edge set; a present closing edge
+  // turns each wedge into a triangle.
+  struct Record {
+    Edge key;
+    NodeId middle;  // kEdgeMarker for edge records
+  };
+  std::vector<Record> round2_inputs;
+  round2_inputs.reserve(round1.outputs.size() + graph.num_edges());
+  for (const Wedge& w : round1.outputs) {
+    round2_inputs.push_back(Record{Edge(w.a, w.b), w.middle});
+  }
+  for (const Edge& e : graph.edges()) {
+    round2_inputs.push_back(Record{e, kEdgeMarker});
+  }
+  auto map2 = [](const Record& r, engine::Emitter<Edge, NodeId>& emitter) {
+    emitter.Emit(r.key, r.middle);
+  };
+  auto reduce2 = [low_degree_ordering](const Edge& key,
+                                       const std::vector<NodeId>& values,
+                                       std::vector<Triangle>& out) {
+    bool edge_present = false;
+    for (NodeId v : values) {
+      if (v == kEdgeMarker) {
+        edge_present = true;
+        break;
+      }
+    }
+    if (!edge_present) return;
+    for (NodeId middle : values) {
+      if (middle == kEdgeMarker) continue;
+      Triangle t = {key.u, key.v, middle};
+      std::sort(t.begin(), t.end());
+      if (!low_degree_ordering && middle != t[0]) {
+        // Ablation mode centers every triangle at all three middles; keep
+        // only the id-minimal one so the output stays duplicate-free (the
+        // communication blowup remains visible in the metrics).
+        continue;
+      }
+      out.push_back(t);
+    }
+  };
+  auto round2 = engine::RunMapReduce<Record, Edge, NodeId, Triangle>(
+      round2_inputs, map2, reduce2, options);
+
+  TriangleTwoRoundResult result;
+  std::sort(round2.outputs.begin(), round2.outputs.end());
+  result.triangles = std::move(round2.outputs);
+  result.metrics.Add(std::move(round1.metrics));
+  result.metrics.Add(std::move(round2.metrics));
+  return result;
+}
+
+core::Recipe TriangleRecipe(NodeId n) {
+  core::Recipe recipe;
+  recipe.problem_name = "triangles";
+  recipe.g = [](double q) { return std::sqrt(2.0) / 3.0 * std::pow(q, 1.5); };
+  recipe.num_inputs = static_cast<double>(n) * (n - 1) / 2.0;
+  recipe.num_outputs =
+      static_cast<double>(n) * (n - 1) * (n - 2) / 6.0;
+  return recipe;
+}
+
+double TriangleLowerBound(NodeId n, double q) {
+  return static_cast<double>(n) / std::sqrt(2.0 * q);
+}
+
+double SparseTriangleTargetQ(NodeId n, std::uint64_t m, double q) {
+  const double possible = static_cast<double>(n) * (n - 1) / 2.0;
+  return q * possible / static_cast<double>(m);
+}
+
+double SparseTriangleLowerBound(std::uint64_t m, double q) {
+  return std::sqrt(static_cast<double>(m) / q);
+}
+
+}  // namespace mrcost::graph

@@ -1,0 +1,180 @@
+#include "src/graph/two_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "src/common/combinatorics.h"
+
+namespace mrcost::graph {
+
+std::vector<TwoPath> SerialTwoPaths(const Graph& graph) {
+  std::vector<TwoPath> out;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto& neighbors = graph.Neighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+        out.push_back(TwoPath{u, neighbors[i], neighbors[j]});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t SerialTwoPathCount(const Graph& graph) {
+  std::uint64_t count = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const std::uint64_t d = graph.Degree(u);
+    count += d * (d - 1) / 2;
+  }
+  return count;
+}
+
+std::vector<core::ReducerId> TwoPathNodeSchema::ReducersOfInput(
+    core::InputId input) const {
+  const auto [u, v] = PairUnrank(n_, input);
+  return {u, v};
+}
+
+TwoPathBucketSchema::TwoPathBucketSchema(NodeId n,
+                                         const NodeBucketer& bucketer)
+    : n_(n), bucketer_(bucketer) {
+  MRCOST_CHECK(bucketer.k() >= 2);
+}
+
+std::string TwoPathBucketSchema::name() const {
+  std::ostringstream os;
+  os << "2path-bucket(k=" << bucketer_.k() << ")";
+  return os.str();
+}
+
+std::uint64_t TwoPathBucketSchema::num_reducers() const {
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(bucketer_.k()) * (bucketer_.k() - 1) / 2;
+  return static_cast<std::uint64_t>(n_) * pairs;
+}
+
+std::vector<core::ReducerId> TwoPathBucketSchema::ReducersOfInput(
+    core::InputId input) const {
+  const auto [a, b] = PairUnrank(n_, input);
+  const int k = bucketer_.k();
+  const std::uint64_t pairs_per_node =
+      static_cast<std::uint64_t>(k) * (k - 1) / 2;
+  std::vector<core::ReducerId> out;
+  out.reserve(2 * (k - 1));
+  auto add = [&](NodeId u, int i, int x) {
+    const int lo = std::min(i, x);
+    const int hi = std::max(i, x);
+    out.push_back(static_cast<std::uint64_t>(u) * pairs_per_node +
+                  PairRank(k, lo, hi));
+  };
+  const int ha = bucketer_.Bucket(a);
+  const int hb = bucketer_.Bucket(b);
+  for (int x = 0; x < k; ++x) {
+    if (x != ha) add(b, ha, x);  // [b, {h(a), *}]
+    if (x != hb) add(a, hb, x);  // [a, {*, h(b)}]
+  }
+  return out;
+}
+
+TwoPathJobResult MRTwoPathsNode(const Graph& graph,
+                                const engine::JobOptions& options) {
+  // Key = middle-node candidate; value = the other endpoint.
+  auto map_fn = [](const Edge& e,
+                   engine::Emitter<NodeId, NodeId>& emitter) {
+    emitter.Emit(e.u, e.v);
+    emitter.Emit(e.v, e.u);
+  };
+  auto reduce_fn = [](const NodeId& mid, const std::vector<NodeId>& ends,
+                      std::vector<TwoPath>& out) {
+    std::vector<NodeId> sorted = ends;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      for (std::size_t j = i + 1; j < sorted.size(); ++j) {
+        out.push_back(TwoPath{mid, sorted[i], sorted[j]});
+      }
+    }
+  };
+  auto job = engine::RunMapReduce<Edge, NodeId, NodeId, TwoPath>(
+      graph.edges(), map_fn, reduce_fn, options);
+  std::sort(job.outputs.begin(), job.outputs.end());
+  return TwoPathJobResult{std::move(job.outputs), std::move(job.metrics)};
+}
+
+TwoPathJobResult MRTwoPathsBucket(const Graph& graph, int k,
+                                  std::uint64_t seed,
+                                  const engine::JobOptions& options) {
+  MRCOST_CHECK(k >= 2);
+  const NodeBucketer bucketer(k, seed);
+  using Key = std::pair<NodeId, std::uint32_t>;  // (middle, bucket-pair rank)
+
+  auto pair_rank = [k](int i, int x) {
+    const int lo = std::min(i, x);
+    const int hi = std::max(i, x);
+    return static_cast<std::uint32_t>(PairRank(k, lo, hi));
+  };
+
+  auto map_fn = [&](const Edge& e, engine::Emitter<Key, NodeId>& emitter) {
+    const int ha = bucketer.Bucket(e.u);
+    const int hb = bucketer.Bucket(e.v);
+    for (int x = 0; x < k; ++x) {
+      // Edge (a,b) reaches [b, {h(a), *}] and [a, {*, h(b)}] (Sec. 5.4.2).
+      if (x != ha) emitter.Emit({e.v, pair_rank(ha, x)}, e.u);
+      if (x != hb) emitter.Emit({e.u, pair_rank(hb, x)}, e.v);
+    }
+  };
+
+  auto reduce_fn = [&](const Key& key, const std::vector<NodeId>& ends,
+                       std::vector<TwoPath>& out) {
+    const auto [i, j] = PairUnrank(k, key.second);
+    std::vector<NodeId> sorted = ends;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (std::size_t x = 0; x < sorted.size(); ++x) {
+      for (std::size_t y = x + 1; y < sorted.size(); ++y) {
+        const NodeId v = sorted[x];
+        const NodeId w = sorted[y];
+        const int hv = bucketer.Bucket(v);
+        const int hw = bucketer.Bucket(w);
+        bool emit = false;
+        if (hv != hw) {
+          // Produced by the unique reducer whose set is {h(v), h(w)}.
+          emit = (std::min(hv, hw) == static_cast<int>(i) &&
+                  std::max(hv, hw) == static_cast<int>(j));
+        } else {
+          // h(v) == h(w) == x: produced where the other element is x+1
+          // (mod k), the paper's tie-break.
+          const int c = hv;
+          const int other =
+              c == static_cast<int>(i) ? static_cast<int>(j)
+                                       : static_cast<int>(i);
+          emit = (c == static_cast<int>(i) || c == static_cast<int>(j)) &&
+                 other == (c + 1) % k;
+        }
+        if (emit) out.push_back(TwoPath{key.first, v, w});
+      }
+    }
+  };
+
+  auto job = engine::RunMapReduce<Edge, Key, NodeId, TwoPath>(
+      graph.edges(), map_fn, reduce_fn, options);
+  std::sort(job.outputs.begin(), job.outputs.end());
+  return TwoPathJobResult{std::move(job.outputs), std::move(job.metrics)};
+}
+
+core::Recipe TwoPathRecipe(NodeId n) {
+  core::Recipe recipe;
+  recipe.problem_name = "2-paths";
+  recipe.g = [](double q) { return q * (q - 1) / 2.0; };
+  recipe.num_inputs = static_cast<double>(n) * (n - 1) / 2.0;
+  recipe.num_outputs = 3.0 * common::BinomialDouble(static_cast<int>(n), 3);
+  return recipe;
+}
+
+double TwoPathLowerBound(NodeId n, double q) {
+  return std::max(1.0, 2.0 * static_cast<double>(n) / q);
+}
+
+}  // namespace mrcost::graph

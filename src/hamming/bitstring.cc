@@ -1,0 +1,25 @@
+#include "src/hamming/bitstring.h"
+
+#include "src/common/status.h"
+
+namespace mrcost::hamming {
+
+std::vector<BitString> NeighborsAtDistance1(BitString w, int b) {
+  std::vector<BitString> out;
+  out.reserve(b);
+  for (int i = 0; i < b; ++i) {
+    out.push_back(w ^ (BitString{1} << i));
+  }
+  return out;
+}
+
+std::vector<BitString> AllStrings(int b) {
+  MRCOST_CHECK(b >= 1 && b <= 24);
+  const std::uint64_t n = std::uint64_t{1} << b;
+  std::vector<BitString> out;
+  out.reserve(n);
+  for (std::uint64_t w = 0; w < n; ++w) out.push_back(w);
+  return out;
+}
+
+}  // namespace mrcost::hamming

@@ -1,0 +1,35 @@
+#ifndef MRCOST_HAMMING_BITSTRING_H_
+#define MRCOST_HAMMING_BITSTRING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bit_util.h"
+
+namespace mrcost::hamming {
+
+/// A bit string of length b <= 32, stored in the low b bits. (32 bits keeps
+/// the full 2^b input domain enumerable, which the model requires; real
+/// instances are subsets of the domain.)
+using BitString = std::uint64_t;
+
+/// Hamming distance between two strings of equal length.
+inline int HammingDistance(BitString u, BitString v) {
+  return common::PopCount(u ^ v);
+}
+
+/// All b strings at Hamming distance exactly 1 from `w`.
+std::vector<BitString> NeighborsAtDistance1(BitString w, int b);
+
+/// The full input domain: all 2^b strings of length b. Precondition b <= 24
+/// (guards accidental huge allocations).
+std::vector<BitString> AllStrings(int b);
+
+/// Weight (number of 1s) of the `len`-bit segment of `w` starting at `pos`.
+inline int SegmentWeight(BitString w, int pos, int len) {
+  return common::PopCount(common::ExtractBits(w, pos, len));
+}
+
+}  // namespace mrcost::hamming
+
+#endif  // MRCOST_HAMMING_BITSTRING_H_

@@ -1,0 +1,43 @@
+#include "src/hamming/bounds.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace mrcost::hamming {
+
+double Hamming1CoverBound(double q) {
+  if (q <= 1.0) return 0.0;
+  return (q / 2.0) * std::log2(q);
+}
+
+core::Recipe Hamming1Recipe(int b) {
+  core::Recipe recipe;
+  recipe.problem_name = "hamming-distance-1";
+  recipe.g = [](double q) { return Hamming1CoverBound(q); };
+  recipe.num_inputs = std::ldexp(1.0, b);            // 2^b
+  recipe.num_outputs = (b / 2.0) * std::ldexp(1.0, b);  // (b/2) 2^b
+  return recipe;
+}
+
+double Hamming1LowerBound(int b, double q) {
+  MRCOST_CHECK(q > 1.0);
+  return static_cast<double>(b) / std::log2(q);
+}
+
+double Weight2DCellEstimate(int b, int k) {
+  return static_cast<double>(k) * k * std::ldexp(1.0, b) / (M_PI * b);
+}
+
+double WeightKDCellEstimate(int b, int d, int k) {
+  const double kd = std::pow(static_cast<double>(k), d);
+  const double denom = std::pow(static_cast<double>(b), d / 2.0) *
+                       std::pow(2.0 * M_PI / d, d / 2.0);
+  return kd * std::ldexp(1.0, b) / denom;
+}
+
+double SplittingDistanceDReplicationEstimate(int k, int d) {
+  return std::pow(M_E * k / d, d);
+}
+
+}  // namespace mrcost::hamming

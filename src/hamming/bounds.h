@@ -1,0 +1,33 @@
+#ifndef MRCOST_HAMMING_BOUNDS_H_
+#define MRCOST_HAMMING_BOUNDS_H_
+
+#include "src/core/lower_bound.h"
+
+namespace mrcost::hamming {
+
+/// Lemma 3.1: a reducer with q inputs covers at most (q/2) log2(q) outputs
+/// of the Hamming-distance-1 problem. Defined as 0 for q <= 1.
+double Hamming1CoverBound(double q);
+
+/// The Section 2.4 recipe instantiated for Hamming distance 1 on b-bit
+/// strings: g(q) = (q/2) log2 q, |I| = 2^b, |O| = (b/2) 2^b.
+core::Recipe Hamming1Recipe(int b);
+
+/// Theorem 3.2's closed form: r >= b / log2(q). Requires q > 1.
+double Hamming1LowerBound(int b, double q);
+
+/// The Section 3.4 estimate of the most populous cell of the 2-D weight
+/// schema: q ~= k^2 2^b / (pi b).
+double Weight2DCellEstimate(int b, int k);
+
+/// The Section 3.5 estimate for d dimensions:
+/// q ~= k^d 2^b / (b^{d/2} (2 pi / d)^{d/2}).
+double WeightKDCellEstimate(int b, int d, int k);
+
+/// Section 3.6's approximation of the distance-d Splitting replication:
+/// r = C(k,d) ~= (e k / d)^d for k >> d.
+double SplittingDistanceDReplicationEstimate(int k, int d);
+
+}  // namespace mrcost::hamming
+
+#endif  // MRCOST_HAMMING_BOUNDS_H_

@@ -1,0 +1,116 @@
+#include "src/hamming/coverage.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/combinatorics.h"
+#include "src/common/status.h"
+#include "src/hamming/bitstring.h"
+
+namespace mrcost::hamming {
+namespace {
+
+/// DFS state for the exact search: strings are considered in increasing
+/// numeric order; `chosen` is the current subset.
+struct SearchState {
+  int b;
+  int d;
+  int q;
+  std::uint64_t domain;      // 2^b
+  std::uint64_t max_degree;  // C(b, d): neighbors per string
+  std::vector<BitString> chosen;
+  std::uint64_t best = 0;
+};
+
+/// Pairs the next `remaining` picks can add at most: the i-th additional
+/// string can pair with min(existing + i - 1, max_degree) others.
+std::uint64_t OptimisticGain(const SearchState& s, int remaining) {
+  std::uint64_t gain = 0;
+  const std::uint64_t existing = s.chosen.size();
+  for (int i = 0; i < remaining; ++i) {
+    gain += std::min<std::uint64_t>(existing + i, s.max_degree);
+  }
+  return gain;
+}
+
+void Dfs(SearchState& s, BitString next, std::uint64_t pairs) {
+  if (static_cast<int>(s.chosen.size()) == s.q) {
+    s.best = std::max(s.best, pairs);
+    return;
+  }
+  const int remaining = s.q - static_cast<int>(s.chosen.size());
+  if (pairs + OptimisticGain(s, remaining) <= s.best) return;  // prune
+  // Not enough strings left to fill the subset?
+  if (s.domain - next < static_cast<std::uint64_t>(remaining)) return;
+  for (BitString w = next; w < s.domain; ++w) {
+    std::uint64_t gained = 0;
+    for (BitString u : s.chosen) {
+      if (HammingDistance(u, w) == s.d) ++gained;
+    }
+    s.chosen.push_back(w);
+    Dfs(s, w + 1, pairs + gained);
+    s.chosen.pop_back();
+    // Re-check the bound as best may have improved.
+    if (pairs + OptimisticGain(s, remaining) <= s.best) return;
+  }
+}
+
+}  // namespace
+
+std::uint64_t ExactMaxCoverage(int b, int d, int q) {
+  MRCOST_CHECK(b >= 1 && b <= 6);  // exact search is exponential
+  MRCOST_CHECK(d >= 1 && d <= b);
+  MRCOST_CHECK(q >= 1);
+  const std::uint64_t domain = std::uint64_t{1} << b;
+  if (static_cast<std::uint64_t>(q) >= domain) {
+    // Whole domain: count all pairs at distance exactly d.
+    return common::BinomialExact(b, d) * (domain / 2);
+  }
+  if (q == 1) return 0;
+  SearchState s;
+  s.b = b;
+  s.d = d;
+  s.q = q;
+  s.domain = domain;
+  s.max_degree = common::BinomialExact(b, d);
+  // Seed with the greedy solution so pruning bites immediately.
+  s.best = GreedyCoverage(b, d, q);
+  // WLOG the subset contains 0: XOR-translation by any member maps any
+  // optimal subset to one containing 0 without changing pair distances.
+  s.chosen.push_back(0);
+  Dfs(s, 1, 0);
+  return s.best;
+}
+
+std::uint64_t GreedyCoverage(int b, int d, int q) {
+  MRCOST_CHECK(b >= 1 && b <= 20);
+  MRCOST_CHECK(d >= 1 && d <= b);
+  MRCOST_CHECK(q >= 1);
+  const std::uint64_t domain = std::uint64_t{1} << b;
+  std::vector<BitString> chosen{0};
+  std::vector<bool> in_set(domain, false);
+  in_set[0] = true;
+  std::uint64_t pairs = 0;
+  while (chosen.size() < static_cast<std::size_t>(q) &&
+         chosen.size() < domain) {
+    BitString best_w = 0;
+    std::int64_t best_gain = -1;
+    for (BitString w = 0; w < domain; ++w) {
+      if (in_set[w]) continue;
+      std::int64_t gain = 0;
+      for (BitString u : chosen) {
+        if (HammingDistance(u, w) == d) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_w = w;
+      }
+    }
+    chosen.push_back(best_w);
+    in_set[best_w] = true;
+    pairs += static_cast<std::uint64_t>(best_gain);
+  }
+  return pairs;
+}
+
+}  // namespace mrcost::hamming

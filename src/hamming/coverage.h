@@ -1,0 +1,27 @@
+#ifndef MRCOST_HAMMING_COVERAGE_H_
+#define MRCOST_HAMMING_COVERAGE_H_
+
+#include <cstdint>
+
+namespace mrcost::hamming {
+
+/// Empirical exploration of g(q) for Hamming distance d — the Section 3.6
+/// open problem ("Discovering the tradeoff for Hamming distances greater
+/// than 1 seems hard"). g(q) is the maximum number of distance-d pairs any
+/// q-subset of {0,1}^b can contain; for d = 1 Lemma 3.1 proves it equals
+/// (q/2) log2 q at powers of two (sub-hypercubes), while for d = 2 only
+/// the Omega(q^2) behaviour of Ball-2 is known.
+
+/// Exact maximum by branch-and-bound over subsets (WLOG containing the
+/// all-zero string, by translation symmetry of the Hamming cube).
+/// Feasible for roughly 2^b <= 64 and q <= 10; cost grows combinatorially.
+std::uint64_t ExactMaxCoverage(int b, int d, int q);
+
+/// Greedy max-coverage heuristic: start from the all-zero string, then
+/// repeatedly add the string creating the most new distance-d pairs. A
+/// lower bound on the true g(q), cheap at any b <= 20.
+std::uint64_t GreedyCoverage(int b, int d, int q);
+
+}  // namespace mrcost::hamming
+
+#endif  // MRCOST_HAMMING_COVERAGE_H_

@@ -1,0 +1,32 @@
+#include "src/hamming/problem.h"
+
+#include <sstream>
+
+#include "src/common/combinatorics.h"
+#include "src/common/status.h"
+
+namespace mrcost::hamming {
+
+HammingProblem::HammingProblem(int b, int d) : b_(b), d_(d) {
+  MRCOST_CHECK(b >= 1 && b <= 16);
+  MRCOST_CHECK(d >= 1 && d <= b);
+  const std::uint64_t n = std::uint64_t{1} << b;
+  // Enumerate pairs once: for every string u and every weight-d flip mask,
+  // keep the pair with u < v to count each unordered pair exactly once.
+  common::ForEachSubsetOfSize(b, d, [&](const std::vector<int>& bits) {
+    BitString mask = 0;
+    for (int i : bits) mask |= BitString{1} << i;
+    for (std::uint64_t u = 0; u < n; ++u) {
+      const BitString v = u ^ mask;
+      if (u < v) pairs_.emplace_back(u, v);
+    }
+  });
+}
+
+std::string HammingProblem::name() const {
+  std::ostringstream os;
+  os << "hamming-distance-" << d_ << " (b=" << b_ << ")";
+  return os.str();
+}
+
+}  // namespace mrcost::hamming

@@ -1,0 +1,52 @@
+#ifndef MRCOST_HAMMING_PROBLEM_H_
+#define MRCOST_HAMMING_PROBLEM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/problem.h"
+#include "src/hamming/bitstring.h"
+
+namespace mrcost::hamming {
+
+/// The Hamming-distance-d problem of Example 2.3 (d = 1) and Section 3.6
+/// (d >= 2): inputs are all 2^b strings of length b; outputs are the
+/// unordered pairs of strings at Hamming distance exactly d. Input ids are
+/// the strings themselves; outputs are enumerated in the constructor.
+///
+/// Intended for exhaustive validation at small b (the output list has
+/// C(b,d) * 2^{b-1} entries).
+class HammingProblem final : public core::Problem {
+ public:
+  /// Preconditions: 1 <= b <= 16, 1 <= d <= b.
+  HammingProblem(int b, int d);
+
+  std::string name() const override;
+  std::uint64_t num_inputs() const override {
+    return std::uint64_t{1} << b_;
+  }
+  std::uint64_t num_outputs() const override { return pairs_.size(); }
+  std::vector<core::InputId> InputsOfOutput(
+      core::OutputId output) const override {
+    const auto& [u, v] = pairs_[output];
+    return {u, v};
+  }
+
+  int b() const { return b_; }
+  int d() const { return d_; }
+  /// The enumerated output pairs (u < v, distance exactly d).
+  const std::vector<std::pair<BitString, BitString>>& pairs() const {
+    return pairs_;
+  }
+
+ private:
+  int b_;
+  int d_;
+  std::vector<std::pair<BitString, BitString>> pairs_;
+};
+
+}  // namespace mrcost::hamming
+
+#endif  // MRCOST_HAMMING_PROBLEM_H_

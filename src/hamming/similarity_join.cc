@@ -1,0 +1,158 @@
+#include "src/hamming/similarity_join.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/combinatorics.h"
+#include "src/hamming/schemas.h"
+
+namespace mrcost::hamming {
+namespace {
+
+using Pair = std::pair<BitString, BitString>;
+
+/// Indexes of the segments (of `k` total, length b/k each) where u and v
+/// differ, ascending.
+std::vector<int> DifferingSegments(BitString u, BitString v, int b, int k) {
+  const int seg = b / k;
+  std::vector<int> out;
+  const BitString diff = u ^ v;
+  for (int s = 0; s < k; ++s) {
+    if (common::ExtractBits(diff, s * seg, seg) != 0) out.push_back(s);
+  }
+  return out;
+}
+
+/// The canonical deleted-segment set for a pair with differing segments
+/// `diff_segs`: pad with the smallest segment indexes not already present
+/// until the set has size d. This is the lexicographically least d-superset
+/// of diff_segs, so exactly one reducer emits each pair.
+std::vector<int> CanonicalSubset(const std::vector<int>& diff_segs, int k,
+                                 int d) {
+  std::vector<int> subset = diff_segs;
+  std::vector<bool> used(k, false);
+  for (int s : subset) used[s] = true;
+  for (int v = 0; v < k && static_cast<int>(subset.size()) < d; ++v) {
+    if (!used[v]) subset.push_back(v);
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+void SortPairs(std::vector<Pair>& pairs) {
+  std::sort(pairs.begin(), pairs.end());
+}
+
+}  // namespace
+
+common::Result<SimilarityJoinResult> SplittingSimilarityJoin(
+    const std::vector<BitString>& strings, int b, int k, int d,
+    const engine::JobOptions& options) {
+  auto schema = SplittingDistanceDSchema::Make(b, k, d);
+  if (!schema.ok()) return schema.status();
+  const SplittingDistanceDSchema& s = *schema;
+
+  // Key = reducer id (deleted-subset rank in the high bits, residual bits
+  // below); value = the original string.
+  auto map_fn = [&s](const BitString& w,
+                     engine::Emitter<std::uint64_t, BitString>& emitter) {
+    common::ForEachSubsetOfSize(s.k(), s.d(),
+                                [&](const std::vector<int>& subset) {
+                                  emitter.Emit(s.ReducerFor(w, subset), w);
+                                });
+  };
+
+  const int residual_bits = b - d * (b / k);
+  auto reduce_fn = [&](const std::uint64_t& key,
+                       const std::vector<BitString>& values,
+                       std::vector<Pair>& out) {
+    const std::uint64_t rank = key >> residual_bits;
+    const std::vector<int> subset = common::CombinationUnrank(k, d, rank);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      for (std::size_t j = i + 1; j < values.size(); ++j) {
+        const BitString u = std::min(values[i], values[j]);
+        const BitString v = std::max(values[i], values[j]);
+        const int dist = HammingDistance(u, v);
+        if (dist < 1 || dist > d) continue;
+        // Emit only from the canonical reducer for this pair.
+        if (CanonicalSubset(DifferingSegments(u, v, b, k), k, d) == subset) {
+          out.emplace_back(u, v);
+        }
+      }
+    }
+  };
+
+  auto job = engine::RunMapReduce<BitString, std::uint64_t, BitString, Pair>(
+      strings, map_fn, reduce_fn, options);
+  SortPairs(job.outputs);
+  return SimilarityJoinResult{std::move(job.outputs),
+                              std::move(job.metrics)};
+}
+
+common::Result<SimilarityJoinResult> BallSimilarityJoin(
+    const std::vector<BitString>& strings, int b, int d,
+    const engine::JobOptions& options) {
+  if (d < 1 || d > 2) {
+    return common::Status::InvalidArgument(
+        "BallSimilarityJoin: only d in {1,2} is supported");
+  }
+  if (b < 1 || b > 32) {
+    return common::Status::InvalidArgument("BallSimilarityJoin: 1<=b<=32");
+  }
+
+  // Key = center string; value = original string (center itself included so
+  // distance-1 pairs are covered; see Section 3.6 discussion).
+  auto map_fn = [b](const BitString& w,
+                    engine::Emitter<BitString, BitString>& emitter) {
+    emitter.Emit(w, w);
+    for (int i = 0; i < b; ++i) emitter.Emit(w ^ (BitString{1} << i), w);
+  };
+
+  auto reduce_fn = [d](const BitString& center,
+                       const std::vector<BitString>& values,
+                       std::vector<Pair>& out) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      for (std::size_t j = i + 1; j < values.size(); ++j) {
+        const BitString u = std::min(values[i], values[j]);
+        const BitString v = std::max(values[i], values[j]);
+        const int dist = HammingDistance(u, v);
+        if (dist < 1 || dist > d) continue;
+        // Canonical center: for a distance-1 pair the smaller endpoint; for
+        // a distance-2 pair the smaller endpoint with its lowest differing
+        // bit flipped (one of the exactly two centers seeing both).
+        BitString canonical;
+        if (dist == 1) {
+          canonical = u;
+        } else {
+          const int low_bit = std::countr_zero(u ^ v);
+          canonical = u ^ (BitString{1} << low_bit);
+        }
+        if (center == canonical) out.emplace_back(u, v);
+      }
+    }
+  };
+
+  auto job = engine::RunMapReduce<BitString, BitString, BitString, Pair>(
+      strings, map_fn, reduce_fn, options);
+  SortPairs(job.outputs);
+  return SimilarityJoinResult{std::move(job.outputs),
+                              std::move(job.metrics)};
+}
+
+std::vector<std::pair<BitString, BitString>> SerialSimilarityJoin(
+    const std::vector<BitString>& strings, int d) {
+  std::vector<Pair> out;
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    for (std::size_t j = i + 1; j < strings.size(); ++j) {
+      const int dist = HammingDistance(strings[i], strings[j]);
+      if (dist >= 1 && dist <= d) {
+        out.emplace_back(std::min(strings[i], strings[j]),
+                         std::max(strings[i], strings[j]));
+      }
+    }
+  }
+  SortPairs(out);
+  return out;
+}
+
+}  // namespace mrcost::hamming

@@ -1,0 +1,51 @@
+#ifndef MRCOST_HAMMING_SIMILARITY_JOIN_H_
+#define MRCOST_HAMMING_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/job.h"
+#include "src/hamming/bitstring.h"
+
+namespace mrcost::hamming {
+
+/// Result of a map-reduce similarity join: the matching pairs (u < v, each
+/// exactly once) plus the exact communication metrics of the round.
+struct SimilarityJoinResult {
+  std::vector<std::pair<BitString, BitString>> pairs;
+  engine::JobMetrics metrics;
+};
+
+/// Map-reduce fuzzy join via the distance-d Splitting schema (Sections 3.3
+/// and 3.6): finds all unordered pairs of distinct strings in `strings`
+/// (bit strings of length b) at Hamming distance in [1, d]. Each string is
+/// replicated to C(k,d) reducers; a pair is emitted by exactly one reducer
+/// (the lexicographically least deleted-segment set covering the pair's
+/// differing segments), so no post-hoc deduplication is needed.
+///
+/// Requires k | b and 1 <= d < k. `strings` must be distinct.
+common::Result<SimilarityJoinResult> SplittingSimilarityJoin(
+    const std::vector<BitString>& strings, int b, int k, int d,
+    const engine::JobOptions& options = {});
+
+/// Map-reduce fuzzy join via the Ball-2 algorithm of Section 3.6 (from
+/// [3]): one reducer per center string; every input is sent to its own
+/// reducer and to the b reducers at distance 1. Finds all pairs at distance
+/// in [1, d] for d in {1, 2}; replication rate is b + 1 independent of the
+/// data. Each pair is emitted by exactly one canonical center.
+///
+/// Requires 1 <= d <= 2. `strings` must be distinct.
+common::Result<SimilarityJoinResult> BallSimilarityJoin(
+    const std::vector<BitString>& strings, int b, int d,
+    const engine::JobOptions& options = {});
+
+/// Serial O(N^2) baseline for verification: all pairs at distance in
+/// [1, d], u < v, sorted.
+std::vector<std::pair<BitString, BitString>> SerialSimilarityJoin(
+    const std::vector<BitString>& strings, int d);
+
+}  // namespace mrcost::hamming
+
+#endif  // MRCOST_HAMMING_SIMILARITY_JOIN_H_

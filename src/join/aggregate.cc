@@ -1,0 +1,66 @@
+#include "src/join/aggregate.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mrcost::join {
+
+std::vector<std::string> Tokenize(const std::vector<std::string>& documents) {
+  std::vector<std::string> words;
+  for (const std::string& doc : documents) {
+    std::string current;
+    for (char c : doc) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        current.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+      } else if (!current.empty()) {
+        words.push_back(std::move(current));
+        current.clear();
+      }
+    }
+    if (!current.empty()) words.push_back(std::move(current));
+  }
+  return words;
+}
+
+WordCountResult WordCount(const std::vector<std::string>& occurrences,
+                          const engine::JobOptions& options) {
+  auto map_fn = [](const std::string& word,
+                   engine::Emitter<std::string, std::uint64_t>& emitter) {
+    emitter.Emit(word, 1);
+  };
+  auto reduce_fn = [](const std::string& word,
+                      const std::vector<std::uint64_t>& ones,
+                      std::vector<std::pair<std::string, std::uint64_t>>&
+                          out) {
+    std::uint64_t total = 0;
+    for (std::uint64_t one : ones) total += one;
+    out.emplace_back(word, total);
+  };
+  auto job = engine::RunMapReduce<std::string, std::string, std::uint64_t,
+                                  std::pair<std::string, std::uint64_t>>(
+      occurrences, map_fn, reduce_fn, options);
+  std::sort(job.outputs.begin(), job.outputs.end());
+  return WordCountResult{std::move(job.outputs), std::move(job.metrics)};
+}
+
+GroupBySumResult GroupBySum(const std::vector<std::pair<Value, Value>>& rows,
+                            const engine::JobOptions& options) {
+  auto map_fn = [](const std::pair<Value, Value>& row,
+                   engine::Emitter<Value, Value>& emitter) {
+    emitter.Emit(row.first, row.second);
+  };
+  auto reduce_fn = [](const Value& group, const std::vector<Value>& values,
+                      std::vector<std::pair<Value, std::int64_t>>& out) {
+    std::int64_t total = 0;
+    for (Value v : values) total += v;
+    out.emplace_back(group, total);
+  };
+  auto job = engine::RunMapReduce<std::pair<Value, Value>, Value, Value,
+                                  std::pair<Value, std::int64_t>>(
+      rows, map_fn, reduce_fn, options);
+  std::sort(job.outputs.begin(), job.outputs.end());
+  return GroupBySumResult{std::move(job.outputs), std::move(job.metrics)};
+}
+
+}  // namespace mrcost::join

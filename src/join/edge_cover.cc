@@ -1,0 +1,72 @@
+#include "src/join/edge_cover.h"
+
+#include <cmath>
+
+#include "src/join/simplex.h"
+
+namespace mrcost::join {
+
+common::Result<FractionalEdgeCover> SolveFractionalEdgeCover(
+    const Query& query) {
+  const int num_atoms = query.num_atoms();
+  const int num_attrs = query.num_attributes();
+  for (int v = 0; v < num_attrs; ++v) {
+    if (query.AtomsOfAttribute(v).empty()) {
+      return common::Status::FailedPrecondition(
+          "edge cover: attribute '" + query.attribute_names()[v] +
+          "' appears in no atom");
+    }
+  }
+  // min 1^T x  s.t.  (incidence) x >= 1, x >= 0.
+  std::vector<double> c(num_atoms, 1.0);
+  std::vector<std::vector<double>> a(num_attrs,
+                                     std::vector<double>(num_atoms, 0.0));
+  std::vector<double> b(num_attrs, 1.0);
+  for (int v = 0; v < num_attrs; ++v) {
+    for (int e : query.AtomsOfAttribute(v)) a[v][e] = 1.0;
+  }
+  auto lp = SolveMinLp(c, a, b);
+  if (!lp.ok()) return lp.status();
+  FractionalEdgeCover cover;
+  cover.rho = lp->objective;
+  cover.weights = lp->x;
+  return cover;
+}
+
+double AgmBound(const FractionalEdgeCover& cover,
+                const std::vector<std::uint64_t>& relation_sizes) {
+  MRCOST_CHECK(cover.weights.size() == relation_sizes.size());
+  double log_bound = 0.0;
+  for (std::size_t e = 0; e < cover.weights.size(); ++e) {
+    if (cover.weights[e] <= 0.0) continue;
+    log_bound +=
+        cover.weights[e] * std::log(static_cast<double>(relation_sizes[e]));
+  }
+  return std::exp(log_bound);
+}
+
+core::Recipe MultiwayJoinRecipe(double n, int num_attributes, double rho) {
+  core::Recipe recipe;
+  recipe.problem_name = "multiway-join";
+  recipe.g = [rho](double q) { return std::pow(q, rho); };
+  recipe.num_inputs = n * n;
+  recipe.num_outputs = std::pow(n, num_attributes);
+  return recipe;
+}
+
+double MultiwayJoinLowerBound(double n, int num_attributes, double rho,
+                              double q) {
+  return std::pow(n, num_attributes - 2) / std::pow(q, rho - 1.0);
+}
+
+double ChainJoinReplication(double n, int num_relations, double q) {
+  return std::pow(n / std::sqrt(q), num_relations - 1);
+}
+
+double StarJoinLowerBound(double fact_size, double dim_size,
+                          int num_dimensions, double q) {
+  const double nd0 = num_dimensions * dim_size;
+  return nd0 * std::pow(nd0 / q, num_dimensions - 1) / (fact_size + nd0);
+}
+
+}  // namespace mrcost::join

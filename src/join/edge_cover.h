@@ -1,0 +1,54 @@
+#ifndef MRCOST_JOIN_EDGE_COVER_H_
+#define MRCOST_JOIN_EDGE_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/lower_bound.h"
+#include "src/join/query.h"
+
+namespace mrcost::join {
+
+/// A fractional edge cover of a query hypergraph: weight x_e per atom with
+/// sum_{e containing v} x_e >= 1 for every attribute v. `rho` is the
+/// minimum total weight rho* — the exponent in the paper's g(q) = q^rho
+/// bound for multiway joins (Section 5.5.1, citing [6]).
+///
+/// Note: the LP printed in the paper's Section 5.5 text is garbled; this is
+/// the standard Atserias–Grohe–Marx per-node covering LP the prose
+/// describes (see DESIGN.md).
+struct FractionalEdgeCover {
+  double rho = 0.0;
+  std::vector<double> weights;  // one per atom
+};
+
+/// Solves the covering LP by simplex. Fails (FailedPrecondition) only if
+/// some attribute appears in no atom.
+common::Result<FractionalEdgeCover> SolveFractionalEdgeCover(
+    const Query& query);
+
+/// The AGM output-size bound |O| <= prod_e |R_e|^{x_e} evaluated at the
+/// given cover weights and relation sizes (aligned with query.atoms()).
+double AgmBound(const FractionalEdgeCover& cover,
+                const std::vector<std::uint64_t>& relation_sizes);
+
+/// Section 5.5.1's recipe: g(q) = q^rho, |I| ~ n^2 (binary relations over
+/// an n-value domain), |O| ~ n^m for m attributes; closed form
+/// r >= n^{m-2} / q^{rho-1}.
+core::Recipe MultiwayJoinRecipe(double n, int num_attributes, double rho);
+double MultiwayJoinLowerBound(double n, int num_attributes, double rho,
+                              double q);
+
+/// Section 5.5.2's matching chain-join form: r = (n/sqrt(q))^{N-1}.
+double ChainJoinReplication(double n, int num_relations, double q);
+
+/// Section 5.5.2's star-join lower bound
+/// r = N d0 (N d0 / q)^{N-1} / (f + N d0), with fact size f and dimension
+/// size d0.
+double StarJoinLowerBound(double fact_size, double dim_size,
+                          int num_dimensions, double q);
+
+}  // namespace mrcost::join
+
+#endif  // MRCOST_JOIN_EDGE_COVER_H_

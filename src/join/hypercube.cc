@@ -1,0 +1,143 @@
+#include "src/join/hypercube.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "src/common/random.h"
+#include "src/join/serial_join.h"
+
+namespace mrcost::join {
+namespace {
+
+/// Deterministic per-attribute hash of a value into its share count.
+int ValueBucket(Value v, int attribute, int share, std::uint64_t seed) {
+  const std::uint64_t mixed = common::Mix64(
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) *
+          0x100000001ULL +
+      static_cast<std::uint64_t>(attribute) + seed * 0x9e3779b97f4a7c15ULL);
+  return static_cast<int>(mixed % static_cast<std::uint64_t>(share));
+}
+
+}  // namespace
+
+namespace internal {
+
+common::Status CheckHyperCubeArgs(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares) {
+  if (relations.size() != static_cast<std::size_t>(query.num_atoms())) {
+    return common::Status::InvalidArgument(
+        "HyperCube: relations must align with atoms");
+  }
+  if (shares.size() != static_cast<std::size_t>(query.num_attributes())) {
+    return common::Status::InvalidArgument(
+        "HyperCube: shares must align with attributes");
+  }
+  for (int s : shares) {
+    if (s < 1) {
+      return common::Status::InvalidArgument(
+          "HyperCube: shares must be >= 1");
+    }
+  }
+  for (int e = 0; e < query.num_atoms(); ++e) {
+    if (relations[e]->arity() !=
+        static_cast<int>(query.atoms()[e].attributes.size())) {
+      return common::Status::InvalidArgument(
+          "HyperCube: relation arity mismatch for atom " +
+          query.atoms()[e].relation);
+    }
+  }
+  return common::Status::Ok();
+}
+
+void ForEachHyperCubeCell(const Query& query, const std::vector<int>& shares,
+                          int atom_idx, const Tuple& tuple,
+                          std::uint64_t seed,
+                          const std::function<void(std::uint64_t)>& fn) {
+  const int num_attrs = query.num_attributes();
+  const Atom& atom = query.atoms()[atom_idx];
+  std::vector<int> coord(num_attrs, -1);
+  for (int pos = 0; pos < static_cast<int>(atom.attributes.size()); ++pos) {
+    const int a = atom.attributes[pos];
+    coord[a] = ValueBucket(tuple[pos], a, shares[a], seed);
+  }
+  std::vector<int> free_attrs;
+  for (int a = 0; a < num_attrs; ++a) {
+    if (coord[a] < 0) free_attrs.push_back(a);
+  }
+  auto cell_id = [&]() {
+    std::uint64_t id = 0;
+    for (int a = 0; a < num_attrs; ++a) {
+      id = id * static_cast<std::uint64_t>(shares[a]) +
+           static_cast<std::uint64_t>(coord[a]);
+    }
+    return id;
+  };
+  // Odometer over the free attributes' coordinates.
+  std::vector<int> cursor(free_attrs.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < free_attrs.size(); ++i) {
+      coord[free_attrs[i]] = cursor[i];
+    }
+    fn(cell_id());
+    std::size_t i = 0;
+    for (; i < free_attrs.size(); ++i) {
+      if (++cursor[i] < shares[free_attrs[i]]) break;
+      cursor[i] = 0;
+    }
+    if (i == free_attrs.size()) break;
+  }
+}
+
+}  // namespace internal
+
+common::Result<MultiwayJoinResult> HyperCubeJoin(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares, std::uint64_t seed,
+    const engine::JobOptions& options) {
+  if (auto status = internal::CheckHyperCubeArgs(query, relations, shares);
+      !status.ok()) {
+    return status;
+  }
+  const int num_atoms = query.num_atoms();
+
+  using Input = std::pair<int, Tuple>;
+  std::vector<Input> inputs;
+  for (int e = 0; e < num_atoms; ++e) {
+    for (const Tuple& t : relations[e]->tuples()) inputs.emplace_back(e, t);
+  }
+
+  auto map_fn = [&](const Input& input,
+                    engine::Emitter<std::uint64_t, Input>& emitter) {
+    internal::ForEachHyperCubeCell(
+        query, shares, input.first, input.second, seed,
+        [&](std::uint64_t cell) { emitter.Emit(cell, input); });
+  };
+
+  auto reduce_fn = [&](const std::uint64_t& /*cell*/,
+                       const std::vector<Input>& values,
+                       std::vector<Tuple>& out) {
+    // Rebuild per-atom fragments and run the serial join on them.
+    std::vector<Relation> fragments;
+    fragments.reserve(num_atoms);
+    for (int e = 0; e < num_atoms; ++e) {
+      fragments.emplace_back(relations[e]->name(),
+                             relations[e]->attributes());
+    }
+    for (const auto& [atom_idx, tuple] : values) {
+      fragments[atom_idx].Add(tuple);
+    }
+    std::vector<const Relation*> fragment_ptrs;
+    fragment_ptrs.reserve(num_atoms);
+    for (const Relation& r : fragments) fragment_ptrs.push_back(&r);
+    out = SerialMultiwayJoin(query, fragment_ptrs);
+  };
+
+  auto job = engine::RunMapReduce<Input, std::uint64_t, Input, Tuple>(
+      inputs, map_fn, reduce_fn, options);
+  std::sort(job.outputs.begin(), job.outputs.end());
+  return MultiwayJoinResult{std::move(job.outputs), std::move(job.metrics)};
+}
+
+}  // namespace mrcost::join

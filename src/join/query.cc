@@ -1,0 +1,80 @@
+#include "src/join/query.h"
+
+#include <sstream>
+
+namespace mrcost::join {
+
+Query::Query(std::vector<std::string> attribute_names,
+             std::vector<Atom> atoms)
+    : attribute_names_(std::move(attribute_names)), atoms_(std::move(atoms)) {
+  atoms_of_attribute_.resize(attribute_names_.size());
+  for (int e = 0; e < static_cast<int>(atoms_.size()); ++e) {
+    for (int a : atoms_[e].attributes) {
+      MRCOST_CHECK(a >= 0 &&
+                   a < static_cast<int>(attribute_names_.size()));
+      atoms_of_attribute_[a].push_back(e);
+    }
+  }
+}
+
+Query ChainQuery(int num_relations) {
+  MRCOST_CHECK(num_relations >= 1);
+  std::vector<std::string> attrs;
+  for (int i = 0; i <= num_relations; ++i) {
+    attrs.push_back("A" + std::to_string(i));
+  }
+  std::vector<Atom> atoms;
+  for (int i = 0; i < num_relations; ++i) {
+    atoms.push_back(Atom{"R" + std::to_string(i + 1), {i, i + 1}});
+  }
+  return Query(std::move(attrs), std::move(atoms));
+}
+
+Query StarQuery(int num_dimensions) {
+  MRCOST_CHECK(num_dimensions >= 1);
+  std::vector<std::string> attrs;
+  std::vector<int> fact_attrs;
+  for (int i = 0; i < num_dimensions; ++i) {
+    attrs.push_back("A" + std::to_string(i + 1));
+    fact_attrs.push_back(i);
+  }
+  for (int i = 0; i < num_dimensions; ++i) {
+    attrs.push_back("B" + std::to_string(i + 1));
+  }
+  std::vector<Atom> atoms;
+  atoms.push_back(Atom{"F", fact_attrs});
+  for (int i = 0; i < num_dimensions; ++i) {
+    atoms.push_back(
+        Atom{"D" + std::to_string(i + 1), {i, num_dimensions + i}});
+  }
+  return Query(std::move(attrs), std::move(atoms));
+}
+
+Query CycleQuery(int length) {
+  MRCOST_CHECK(length >= 3);
+  std::vector<std::string> attrs;
+  for (int i = 0; i < length; ++i) attrs.push_back("A" + std::to_string(i));
+  std::vector<Atom> atoms;
+  for (int i = 0; i < length; ++i) {
+    atoms.push_back(Atom{"R" + std::to_string(i + 1), {i, (i + 1) % length}});
+  }
+  return Query(std::move(attrs), std::move(atoms));
+}
+
+Query CliqueQuery(int num_attributes) {
+  MRCOST_CHECK(num_attributes >= 2);
+  std::vector<std::string> attrs;
+  for (int i = 0; i < num_attributes; ++i) {
+    attrs.push_back("A" + std::to_string(i));
+  }
+  std::vector<Atom> atoms;
+  int idx = 1;
+  for (int i = 0; i < num_attributes; ++i) {
+    for (int j = i + 1; j < num_attributes; ++j) {
+      atoms.push_back(Atom{"R" + std::to_string(idx++), {i, j}});
+    }
+  }
+  return Query(std::move(attrs), std::move(atoms));
+}
+
+}  // namespace mrcost::join

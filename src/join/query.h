@@ -1,0 +1,64 @@
+#ifndef MRCOST_JOIN_QUERY_H_
+#define MRCOST_JOIN_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrcost::join {
+
+/// One relational atom of a multiway join: a relation name plus the query
+/// attributes it binds, positionally. Repeated attributes within one atom
+/// are not supported.
+struct Atom {
+  std::string relation;
+  std::vector<int> attributes;  // indexes into Query::attribute_names
+};
+
+/// A natural multiway join seen as a hypergraph (Section 5.5): nodes are
+/// the query attributes, edges are the atoms' attribute sets. Chain, star,
+/// cycle, and clique builders cover the paper's analyzed cases.
+class Query {
+ public:
+  Query(std::vector<std::string> attribute_names, std::vector<Atom> atoms);
+
+  int num_attributes() const {
+    return static_cast<int>(attribute_names_.size());
+  }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+
+  /// Atoms (edges) incident to attribute `a`.
+  const std::vector<int>& AtomsOfAttribute(int a) const {
+    return atoms_of_attribute_[a];
+  }
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::vector<Atom> atoms_;
+  std::vector<std::vector<int>> atoms_of_attribute_;
+};
+
+/// Chain join of N binary relations (Section 5.5.2):
+/// R1(A0,A1) |x| R2(A1,A2) |x| ... |x| RN(A_{N-1},A_N); m = N+1 attributes.
+Query ChainQuery(int num_relations);
+
+/// Star join (Section 5.5.2): fact table F(A1..AN) joined with N dimension
+/// tables D_i(A_i, B_i); attributes A1..AN are shared, B1..BN are private.
+Query StarQuery(int num_dimensions);
+
+/// Cycle join of s binary relations: R_i(A_i, A_{i+1 mod s}).
+Query CycleQuery(int length);
+
+/// Clique join over s attributes: one binary relation per attribute pair
+/// (the triangle query for s = 3).
+Query CliqueQuery(int num_attributes);
+
+}  // namespace mrcost::join
+
+#endif  // MRCOST_JOIN_QUERY_H_

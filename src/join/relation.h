@@ -1,0 +1,45 @@
+#ifndef MRCOST_JOIN_RELATION_H_
+#define MRCOST_JOIN_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrcost::join {
+
+/// Attribute values are small integers drawn from the finite domains the
+/// model requires (Example 2.1: "we need to assume finite domains").
+using Value = std::int32_t;
+/// A tuple: one Value per attribute of its relation's schema.
+using Tuple = std::vector<Value>;
+
+/// A named relation with a fixed schema (list of attribute names) and a
+/// bag of tuples. Tuples are positionally aligned with the schema.
+class Relation {
+ public:
+  Relation(std::string name, std::vector<std::string> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  int arity() const { return static_cast<int>(attributes_.size()); }
+
+  void Add(Tuple t) {
+    MRCOST_CHECK(static_cast<int>(t.size()) == arity());
+    tuples_.push_back(std::move(t));
+  }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::uint64_t size() const { return tuples_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace mrcost::join
+
+#endif  // MRCOST_JOIN_RELATION_H_

@@ -1,0 +1,106 @@
+#include "src/join/serial_join.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/engine/hashing.h"
+
+namespace mrcost::join {
+namespace {
+
+/// Hash key for a projection of values.
+struct ProjectionHash {
+  std::size_t operator()(const std::vector<Value>& v) const {
+    std::uint64_t h = 0x8f3a9c4d2b1e0f57ULL;
+    for (Value x : v) {
+      h = engine::internal::HashCombine(
+          h, common::Mix64(static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(x))));
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+std::vector<Tuple> SerialMultiwayJoin(
+    const Query& query, const std::vector<const Relation*>& relations) {
+  MRCOST_CHECK(relations.size() ==
+               static_cast<std::size_t>(query.num_atoms()));
+  const int num_attrs = query.num_attributes();
+  const int num_atoms = query.num_atoms();
+
+  // For atom i, the positions (within the atom) of attributes bound by
+  // atoms 0..i-1, and the hash index keyed on those positions' values.
+  std::vector<std::vector<int>> bound_positions(num_atoms);
+  std::vector<
+      std::unordered_map<std::vector<Value>, std::vector<int>, ProjectionHash>>
+      index(num_atoms);
+  {
+    std::vector<bool> bound(num_attrs, false);
+    for (int i = 0; i < num_atoms; ++i) {
+      const Atom& atom = query.atoms()[i];
+      for (int pos = 0; pos < static_cast<int>(atom.attributes.size());
+           ++pos) {
+        if (bound[atom.attributes[pos]]) bound_positions[i].push_back(pos);
+      }
+      for (int a : atom.attributes) bound[a] = true;
+      // Build the index for this atom.
+      const auto& tuples = relations[i]->tuples();
+      for (int t = 0; t < static_cast<int>(tuples.size()); ++t) {
+        std::vector<Value> key;
+        key.reserve(bound_positions[i].size());
+        for (int pos : bound_positions[i]) key.push_back(tuples[t][pos]);
+        index[i][key].push_back(t);
+      }
+    }
+  }
+
+  std::vector<Tuple> results;
+  Tuple assignment(num_attrs, 0);
+  std::vector<bool> assigned(num_attrs, false);
+
+  std::function<void(int)> recurse = [&](int atom_idx) {
+    if (atom_idx == num_atoms) {
+      results.push_back(assignment);
+      return;
+    }
+    const Atom& atom = query.atoms()[atom_idx];
+    std::vector<Value> key;
+    key.reserve(bound_positions[atom_idx].size());
+    for (int pos : bound_positions[atom_idx]) {
+      key.push_back(assignment[atom.attributes[pos]]);
+    }
+    const auto it = index[atom_idx].find(key);
+    if (it == index[atom_idx].end()) return;
+    const auto& tuples = relations[atom_idx]->tuples();
+    for (int t : it->second) {
+      // Bind this atom's unbound attributes.
+      std::vector<int> newly_bound;
+      bool consistent = true;
+      for (int pos = 0; pos < static_cast<int>(atom.attributes.size());
+           ++pos) {
+        const int a = atom.attributes[pos];
+        if (assigned[a]) {
+          if (assignment[a] != tuples[t][pos]) {
+            consistent = false;
+            break;
+          }
+        } else {
+          assigned[a] = true;
+          assignment[a] = tuples[t][pos];
+          newly_bound.push_back(a);
+        }
+      }
+      if (consistent) recurse(atom_idx + 1);
+      for (int a : newly_bound) assigned[a] = false;
+    }
+  };
+  recurse(0);
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+}  // namespace mrcost::join

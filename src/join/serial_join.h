@@ -1,0 +1,22 @@
+#ifndef MRCOST_JOIN_SERIAL_JOIN_H_
+#define MRCOST_JOIN_SERIAL_JOIN_H_
+
+#include <vector>
+
+#include "src/join/query.h"
+#include "src/join/relation.h"
+
+namespace mrcost::join {
+
+/// Serial natural multiway join baseline: returns one tuple per result,
+/// with values positionally aligned to query.attribute_names(). Atoms are
+/// joined left to right; each atom is hash-indexed on the attributes it
+/// shares with the atoms before it, so the cost is output-sensitive for
+/// the chain/star/clique queries used here. `relations` aligns with
+/// query.atoms(). Results are sorted lexicographically.
+std::vector<Tuple> SerialMultiwayJoin(
+    const Query& query, const std::vector<const Relation*>& relations);
+
+}  // namespace mrcost::join
+
+#endif  // MRCOST_JOIN_SERIAL_JOIN_H_

@@ -1,0 +1,176 @@
+#include "src/join/shares.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mrcost::join {
+namespace {
+
+/// Projects y onto {y >= 0, sum y = target} (Euclidean), the standard
+/// scaled-simplex projection.
+void ProjectOntoSimplex(std::vector<double>& y, double target) {
+  const int n = static_cast<int>(y.size());
+  std::vector<double> sorted = y;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double cumulative = 0.0;
+  double theta = 0.0;
+  int support = 0;
+  for (int i = 0; i < n; ++i) {
+    cumulative += sorted[i];
+    const double candidate = (cumulative - target) / (i + 1);
+    if (sorted[i] - candidate > 0) {
+      theta = candidate;
+      support = i + 1;
+    }
+  }
+  (void)support;
+  for (double& v : y) v = std::max(0.0, v - theta);
+}
+
+}  // namespace
+
+double PredictedCommunication(const Query& query,
+                              const std::vector<std::uint64_t>& sizes,
+                              const std::vector<double>& shares) {
+  MRCOST_CHECK(static_cast<int>(shares.size()) == query.num_attributes());
+  MRCOST_CHECK(sizes.size() == static_cast<std::size_t>(query.num_atoms()));
+  double total = 0.0;
+  for (int e = 0; e < query.num_atoms(); ++e) {
+    double replication = 1.0;
+    std::vector<bool> in_atom(query.num_attributes(), false);
+    for (int a : query.atoms()[e].attributes) in_atom[a] = true;
+    for (int a = 0; a < query.num_attributes(); ++a) {
+      if (!in_atom[a]) replication *= shares[a];
+    }
+    total += static_cast<double>(sizes[e]) * replication;
+  }
+  return total;
+}
+
+common::Result<SharesSolution> OptimizeShares(
+    const Query& query, const std::vector<std::uint64_t>& sizes, double p,
+    int iterations) {
+  const int n = query.num_attributes();
+  if (p < 1.0) {
+    return common::Status::InvalidArgument("OptimizeShares: need p >= 1");
+  }
+  if (sizes.size() != static_cast<std::size_t>(query.num_atoms())) {
+    return common::Status::InvalidArgument(
+        "OptimizeShares: sizes must align with atoms");
+  }
+  const double budget = std::log(p);
+
+  // Work in log space: y_a = ln(share_a) >= 0, sum y = ln p. The objective
+  // sum_e |R_e| exp(sum_{a not in e} y_a) is convex in y.
+  std::vector<double> y(n, budget / n);
+  // Membership masks per atom.
+  std::vector<std::vector<bool>> in_atom(query.num_atoms(),
+                                         std::vector<bool>(n, false));
+  for (int e = 0; e < query.num_atoms(); ++e) {
+    for (int a : query.atoms()[e].attributes) in_atom[e][a] = true;
+  }
+
+  auto objective = [&](const std::vector<double>& yy) {
+    double total = 0.0;
+    for (int e = 0; e < query.num_atoms(); ++e) {
+      double exponent = 0.0;
+      for (int a = 0; a < n; ++a) {
+        if (!in_atom[e][a]) exponent += yy[a];
+      }
+      total += static_cast<double>(sizes[e]) * std::exp(exponent);
+    }
+    return total;
+  };
+
+  double step = 0.5;
+  double current = objective(y);
+  std::vector<double> grad(n), trial(n);
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Gradient: d/dy_a = sum over atoms not containing a of their term.
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int e = 0; e < query.num_atoms(); ++e) {
+      double exponent = 0.0;
+      for (int a = 0; a < n; ++a) {
+        if (!in_atom[e][a]) exponent += y[a];
+      }
+      const double term = static_cast<double>(sizes[e]) * std::exp(exponent);
+      for (int a = 0; a < n; ++a) {
+        if (!in_atom[e][a]) grad[a] += term;
+      }
+    }
+    // Normalized gradient step with backtracking.
+    double norm = 0.0;
+    for (double g : grad) norm += g * g;
+    norm = std::sqrt(norm);
+    if (norm < 1e-15) break;
+    bool improved = false;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      for (int a = 0; a < n; ++a) {
+        trial[a] = y[a] - step * budget * grad[a] / norm;
+      }
+      ProjectOntoSimplex(trial, budget);
+      const double value = objective(trial);
+      if (value < current - 1e-12 * std::abs(current)) {
+        y = trial;
+        current = value;
+        improved = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!improved || step < 1e-14) break;
+  }
+
+  SharesSolution solution;
+  solution.shares.resize(n);
+  for (int a = 0; a < n; ++a) solution.shares[a] = std::exp(y[a]);
+  solution.communication =
+      PredictedCommunication(query, sizes, solution.shares);
+  return solution;
+}
+
+SharesSolution StarShares(const Query& star_query,
+                          const std::vector<std::uint64_t>& sizes,
+                          double p) {
+  const int n = star_query.num_attributes();
+  // Fact attributes are those of atom 0 (see StarQuery).
+  const Atom& fact = star_query.atoms()[0];
+  const int num_fact_attrs = static_cast<int>(fact.attributes.size());
+  SharesSolution solution;
+  solution.shares.assign(n, 1.0);
+  const double fact_share = std::pow(p, 1.0 / num_fact_attrs);
+  for (int a : fact.attributes) solution.shares[a] = fact_share;
+  solution.communication =
+      PredictedCommunication(star_query, sizes, solution.shares);
+  return solution;
+}
+
+std::vector<int> RoundShares(const std::vector<double>& shares, double p) {
+  const int n = static_cast<int>(shares.size());
+  std::vector<int> rounded(n);
+  for (int a = 0; a < n; ++a) {
+    rounded[a] = std::max(1, static_cast<int>(std::floor(shares[a])));
+  }
+  // Greedily bump the share with the largest multiplicative deficit while
+  // the product stays within p.
+  while (true) {
+    double product = 1.0;
+    for (int a = 0; a < n; ++a) product *= rounded[a];
+    int best = -1;
+    double best_deficit = 1.0;
+    for (int a = 0; a < n; ++a) {
+      if (product / rounded[a] * (rounded[a] + 1) > p) continue;
+      const double deficit = shares[a] / rounded[a];
+      if (deficit > best_deficit + 1e-12) {
+        best_deficit = deficit;
+        best = a;
+      }
+    }
+    if (best < 0) break;
+    ++rounded[best];
+  }
+  return rounded;
+}
+
+}  // namespace mrcost::join

@@ -1,0 +1,48 @@
+#ifndef MRCOST_JOIN_SHARES_H_
+#define MRCOST_JOIN_SHARES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/join/query.h"
+
+namespace mrcost::join {
+
+/// A share vector for the Shares/HyperCube algorithm of [1] (Afrati–Ullman,
+/// "Optimizing multiway joins in a map-reduce environment"): attribute `a`
+/// is hashed into `share[a]` buckets and the reducer grid is the product of
+/// all shares (p reducers total). A tuple of relation R is replicated to
+/// every grid cell agreeing with its hashes on R's attributes — i.e.,
+/// prod_{a not in R} share[a] cells.
+struct SharesSolution {
+  std::vector<double> shares;
+  /// Predicted communication sum_e |R_e| * prod_{a not in e} share[a].
+  double communication = 0.0;
+};
+
+/// Predicted total mapper->reducer communication for the given share
+/// vector (the objective the Shares algorithm minimizes).
+double PredictedCommunication(const Query& query,
+                              const std::vector<std::uint64_t>& sizes,
+                              const std::vector<double>& shares);
+
+/// Minimizes PredictedCommunication over real shares >= 1 with
+/// prod shares = p, by projected gradient descent in log space (the
+/// problem is convex there). `sizes` is aligned with query.atoms().
+common::Result<SharesSolution> OptimizeShares(
+    const Query& query, const std::vector<std::uint64_t>& sizes, double p,
+    int iterations = 4000);
+
+/// Section 5.5.2's closed form for star joins: dimension-only attributes
+/// get share 1, each of the N fact attributes gets p^{1/N}.
+SharesSolution StarShares(const Query& star_query,
+                          const std::vector<std::uint64_t>& sizes, double p);
+
+/// Rounds real shares to integers >= 1 with product <= p, greedily
+/// restoring the largest multiplicative losses first.
+std::vector<int> RoundShares(const std::vector<double>& shares, double p);
+
+}  // namespace mrcost::join
+
+#endif  // MRCOST_JOIN_SHARES_H_

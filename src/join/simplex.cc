@@ -1,0 +1,159 @@
+#include "src/join/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mrcost::join {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense tableau for the revised problem in equality form. Columns are
+/// [original x | surplus s | artificial a]; the last entry of each row is
+/// the right-hand side.
+struct Tableau {
+  int m;                          // constraints
+  int total;                      // columns excluding rhs
+  std::vector<std::vector<double>> row;  // m x (total+1)
+  std::vector<int> basis;         // basic variable per row
+
+  double& Rhs(int i) { return row[i][total]; }
+};
+
+/// One simplex pass minimizing `cost` (size tableau.total), entering
+/// variables restricted to indices < allowed_cols. Bland's rule for both
+/// choices prevents cycling. Returns false if unbounded.
+bool RunSimplex(Tableau& t, const std::vector<double>& cost,
+                int allowed_cols) {
+  while (true) {
+    // Reduced costs: cost_j - cost_B . column_j.
+    int entering = -1;
+    for (int j = 0; j < allowed_cols; ++j) {
+      double reduced = cost[j];
+      for (int i = 0; i < t.m; ++i) {
+        reduced -= cost[t.basis[i]] * t.row[i][j];
+      }
+      if (reduced < -kEps) {
+        entering = j;
+        break;  // Bland: first improving column
+      }
+    }
+    if (entering < 0) return true;  // optimal
+
+    int leaving = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < t.m; ++i) {
+      if (t.row[i][entering] > kEps) {
+        const double ratio = t.Rhs(i) / t.row[i][entering];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leaving < 0 || t.basis[i] < t.basis[leaving]))) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+    }
+    if (leaving < 0) return false;  // unbounded
+
+    // Pivot on (leaving, entering).
+    const double pivot = t.row[leaving][entering];
+    for (int j = 0; j <= t.total; ++j) t.row[leaving][j] /= pivot;
+    for (int i = 0; i < t.m; ++i) {
+      if (i == leaving) continue;
+      const double factor = t.row[i][entering];
+      if (std::abs(factor) < kEps) continue;
+      for (int j = 0; j <= t.total; ++j) {
+        t.row[i][j] -= factor * t.row[leaving][j];
+      }
+    }
+    t.basis[leaving] = entering;
+  }
+}
+
+}  // namespace
+
+common::Result<LpSolution> SolveMinLp(
+    const std::vector<double>& c, const std::vector<std::vector<double>>& a,
+    const std::vector<double>& b) {
+  const int n = static_cast<int>(c.size());
+  const int m = static_cast<int>(a.size());
+  if (static_cast<int>(b.size()) != m) {
+    return common::Status::InvalidArgument("SolveMinLp: |b| != rows of A");
+  }
+  for (const auto& row : a) {
+    if (static_cast<int>(row.size()) != n) {
+      return common::Status::InvalidArgument(
+          "SolveMinLp: row width != |c|");
+    }
+  }
+
+  // Equality form: A x - s + art = b (rows pre-negated so rhs >= 0).
+  Tableau t;
+  t.m = m;
+  t.total = n + m + m;
+  t.row.assign(m, std::vector<double>(t.total + 1, 0.0));
+  t.basis.resize(m);
+  for (int i = 0; i < m; ++i) {
+    const double sign = b[i] >= 0 ? 1.0 : -1.0;
+    for (int j = 0; j < n; ++j) t.row[i][j] = sign * a[i][j];
+    t.row[i][n + i] = sign * -1.0;  // surplus
+    t.row[i][n + m + i] = 1.0;      // artificial
+    t.row[i][t.total] = sign * b[i];
+    t.basis[i] = n + m + i;
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<double> phase1_cost(t.total, 0.0);
+  for (int i = 0; i < m; ++i) phase1_cost[n + m + i] = 1.0;
+  if (!RunSimplex(t, phase1_cost, t.total)) {
+    return common::Status::Internal("SolveMinLp: phase 1 unbounded");
+  }
+  double artificial_sum = 0.0;
+  for (int i = 0; i < m; ++i) {
+    if (t.basis[i] >= n + m) artificial_sum += t.Rhs(i);
+  }
+  if (artificial_sum > 1e-7) {
+    return common::Status::FailedPrecondition("SolveMinLp: infeasible");
+  }
+  // Drive any degenerate artificials out of the basis.
+  for (int i = 0; i < m; ++i) {
+    if (t.basis[i] < n + m) continue;
+    int pivot_col = -1;
+    for (int j = 0; j < n + m; ++j) {
+      if (std::abs(t.row[i][j]) > kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col < 0) continue;  // redundant row; harmless to keep
+    const double pivot = t.row[i][pivot_col];
+    for (int j = 0; j <= t.total; ++j) t.row[i][j] /= pivot;
+    for (int r = 0; r < m; ++r) {
+      if (r == i) continue;
+      const double factor = t.row[r][pivot_col];
+      if (std::abs(factor) < kEps) continue;
+      for (int j = 0; j <= t.total; ++j) {
+        t.row[r][j] -= factor * t.row[i][j];
+      }
+    }
+    t.basis[i] = pivot_col;
+  }
+
+  // Phase 2: original objective, artificial columns barred from entering.
+  std::vector<double> phase2_cost(t.total, 0.0);
+  for (int j = 0; j < n; ++j) phase2_cost[j] = c[j];
+  if (!RunSimplex(t, phase2_cost, n + m)) {
+    return common::Status::OutOfRange("SolveMinLp: unbounded");
+  }
+
+  LpSolution solution;
+  solution.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (t.basis[i] < n) solution.x[t.basis[i]] = t.Rhs(i);
+  }
+  for (int j = 0; j < n; ++j) solution.objective += c[j] * solution.x[j];
+  return solution;
+}
+
+}  // namespace mrcost::join

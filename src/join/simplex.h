@@ -1,0 +1,29 @@
+#ifndef MRCOST_JOIN_SIMPLEX_H_
+#define MRCOST_JOIN_SIMPLEX_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrcost::join {
+
+/// Solution of a linear program.
+struct LpSolution {
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves   minimize c^T x   subject to   A x >= b,  x >= 0
+/// by the two-phase dense simplex method (Bland's rule, so it cannot
+/// cycle). Dimensions here are tiny — query hypergraphs have a handful of
+/// attributes and atoms — so no effort is spent on sparsity.
+///
+/// Returns InvalidArgument on shape mismatch, FailedPrecondition if the
+/// program is infeasible, and OutOfRange if it is unbounded.
+common::Result<LpSolution> SolveMinLp(const std::vector<double>& c,
+                                      const std::vector<std::vector<double>>& a,
+                                      const std::vector<double>& b);
+
+}  // namespace mrcost::join
+
+#endif  // MRCOST_JOIN_SIMPLEX_H_

@@ -1,0 +1,124 @@
+#include "src/join/two_round.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/join/hypercube.h"
+#include "src/join/serial_join.h"
+
+namespace mrcost::join {
+namespace {
+
+/// Round-1 output: one partial contribution to a group's sum. Without
+/// pre-aggregation there is one per joined tuple; with it, one per
+/// (cell, group).
+struct Partial {
+  Value group;
+  std::int64_t sum;
+};
+
+}  // namespace
+
+common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares, int group_attr, int sum_attr,
+    bool pre_aggregate, std::uint64_t seed,
+    const engine::JobOptions& options) {
+  if (auto status = internal::CheckHyperCubeArgs(query, relations, shares);
+      !status.ok()) {
+    return status;
+  }
+  if (group_attr < 0 || group_attr >= query.num_attributes() ||
+      sum_attr < 0 || sum_attr >= query.num_attributes()) {
+    return common::Status::InvalidArgument(
+        "HyperCubeJoinAggregate: attribute index out of range");
+  }
+
+  const int num_atoms = query.num_atoms();
+  using Input = std::pair<int, Tuple>;
+  std::vector<Input> inputs;
+  for (int e = 0; e < num_atoms; ++e) {
+    for (const Tuple& t : relations[e]->tuples()) inputs.emplace_back(e, t);
+  }
+
+  // ---- Round 1: HyperCube join, emitting per-group contributions.
+  auto map1 = [&](const Input& input,
+                  engine::Emitter<std::uint64_t, Input>& emitter) {
+    internal::ForEachHyperCubeCell(
+        query, shares, input.first, input.second, seed,
+        [&](std::uint64_t cell) { emitter.Emit(cell, input); });
+  };
+
+  auto reduce1 = [&](const std::uint64_t& /*cell*/,
+                     const std::vector<Input>& values,
+                     std::vector<Partial>& out) {
+    std::vector<Relation> fragments;
+    fragments.reserve(num_atoms);
+    for (int e = 0; e < num_atoms; ++e) {
+      fragments.emplace_back(relations[e]->name(),
+                             relations[e]->attributes());
+    }
+    for (const auto& [atom_idx, tuple] : values) {
+      fragments[atom_idx].Add(tuple);
+    }
+    std::vector<const Relation*> fragment_ptrs;
+    for (const Relation& r : fragments) fragment_ptrs.push_back(&r);
+    const std::vector<Tuple> joined =
+        SerialMultiwayJoin(query, fragment_ptrs);
+    if (pre_aggregate) {
+      // Collapse to one partial per group — the Section 6.3 partial-sum
+      // idea (ordered map for deterministic output order).
+      std::map<Value, std::int64_t> partials;
+      for (const Tuple& t : joined) {
+        partials[t[group_attr]] += t[sum_attr];
+      }
+      for (const auto& [group, sum] : partials) {
+        out.push_back(Partial{group, sum});
+      }
+    } else {
+      for (const Tuple& t : joined) {
+        out.push_back(Partial{t[group_attr], t[sum_attr]});
+      }
+    }
+  };
+
+  auto round1 = engine::RunMapReduce<Input, std::uint64_t, Input, Partial>(
+      inputs, map1, reduce1, options);
+
+  // ---- Round 2: group by the grouping attribute and add.
+  auto map2 = [](const Partial& p,
+                 engine::Emitter<Value, std::int64_t>& emitter) {
+    emitter.Emit(p.group, p.sum);
+  };
+  auto reduce2 = [](const Value& group,
+                    const std::vector<std::int64_t>& partials,
+                    std::vector<std::pair<Value, std::int64_t>>& out) {
+    std::int64_t total = 0;
+    for (std::int64_t p : partials) total += p;
+    out.emplace_back(group, total);
+  };
+  auto round2 =
+      engine::RunMapReduce<Partial, Value, std::int64_t,
+                           std::pair<Value, std::int64_t>>(
+          round1.outputs, map2, reduce2, options);
+
+  JoinAggregateResult result;
+  std::sort(round2.outputs.begin(), round2.outputs.end());
+  result.sums = std::move(round2.outputs);
+  result.metrics.Add(std::move(round1.metrics));
+  result.metrics.Add(std::move(round2.metrics));
+  return result;
+}
+
+std::vector<std::pair<Value, std::int64_t>> SerialJoinAggregate(
+    const Query& query, const std::vector<const Relation*>& relations,
+    int group_attr, int sum_attr) {
+  std::map<Value, std::int64_t> sums;
+  for (const Tuple& t : SerialMultiwayJoin(query, relations)) {
+    sums[t[group_attr]] += t[sum_attr];
+  }
+  return {sums.begin(), sums.end()};
+}
+
+}  // namespace mrcost::join

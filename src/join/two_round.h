@@ -1,0 +1,50 @@
+#ifndef MRCOST_JOIN_TWO_ROUND_H_
+#define MRCOST_JOIN_TWO_ROUND_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/job.h"
+#include "src/engine/metrics.h"
+#include "src/join/query.h"
+#include "src/join/relation.h"
+
+namespace mrcost::join {
+
+/// Result of a two-round join-then-aggregate pipeline:
+/// SELECT group_attr, SUM(sum_attr) FROM <multiway join> GROUP BY
+/// group_attr.
+struct JoinAggregateResult {
+  /// (group value, sum), sorted by group.
+  std::vector<std::pair<Value, std::int64_t>> sums;
+  engine::PipelineMetrics metrics;  // round 1 (join), round 2 (aggregate)
+};
+
+/// The Section 7.1 "joins followed by aggregations" pipeline, analyzed the
+/// way Section 6.3 analyzes two-phase matrix multiplication. Round 1 runs
+/// the HyperCube join; round 2 groups the results by `group_attr` and
+/// sums `sum_attr`.
+///
+/// With `pre_aggregate` set, each round-1 reducer collapses its local join
+/// results to one partial sum per group before emitting — the exact
+/// analogue of the matmul partial sums x_ijk: round-2 communication drops
+/// from |join result| pairs to at most (#cells x #groups), while round 1
+/// is unchanged. Because SUM is associative and commutative and every
+/// joined tuple is produced by exactly one cell, the final sums are
+/// identical either way; only the metrics differ.
+common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares, int group_attr, int sum_attr,
+    bool pre_aggregate, std::uint64_t seed,
+    const engine::JobOptions& options = {});
+
+/// Serial baseline for verification.
+std::vector<std::pair<Value, std::int64_t>> SerialJoinAggregate(
+    const Query& query, const std::vector<const Relation*>& relations,
+    int group_attr, int sum_attr);
+
+}  // namespace mrcost::join
+
+#endif  // MRCOST_JOIN_TWO_ROUND_H_

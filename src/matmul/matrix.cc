@@ -1,0 +1,36 @@
+#include "src/matmul/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrcost::matmul {
+
+void Matrix::FillRandom(common::SplitMix64& rng) {
+  for (double& v : data_) v = 2.0 * rng.UniformDouble() - 1.0;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  MRCOST_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+Matrix SerialMultiply(const Matrix& a, const Matrix& b) {
+  MRCOST_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        c.At(i, j) += aik * b.At(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace mrcost::matmul

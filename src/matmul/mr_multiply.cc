@@ -1,0 +1,222 @@
+#include "src/matmul/mr_multiply.h"
+
+#include <cmath>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace mrcost::matmul {
+namespace {
+
+/// Flattens both matrices into tagged elements (the job's input list).
+std::vector<Element> FlattenInputs(const Matrix& r, const Matrix& s) {
+  std::vector<Element> inputs;
+  inputs.reserve(static_cast<std::size_t>(r.rows()) * r.cols() +
+                 static_cast<std::size_t>(s.rows()) * s.cols());
+  for (int i = 0; i < r.rows(); ++i) {
+    for (int j = 0; j < r.cols(); ++j) {
+      inputs.push_back(Element{0, static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(j), r.At(i, j)});
+    }
+  }
+  for (int j = 0; j < s.rows(); ++j) {
+    for (int k = 0; k < s.cols(); ++k) {
+      inputs.push_back(Element{1, static_cast<std::uint32_t>(j),
+                               static_cast<std::uint32_t>(k), s.At(j, k)});
+    }
+  }
+  return inputs;
+}
+
+struct Cell {
+  std::uint32_t i;
+  std::uint32_t k;
+  double value;
+};
+
+}  // namespace
+
+common::Result<OnePhaseResult> MultiplyOnePhase(
+    const Matrix& r, const Matrix& s, int tile,
+    const engine::JobOptions& options) {
+  const int n = r.rows();
+  if (r.cols() != n || s.rows() != n || s.cols() != n) {
+    return common::Status::InvalidArgument(
+        "MultiplyOnePhase: matrices must be square and congruent");
+  }
+  if (tile < 1 || n % tile != 0) {
+    return common::Status::InvalidArgument(
+        "MultiplyOnePhase: tile must divide n");
+  }
+  const std::uint32_t groups = static_cast<std::uint32_t>(n / tile);
+
+  // Key = row-group * groups + col-group.
+  auto map_fn = [groups, tile](const Element& e,
+                               engine::Emitter<std::uint32_t, Element>&
+                                   emitter) {
+    if (e.matrix == 0) {
+      const std::uint32_t gi = e.row / tile;
+      for (std::uint32_t gk = 0; gk < groups; ++gk) {
+        emitter.Emit(gi * groups + gk, e);
+      }
+    } else {
+      const std::uint32_t gk = e.col / tile;
+      for (std::uint32_t gi = 0; gi < groups; ++gi) {
+        emitter.Emit(gi * groups + gk, e);
+      }
+    }
+  };
+
+  auto reduce_fn = [n, tile, groups](const std::uint32_t& key,
+                                     const std::vector<Element>& elems,
+                                     std::vector<Cell>& out) {
+    const int gi = static_cast<int>(key / groups);
+    const int gk = static_cast<int>(key % groups);
+    // Local dense blocks: s rows of R, s columns of S.
+    Matrix rows(tile, n);
+    Matrix cols(n, tile);
+    for (const Element& e : elems) {
+      if (e.matrix == 0) {
+        rows.At(static_cast<int>(e.row) - gi * tile,
+                static_cast<int>(e.col)) = e.value;
+      } else {
+        cols.At(static_cast<int>(e.row),
+                static_cast<int>(e.col) - gk * tile) = e.value;
+      }
+    }
+    const Matrix block = SerialMultiply(rows, cols);
+    out.reserve(static_cast<std::size_t>(tile) * tile);
+    for (int bi = 0; bi < tile; ++bi) {
+      for (int bk = 0; bk < tile; ++bk) {
+        out.push_back(Cell{static_cast<std::uint32_t>(gi * tile + bi),
+                           static_cast<std::uint32_t>(gk * tile + bk),
+                           block.At(bi, bk)});
+      }
+    }
+  };
+
+  auto job = engine::RunMapReduce<Element, std::uint32_t, Element, Cell>(
+      FlattenInputs(r, s), map_fn, reduce_fn, options);
+
+  OnePhaseResult result{Matrix(n, n), std::move(job.metrics)};
+  for (const Cell& c : job.outputs) {
+    result.product.At(static_cast<int>(c.i), static_cast<int>(c.k)) = c.value;
+  }
+  return result;
+}
+
+common::Result<TwoPhaseResult> MultiplyTwoPhase(
+    const Matrix& r, const Matrix& s, int s_rows, int t_js,
+    const engine::JobOptions& options) {
+  const int n = r.rows();
+  if (r.cols() != n || s.rows() != n || s.cols() != n) {
+    return common::Status::InvalidArgument(
+        "MultiplyTwoPhase: matrices must be square and congruent");
+  }
+  if (s_rows < 1 || n % s_rows != 0 || t_js < 1 || n % t_js != 0) {
+    return common::Status::InvalidArgument(
+        "MultiplyTwoPhase: s and t must divide n");
+  }
+  const std::uint32_t i_groups = static_cast<std::uint32_t>(n / s_rows);
+  const std::uint32_t j_groups = static_cast<std::uint32_t>(n / t_js);
+
+  // ---- Round 1: key = (I-group, K-group, J-group) flattened.
+  auto cube_key = [i_groups, j_groups](std::uint32_t gi, std::uint32_t gk,
+                                       std::uint32_t gj) {
+    return (static_cast<std::uint64_t>(gi) * i_groups + gk) * j_groups + gj;
+  };
+
+  auto map1 = [&](const Element& e,
+                  engine::Emitter<std::uint64_t, Element>& emitter) {
+    if (e.matrix == 0) {
+      // r_ij: fixed I-group and J-group; all K-groups (Fig. 5).
+      const std::uint32_t gi = e.row / s_rows;
+      const std::uint32_t gj = e.col / t_js;
+      for (std::uint32_t gk = 0; gk < i_groups; ++gk) {
+        emitter.Emit(cube_key(gi, gk, gj), e);
+      }
+    } else {
+      // s_jk: fixed J-group and K-group; all I-groups.
+      const std::uint32_t gj = e.row / t_js;
+      const std::uint32_t gk = e.col / s_rows;
+      for (std::uint32_t gi = 0; gi < i_groups; ++gi) {
+        emitter.Emit(cube_key(gi, gk, gj), e);
+      }
+    }
+  };
+
+  auto reduce1 = [&](const std::uint64_t& key,
+                     const std::vector<Element>& elems,
+                     std::vector<Cell>& out) {
+    const std::uint32_t gj = static_cast<std::uint32_t>(key % j_groups);
+    const std::uint64_t ik = key / j_groups;
+    const std::uint32_t gk = static_cast<std::uint32_t>(ik % i_groups);
+    const std::uint32_t gi = static_cast<std::uint32_t>(ik / i_groups);
+    // Local blocks: s x t slab of R, t x s slab of S.
+    Matrix rblock(s_rows, t_js);
+    Matrix sblock(t_js, s_rows);
+    for (const Element& e : elems) {
+      if (e.matrix == 0) {
+        rblock.At(static_cast<int>(e.row) - gi * s_rows,
+                  static_cast<int>(e.col) - gj * t_js) = e.value;
+      } else {
+        sblock.At(static_cast<int>(e.row) - gj * t_js,
+                  static_cast<int>(e.col) - gk * s_rows) = e.value;
+      }
+    }
+    const Matrix partial = SerialMultiply(rblock, sblock);
+    for (int bi = 0; bi < s_rows; ++bi) {
+      for (int bk = 0; bk < s_rows; ++bk) {
+        out.push_back(Cell{static_cast<std::uint32_t>(gi * s_rows + bi),
+                           static_cast<std::uint32_t>(gk * s_rows + bk),
+                           partial.At(bi, bk)});
+      }
+    }
+  };
+
+  auto round1 = engine::RunMapReduce<Element, std::uint64_t, Element, Cell>(
+      FlattenInputs(r, s), map1, reduce1, options);
+
+  // ---- Round 2: group partial sums by (i, k) and add (embarrassingly
+  // parallel; Sec. 6.3).
+  using Keyed = std::pair<std::uint64_t, double>;
+  auto map2 = [n](const Cell& c,
+                  engine::Emitter<std::uint64_t, double>& emitter) {
+    emitter.Emit(static_cast<std::uint64_t>(c.i) * n + c.k, c.value);
+  };
+  auto reduce2 = [](const std::uint64_t& key,
+                    const std::vector<double>& partials,
+                    std::vector<Keyed>& out) {
+    double total = 0.0;
+    for (double p : partials) total += p;
+    out.emplace_back(key, total);
+  };
+
+  auto round2 = engine::RunMapReduce<Cell, std::uint64_t, double, Keyed>(
+      round1.outputs, map2, reduce2, options);
+
+  TwoPhaseResult result{Matrix(n, n), {}};
+  result.metrics.Add(std::move(round1.metrics));
+  result.metrics.Add(std::move(round2.metrics));
+  for (const auto& [key, value] : round2.outputs) {
+    result.product.At(static_cast<int>(key / n), static_cast<int>(key % n)) =
+        value;
+  }
+  return result;
+}
+
+std::pair<int, int> OptimalTwoPhaseTiles(int n, double q) {
+  // Ideal: s = sqrt(q), t = sqrt(q)/2. Snap each down to a divisor of n.
+  auto snap_divisor = [n](double target) {
+    int best = 1;
+    for (int d = 1; d <= n; ++d) {
+      if (n % d == 0 && d <= target) best = d;
+    }
+    return best;
+  };
+  const int s = snap_divisor(std::sqrt(q));
+  const int t = snap_divisor(std::sqrt(q) / 2.0);
+  return {s, std::max(1, t)};
+}
+
+}  // namespace mrcost::matmul

@@ -1,0 +1,351 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bit_util.h"
+#include "src/common/combinatorics.h"
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/table.h"
+
+namespace mrcost::common {
+namespace {
+
+// ----------------------------------------------------------- bit_util
+
+TEST(BitUtil, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(1), 1);
+  EXPECT_EQ(PopCount(0xff), 8);
+  EXPECT_EQ(PopCount(~std::uint64_t{0}), 64);
+}
+
+TEST(BitUtil, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(~std::uint64_t{0}), 63);
+}
+
+TEST(BitUtil, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+}
+
+TEST(BitUtil, ExtractDeposit) {
+  const std::uint64_t x = 0b1011'0110;
+  EXPECT_EQ(ExtractBits(x, 0, 4), 0b0110u);
+  EXPECT_EQ(ExtractBits(x, 4, 4), 0b1011u);
+  EXPECT_EQ(DepositBits(x, 0, 4, 0b1111), 0b1011'1111u);
+  EXPECT_EQ(DepositBits(x, 4, 4, 0), 0b0000'0110u);
+}
+
+TEST(BitUtil, RemoveBitField) {
+  // Removing the middle 4 bits of 0xABC (12 bits) leaves 0xAC.
+  EXPECT_EQ(RemoveBitField(0xABC, 4, 4), 0xACu);
+  // Removing low bits shifts everything down.
+  EXPECT_EQ(RemoveBitField(0xABC, 0, 4), 0xABu);
+  // Removing the high field keeps the low bits.
+  EXPECT_EQ(RemoveBitField(0xABC, 8, 4), 0xBCu);
+}
+
+TEST(BitUtil, RemoveBitFieldAtWordBoundary) {
+  const std::uint64_t x = ~std::uint64_t{0};
+  EXPECT_EQ(RemoveBitField(x, 32, 32), 0xFFFFFFFFu);
+  EXPECT_EQ(RemoveBitField(x, 0, 64), 0u);
+}
+
+// ------------------------------------------------------ combinatorics
+
+TEST(Combinatorics, BinomialSmall) {
+  EXPECT_EQ(BinomialExact(0, 0), 1u);
+  EXPECT_EQ(BinomialExact(5, 0), 1u);
+  EXPECT_EQ(BinomialExact(5, 5), 1u);
+  EXPECT_EQ(BinomialExact(5, 2), 10u);
+  EXPECT_EQ(BinomialExact(10, 3), 120u);
+  EXPECT_EQ(BinomialExact(52, 5), 2598960u);
+  EXPECT_EQ(BinomialExact(3, 5), 0u);
+  EXPECT_EQ(BinomialExact(5, -1), 0u);
+}
+
+TEST(Combinatorics, BinomialPascalIdentity) {
+  for (int n = 1; n < 40; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_EQ(BinomialExact(n, k),
+                BinomialExact(n - 1, k - 1) + BinomialExact(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Combinatorics, BinomialLargeExact) {
+  // C(64, 32) fits in 64 bits.
+  EXPECT_EQ(BinomialExact(64, 32), 1832624140942590534ull);
+  // C(100, 50) does not: saturation expected.
+  EXPECT_EQ(BinomialExact(100, 50),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Combinatorics, BinomialDoubleTracksExact) {
+  for (int n = 1; n <= 40; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      const double exact = static_cast<double>(BinomialExact(n, k));
+      EXPECT_NEAR(BinomialDouble(n, k) / exact, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Combinatorics, FactorialExact) {
+  EXPECT_EQ(FactorialExact(0), 1u);
+  EXPECT_EQ(FactorialExact(5), 120u);
+  EXPECT_EQ(FactorialExact(20), 2432902008176640000ull);
+  EXPECT_EQ(FactorialExact(21), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Combinatorics, LogFactorialMatchesExact) {
+  for (int n : {1, 2, 10, 20, 100, 300, 1000}) {
+    double direct = 0.0;
+    for (int i = 2; i <= n; ++i) direct += std::log(static_cast<double>(i));
+    EXPECT_NEAR(LogFactorial(n), direct, 1e-6 * std::max(1.0, direct));
+  }
+}
+
+TEST(Combinatorics, Log2BinomialMatchesExact) {
+  for (int n : {8, 20, 40}) {
+    for (int k : {0, 1, n / 2, n}) {
+      const double exact =
+          std::log2(static_cast<double>(BinomialExact(n, k)));
+      EXPECT_NEAR(Log2Binomial(n, k), exact, 1e-9) << n << " " << k;
+    }
+  }
+  EXPECT_TRUE(std::isinf(Log2Binomial(5, 9)));
+}
+
+TEST(Combinatorics, CentralBinomialStirlingShape) {
+  // The Section 3.4 estimate: C(n, n/2) ~ 2^n / sqrt(pi n / 2).
+  for (int n : {16, 32, 64}) {
+    const double stirling =
+        std::ldexp(1.0, n) / std::sqrt(M_PI * n / 2.0);
+    EXPECT_NEAR(CentralBinomial(n) / stirling, 1.0, 0.05) << n;
+  }
+}
+
+TEST(Combinatorics, SubsetsEnumeration) {
+  const auto subsets = AllSubsetsOfSize(5, 3);
+  EXPECT_EQ(subsets.size(), 10u);
+  // Lexicographic order.
+  EXPECT_EQ(subsets.front(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(subsets.back(), (std::vector<int>{2, 3, 4}));
+  const std::set<std::vector<int>> unique(subsets.begin(), subsets.end());
+  EXPECT_EQ(unique.size(), subsets.size());
+}
+
+class CombinationRankRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CombinationRankRoundTrip, RankUnrankIdentity) {
+  const auto [n, k] = GetParam();
+  const std::uint64_t count = BinomialExact(n, k);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const std::vector<int> subset = CombinationUnrank(n, k, r);
+    EXPECT_EQ(CombinationRank(n, subset), r);
+    EXPECT_TRUE(std::is_sorted(subset.begin(), subset.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CombinationRankRoundTrip,
+                         ::testing::Values(std::pair{1, 1}, std::pair{5, 2},
+                                           std::pair{6, 3}, std::pair{8, 4},
+                                           std::pair{10, 1},
+                                           std::pair{10, 9},
+                                           std::pair{12, 6}));
+
+TEST(Combinatorics, CombinationRankIsLexicographic) {
+  // Successive unranks are lexicographically increasing.
+  const int n = 7, k = 3;
+  std::vector<int> prev = CombinationUnrank(n, k, 0);
+  for (std::uint64_t r = 1; r < BinomialExact(n, k); ++r) {
+    const std::vector<int> cur = CombinationUnrank(n, k, r);
+    EXPECT_LT(prev, cur);
+    prev = cur;
+  }
+}
+
+class MultisetRankRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MultisetRankRoundTrip, RankUnrankIdentity) {
+  const auto [n, s] = GetParam();
+  const std::uint64_t count = MultisetCount(n, s);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const std::vector<int> multiset = MultisetUnrank(n, s, r);
+    EXPECT_EQ(MultisetRank(n, multiset), r);
+    EXPECT_TRUE(std::is_sorted(multiset.begin(), multiset.end()));
+    for (int v : multiset) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultisetRankRoundTrip,
+                         ::testing::Values(std::pair{2, 3}, std::pair{4, 3},
+                                           std::pair{5, 2}, std::pair{6, 3},
+                                           std::pair{3, 5}));
+
+TEST(Combinatorics, MultisetCountMatchesFormula) {
+  EXPECT_EQ(MultisetCount(4, 3), BinomialExact(6, 3));
+  EXPECT_EQ(MultisetCount(1, 5), 1u);
+  EXPECT_EQ(MultisetCount(10, 1), 10u);
+}
+
+// ------------------------------------------------------------- random
+
+TEST(Random, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, UniformBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformBelow(17), 17u);
+  }
+}
+
+TEST(Random, UniformBelowCoversAllResidues) {
+  SplitMix64 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Random, UniformDoubleInUnitInterval) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Random, SampleWithoutReplacementDistinct) {
+  SplitMix64 rng(5);
+  for (std::uint64_t n : {10ull, 100ull, 1000ull}) {
+    for (std::uint64_t k : {std::uint64_t{1}, n / 3, n}) {
+      auto sample = SampleWithoutReplacement(n, k, rng);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint64_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (std::uint64_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(Random, ShufflePreservesMultiset) {
+  SplitMix64 rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  Shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// -------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(s.skew(), 9.0 / 5.0, 1e-12);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.skew(), 0.0);
+}
+
+TEST(Stats, HistogramBuckets) {
+  Log2Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  h.Add(1024);
+  EXPECT_EQ(h.total(), 5);
+  const std::string render = h.ToString();
+  EXPECT_NE(render.find("[0]"), std::string::npos);
+  EXPECT_NE(render.find("[2^10, 2^11)"), std::string::npos);
+}
+
+// -------------------------------------------------------------- table
+
+TEST(Table, AlignmentAndContent) {
+  Table t({"name", "value"});
+  t.AddRow().Add("alpha").Add(std::int64_t{42});
+  t.AddRow().Add("b").Add(3.5);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| alpha | 42"), std::string::npos);
+  EXPECT_NE(s.find("3.5000"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.AddRow().Add(1).Add(2);
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.5), "0.5000");
+  EXPECT_EQ(FormatDouble(1.0e9), "1000000000");  // exact integers print bare
+  EXPECT_EQ(FormatDouble(1.23e9 + 0.5), "1.230e+09");  // non-integral, large
+  EXPECT_EQ(FormatDouble(3.2e-6), "3.200e-06");
+  EXPECT_EQ(FormatDouble(12345678.0), "12345678");
+}
+
+// -------------------------------------------------------------- status
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::InvalidArgument("bad q");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad q");
+}
+
+TEST(Status, ResultHoldsValueOrError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mrcost::common

@@ -1,0 +1,262 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.h"
+#include "src/core/lower_bound.h"
+#include "src/core/mapping_schema.h"
+#include "src/core/presence.h"
+#include "src/core/problem.h"
+#include "src/core/schema_stats.h"
+#include "src/core/schema_validator.h"
+#include "src/core/tradeoff.h"
+
+namespace mrcost::core {
+namespace {
+
+/// The tiny natural-join problem of Example 2.1 with |A|=|B|=|C|=2:
+/// inputs 0..3 are R(a,b) tuples, 4..7 are S(b,c) tuples; outputs are the
+/// 8 triples (a,b,c) -> {R(a,b), S(b,c)}.
+ExplicitProblem TinyJoinProblem() {
+  std::vector<std::vector<InputId>> outputs;
+  for (InputId a = 0; a < 2; ++a) {
+    for (InputId b = 0; b < 2; ++b) {
+      for (InputId c = 0; c < 2; ++c) {
+        outputs.push_back({a * 2 + b, 4 + b * 2 + c});
+      }
+    }
+  }
+  return ExplicitProblem("tiny-join", 8, std::move(outputs));
+}
+
+TEST(Problem, ExplicitProblemAccessors) {
+  const ExplicitProblem p = TinyJoinProblem();
+  EXPECT_EQ(p.num_inputs(), 8u);
+  EXPECT_EQ(p.num_outputs(), 8u);
+  EXPECT_EQ(p.InputsOfOutput(0), (std::vector<InputId>{0, 4}));
+  EXPECT_EQ(p.name(), "tiny-join");
+}
+
+TEST(SchemaStats, CountsAssignments) {
+  // Two reducers; inputs 0,1 -> reducer 0; inputs 2,3 -> both reducers.
+  ExplicitSchema schema("s", 2, {{0}, {0}, {0, 1}, {0, 1}});
+  const SchemaStats stats = ComputeSchemaStats(schema, 4);
+  EXPECT_EQ(stats.total_assignments, 6u);
+  EXPECT_EQ(stats.max_reducer_load, 4u);
+  EXPECT_EQ(stats.nonempty_reducers, 2u);
+  EXPECT_DOUBLE_EQ(stats.replication_rate, 1.5);
+}
+
+TEST(Validator, AcceptsCoveringSchema) {
+  const ExplicitProblem p = TinyJoinProblem();
+  // Group by b: reducer 0 covers b=0 (inputs R(.,0)={0,2}, S(0,.)={4,5}),
+  // reducer 1 covers b=1 (inputs {1,3}, {6,7}).
+  ExplicitSchema schema("by-b", 2,
+                        {{0}, {1}, {0}, {1}, {0}, {0}, {1}, {1}});
+  EXPECT_TRUE(ValidateSchema(p, schema, 4).ok());
+}
+
+TEST(Validator, RejectsOversizedReducer) {
+  const ExplicitProblem p = TinyJoinProblem();
+  ExplicitSchema schema("all-in-one", 1,
+                        {{0}, {0}, {0}, {0}, {0}, {0}, {0}, {0}});
+  EXPECT_TRUE(ValidateSchema(p, schema, 8).ok());
+  const auto status = ValidateSchema(p, schema, 7);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("exceeding q=7"), std::string::npos);
+}
+
+TEST(Validator, RejectsUncoveredOutput) {
+  const ExplicitProblem p = TinyJoinProblem();
+  // Split R tuples from S tuples: no output is covered.
+  ExplicitSchema schema("r-vs-s", 2,
+                        {{0}, {0}, {0}, {0}, {1}, {1}, {1}, {1}});
+  const auto status = ValidateSchema(p, schema, 8);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not covered"), std::string::npos);
+}
+
+TEST(Validator, RejectsOutOfRangeReducer) {
+  const ExplicitProblem p = TinyJoinProblem();
+  ExplicitSchema schema("broken", 1,
+                        {{5}, {0}, {0}, {0}, {0}, {0}, {0}, {0}});
+  EXPECT_EQ(ValidateSchema(p, schema, 8).code(),
+            common::StatusCode::kInternal);
+}
+
+// -------------------------------------------------------- lower bound
+
+Recipe QuadraticRecipe() {
+  // g(q) = q^2 / 2 (the 2-paths shape), |I| = 100, |O| = 10000.
+  Recipe r;
+  r.problem_name = "test";
+  r.g = [](double q) { return q * q / 2.0; };
+  r.num_inputs = 100;
+  r.num_outputs = 10000;
+  return r;
+}
+
+TEST(LowerBound, RecipeFormula) {
+  const Recipe r = QuadraticRecipe();
+  // r >= q*|O| / (g(q)*|I|) = q*10000 / (q^2/2 * 100) = 200/q.
+  EXPECT_DOUBLE_EQ(ReplicationLowerBound(r, 10), 20.0);
+  EXPECT_DOUBLE_EQ(ReplicationLowerBound(r, 100), 2.0);
+  EXPECT_DOUBLE_EQ(ReplicationLowerBound(r, 400), 0.5);
+  EXPECT_DOUBLE_EQ(ClampedReplicationLowerBound(r, 400), 1.0);
+}
+
+TEST(LowerBound, InfiniteWhenNoOutputsCoverable) {
+  Recipe r = QuadraticRecipe();
+  r.g = [](double) { return 0.0; };
+  EXPECT_TRUE(std::isinf(ReplicationLowerBound(r, 10)));
+}
+
+TEST(LowerBound, MonotonicityCheckPasses) {
+  EXPECT_TRUE(CheckMonotoneGOverQ(QuadraticRecipe(), 1, 1e6).ok());
+}
+
+TEST(LowerBound, MonotonicityCheckCatchesViolation) {
+  Recipe r = QuadraticRecipe();
+  r.g = [](double q) { return std::sqrt(q); };  // g/q decreasing
+  const auto status = CheckMonotoneGOverQ(r, 1, 1e6);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(LowerBound, MonotonicityCheckValidatesArgs) {
+  EXPECT_FALSE(CheckMonotoneGOverQ(QuadraticRecipe(), -1, 10).ok());
+  EXPECT_FALSE(CheckMonotoneGOverQ(QuadraticRecipe(), 10, 1).ok());
+}
+
+// ---------------------------------------------------------- cost model
+
+TEST(CostModel, CostFormula) {
+  CostModel model{2.0, 3.0, 0.5};
+  EXPECT_DOUBLE_EQ(model.Cost(10, 4), 2.0 * 10 + 3.0 * 4 + 0.5 * 16);
+}
+
+TEST(CostModel, PickCheapest) {
+  std::vector<TradeoffPoint> curve{
+      {2, 16, "q=2"}, {4, 8, "q=4"}, {16, 2, "q=16"}, {256, 1, "q=256"}};
+  // Pure communication cost: pick the largest q.
+  CostModel comm_only{1.0, 0.0, 0.0};
+  EXPECT_EQ(PickCheapest(curve, comm_only).label, "q=256");
+  // Heavy processing cost: pick a small q.
+  CostModel proc_heavy{1.0, 10.0, 0.0};
+  EXPECT_EQ(PickCheapest(curve, proc_heavy).label, "q=2");
+}
+
+TEST(CostModel, PickCheapestTieBreaksTowardSmallQ) {
+  std::vector<TradeoffPoint> curve{{2, 1, "small"}, {8, 1, "large"}};
+  CostModel comm_only{1.0, 0.0, 0.0};
+  EXPECT_EQ(PickCheapest(curve, comm_only).label, "small");
+}
+
+TEST(CostModel, GoldenSectionFindsMinimum) {
+  // f(q) = 100/q + q has minimum at q = 10.
+  const double q = GoldenSectionMinimize(
+      [](double x) { return 100.0 / x + x; }, 0.1, 1000.0);
+  EXPECT_NEAR(q, 10.0, 1e-3);
+}
+
+TEST(CostModel, GoldenSectionOnExample11) {
+  // Example 1.1: cost = a f(q) + b q with f(q) = b_bits/log2(q). With
+  // a=1000, b=1 and b_bits=20 the optimum is interior; check first-order
+  // optimality numerically rather than a closed form.
+  auto cost = [](double q) {
+    return 1000.0 * 20.0 / std::log2(q) + q;
+  };
+  const double q = GoldenSectionMinimize(cost, 2.0, 1e7);
+  const double eps = q * 1e-4;
+  EXPECT_LT(cost(q), cost(q - eps) + 1e-9);
+  EXPECT_LT(cost(q), cost(q + eps) + 1e-9);
+}
+
+// ------------------------------------------------------------ tradeoff
+
+TEST(Tradeoff, SampleCurveShapes) {
+  const auto curve = SampleLowerBoundCurve(QuadraticRecipe(), 1, 1024, 11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().q, 1.0);
+  EXPECT_NEAR(curve.back().q, 1024.0, 1e-6);
+  // Monotone non-increasing in q (it is a hyperbola, clamped at 1).
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].r, curve[i - 1].r + 1e-9);
+  }
+  EXPECT_GE(curve.back().r, 1.0);  // clamped
+}
+
+TEST(Tradeoff, UnclampedCanDropBelowOne) {
+  const auto curve =
+      SampleLowerBoundCurve(QuadraticRecipe(), 300, 1000, 3, false);
+  EXPECT_LT(curve.back().r, 1.0);
+}
+
+TEST(CostModel, OptimalQOnCurve) {
+  // With cost = a*r(q) + b*q and r(q) = 200/q (the quadratic recipe),
+  // cost = 200a/q + bq is minimized at q = sqrt(200 a / b).
+  const Recipe recipe = QuadraticRecipe();
+  const CostModel model{/*a=*/50.0, /*b=*/2.0, /*c=*/0.0};
+  const double q = OptimalQOnCurve(recipe, model, 1.0, 200.0);
+  EXPECT_NEAR(q, std::sqrt(200.0 * 50.0 / 2.0), 0.5);
+}
+
+TEST(CostModel, OptimalQPrefersMaxQWhenCommunicationOnly) {
+  const Recipe recipe = QuadraticRecipe();
+  const CostModel comm_only{1.0, 0.0, 0.0};
+  // Pure communication: r decreases with q until the clamp, so any q past
+  // the clamp point is optimal; the returned q must cost no more than the
+  // endpoints.
+  const double q = OptimalQOnCurve(recipe, comm_only, 1.0, 1e6);
+  const double cost_at_q =
+      comm_only.Cost(ClampedReplicationLowerBound(recipe, q), q);
+  EXPECT_LE(cost_at_q,
+            comm_only.Cost(ClampedReplicationLowerBound(recipe, 1.0), 1.0));
+}
+
+// ------------------------------------------------- presence (Sec 2.3)
+
+TEST(Presence, ExpectedLoadMatchesXTimesQt) {
+  // A single reducer holding all 4096 inputs, x = 0.25: realized load
+  // concentrates near 1024.
+  ExplicitSchema all("all", 1,
+                     std::vector<std::vector<ReducerId>>(4096, {0}));
+  const auto stats = SimulatePresence(all, 4096, 0.25, 50, /*seed=*/7);
+  EXPECT_EQ(stats.target_q, 4096u);
+  EXPECT_DOUBLE_EQ(stats.expected_load, 1024.0);
+  EXPECT_NEAR(stats.realized_max_load.mean(), 1024.0, 40.0);
+  // Relative deviation is small at this q_t.
+  EXPECT_LT(stats.relative_deviation.mean(), 0.05);
+}
+
+TEST(Presence, DeviationShrinksWithQt) {
+  // Section 2.3's "vanishingly small chance of significant deviation for
+  // large q": compare a schema with tiny reducers against one with big
+  // reducers at the same x.
+  auto uniform_schema = [](std::uint64_t num_inputs,
+                           std::uint64_t num_reducers) {
+    std::vector<std::vector<ReducerId>> assignment(num_inputs);
+    for (std::uint64_t i = 0; i < num_inputs; ++i) {
+      assignment[i] = {i % num_reducers};
+    }
+    return ExplicitSchema("uniform", num_reducers, std::move(assignment));
+  };
+  const auto small = SimulatePresence(uniform_schema(8192, 512), 8192, 0.5,
+                                      20, /*seed=*/3);
+  const auto large = SimulatePresence(uniform_schema(8192, 8), 8192, 0.5,
+                                      20, /*seed=*/3);
+  EXPECT_GT(small.relative_deviation.mean(),
+            3.0 * large.relative_deviation.mean());
+}
+
+TEST(Presence, EffectiveTargetQ) {
+  // q_t = q / x (the Sec 2.3 / 4.2 rescaling).
+  EXPECT_DOUBLE_EQ(EffectiveTargetQ(100, 0.1), 1000.0);
+  EXPECT_DOUBLE_EQ(EffectiveTargetQ(64, 1.0), 64.0);
+}
+
+}  // namespace
+}  // namespace mrcost::core

@@ -1,0 +1,368 @@
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/byte_size.h"
+#include "src/engine/hashing.h"
+#include "src/engine/job.h"
+#include "src/engine/metrics.h"
+
+namespace mrcost::engine {
+namespace {
+
+// ------------------------------------------------------------ hashing
+
+TEST(Hashing, IntegralStability) {
+  EXPECT_EQ(HashValue(42), HashValue(42));
+  EXPECT_NE(HashValue(42), HashValue(43));
+}
+
+TEST(Hashing, PairAndTuple) {
+  EXPECT_EQ(HashValue(std::pair{1, 2}), HashValue(std::pair{1, 2}));
+  EXPECT_NE(HashValue(std::pair{1, 2}), HashValue(std::pair{2, 1}));
+  EXPECT_EQ(HashValue(std::tuple{1, 2, 3}), HashValue(std::tuple{1, 2, 3}));
+  EXPECT_NE(HashValue(std::tuple{1, 2, 3}), HashValue(std::tuple{3, 2, 1}));
+}
+
+TEST(Hashing, Strings) {
+  EXPECT_EQ(HashValue(std::string("abc")), HashValue(std::string("abc")));
+  EXPECT_NE(HashValue(std::string("abc")), HashValue(std::string("abd")));
+  EXPECT_NE(HashValue(std::string()), HashValue(std::string("a")));
+}
+
+TEST(Hashing, Vectors) {
+  EXPECT_NE(HashValue(std::vector<int>{1, 2}),
+            HashValue(std::vector<int>{2, 1}));
+  EXPECT_NE(HashValue(std::vector<int>{}),
+            HashValue(std::vector<int>{0}));
+}
+
+// ---------------------------------------------------------- byte size
+
+TEST(ByteSize, TriviallyCopyable) {
+  EXPECT_EQ(ByteSizeOf(1), sizeof(int));
+  EXPECT_EQ(ByteSizeOf(1.0), sizeof(double));
+}
+
+TEST(ByteSize, Composites) {
+  EXPECT_EQ(ByteSizeOf(std::pair<int, double>{1, 2.0}),
+            sizeof(int) + sizeof(double));
+  EXPECT_EQ(ByteSizeOf(std::string("hello")),
+            sizeof(std::size_t) + 5);
+  EXPECT_EQ(ByteSizeOf(std::vector<int>{1, 2, 3}),
+            sizeof(std::size_t) + 3 * sizeof(int));
+  EXPECT_EQ(ByteSizeOf(std::pair<int, std::vector<int>>{1, {2, 3}}),
+            sizeof(int) + sizeof(std::size_t) + 2 * sizeof(int));
+}
+
+// ---------------------------------------------------------------- job
+
+/// A toy job: map each integer x to key x % modulus; reducer sums values.
+JobResult<std::pair<int, std::int64_t>> SumByResidue(
+    const std::vector<int>& inputs, int modulus, const JobOptions& options) {
+  auto map_fn = [modulus](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x % modulus, x);
+  };
+  auto reduce_fn = [](const int& key, const std::vector<int>& values,
+                      std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t sum = 0;
+    for (int v : values) sum += v;
+    out.emplace_back(key, sum);
+  };
+  return RunMapReduce<int, int, int, std::pair<int, std::int64_t>>(
+      inputs, map_fn, reduce_fn, options);
+}
+
+TEST(Job, BasicGroupingAndMetrics) {
+  std::vector<int> inputs(100);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto result = SumByResidue(inputs, 10, {});
+  ASSERT_EQ(result.outputs.size(), 10u);
+  std::int64_t total = 0;
+  for (const auto& [key, sum] : result.outputs) total += sum;
+  EXPECT_EQ(total, 99 * 100 / 2);
+
+  const JobMetrics& m = result.metrics;
+  EXPECT_EQ(m.num_inputs, 100u);
+  EXPECT_EQ(m.pairs_shuffled, 100u);  // one pair per input
+  EXPECT_EQ(m.num_reducers, 10u);
+  EXPECT_EQ(m.max_reducer_input, 10u);
+  EXPECT_DOUBLE_EQ(m.replication_rate(), 1.0);
+  EXPECT_EQ(m.num_outputs, 10u);
+}
+
+TEST(Job, ReplicationRateCountsAllEmits) {
+  // Map each input to 3 distinct keys: r must be exactly 3.
+  std::vector<int> inputs(50);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x, x);
+    emitter.Emit(x + 1000, x);
+    emitter.Emit(x + 2000, x);
+  };
+  auto reduce_fn = [](const int& key, const std::vector<int>& values,
+                      std::vector<int>& out) {
+    (void)key;
+    out.push_back(static_cast<int>(values.size()));
+  };
+  auto result =
+      RunMapReduce<int, int, int, int>(inputs, map_fn, reduce_fn, {});
+  EXPECT_DOUBLE_EQ(result.metrics.replication_rate(), 3.0);
+  EXPECT_EQ(result.metrics.num_reducers, 150u);
+}
+
+TEST(Job, ValueOrderIsInputOrder) {
+  // All inputs to one key; values must arrive in input order regardless of
+  // the number of map threads.
+  std::vector<int> inputs(1000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  for (std::size_t threads : {1u, 4u, 16u}) {
+    JobOptions options;
+    options.num_threads = threads;
+    auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+      emitter.Emit(0, x);
+    };
+    auto reduce_fn = [](const int&, const std::vector<int>& values,
+                        std::vector<std::vector<int>>& out) {
+      out.push_back(values);
+    };
+    auto result = RunMapReduce<int, int, int, std::vector<int>>(
+        inputs, map_fn, reduce_fn, options);
+    ASSERT_EQ(result.outputs.size(), 1u);
+    EXPECT_EQ(result.outputs[0], inputs) << "threads=" << threads;
+  }
+}
+
+TEST(Job, DeterministicAcrossThreadCounts) {
+  std::vector<int> inputs(997);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  JobOptions one;
+  one.num_threads = 1;
+  JobOptions many;
+  many.num_threads = 8;
+  auto a = SumByResidue(inputs, 13, one);
+  auto b = SumByResidue(inputs, 13, many);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.metrics.pairs_shuffled, b.metrics.pairs_shuffled);
+  EXPECT_EQ(a.metrics.num_reducers, b.metrics.num_reducers);
+}
+
+TEST(Job, EmptyInput) {
+  auto result = SumByResidue({}, 10, {});
+  EXPECT_TRUE(result.outputs.empty());
+  EXPECT_EQ(result.metrics.num_inputs, 0u);
+  EXPECT_EQ(result.metrics.pairs_shuffled, 0u);
+  EXPECT_EQ(result.metrics.replication_rate(), 0.0);
+}
+
+TEST(Job, MapCanEmitNothing) {
+  std::vector<int> inputs{1, 2, 3};
+  auto map_fn = [](const int&, Emitter<int, int>&) {};
+  auto reduce_fn = [](const int&, const std::vector<int>&,
+                      std::vector<int>&) {};
+  auto result =
+      RunMapReduce<int, int, int, int>(inputs, map_fn, reduce_fn, {});
+  EXPECT_EQ(result.metrics.pairs_shuffled, 0u);
+  EXPECT_EQ(result.metrics.num_reducers, 0u);
+}
+
+TEST(Job, BytesShuffledAccounting) {
+  std::vector<int> inputs{1, 2, 3};
+  auto map_fn = [](const int& x, Emitter<int, double>& emitter) {
+    emitter.Emit(x, 1.5);
+  };
+  auto reduce_fn = [](const int&, const std::vector<double>&,
+                      std::vector<int>&) {};
+  auto result =
+      RunMapReduce<int, int, double, int>(inputs, map_fn, reduce_fn, {});
+  EXPECT_EQ(result.metrics.bytes_shuffled,
+            3 * (sizeof(int) + sizeof(double)));
+}
+
+TEST(Job, ReducerSizeDistribution) {
+  // Keys 0..4 get 1, 2, 3, 4, 5 values respectively.
+  std::vector<int> inputs;
+  for (int key = 0; key < 5; ++key) {
+    for (int i = 0; i <= key; ++i) inputs.push_back(key);
+  }
+  auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x, 1);
+  };
+  auto reduce_fn = [](const int&, const std::vector<int>&,
+                      std::vector<int>&) {};
+  auto result =
+      RunMapReduce<int, int, int, int>(inputs, map_fn, reduce_fn, {});
+  EXPECT_EQ(result.metrics.max_reducer_input, 5u);
+  EXPECT_EQ(result.metrics.reducer_sizes.count(), 5);
+  EXPECT_DOUBLE_EQ(result.metrics.reducer_sizes.mean(), 3.0);
+}
+
+TEST(Job, SimulatedWorkerLoads) {
+  std::vector<int> inputs(300);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  JobOptions options;
+  options.num_simulated_workers = 7;
+  auto result = SumByResidue(inputs, 100, options);
+  EXPECT_EQ(result.metrics.worker_loads.count(), 7);
+  // Loads sum to the total pairs shuffled.
+  EXPECT_DOUBLE_EQ(result.metrics.worker_loads.sum(),
+                   static_cast<double>(result.metrics.pairs_shuffled));
+}
+
+TEST(Job, StringKeysWork) {
+  std::vector<std::string> inputs{"a", "bb", "a", "ccc", "bb", "a"};
+  auto map_fn = [](const std::string& w,
+                   Emitter<std::string, std::uint64_t>& emitter) {
+    emitter.Emit(w, 1);
+  };
+  auto reduce_fn = [](const std::string& w,
+                      const std::vector<std::uint64_t>& ones,
+                      std::vector<std::pair<std::string, std::size_t>>& out) {
+    out.emplace_back(w, ones.size());
+  };
+  auto result =
+      RunMapReduce<std::string, std::string, std::uint64_t,
+                   std::pair<std::string, std::size_t>>(inputs, map_fn,
+                                                        reduce_fn, {});
+  ASSERT_EQ(result.outputs.size(), 3u);
+  // First-seen key order is deterministic.
+  EXPECT_EQ(result.outputs[0], (std::pair<std::string, std::size_t>{"a", 3}));
+  EXPECT_EQ(result.outputs[1],
+            (std::pair<std::string, std::size_t>{"bb", 2}));
+}
+
+// ----------------------------------------------------------- combiner
+
+TEST(Combiner, SameResultLessCommunication) {
+  // Word-count shape: many repeated keys per chunk. The combiner must not
+  // change the output but must shrink pairs_shuffled.
+  std::vector<int> inputs(10000);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    inputs[i] = static_cast<int>(i % 7);  // 7 distinct keys
+  }
+  auto map_fn = [](const int& x, Emitter<int, std::int64_t>& emitter) {
+    emitter.Emit(x, 1);
+  };
+  auto combine_fn = [](std::int64_t a, std::int64_t b) { return a + b; };
+  auto reduce_fn = [](const int& key,
+                      const std::vector<std::int64_t>& values,
+                      std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t total = 0;
+    for (std::int64_t v : values) total += v;
+    out.emplace_back(key, total);
+  };
+  auto plain = RunMapReduce<int, int, std::int64_t,
+                            std::pair<int, std::int64_t>>(
+      inputs, map_fn, reduce_fn, {});
+  auto combined = RunMapReduceCombined<int, int, std::int64_t,
+                                       std::pair<int, std::int64_t>>(
+      inputs, map_fn, combine_fn, reduce_fn, {});
+  auto sort_pairs = [](auto& v) { std::sort(v.begin(), v.end()); };
+  sort_pairs(plain.outputs);
+  sort_pairs(combined.outputs);
+  EXPECT_EQ(plain.outputs, combined.outputs);
+  EXPECT_EQ(combined.metrics.pairs_before_combine, inputs.size());
+  EXPECT_LT(combined.metrics.pairs_shuffled,
+            combined.metrics.pairs_before_combine / 100);
+  EXPECT_EQ(plain.metrics.pairs_before_combine,
+            plain.metrics.pairs_shuffled);
+}
+
+TEST(Combiner, NoOpWhenKeysAreUnique) {
+  // Join-shaped traffic (all keys distinct): a combiner cannot help — the
+  // footnote-1 point that combining does not reduce schema-mandated
+  // deliveries.
+  std::vector<int> inputs(500);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x, x);
+  };
+  auto combine_fn = [](int a, int) { return a; };
+  auto reduce_fn = [](const int&, const std::vector<int>&,
+                      std::vector<int>&) {};
+  auto result = RunMapReduceCombined<int, int, int, int>(
+      inputs, map_fn, combine_fn, reduce_fn, {});
+  EXPECT_EQ(result.metrics.pairs_shuffled,
+            result.metrics.pairs_before_combine);
+}
+
+TEST(Combiner, DeterministicAcrossThreadCounts) {
+  std::vector<int> inputs(4321);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    inputs[i] = static_cast<int>(i % 13);
+  }
+  auto map_fn = [](const int& x, Emitter<int, std::int64_t>& emitter) {
+    emitter.Emit(x, x);
+  };
+  auto combine_fn = [](std::int64_t a, std::int64_t b) { return a + b; };
+  auto reduce_fn = [](const int& key,
+                      const std::vector<std::int64_t>& values,
+                      std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t total = 0;
+    for (std::int64_t v : values) total += v;
+    out.emplace_back(key, total);
+  };
+  JobOptions one;
+  one.num_threads = 1;
+  JobOptions many;
+  many.num_threads = 8;
+  auto a = RunMapReduceCombined<int, int, std::int64_t,
+                                std::pair<int, std::int64_t>>(
+      inputs, map_fn, combine_fn, reduce_fn, one);
+  auto b = RunMapReduceCombined<int, int, std::int64_t,
+                                std::pair<int, std::int64_t>>(
+      inputs, map_fn, combine_fn, reduce_fn, many);
+  std::sort(a.outputs.begin(), a.outputs.end());
+  std::sort(b.outputs.begin(), b.outputs.end());
+  EXPECT_EQ(a.outputs, b.outputs);
+  // Sums are thread-layout independent even though per-chunk combining
+  // differs.
+  EXPECT_EQ(a.metrics.pairs_before_combine, b.metrics.pairs_before_combine);
+}
+
+TEST(Combiner, EmptyInput) {
+  auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x, 1);
+  };
+  auto combine_fn = [](int a, int b) { return a + b; };
+  auto reduce_fn = [](const int&, const std::vector<int>&,
+                      std::vector<int>&) {};
+  auto result = RunMapReduceCombined<int, int, int, int>(
+      {}, map_fn, combine_fn, reduce_fn, {});
+  EXPECT_EQ(result.metrics.pairs_shuffled, 0u);
+  EXPECT_TRUE(result.outputs.empty());
+}
+
+// ------------------------------------------------------------ metrics
+
+TEST(Metrics, PipelineAccumulates) {
+  PipelineMetrics pipeline;
+  JobMetrics round1;
+  round1.pairs_shuffled = 100;
+  round1.bytes_shuffled = 800;
+  round1.max_reducer_input = 10;
+  JobMetrics round2;
+  round2.pairs_shuffled = 50;
+  round2.bytes_shuffled = 400;
+  round2.max_reducer_input = 25;
+  pipeline.Add(round1);
+  pipeline.Add(round2);
+  EXPECT_EQ(pipeline.total_pairs(), 150u);
+  EXPECT_EQ(pipeline.total_bytes(), 1200u);
+  EXPECT_EQ(pipeline.max_reducer_input(), 25u);
+  EXPECT_NE(pipeline.ToString().find("2 round(s)"), std::string::npos);
+}
+
+TEST(Metrics, ReplicationRateFormula) {
+  JobMetrics m;
+  m.num_inputs = 10;
+  m.pairs_shuffled = 35;
+  EXPECT_DOUBLE_EQ(m.replication_rate(), 3.5);
+}
+
+}  // namespace
+}  // namespace mrcost::engine

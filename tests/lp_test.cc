@@ -1,0 +1,206 @@
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/join/edge_cover.h"
+#include "src/join/query.h"
+#include "src/join/relation.h"
+#include "src/join/serial_join.h"
+#include "src/join/simplex.h"
+
+namespace mrcost::join {
+namespace {
+
+// ------------------------------------------------------------- simplex
+
+TEST(Simplex, SimpleTwoVariable) {
+  // min x + y  s.t.  x + 2y >= 4, 3x + y >= 6  -> optimum at intersection
+  // (8/5, 6/5), objective 14/5.
+  auto result = SolveMinLp({1, 1}, {{1, 2}, {3, 1}}, {4, 6});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->objective, 14.0 / 5.0, 1e-9);
+  EXPECT_NEAR(result->x[0], 8.0 / 5.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 6.0 / 5.0, 1e-9);
+}
+
+TEST(Simplex, BindingSingleConstraint) {
+  // min 2x + y  s.t.  x + y >= 10: put everything on the cheap variable.
+  auto result = SolveMinLp({2, 1}, {{1, 1}}, {10});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 10.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 10.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x >= 1 and -x >= 1 cannot both hold for x >= 0.
+  auto result = SolveMinLp({1}, {{1}, {-1}}, {1, 1});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x s.t. x >= 1: objective decreases without bound.
+  auto result = SolveMinLp({-1}, {{1}}, {1});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kOutOfRange);
+}
+
+TEST(Simplex, ShapeValidation) {
+  EXPECT_FALSE(SolveMinLp({1, 1}, {{1}}, {1}).ok());
+  EXPECT_FALSE(SolveMinLp({1}, {{1}}, {1, 2}).ok());
+}
+
+TEST(Simplex, DegenerateRedundantConstraints) {
+  // Duplicated constraints must not break phase 1 or cycle.
+  auto result =
+      SolveMinLp({1, 1}, {{1, 1}, {1, 1}, {1, 1}}, {2, 2, 2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, ZeroRhsFeasibleAtOrigin) {
+  auto result = SolveMinLp({1, 2}, {{1, 0}, {0, 1}}, {0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 0.0, 1e-9);
+}
+
+// --------------------------------------------------------- edge covers
+
+TEST(EdgeCover, TriangleQueryIsThreeHalves) {
+  // The triangle query R(A,B),S(B,C),T(A,C): rho* = 3/2 with x = 1/2 each.
+  auto cover = SolveFractionalEdgeCover(CliqueQuery(3));
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->rho, 1.5, 1e-9);
+  for (double w : cover->weights) EXPECT_NEAR(w, 0.5, 1e-9);
+}
+
+TEST(EdgeCover, ChainQueries) {
+  // rho*(chain of N binary relations) = ceil((N+1)/2): end attributes
+  // force full weight on the end atoms.
+  EXPECT_NEAR(SolveFractionalEdgeCover(ChainQuery(1))->rho, 1.0, 1e-9);
+  EXPECT_NEAR(SolveFractionalEdgeCover(ChainQuery(2))->rho, 2.0, 1e-9);
+  EXPECT_NEAR(SolveFractionalEdgeCover(ChainQuery(3))->rho, 2.0, 1e-9);
+  EXPECT_NEAR(SolveFractionalEdgeCover(ChainQuery(4))->rho, 3.0, 1e-9);
+  EXPECT_NEAR(SolveFractionalEdgeCover(ChainQuery(5))->rho, 3.0, 1e-9);
+  EXPECT_NEAR(SolveFractionalEdgeCover(ChainQuery(7))->rho, 4.0, 1e-9);
+}
+
+TEST(EdgeCover, OddChainMatchesPaperFormula) {
+  // For odd N the paper uses rho = (N+1)/2 (Section 5.5.2).
+  for (int n_rel : {1, 3, 5, 7, 9}) {
+    EXPECT_NEAR(SolveFractionalEdgeCover(ChainQuery(n_rel))->rho,
+                (n_rel + 1) / 2.0, 1e-9)
+        << n_rel;
+  }
+}
+
+TEST(EdgeCover, CycleQueriesAreHalfLength) {
+  // rho*(C_s) = s/2 (each atom at weight 1/2).
+  for (int s : {3, 4, 5, 6, 8}) {
+    EXPECT_NEAR(SolveFractionalEdgeCover(CycleQuery(s))->rho, s / 2.0, 1e-9)
+        << s;
+  }
+}
+
+TEST(EdgeCover, CliqueQueriesAreHalfNodes) {
+  // rho*(K_s as a join of C(s,2) binary atoms) = s/2.
+  for (int s : {3, 4, 5}) {
+    EXPECT_NEAR(SolveFractionalEdgeCover(CliqueQuery(s))->rho, s / 2.0, 1e-9)
+        << s;
+  }
+}
+
+TEST(EdgeCover, StarQueryIsNumberOfDimensions) {
+  // B_i appears only in D_i, forcing x_{D_i} = 1; those also cover the
+  // shared attributes, so the fact atom gets weight 0 and rho = N
+  // (Section 5.5.2's rho = N).
+  for (int n_dims : {2, 3, 5}) {
+    auto cover = SolveFractionalEdgeCover(StarQuery(n_dims));
+    ASSERT_TRUE(cover.ok());
+    EXPECT_NEAR(cover->rho, n_dims, 1e-9);
+    EXPECT_NEAR(cover->weights[0], 0.0, 1e-9);  // fact atom
+  }
+}
+
+TEST(EdgeCover, AgmBound) {
+  // Triangle query with all relations of size m: bound = m^{3/2}.
+  auto cover = SolveFractionalEdgeCover(CliqueQuery(3));
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(AgmBound(*cover, {100, 100, 100}), std::pow(100.0, 1.5),
+              1e-6);
+  // Bound is monotone in relation sizes.
+  EXPECT_LT(AgmBound(*cover, {100, 100, 100}),
+            AgmBound(*cover, {100, 100, 400}));
+}
+
+// ------------------------------------ AGM bound, verified empirically
+
+class AgmVerifyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int,
+                                                 std::uint64_t>> {};
+
+TEST_P(AgmVerifyTest, JoinOutputNeverExceedsAgmBound) {
+  // The AGM inequality |O| <= prod |R_e|^{x_e} must hold for every
+  // instance; random instances across query shapes probe the LP solution
+  // end to end (a wrong cover would eventually be caught here).
+  const auto [kind, param, seed] = GetParam();
+  const std::string k = kind;
+  const Query query = k == "chain"   ? ChainQuery(param)
+                      : k == "cycle" ? CycleQuery(param)
+                      : k == "star"  ? StarQuery(param)
+                                     : CliqueQuery(param);
+  auto cover = SolveFractionalEdgeCover(query);
+  ASSERT_TRUE(cover.ok());
+
+  common::SplitMix64 rng(seed);
+  std::vector<Relation> rels;
+  std::vector<std::uint64_t> sizes;
+  for (int e = 0; e < query.num_atoms(); ++e) {
+    const Atom& atom = query.atoms()[e];
+    std::vector<std::string> names;
+    for (int a : atom.attributes) {
+      names.push_back(query.attribute_names()[a]);
+    }
+    Relation rel(atom.relation, names);
+    const std::uint64_t size = 20 + rng.UniformBelow(60);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      Tuple t(atom.attributes.size());
+      for (Value& v : t) v = static_cast<Value>(rng.UniformBelow(8));
+      rel.Add(t);
+    }
+    sizes.push_back(rel.size());
+    rels.push_back(std::move(rel));
+  }
+  std::vector<const Relation*> ptrs;
+  for (const auto& r : rels) ptrs.push_back(&r);
+  const auto results = SerialMultiwayJoin(query, ptrs);
+  EXPECT_LE(static_cast<double>(results.size()),
+            AgmBound(*cover, sizes) * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AgmVerifyTest,
+    ::testing::Values(std::tuple{"chain", 2, 1ull}, std::tuple{"chain", 3, 2ull},
+                      std::tuple{"chain", 4, 3ull},
+                      std::tuple{"cycle", 3, 4ull},
+                      std::tuple{"cycle", 4, 5ull},
+                      std::tuple{"clique", 3, 6ull},
+                      std::tuple{"star", 2, 7ull},
+                      std::tuple{"star", 3, 8ull}));
+
+TEST(EdgeCover, BoundsFormulas) {
+  // Section 5.5.1 closed form at rho = 3/2 (triangle), m = 3 attributes:
+  // r >= n / q^{1/2}.
+  EXPECT_NEAR(MultiwayJoinLowerBound(100, 3, 1.5, 400), 100.0 / 20.0, 1e-9);
+  // Chain form (N=3): (n/sqrt(q))^2.
+  EXPECT_NEAR(ChainJoinReplication(100, 3, 400), 25.0, 1e-9);
+  // Star bound shrinks as q grows.
+  EXPECT_GT(StarJoinLowerBound(1e6, 1e3, 3, 100),
+            StarJoinLowerBound(1e6, 1e3, 3, 1000));
+}
+
+}  // namespace
+}  // namespace mrcost::join

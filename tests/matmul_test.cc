@@ -1,0 +1,286 @@
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/lower_bound.h"
+#include "src/core/schema_stats.h"
+#include "src/core/schema_validator.h"
+#include "src/matmul/matrix.h"
+#include "src/matmul/mr_multiply.h"
+#include "src/matmul/problem.h"
+
+namespace mrcost::matmul {
+namespace {
+
+Matrix RandomMatrix(int n, std::uint64_t seed) {
+  common::SplitMix64 rng(seed);
+  Matrix m(n, n);
+  m.FillRandom(rng);
+  return m;
+}
+
+// -------------------------------------------------------------- matrix
+
+TEST(Matrix, SerialMultiplyHandChecked) {
+  Matrix a(2, 2), b(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  b.At(0, 0) = 5;
+  b.At(0, 1) = 6;
+  b.At(1, 0) = 7;
+  b.At(1, 1) = 8;
+  const Matrix c = SerialMultiply(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const int n = 16;
+  Matrix identity(n, n);
+  for (int i = 0; i < n; ++i) identity.At(i, i) = 1.0;
+  const Matrix a = RandomMatrix(n, 5);
+  EXPECT_DOUBLE_EQ(SerialMultiply(a, identity).MaxAbsDiff(a), 0.0);
+  EXPECT_DOUBLE_EQ(SerialMultiply(identity, a).MaxAbsDiff(a), 0.0);
+}
+
+// ------------------------------------------------------------- problem
+
+TEST(MatMulProblem, DependenciesAreRowAndColumn) {
+  const MatMulProblem p(4);
+  EXPECT_EQ(p.num_inputs(), 32u);
+  EXPECT_EQ(p.num_outputs(), 16u);
+  // t_{1,2}: row 1 of R (ids 4..7), column 2 of S (ids 16 + {2,6,10,14}).
+  const auto deps = p.InputsOfOutput(1 * 4 + 2);
+  EXPECT_EQ(deps.size(), 8u);
+  EXPECT_NE(std::find(deps.begin(), deps.end(), 4u), deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(), 16u + 2u), deps.end());
+}
+
+class OnePhaseSchemaTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OnePhaseSchemaTest, ValidAndExactlyOptimal) {
+  const auto [n, s] = GetParam();
+  const MatMulProblem problem(n);
+  auto schema = OnePhaseSchema::Make(n, s);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const std::uint64_t q = schema->reducer_size();  // 2sn
+  EXPECT_TRUE(core::ValidateSchema(problem, *schema, q).ok());
+  const auto stats = core::ComputeSchemaStats(*schema, problem.num_inputs());
+  // r = n/s exactly, which equals the Section 6.1 bound 2n^2/q.
+  EXPECT_DOUBLE_EQ(stats.replication_rate, static_cast<double>(n) / s);
+  EXPECT_DOUBLE_EQ(MatMulLowerBound(n, static_cast<double>(q)),
+                   static_cast<double>(n) / s);
+  EXPECT_EQ(stats.max_reducer_load, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OnePhaseSchemaTest,
+                         ::testing::Values(std::tuple{4, 1}, std::tuple{4, 2},
+                                           std::tuple{4, 4}, std::tuple{6, 2},
+                                           std::tuple{6, 3},
+                                           std::tuple{8, 2},
+                                           std::tuple{8, 4},
+                                           std::tuple{9, 3}));
+
+TEST(OnePhaseSchema, RejectsNonDivisor) {
+  EXPECT_FALSE(OnePhaseSchema::Make(8, 3).ok());
+  EXPECT_FALSE(OnePhaseSchema::Make(8, 0).ok());
+}
+
+// ---------------------------------------- phase-1 cube schema (Fig. 5)
+
+class CubeSchemaTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CubeSchemaTest, CoversEveryProductAtQEquals2st) {
+  const auto [n, s, t] = GetParam();
+  const MatMulPhase1Problem problem(n);
+  auto schema = TwoPhaseCubeSchema::Make(n, s, t);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  // The schema's q is exactly 2st (the Section 6.3 constraint).
+  EXPECT_TRUE(
+      core::ValidateSchema(problem, *schema, schema->reducer_size()).ok());
+  EXPECT_FALSE(
+      core::ValidateSchema(problem, *schema, schema->reducer_size() - 1)
+          .ok());
+  // Replication: each element goes to n/s reducers.
+  const auto stats = core::ComputeSchemaStats(*schema, problem.num_inputs());
+  EXPECT_DOUBLE_EQ(stats.replication_rate, static_cast<double>(n) / s);
+  EXPECT_EQ(stats.max_reducer_load, schema->reducer_size());
+  // Total communication: each of the 2n^2 elements goes to n/s cells, so
+  // assignments = 2n^3/s — the Section 6.3 round-1 formula.
+  EXPECT_DOUBLE_EQ(static_cast<double>(stats.total_assignments),
+                   2.0 * n * n * n / s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CubeSchemaTest,
+                         ::testing::Values(std::tuple{4, 2, 1},
+                                           std::tuple{6, 2, 3},
+                                           std::tuple{6, 3, 2},
+                                           std::tuple{8, 4, 2},
+                                           std::tuple{8, 2, 2},
+                                           std::tuple{9, 3, 3}));
+
+TEST(CubeSchema, Phase1ProblemShape) {
+  const MatMulPhase1Problem p(5);
+  EXPECT_EQ(p.num_inputs(), 50u);
+  EXPECT_EQ(p.num_outputs(), 125u);
+  // x_{1,2,3} depends on r_12 (id 7) and s_23 (id 25 + 13).
+  const auto deps = p.InputsOfOutput((1 * 5 + 2) * 5 + 3);
+  EXPECT_EQ(deps, (std::vector<core::InputId>{7, 25 + 13}));
+}
+
+TEST(CubeSchema, RejectsNonDivisors) {
+  EXPECT_FALSE(TwoPhaseCubeSchema::Make(8, 3, 2).ok());
+  EXPECT_FALSE(TwoPhaseCubeSchema::Make(8, 2, 3).ok());
+}
+
+TEST(MatMulBounds, RecipeMatchesClosedForm) {
+  const core::Recipe recipe = MatMulRecipe(32);
+  for (double q : {64.0, 256.0, 2048.0}) {
+    EXPECT_NEAR(core::ReplicationLowerBound(recipe, q),
+                MatMulLowerBound(32, q), 1e-9);
+  }
+  EXPECT_TRUE(core::CheckMonotoneGOverQ(recipe, 1, 1e8).ok());
+}
+
+// ---------------------------------------------------------- one phase
+
+class OnePhaseMultiplyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OnePhaseMultiplyTest, MatchesSerialAndCommunicationFormula) {
+  const auto [n, tile] = GetParam();
+  const Matrix a = RandomMatrix(n, 100 + n);
+  const Matrix b = RandomMatrix(n, 200 + n);
+  auto result = MultiplyOnePhase(a, b, tile);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(result->product.MaxAbsDiff(SerialMultiply(a, b)), 1e-9);
+  // Communication: every R element goes to n/tile reducers, likewise S:
+  // pairs = 2n^2 * (n/tile) = 4n^4 / q with q = 2*tile*n.
+  const double q = 2.0 * tile * n;
+  EXPECT_DOUBLE_EQ(static_cast<double>(result->metrics.pairs_shuffled),
+                   OnePhaseCommunication(n, q));
+  EXPECT_DOUBLE_EQ(result->metrics.replication_rate(),
+                   static_cast<double>(n) / tile);
+  EXPECT_EQ(result->metrics.max_reducer_input, static_cast<std::uint64_t>(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OnePhaseMultiplyTest,
+                         ::testing::Values(std::tuple{4, 2}, std::tuple{8, 2},
+                                           std::tuple{8, 4},
+                                           std::tuple{12, 3},
+                                           std::tuple{16, 4},
+                                           std::tuple{16, 16},
+                                           std::tuple{20, 5}));
+
+TEST(OnePhase, RejectsBadTile) {
+  const Matrix a = RandomMatrix(8, 1), b = RandomMatrix(8, 2);
+  EXPECT_FALSE(MultiplyOnePhase(a, b, 3).ok());
+  const Matrix rect(8, 4);
+  EXPECT_FALSE(MultiplyOnePhase(a, rect, 2).ok());
+}
+
+// ---------------------------------------------------------- two phase
+
+class TwoPhaseMultiplyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TwoPhaseMultiplyTest, MatchesSerialAndCommunicationFormula) {
+  const auto [n, s, t] = GetParam();
+  const Matrix a = RandomMatrix(n, 300 + n);
+  const Matrix b = RandomMatrix(n, 400 + n);
+  auto result = MultiplyTwoPhase(a, b, s, t);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(result->product.MaxAbsDiff(SerialMultiply(a, b)), 1e-9);
+  ASSERT_EQ(result->metrics.rounds.size(), 2u);
+  const double n3 = std::pow(static_cast<double>(n), 3);
+  // Round 1 moves 2n^3/s pairs; round 2 moves n^3/t partial sums
+  // (Section 6.3).
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(result->metrics.rounds[0].pairs_shuffled),
+      2.0 * n3 / s);
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(result->metrics.rounds[1].pairs_shuffled),
+      n3 / t);
+  // Round-1 reducers receive q = 2st inputs each.
+  EXPECT_EQ(result->metrics.rounds[0].max_reducer_input,
+            static_cast<std::uint64_t>(2 * s * t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TwoPhaseMultiplyTest,
+                         ::testing::Values(std::tuple{4, 2, 1},
+                                           std::tuple{8, 2, 1},
+                                           std::tuple{8, 4, 2},
+                                           std::tuple{12, 4, 2},
+                                           std::tuple{12, 2, 2},
+                                           std::tuple{16, 4, 2},
+                                           std::tuple{16, 8, 4},
+                                           std::tuple{18, 6, 3}));
+
+TEST(TwoPhase, RejectsBadTiles) {
+  const Matrix a = RandomMatrix(8, 1), b = RandomMatrix(8, 2);
+  EXPECT_FALSE(MultiplyTwoPhase(a, b, 3, 2).ok());
+  EXPECT_FALSE(MultiplyTwoPhase(a, b, 2, 3).ok());
+}
+
+TEST(TwoPhase, AspectRatio2To1IsOptimal) {
+  // At fixed q = 2st = 16, communication 2n^3/s + n^3/t is minimized at
+  // s = 2t, i.e. (s,t) = (4,2); both square (wrong) aspect ratios lose.
+  const int n = 16;
+  const double q = 16;
+  auto comm = [&](int s, int t) {
+    const double n3 = std::pow(static_cast<double>(n), 3);
+    return 2.0 * n3 / s + n3 / t;
+  };
+  EXPECT_LT(comm(4, 2), comm(2, 4));
+  EXPECT_LT(comm(4, 2), comm(8, 1));
+  // At the integral optimum the closed form 4n^3/sqrt(q) is exact.
+  EXPECT_DOUBLE_EQ(comm(4, 2), TwoPhaseCommunication(n, q));
+}
+
+TEST(TwoPhase, NeverWorseThanOnePhaseBelowCrossover) {
+  // Section 6.3's headline: for q < n^2, two-phase communication is lower;
+  // they cross at q = n^2.
+  const int n = 64;
+  for (double q : {128.0, 512.0, 2048.0}) {
+    EXPECT_LT(TwoPhaseCommunication(n, q), OnePhaseCommunication(n, q))
+        << q;
+  }
+  const double crossover = static_cast<double>(n) * n;
+  EXPECT_NEAR(TwoPhaseCommunication(n, crossover),
+              OnePhaseCommunication(n, crossover), 1e-6);
+  EXPECT_GT(TwoPhaseCommunication(n, 2 * crossover),
+            OnePhaseCommunication(n, 2 * crossover));
+}
+
+TEST(TwoPhase, MeasuredCommunicationBeatsOnePhaseAtSameQ) {
+  // Run both algorithms at matched reducer-size q and compare measured
+  // totals — the paper's claim on real data flows.
+  const int n = 16;
+  const int s = 4, t = 2;               // q = 2st = 16
+  const int one_phase_tile = 1;         // one-phase with q = 2n = 32 >= 16
+  const Matrix a = RandomMatrix(n, 1), b = RandomMatrix(n, 2);
+  auto two = MultiplyTwoPhase(a, b, s, t);
+  auto one = MultiplyOnePhase(a, b, one_phase_tile);
+  ASSERT_TRUE(two.ok());
+  ASSERT_TRUE(one.ok());
+  EXPECT_LT(two->metrics.total_pairs(), one->metrics.pairs_shuffled);
+}
+
+TEST(TwoPhase, OptimalTilesRespectDivisibilityAndRatio) {
+  const auto [s, t] = OptimalTwoPhaseTiles(64, 256);
+  EXPECT_EQ(64 % s, 0);
+  EXPECT_EQ(64 % t, 0);
+  EXPECT_EQ(s, 16);  // sqrt(256)
+  EXPECT_EQ(t, 8);   // sqrt(256)/2
+}
+
+}  // namespace
+}  // namespace mrcost::matmul
