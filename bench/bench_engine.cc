@@ -12,10 +12,14 @@
 #include <benchmark/benchmark.h>
 
 #include "src/common/random.h"
+#include "src/core/lower_bound.h"
 #include "src/engine/job.h"
+#include "src/engine/pipeline.h"
+#include "src/engine/shuffle.h"
 #include "src/join/aggregate.h"
 #include "src/matmul/matrix.h"
 #include "src/matmul/mr_multiply.h"
+#include "src/matmul/problem.h"
 
 namespace {
 
@@ -106,6 +110,89 @@ void BM_ThreadScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// --------------------------------------------------------------- shuffle
+// Sharded-vs-serial shuffle comparison on a 1M-pair workload with ~512k
+// distinct keys — enough that the serial shuffle's single hash table falls
+// out of cache. Shards = 1 is exactly the seed engine's serial shuffle
+// (SerialShuffle); larger shard counts exercise the radix-partitioned
+// parallel path. Arguments: {num_threads, num_shards}.
+void BM_ShuffleShardedSweep(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  mrcost::engine::JobOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  options.num_shards = static_cast<std::size_t>(state.range(1));
+  auto map_fn = [](const std::uint64_t& x,
+                   mrcost::engine::Emitter<std::uint64_t, std::uint64_t>&
+                       emitter) {
+    emitter.Emit(mrcost::common::Mix64(x) % (1 << 19), x);
+  };
+  auto reduce_fn = [](const std::uint64_t&,
+                      const std::vector<std::uint64_t>& values,
+                      std::vector<std::size_t>& out) {
+    out.push_back(values.size());
+  };
+  for (auto _ : state) {
+    auto result = mrcost::engine::RunMapReduce<std::uint64_t, std::uint64_t,
+                                               std::uint64_t, std::size_t>(
+        inputs, map_fn, reduce_fn, options);
+    benchmark::DoNotOptimize(result.outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ShuffleShardedSweep)
+    ->ArgNames({"threads", "shards"})
+    // Seed serial baseline at each thread count.
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    // Sharded shuffle: shard-count sweep at fixed threads, then thread
+    // scaling at matching shard counts.
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({4, 8})
+    ->Args({4, 16})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({8, 8})
+    ->Args({8, 16});
+
+// ------------------------------------------------- pipeline accounting
+// Two-phase matrix multiplication through the Pipeline driver, reporting
+// each round's realized replication rate r alongside the Section 2.4
+// recipe lower bound at the realized reducer load q. The ratio lands
+// BELOW 1 by design: round 1 only computes partial sums, so it beats the
+// one-round bound — the measured form of Section 6.3's observation that
+// two-phase algorithms evade the single-round tradeoff. Compare with
+// BM_MatMulOnePhase, whose one-round schema meets the bound exactly.
+void BM_TwoPhaseMatmulPipeline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mrcost::common::SplitMix64 rng(5);
+  mrcost::matmul::Matrix a(n, n), b(n, n);
+  a.FillRandom(rng);
+  b.FillRandom(rng);
+  mrcost::engine::PipelineMetrics last;
+  for (auto _ : state) {
+    auto result = mrcost::matmul::MultiplyTwoPhase(a, b, n / 4, n / 8);
+    benchmark::DoNotOptimize(result->product);
+    last = result->metrics;
+  }
+  const auto reports = mrcost::engine::CompareToLowerBound(
+      last, mrcost::matmul::MatMulRecipe(n));
+  if (!reports.empty()) {
+    state.counters["r1"] = reports[0].realized_r;
+    state.counters["r1_bound"] = reports[0].lower_bound_r;
+    state.counters["r1_ratio"] = reports[0].optimality_ratio;
+    state.counters["q1"] = reports[0].realized_q;
+  }
+  if (reports.size() > 1) {
+    state.counters["r2"] = reports[1].realized_r;
+  }
+  state.counters["total_r"] = last.total_replication_rate();
+}
+BENCHMARK(BM_TwoPhaseMatmulPipeline)->Arg(32)->Arg(64);
+
 void BM_WordCount(benchmark::State& state) {
   std::vector<std::string> docs;
   mrcost::common::SplitMix64 rng(1);
@@ -132,9 +219,22 @@ void BM_MatMulOnePhase(benchmark::State& state) {
   mrcost::matmul::Matrix a(n, n), b(n, n);
   a.FillRandom(rng);
   b.FillRandom(rng);
+  mrcost::engine::JobMetrics last;
   for (auto _ : state) {
     auto result = mrcost::matmul::MultiplyOnePhase(a, b, n / 4);
     benchmark::DoNotOptimize(result->product);
+    last = result->metrics;
+  }
+  // One-round schema: realized r meets the recipe bound r >= 2n^2/q
+  // exactly (ratio 1), the counterpart of BM_TwoPhaseMatmulPipeline.
+  mrcost::engine::PipelineMetrics wrapped;
+  wrapped.Add(last);
+  const auto reports = mrcost::engine::CompareToLowerBound(
+      wrapped, mrcost::matmul::MatMulRecipe(n));
+  if (!reports.empty()) {
+    state.counters["r"] = reports[0].realized_r;
+    state.counters["r_bound"] = reports[0].lower_bound_r;
+    state.counters["r_ratio"] = reports[0].optimality_ratio;
   }
 }
 BENCHMARK(BM_MatMulOnePhase)->Arg(32)->Arg(64);

@@ -1,18 +1,24 @@
 #ifndef MRCOST_COMMON_BIT_UTIL_H_
 #define MRCOST_COMMON_BIT_UTIL_H_
 
-#include <bit>
 #include <cstdint>
 
 namespace mrcost::common {
 
 /// Number of set bits (the "weight" of a bit string in the paper's
 /// Section 3.4 sense).
-inline int PopCount(std::uint64_t x) { return std::popcount(x); }
+inline int PopCount(std::uint64_t x) {
+  return __builtin_popcountll(x);
+}
+
+/// Index of the lowest set bit; precondition x > 0.
+inline int CountTrailingZeros(std::uint64_t x) {
+  return __builtin_ctzll(x);
+}
 
 /// Floor of log base 2; precondition x > 0.
 inline int FloorLog2(std::uint64_t x) {
-  return 63 - std::countl_zero(x);
+  return 63 - __builtin_clzll(x);
 }
 
 /// True iff x is a power of two (x > 0).

@@ -1,0 +1,33 @@
+#ifndef MRCOST_ENGINE_EMITTER_H_
+#define MRCOST_ENGINE_EMITTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/engine/byte_size.h"
+
+namespace mrcost::engine {
+
+/// Mapper-side sink: map functions call Emit once per key-value pair. Every
+/// Emit is one unit of mapper->reducer communication; the engine charges it
+/// to JobMetrics exactly (Section 2.2's cost model).
+template <typename Key, typename Value>
+class Emitter {
+ public:
+  void Emit(Key key, Value value) {
+    bytes_ += ByteSizeOf(key) + ByteSizeOf(value);
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::pair<Key, Value>>& pairs() { return pairs_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::pair<Key, Value>> pairs_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_EMITTER_H_

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -12,34 +13,25 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/engine/byte_size.h"
+#include "src/engine/emitter.h"
 #include "src/engine/hashing.h"
 #include "src/engine/metrics.h"
+#include "src/engine/shuffle.h"
 
 namespace mrcost::engine {
-
-/// Mapper-side sink: map functions call Emit once per key-value pair. Every
-/// Emit is one unit of mapper->reducer communication; the engine charges it
-/// to JobMetrics exactly (Section 2.2's cost model).
-template <typename Key, typename Value>
-class Emitter {
- public:
-  void Emit(Key key, Value value) {
-    bytes_ += ByteSizeOf(key) + ByteSizeOf(value);
-    pairs_.emplace_back(std::move(key), std::move(value));
-  }
-
-  std::vector<std::pair<Key, Value>>& pairs() { return pairs_; }
-  std::uint64_t bytes() const { return bytes_; }
-
- private:
-  std::vector<std::pair<Key, Value>> pairs_;
-  std::uint64_t bytes_ = 0;
-};
 
 /// Execution knobs for one round.
 struct JobOptions {
   /// Threads used to run map and reduce tasks. 0 = hardware concurrency.
+  /// Ignored when `pool` is set (the pool's size governs).
   std::size_t num_threads = 0;
+  /// Optional caller-owned thread pool. When set, the round runs on it
+  /// instead of constructing (and tearing down) a private pool — the
+  /// Pipeline driver uses this to reuse one pool across every round.
+  common::ThreadPool* pool = nullptr;
+  /// Shuffle shards. 0 = auto (one per thread, capped for small jobs);
+  /// 1 = the serial reference shuffle.
+  std::size_t num_shards = 0;
   /// If nonzero, reduce keys are additionally assigned (by hash) to this
   /// many simulated reduce workers and JobMetrics::worker_loads reports the
   /// per-worker input load — the "reduce-worker is assigned many keys"
@@ -47,6 +39,7 @@ struct JobOptions {
   std::size_t num_simulated_workers = 0;
 
   std::size_t ResolvedThreads() const {
+    if (pool != nullptr) return pool->num_threads();
     if (num_threads > 0) return num_threads;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 4 : hw;
@@ -61,33 +54,43 @@ struct JobResult {
   JobMetrics metrics;
 };
 
-/// Runs one map-reduce round.
-///
-/// `map_fn`   : void(const Input&, Emitter<Key, Value>&)
-/// `reduce_fn`: void(const Key&, const std::vector<Value>&,
-///              std::vector<Output>&)
-///
-/// Semantics mirror the paper's model: every input is mapped independently
-/// (Section 2.3), pairs are shuffled by key, and each distinct key forms one
-/// reducer whose input list is the values emitted for it, in input order.
-/// Determinism: outputs are grouped in first-seen key order and value lists
-/// preserve input order regardless of thread count.
-template <typename Input, typename Key, typename Value, typename Output,
-          typename MapFn, typename ReduceFn>
-JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
-                               MapFn&& map_fn, ReduceFn&& reduce_fn,
-                               const JobOptions& options = {}) {
-  JobResult<Output> result;
-  JobMetrics& metrics = result.metrics;
-  metrics.num_inputs = inputs.size();
+namespace internal {
 
-  common::ThreadPool pool(options.ResolvedThreads());
+/// RAII choice between a caller-owned pool and a pool private to one round.
+class PoolRef {
+ public:
+  explicit PoolRef(const JobOptions& options) {
+    if (options.pool != nullptr) {
+      pool_ = options.pool;
+    } else {
+      owned_.emplace(options.ResolvedThreads());
+      pool_ = &*owned_;
+    }
+  }
+  common::ThreadPool& get() { return *pool_; }
 
-  // ---- Map phase: chunked across threads, buffered per chunk so that the
-  // merge below can preserve input order deterministically.
-  const std::size_t num_chunks =
-      std::max<std::size_t>(1, std::min(inputs.size(),
-                                        options.ResolvedThreads() * 4));
+ private:
+  std::optional<common::ThreadPool> owned_;
+  common::ThreadPool* pool_ = nullptr;
+};
+
+/// Chunking shared by the plain and combined rounds: inputs are cut into
+/// contiguous chunks, a small multiple of the thread count. Chunk
+/// boundaries never affect results: downstream grouping runs in global
+/// scan order, which equals emission order in input order for every
+/// chunking.
+inline std::size_t NumChunks(std::size_t num_inputs,
+                             std::size_t num_threads) {
+  return std::max<std::size_t>(1, std::min(num_inputs, num_threads * 4));
+}
+
+/// Map phase: each chunk is mapped on the pool into its own Emitter, and
+/// the emitters are returned in chunk order.
+template <typename Key, typename Value, typename Input, typename MapFn>
+std::vector<Emitter<Key, Value>> RunMapPhase(const std::vector<Input>& inputs,
+                                             MapFn&& map_fn,
+                                             common::ThreadPool& pool) {
+  const std::size_t num_chunks = NumChunks(inputs.size(), pool.num_threads());
   const std::size_t chunk_size =
       inputs.empty() ? 0 : (inputs.size() + num_chunks - 1) / num_chunks;
   std::vector<Emitter<Key, Value>> emitters(num_chunks);
@@ -100,25 +103,20 @@ JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
       }
     });
   }
+  return emitters;
+}
 
-  // ---- Shuffle: group values by key, first-seen key order.
-  std::unordered_map<Key, std::size_t, KeyHash> key_index;
-  std::vector<Key> keys;
-  std::vector<std::vector<Value>> groups;
-  for (auto& emitter : emitters) {
-    metrics.bytes_shuffled += emitter.bytes();
-    for (auto& [key, value] : emitter.pairs()) {
-      ++metrics.pairs_shuffled;
-      auto [it, inserted] = key_index.try_emplace(key, keys.size());
-      if (inserted) {
-        keys.push_back(key);
-        groups.emplace_back();
-      }
-      groups[it->second].push_back(std::move(value));
-    }
-    emitter.pairs().clear();
-  }
-  metrics.pairs_before_combine = metrics.pairs_shuffled;
+/// Everything after the shuffle, shared by the plain and combined rounds:
+/// reducer-size metrics, the optional worker-placement simulation, the
+/// parallel reduce, and the deterministic concatenation of outputs.
+template <typename Output, typename Key, typename Value, typename ReduceFn>
+std::vector<Output> RunReducePhase(ShuffleResult<Key, Value>& shuffled,
+                                   ReduceFn&& reduce_fn,
+                                   const JobOptions& options,
+                                   common::ThreadPool& pool,
+                                   JobMetrics& metrics) {
+  const std::vector<Key>& keys = shuffled.keys;
+  const std::vector<std::vector<Value>>& groups = shuffled.groups;
 
   metrics.num_reducers = keys.size();
   for (const auto& group : groups) {
@@ -127,11 +125,13 @@ JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
         std::max<std::uint64_t>(metrics.max_reducer_input, group.size());
   }
 
-  // ---- Optional cluster placement simulation.
+  // Optional cluster placement simulation, using the same finalized-hash
+  // placement as the sharded shuffle (IndexOfHash) rather than a low-bit
+  // residue.
   if (options.num_simulated_workers > 0) {
     std::vector<std::uint64_t> load(options.num_simulated_workers, 0);
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      load[HashValue(keys[i]) % options.num_simulated_workers] +=
+      load[IndexOfHash(HashValue(keys[i]), options.num_simulated_workers)] +=
           groups[i].size();
     }
     for (std::uint64_t l : load) {
@@ -139,7 +139,7 @@ JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
     }
   }
 
-  // ---- Reduce phase: parallel across keys, buffered per key so the final
+  // Reduce phase: parallel across keys, buffered per key so the final
   // concatenation is in deterministic key order.
   std::vector<std::vector<Output>> per_key_outputs(keys.size());
   common::ParallelFor(pool, 0, keys.size(), [&](std::size_t i) {
@@ -148,11 +148,58 @@ JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
 
   std::size_t total_outputs = 0;
   for (const auto& v : per_key_outputs) total_outputs += v.size();
-  result.outputs.reserve(total_outputs);
+  std::vector<Output> outputs;
+  outputs.reserve(total_outputs);
   for (auto& v : per_key_outputs) {
-    for (auto& out : v) result.outputs.push_back(std::move(out));
+    for (auto& out : v) outputs.push_back(std::move(out));
   }
-  metrics.num_outputs = result.outputs.size();
+  metrics.num_outputs = outputs.size();
+  return outputs;
+}
+
+}  // namespace internal
+
+/// Runs one map-reduce round.
+///
+/// `map_fn`   : void(const Input&, Emitter<Key, Value>&)
+/// `reduce_fn`: void(const Key&, const std::vector<Value>&,
+///              std::vector<Output>&)
+///
+/// Semantics mirror the paper's model: every input is mapped independently
+/// (Section 2.3), pairs are shuffled by key, and each distinct key forms one
+/// reducer whose input list is the values emitted for it, in input order.
+/// Determinism: outputs are grouped in first-seen key order and value lists
+/// preserve input order regardless of thread count and shard count.
+template <typename Input, typename Key, typename Value, typename Output,
+          typename MapFn, typename ReduceFn>
+JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
+                               MapFn&& map_fn, ReduceFn&& reduce_fn,
+                               const JobOptions& options = {}) {
+  JobResult<Output> result;
+  JobMetrics& metrics = result.metrics;
+  metrics.num_inputs = inputs.size();
+
+  internal::PoolRef pool(options);
+
+  auto emitters = internal::RunMapPhase<Key, Value>(
+      inputs, std::forward<MapFn>(map_fn), pool.get());
+  std::vector<std::vector<std::pair<Key, Value>>> chunks;
+  chunks.reserve(emitters.size());
+  for (auto& emitter : emitters) {
+    metrics.bytes_shuffled += emitter.bytes();
+    metrics.pairs_shuffled += emitter.pairs().size();
+    chunks.push_back(std::move(emitter.pairs()));
+  }
+  metrics.pairs_before_combine = metrics.pairs_shuffled;
+
+  auto shuffled = ShardedShuffle(
+      chunks, pool.get(),
+      ResolveShardCount(options.num_shards, pool.get().num_threads(),
+                        static_cast<std::size_t>(metrics.pairs_shuffled)));
+
+  result.outputs = internal::RunReducePhase<Output>(
+      shuffled, std::forward<ReduceFn>(reduce_fn), options, pool.get(),
+      metrics);
   return result;
 }
 
@@ -181,40 +228,39 @@ JobResult<Output> RunMapReduceCombined(const std::vector<Input>& inputs,
   JobMetrics& metrics = result.metrics;
   metrics.num_inputs = inputs.size();
 
-  common::ThreadPool pool(options.ResolvedThreads());
+  internal::PoolRef pool(options);
 
+  // Fused map + combine: each chunk is mapped into a task-local emitter
+  // and combined (first-seen key order, for determinism) inside the same
+  // task, so raw pre-combine pairs never outlive their chunk and bytes are
+  // re-measured on the post-combine pairs that actually cross the shuffle.
   const std::size_t num_chunks =
-      std::max<std::size_t>(1, std::min(inputs.size(),
-                                        options.ResolvedThreads() * 4));
+      internal::NumChunks(inputs.size(), pool.get().num_threads());
   const std::size_t chunk_size =
       inputs.empty() ? 0 : (inputs.size() + num_chunks - 1) / num_chunks;
-  std::vector<Emitter<Key, Value>> emitters(num_chunks);
   std::vector<std::uint64_t> raw_pairs(num_chunks, 0);
   std::vector<std::uint64_t> combined_bytes(num_chunks, 0);
-  // Per-chunk combined output, in first-seen key order for determinism.
-  std::vector<std::vector<std::pair<Key, Value>>> combined(num_chunks);
+  std::vector<std::vector<std::pair<Key, Value>>> chunks(num_chunks);
   if (!inputs.empty()) {
-    common::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
+    common::ParallelFor(pool.get(), 0, num_chunks, [&](std::size_t c) {
+      Emitter<Key, Value> emitter;
       const std::size_t lo = c * chunk_size;
       const std::size_t hi = std::min(lo + chunk_size, inputs.size());
       for (std::size_t i = lo; i < hi; ++i) {
-        map_fn(inputs[i], emitters[c]);
+        map_fn(inputs[i], emitter);
       }
-      raw_pairs[c] = emitters[c].pairs().size();
-      // Combine within the chunk.
+      raw_pairs[c] = emitter.pairs().size();
       std::unordered_map<Key, std::size_t, KeyHash> local_index;
-      auto& out = combined[c];
-      for (auto& [key, value] : emitters[c].pairs()) {
+      auto& out = chunks[c];
+      for (auto& [key, value] : emitter.pairs()) {
         auto [it, inserted] = local_index.try_emplace(key, out.size());
         if (inserted) {
           out.emplace_back(key, std::move(value));
         } else {
           out[it->second].second =
-              combine_fn(std::move(out[it->second].second),
-                         std::move(value));
+              combine_fn(std::move(out[it->second].second), std::move(value));
         }
       }
-      emitters[c].pairs().clear();
       std::uint64_t bytes = 0;
       for (const auto& [key, value] : out) {
         bytes += ByteSizeOf(key) + ByteSizeOf(value);
@@ -222,54 +268,20 @@ JobResult<Output> RunMapReduceCombined(const std::vector<Input>& inputs,
       combined_bytes[c] = bytes;
     });
   }
-
-  // ---- Shuffle the combined pairs.
-  std::unordered_map<Key, std::size_t, KeyHash> key_index;
-  std::vector<Key> keys;
-  std::vector<std::vector<Value>> groups;
   for (std::size_t c = 0; c < num_chunks; ++c) {
     metrics.pairs_before_combine += raw_pairs[c];
     metrics.bytes_shuffled += combined_bytes[c];
-    for (auto& [key, value] : combined[c]) {
-      ++metrics.pairs_shuffled;
-      auto [it, inserted] = key_index.try_emplace(key, keys.size());
-      if (inserted) {
-        keys.push_back(key);
-        groups.emplace_back();
-      }
-      groups[it->second].push_back(std::move(value));
-    }
-    combined[c].clear();
+    metrics.pairs_shuffled += chunks[c].size();
   }
 
-  metrics.num_reducers = keys.size();
-  for (const auto& group : groups) {
-    metrics.reducer_sizes.Add(static_cast<double>(group.size()));
-    metrics.max_reducer_input =
-        std::max<std::uint64_t>(metrics.max_reducer_input, group.size());
-  }
-  if (options.num_simulated_workers > 0) {
-    std::vector<std::uint64_t> load(options.num_simulated_workers, 0);
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      load[HashValue(keys[i]) % options.num_simulated_workers] +=
-          groups[i].size();
-    }
-    for (std::uint64_t l : load) {
-      metrics.worker_loads.Add(static_cast<double>(l));
-    }
-  }
+  auto shuffled = ShardedShuffle(
+      chunks, pool.get(),
+      ResolveShardCount(options.num_shards, pool.get().num_threads(),
+                        static_cast<std::size_t>(metrics.pairs_shuffled)));
 
-  std::vector<std::vector<Output>> per_key_outputs(keys.size());
-  common::ParallelFor(pool, 0, keys.size(), [&](std::size_t i) {
-    reduce_fn(keys[i], groups[i], per_key_outputs[i]);
-  });
-  std::size_t total_outputs = 0;
-  for (const auto& v : per_key_outputs) total_outputs += v.size();
-  result.outputs.reserve(total_outputs);
-  for (auto& v : per_key_outputs) {
-    for (auto& out : v) result.outputs.push_back(std::move(out));
-  }
-  metrics.num_outputs = result.outputs.size();
+  result.outputs = internal::RunReducePhase<Output>(
+      shuffled, std::forward<ReduceFn>(reduce_fn), options, pool.get(),
+      metrics);
   return result;
 }
 

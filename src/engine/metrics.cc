@@ -35,10 +35,21 @@ std::uint64_t PipelineMetrics::max_reducer_input() const {
   return max_q;
 }
 
+double PipelineMetrics::replication_rate(std::size_t i) const {
+  return i < rounds.size() ? rounds[i].replication_rate() : 0.0;
+}
+
+double PipelineMetrics::total_replication_rate() const {
+  if (rounds.empty() || rounds.front().num_inputs == 0) return 0.0;
+  return static_cast<double>(total_pairs()) /
+         static_cast<double>(rounds.front().num_inputs);
+}
+
 std::string PipelineMetrics::ToString() const {
   std::ostringstream os;
   os << rounds.size() << " round(s), total pairs=" << total_pairs()
-     << ", total bytes=" << total_bytes();
+     << ", total bytes=" << total_bytes()
+     << ", total r=" << total_replication_rate();
   for (std::size_t i = 0; i < rounds.size(); ++i) {
     os << "\n  round " << i + 1 << ": " << rounds[i].ToString();
   }

@@ -58,6 +58,14 @@ struct PipelineMetrics {
   std::uint64_t total_bytes() const;
   std::uint64_t max_reducer_input() const;
 
+  /// Replication rate of round `i` (0-based): rounds[i].replication_rate().
+  double replication_rate(std::size_t i) const;
+  /// Whole-computation replication rate: every pair shuffled in any round,
+  /// charged against the round-1 input count — the multi-round analogue of
+  /// r that makes two-phase algorithms (Section 6.3) comparable with their
+  /// one-phase rivals on a single number. 0 when no rounds have run.
+  double total_replication_rate() const;
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,66 @@
+#include "src/engine/pipeline.h"
+
+#include <sstream>
+
+namespace mrcost::engine {
+
+JobOptions Pipeline::PoolSizing(const PipelineOptions& options) {
+  JobOptions sizing;
+  sizing.num_threads = options.num_threads;
+  sizing.pool = options.pool;
+  return sizing;
+}
+
+Pipeline::Pipeline(PipelineOptions options)
+    : options_(std::move(options)), pool_ref_(PoolSizing(options_)) {}
+
+Pipeline::Pipeline(const JobOptions& round_defaults)
+    : Pipeline([&] {
+        PipelineOptions options;
+        options.num_threads = round_defaults.num_threads;
+        options.pool = round_defaults.pool;
+        options.round_defaults = round_defaults;
+        return options;
+      }()) {}
+
+JobOptions Pipeline::Resolve(const std::optional<JobOptions>& round_options) {
+  JobOptions resolved =
+      round_options.has_value() ? *round_options : options_.round_defaults;
+  resolved.pool = &pool_ref_.get();
+  return resolved;
+}
+
+std::vector<RoundCostReport> CompareToLowerBound(
+    const PipelineMetrics& metrics, const core::Recipe& recipe) {
+  std::vector<RoundCostReport> reports;
+  reports.reserve(metrics.rounds.size());
+  for (std::size_t i = 0; i < metrics.rounds.size(); ++i) {
+    const JobMetrics& round = metrics.rounds[i];
+    RoundCostReport report;
+    report.round = i + 1;
+    report.realized_q = static_cast<double>(round.max_reducer_input);
+    report.realized_r = round.replication_rate();
+    report.lower_bound_r = report.realized_q >= 1
+                               ? core::ClampedReplicationLowerBound(
+                                     recipe, report.realized_q)
+                               : 0.0;
+    report.optimality_ratio = report.lower_bound_r > 0
+                                  ? report.realized_r / report.lower_bound_r
+                                  : 0.0;
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+std::string ToString(const std::vector<RoundCostReport>& reports) {
+  std::ostringstream os;
+  for (const RoundCostReport& report : reports) {
+    if (report.round > 1) os << "\n";
+    os << "round " << report.round << ": q=" << report.realized_q
+       << " r=" << report.realized_r << " bound=" << report.lower_bound_r
+       << " ratio=" << report.optimality_ratio;
+  }
+  return os.str();
+}
+
+}  // namespace mrcost::engine

@@ -1,0 +1,130 @@
+#ifndef MRCOST_ENGINE_PIPELINE_H_
+#define MRCOST_ENGINE_PIPELINE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/lower_bound.h"
+#include "src/engine/job.h"
+#include "src/engine/metrics.h"
+
+namespace mrcost::engine {
+
+/// Knobs for a multi-round pipeline.
+struct PipelineOptions {
+  /// Pool size when the pipeline owns its pool. 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  /// Optional external pool; when set the pipeline does not construct one.
+  common::ThreadPool* pool = nullptr;
+  /// Defaults applied to every round (num_shards, num_simulated_workers).
+  /// A per-round JobOptions passed to AddRound replaces these defaults
+  /// entirely (no field-wise merge); in either case the pool field is
+  /// overridden with the pipeline's shared pool.
+  JobOptions round_defaults;
+};
+
+/// Multi-round map-reduce driver: one thread pool shared by every round
+/// (instead of a pool constructed and torn down per RunMapReduce call) and
+/// one PipelineMetrics accumulating each round's exact JobMetrics. Rounds
+/// execute eagerly as they are added — the outputs of round k are returned
+/// so they can be fed (or transformed) into round k+1 — which keeps the
+/// API fully typed without erasing Key/Value/Output types.
+///
+/// This is the engine-level form of the paper's multi-round computations:
+/// Section 6.3's two-phase matrix multiplication and Section 7.1's
+/// join-then-aggregate pipelines are both two AddRound calls.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {});
+  /// Convenience: a pipeline matching one round's JobOptions (pool or
+  /// thread count, shard count, worker simulation) — what the four problem
+  /// family drivers construct from their caller-facing options argument.
+  explicit Pipeline(const JobOptions& round_defaults);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Runs one plain round on the shared pool, records its metrics, and
+  /// returns the reducer outputs (deterministic first-seen key order).
+  template <typename Input, typename Key, typename Value, typename Output,
+            typename MapFn, typename ReduceFn>
+  std::vector<Output> AddRound(const std::vector<Input>& inputs,
+                               MapFn&& map_fn, ReduceFn&& reduce_fn,
+                               std::optional<JobOptions> round_options =
+                                   std::nullopt) {
+    auto result = RunMapReduce<Input, Key, Value, Output>(
+        inputs, std::forward<MapFn>(map_fn),
+        std::forward<ReduceFn>(reduce_fn), Resolve(round_options));
+    metrics_.Add(std::move(result.metrics));
+    return std::move(result.outputs);
+  }
+
+  /// Runs one round with a map-side combiner (see RunMapReduceCombined).
+  template <typename Input, typename Key, typename Value, typename Output,
+            typename MapFn, typename CombineFn, typename ReduceFn>
+  std::vector<Output> AddCombinedRound(const std::vector<Input>& inputs,
+                                       MapFn&& map_fn,
+                                       CombineFn&& combine_fn,
+                                       ReduceFn&& reduce_fn,
+                                       std::optional<JobOptions>
+                                           round_options = std::nullopt) {
+    auto result = RunMapReduceCombined<Input, Key, Value, Output>(
+        inputs, std::forward<MapFn>(map_fn),
+        std::forward<CombineFn>(combine_fn),
+        std::forward<ReduceFn>(reduce_fn), Resolve(round_options));
+    metrics_.Add(std::move(result.metrics));
+    return std::move(result.outputs);
+  }
+
+  common::ThreadPool& pool() { return pool_ref_.get(); }
+  std::size_t num_rounds() const { return metrics_.rounds.size(); }
+  const PipelineMetrics& metrics() const { return metrics_; }
+  /// Moves the accumulated metrics out (for result structs), leaving the
+  /// pipeline empty.
+  PipelineMetrics TakeMetrics() { return std::move(metrics_); }
+
+ private:
+  /// The pool-sizing JobOptions internal::PoolRef expects, derived from
+  /// pipeline options.
+  static JobOptions PoolSizing(const PipelineOptions& options);
+
+  JobOptions Resolve(const std::optional<JobOptions>& round_options);
+
+  PipelineOptions options_;
+  internal::PoolRef pool_ref_;
+  PipelineMetrics metrics_;
+};
+
+/// Realized-vs-bound accounting for one round of a pipeline, in the
+/// paper's coordinates: the realized reducer load q (max input-list
+/// length), the realized replication rate r = pairs_shuffled / num_inputs,
+/// and the Section 2.4 recipe lower bound on r at that q (clamped at the
+/// trivial r >= 1).
+struct RoundCostReport {
+  std::size_t round = 0;  // 1-based, matching PipelineMetrics::ToString
+  double realized_q = 0;
+  double realized_r = 0;
+  double lower_bound_r = 0;
+  /// realized_r / lower_bound_r. For a round that solves the recipe's
+  /// problem outright this is >= 1 (Equation 4), and close to 1 means the
+  /// schema is communication-optimal at its q. A ratio below 1 is not a
+  /// bound violation — it is the signature of a round that only computes
+  /// partial results (e.g. round 1 of Section 6.3's two-phase matmul),
+  /// quantifying exactly how much the multi-round computation evades the
+  /// single-round tradeoff.
+  double optimality_ratio = 0;
+};
+
+/// Evaluates every round of `metrics` against `recipe`'s lower bound.
+std::vector<RoundCostReport> CompareToLowerBound(
+    const PipelineMetrics& metrics, const core::Recipe& recipe);
+
+std::string ToString(const std::vector<RoundCostReport>& reports);
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_PIPELINE_H_

@@ -1,0 +1,175 @@
+#ifndef MRCOST_ENGINE_SHUFFLE_H_
+#define MRCOST_ENGINE_SHUFFLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/engine/hashing.h"
+
+namespace mrcost::engine {
+
+/// Maps a finalized 64-bit hash onto [0, n) with a 128-bit multiply
+/// (Lemire's fastrange) instead of `%`. All of the engine's placement
+/// decisions — shuffle shard selection and the simulated reduce-worker
+/// assignment — go through this one function, so they draw on the hash's
+/// high bits uniformly rather than on its low-bit residue.
+inline std::size_t IndexOfHash(std::uint64_t hash, std::size_t n) {
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+/// Number of shuffle shards to use: an explicit request wins; otherwise one
+/// shard per pool thread (capped so tiny jobs do not over-partition).
+std::size_t ResolveShardCount(std::size_t requested, std::size_t num_threads,
+                              std::size_t num_pairs);
+
+/// Grouped shuffle output: `keys` in global first-seen order (the order the
+/// pairs appear scanning chunk 0, chunk 1, ... in emission order), with
+/// `groups[i]` holding the values emitted for `keys[i]` in that same order.
+/// This is exactly the seed engine's deterministic ordering contract, so
+/// results are identical for every thread count and shard count.
+template <typename Key, typename Value>
+struct ShuffleResult {
+  std::vector<Key> keys;
+  std::vector<std::vector<Value>> groups;
+};
+
+/// Serial reference shuffle: a single hash map over all chunks, as the seed
+/// engine did inline. Kept both as the one-shard fast path (no hashing
+/// prepass, no merge) and as the benchmark baseline the sharded shuffle is
+/// measured against.
+template <typename Key, typename Value>
+ShuffleResult<Key, Value> SerialShuffle(
+    std::vector<std::vector<std::pair<Key, Value>>>& chunks) {
+  ShuffleResult<Key, Value> result;
+  std::unordered_map<Key, std::size_t, KeyHash> key_index;
+  for (auto& chunk : chunks) {
+    for (auto& [key, value] : chunk) {
+      auto [it, inserted] = key_index.try_emplace(key, result.keys.size());
+      if (inserted) {
+        result.keys.push_back(key);
+        result.groups.emplace_back();
+      }
+      result.groups[it->second].push_back(std::move(value));
+    }
+    chunk.clear();
+    chunk.shrink_to_fit();
+  }
+  return result;
+}
+
+/// Sharded parallel shuffle. A radix-partition pass routes every pair into
+/// one of `num_shards` independent shards by finalized key hash (parallel
+/// over chunks, O(pairs) total); each shard then groups its own keys on a
+/// pool thread with a private hash map a factor `num_shards` smaller (and
+/// correspondingly more cache-resident) than the serial shuffle's single
+/// table; a deterministic merge finally restores the global first-seen key
+/// order. Consumes `chunks`.
+template <typename Key, typename Value>
+ShuffleResult<Key, Value> ShardedShuffle(
+    std::vector<std::vector<std::pair<Key, Value>>>& chunks,
+    common::ThreadPool& pool, std::size_t num_shards) {
+  if (num_shards <= 1) return SerialShuffle(chunks);
+  const std::size_t num_chunks = chunks.size();
+
+  // Global emission position of the first pair of each chunk, so shards can
+  // tag every key with the position of its first occurrence.
+  std::vector<std::uint64_t> chunk_offset(num_chunks + 1, 0);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    chunk_offset[c + 1] = chunk_offset[c] + chunks[c].size();
+  }
+
+  // Pass 1 (radix partition): each chunk routes its pairs, tagged with
+  // their global position, into per-(chunk, shard) buckets. Hashes are
+  // finalized exactly once here.
+  struct Routed {
+    std::uint64_t pos;
+    std::pair<Key, Value> kv;
+  };
+  std::vector<std::vector<Routed>> buckets(num_chunks * num_shards);
+  common::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
+    std::vector<Routed>* out = &buckets[c * num_shards];
+    for (std::size_t i = 0; i < chunks[c].size(); ++i) {
+      const std::size_t p =
+          IndexOfHash(HashValue(chunks[c][i].first), num_shards);
+      out[p].push_back(Routed{chunk_offset[c] + i, std::move(chunks[c][i])});
+    }
+    chunks[c].clear();
+    chunks[c].shrink_to_fit();
+  });
+
+  // Pass 2: each shard groups the pairs it owns. Scanning its buckets in
+  // chunk order visits pairs in global scan order, so per-shard key order
+  // (and value order within a key) is already deterministic.
+  struct Shard {
+    std::unordered_map<Key, std::size_t, KeyHash> index;
+    std::vector<Key> keys;
+    std::vector<std::vector<Value>> groups;
+    std::vector<std::uint64_t> first_pos;  // increasing by construction
+  };
+  std::vector<Shard> shards(num_shards);
+  common::ParallelFor(pool, 0, num_shards, [&](std::size_t p) {
+    Shard& shard = shards[p];
+    std::size_t owned = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      owned += buckets[c * num_shards + p].size();
+    }
+    shard.index.reserve(owned);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      auto& bucket = buckets[c * num_shards + p];
+      for (Routed& routed : bucket) {
+        auto& [key, value] = routed.kv;
+        auto [it, inserted] = shard.index.try_emplace(key, shard.keys.size());
+        if (inserted) {
+          shard.keys.push_back(key);
+          shard.groups.emplace_back();
+          shard.first_pos.push_back(routed.pos);
+        }
+        shard.groups[it->second].push_back(std::move(value));
+      }
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+  });
+
+  // Deterministic merge: interleave the shards' (already ordered) key lists
+  // back into global first-seen order.
+  std::size_t total_keys = 0;
+  for (const Shard& shard : shards) total_keys += shard.keys.size();
+  struct MergeEntry {
+    std::uint64_t first_pos;
+    std::uint32_t shard;
+    std::uint32_t index;
+  };
+  std::vector<MergeEntry> order;
+  order.reserve(total_keys);
+  for (std::size_t p = 0; p < num_shards; ++p) {
+    for (std::size_t i = 0; i < shards[p].keys.size(); ++i) {
+      order.push_back(MergeEntry{shards[p].first_pos[i],
+                                 static_cast<std::uint32_t>(p),
+                                 static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const MergeEntry& a, const MergeEntry& b) {
+              return a.first_pos < b.first_pos;
+            });
+
+  ShuffleResult<Key, Value> result;
+  result.keys.reserve(total_keys);
+  result.groups.reserve(total_keys);
+  for (const MergeEntry& e : order) {
+    result.keys.push_back(std::move(shards[e.shard].keys[e.index]));
+    result.groups.push_back(std::move(shards[e.shard].groups[e.index]));
+  }
+  return result;
+}
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_SHUFFLE_H_

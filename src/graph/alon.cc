@@ -1,6 +1,6 @@
 #include "src/graph/alon.h"
 
-#include <bit>
+#include "src/common/bit_util.h"
 #include <cmath>
 #include <vector>
 
@@ -39,7 +39,7 @@ bool HasHamiltonianCycle(const Graph& g, std::uint32_t mask) {
       if (!(ends & (1u << last))) continue;
       std::uint32_t candidates = adj[last] & ~subset;
       while (candidates) {
-        const int next = std::countr_zero(candidates);
+        const int next = common::CountTrailingZeros(candidates);
         candidates &= candidates - 1;
         reach[subset | (1u << next)] |= 1u << next;
       }
@@ -54,7 +54,7 @@ bool PartitionSearch(const Graph& g, std::uint32_t assigned,
   if (assigned == all) return true;
   // Lowest unassigned node anchors the next part (canonical, avoids
   // revisiting the same partition in different orders).
-  const int anchor = std::countr_zero(~assigned & all);
+  const int anchor = common::CountTrailingZeros(~assigned & all);
   const std::uint32_t remaining = all & ~assigned;
   // Enumerate subsets of `remaining` containing `anchor`.
   const std::uint32_t pool = remaining & ~(1u << anchor);
@@ -62,12 +62,12 @@ bool PartitionSearch(const Graph& g, std::uint32_t assigned,
   std::uint32_t sub = pool;
   while (true) {
     const std::uint32_t part = sub | (1u << anchor);
-    const int size = std::popcount(part);
+    const int size = common::PopCount(part);
     bool part_ok = false;
     if (size == 2) {
       // Must induce a single edge.
-      const int a = std::countr_zero(part);
-      const int b = std::countr_zero(part & (part - 1));
+      const int a = common::CountTrailingZeros(part);
+      const int b = common::CountTrailingZeros(part & (part - 1));
       part_ok = g.HasEdge(static_cast<NodeId>(a), static_cast<NodeId>(b));
     } else if (size >= 3 && size % 2 == 1) {
       part_ok = HasHamiltonianCycle(g, part);

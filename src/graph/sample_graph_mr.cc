@@ -117,12 +117,12 @@ SampleGraphJobResult MRSampleGraphInstances(const Graph& data,
     if (count > 0) out.push_back(count);
   };
 
-  auto job =
-      engine::RunMapReduce<Edge, std::uint64_t, Edge, std::uint64_t>(
-          data.edges(), map_fn, reduce_fn, options);
+  engine::Pipeline pipeline(options);
+  auto counts = pipeline.AddRound<Edge, std::uint64_t, Edge, std::uint64_t>(
+      data.edges(), map_fn, reduce_fn);
   SampleGraphJobResult result;
-  result.metrics = std::move(job.metrics);
-  for (std::uint64_t c : job.outputs) result.instance_count += c;
+  result.metrics = std::move(pipeline.TakeMetrics().rounds[0]);
+  for (std::uint64_t c : counts) result.instance_count += c;
   return result;
 }
 

@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "src/engine/job.h"
+#include "src/engine/pipeline.h"
 #include "src/graph/graph.h"
 
 namespace mrcost::graph {

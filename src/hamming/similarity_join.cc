@@ -1,7 +1,7 @@
 #include "src/hamming/similarity_join.h"
 
 #include <algorithm>
-#include <bit>
+#include "src/common/bit_util.h"
 
 #include "src/common/combinatorics.h"
 #include "src/hamming/schemas.h"
@@ -82,11 +82,12 @@ common::Result<SimilarityJoinResult> SplittingSimilarityJoin(
     }
   };
 
-  auto job = engine::RunMapReduce<BitString, std::uint64_t, BitString, Pair>(
-      strings, map_fn, reduce_fn, options);
-  SortPairs(job.outputs);
-  return SimilarityJoinResult{std::move(job.outputs),
-                              std::move(job.metrics)};
+  engine::Pipeline pipeline(options);
+  auto pairs = pipeline.AddRound<BitString, std::uint64_t, BitString, Pair>(
+      strings, map_fn, reduce_fn);
+  SortPairs(pairs);
+  return SimilarityJoinResult{std::move(pairs),
+                              std::move(pipeline.TakeMetrics().rounds[0])};
 }
 
 common::Result<SimilarityJoinResult> BallSimilarityJoin(
@@ -124,7 +125,7 @@ common::Result<SimilarityJoinResult> BallSimilarityJoin(
         if (dist == 1) {
           canonical = u;
         } else {
-          const int low_bit = std::countr_zero(u ^ v);
+          const int low_bit = common::CountTrailingZeros(u ^ v);
           canonical = u ^ (BitString{1} << low_bit);
         }
         if (center == canonical) out.emplace_back(u, v);
@@ -132,11 +133,12 @@ common::Result<SimilarityJoinResult> BallSimilarityJoin(
     }
   };
 
-  auto job = engine::RunMapReduce<BitString, BitString, BitString, Pair>(
-      strings, map_fn, reduce_fn, options);
-  SortPairs(job.outputs);
-  return SimilarityJoinResult{std::move(job.outputs),
-                              std::move(job.metrics)};
+  engine::Pipeline pipeline(options);
+  auto pairs = pipeline.AddRound<BitString, BitString, BitString, Pair>(
+      strings, map_fn, reduce_fn);
+  SortPairs(pairs);
+  return SimilarityJoinResult{std::move(pairs),
+                              std::move(pipeline.TakeMetrics().rounds[0])};
 }
 
 std::vector<std::pair<BitString, BitString>> SerialSimilarityJoin(

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/engine/job.h"
+#include "src/engine/pipeline.h"
 #include "src/hamming/bitstring.h"
 
 namespace mrcost::hamming {

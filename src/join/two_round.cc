@@ -83,8 +83,10 @@ common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
     }
   };
 
-  auto round1 = engine::RunMapReduce<Input, std::uint64_t, Input, Partial>(
-      inputs, map1, reduce1, options);
+  engine::Pipeline pipeline(options);
+  auto partials =
+      pipeline.AddRound<Input, std::uint64_t, Input, Partial>(inputs, map1,
+                                                              reduce1);
 
   // ---- Round 2: group by the grouping attribute and add.
   auto map2 = [](const Partial& p,
@@ -98,16 +100,14 @@ common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
     for (std::int64_t p : partials) total += p;
     out.emplace_back(group, total);
   };
-  auto round2 =
-      engine::RunMapReduce<Partial, Value, std::int64_t,
-                           std::pair<Value, std::int64_t>>(
-          round1.outputs, map2, reduce2, options);
+  auto sums = pipeline.AddRound<Partial, Value, std::int64_t,
+                                std::pair<Value, std::int64_t>>(
+      partials, map2, reduce2);
 
   JoinAggregateResult result;
-  std::sort(round2.outputs.begin(), round2.outputs.end());
-  result.sums = std::move(round2.outputs);
-  result.metrics.Add(std::move(round1.metrics));
-  result.metrics.Add(std::move(round2.metrics));
+  std::sort(sums.begin(), sums.end());
+  result.sums = std::move(sums);
+  result.metrics = pipeline.TakeMetrics();
   return result;
 }
 

@@ -6,8 +6,8 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/engine/job.h"
 #include "src/engine/metrics.h"
+#include "src/engine/pipeline.h"
 #include "src/join/query.h"
 #include "src/join/relation.h"
 

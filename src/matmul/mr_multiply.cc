@@ -95,11 +95,13 @@ common::Result<OnePhaseResult> MultiplyOnePhase(
     }
   };
 
-  auto job = engine::RunMapReduce<Element, std::uint32_t, Element, Cell>(
-      FlattenInputs(r, s), map_fn, reduce_fn, options);
+  engine::Pipeline pipeline(options);
+  auto cells = pipeline.AddRound<Element, std::uint32_t, Element, Cell>(
+      FlattenInputs(r, s), map_fn, reduce_fn);
 
-  OnePhaseResult result{Matrix(n, n), std::move(job.metrics)};
-  for (const Cell& c : job.outputs) {
+  OnePhaseResult result{Matrix(n, n),
+                        std::move(pipeline.TakeMetrics().rounds[0])};
+  for (const Cell& c : cells) {
     result.product.At(static_cast<int>(c.i), static_cast<int>(c.k)) = c.value;
   }
   return result;
@@ -174,8 +176,9 @@ common::Result<TwoPhaseResult> MultiplyTwoPhase(
     }
   };
 
-  auto round1 = engine::RunMapReduce<Element, std::uint64_t, Element, Cell>(
-      FlattenInputs(r, s), map1, reduce1, options);
+  engine::Pipeline pipeline(options);
+  auto partials = pipeline.AddRound<Element, std::uint64_t, Element, Cell>(
+      FlattenInputs(r, s), map1, reduce1);
 
   // ---- Round 2: group partial sums by (i, k) and add (embarrassingly
   // parallel; Sec. 6.3).
@@ -192,13 +195,11 @@ common::Result<TwoPhaseResult> MultiplyTwoPhase(
     out.emplace_back(key, total);
   };
 
-  auto round2 = engine::RunMapReduce<Cell, std::uint64_t, double, Keyed>(
-      round1.outputs, map2, reduce2, options);
+  auto sums = pipeline.AddRound<Cell, std::uint64_t, double, Keyed>(
+      partials, map2, reduce2);
 
-  TwoPhaseResult result{Matrix(n, n), {}};
-  result.metrics.Add(std::move(round1.metrics));
-  result.metrics.Add(std::move(round2.metrics));
-  for (const auto& [key, value] : round2.outputs) {
+  TwoPhaseResult result{Matrix(n, n), pipeline.TakeMetrics()};
+  for (const auto& [key, value] : sums) {
     result.product.At(static_cast<int>(key / n), static_cast<int>(key % n)) =
         value;
   }

@@ -4,8 +4,8 @@
 #include <cstdint>
 
 #include "src/common/status.h"
-#include "src/engine/job.h"
 #include "src/engine/metrics.h"
+#include "src/engine/pipeline.h"
 #include "src/matmul/matrix.h"
 
 namespace mrcost::matmul {

@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/thread_pool.h"
+#include "src/core/lower_bound.h"
 #include "src/engine/byte_size.h"
 #include "src/engine/hashing.h"
 #include "src/engine/job.h"
 #include "src/engine/metrics.h"
+#include "src/engine/pipeline.h"
+#include "src/engine/shuffle.h"
 
 namespace mrcost::engine {
 namespace {
@@ -335,6 +339,311 @@ TEST(Combiner, EmptyInput) {
       {}, map_fn, combine_fn, reduce_fn, {});
   EXPECT_EQ(result.metrics.pairs_shuffled, 0u);
   EXPECT_TRUE(result.outputs.empty());
+}
+
+// ------------------------------------------------------------ shuffle
+
+/// Fanout-3 workload with colliding keys: enough key reuse that grouping
+/// order matters and enough keys that every shard owns some.
+JobResult<std::pair<int, std::int64_t>> FanoutJob(const JobOptions& options) {
+  std::vector<int> inputs(3000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x % 97, x);
+    emitter.Emit(x % 251, x + 1);
+    emitter.Emit(x % 599, x + 2);
+  };
+  auto reduce_fn = [](const int& key, const std::vector<int>& values,
+                      std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t acc = key;
+    for (int v : values) acc = acc * 31 + v;  // order-sensitive fold
+    out.emplace_back(key, acc);
+  };
+  return RunMapReduce<int, int, int, std::pair<int, std::int64_t>>(
+      inputs, map_fn, reduce_fn, options);
+}
+
+TEST(Shuffle, DeterministicAcrossThreadAndShardCounts) {
+  JobOptions baseline;
+  baseline.num_threads = 1;
+  baseline.num_shards = 1;
+  const auto reference = FanoutJob(baseline);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    for (std::size_t shards : {0u, 1u, 2u, 8u, 16u}) {
+      JobOptions options;
+      options.num_threads = threads;
+      options.num_shards = shards;
+      const auto run = FanoutJob(options);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      EXPECT_EQ(run.outputs, reference.outputs);
+      EXPECT_EQ(run.metrics.pairs_shuffled, reference.metrics.pairs_shuffled);
+      EXPECT_EQ(run.metrics.bytes_shuffled, reference.metrics.bytes_shuffled);
+      EXPECT_EQ(run.metrics.num_reducers, reference.metrics.num_reducers);
+      EXPECT_EQ(run.metrics.max_reducer_input,
+                reference.metrics.max_reducer_input);
+    }
+  }
+}
+
+TEST(Shuffle, CombinedDeterministicAcrossThreadAndShardCounts) {
+  std::vector<int> inputs(5000);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    inputs[i] = static_cast<int>(i % 613);
+  }
+  auto map_fn = [](const int& x, Emitter<int, std::int64_t>& emitter) {
+    emitter.Emit(x, x);
+    emitter.Emit(x + 1000, 2 * x);
+  };
+  auto combine_fn = [](std::int64_t a, std::int64_t b) { return a + b; };
+  auto reduce_fn = [](const int& key,
+                      const std::vector<std::int64_t>& values,
+                      std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t total = 0;
+    for (std::int64_t v : values) total += v;
+    out.emplace_back(key, total);
+  };
+  auto run = [&](std::size_t threads, std::size_t shards) {
+    JobOptions options;
+    options.num_threads = threads;
+    options.num_shards = shards;
+    auto result = RunMapReduceCombined<int, int, std::int64_t,
+                                       std::pair<int, std::int64_t>>(
+        inputs, map_fn, combine_fn, reduce_fn, options);
+    std::sort(result.outputs.begin(), result.outputs.end());
+    return result;
+  };
+  const auto reference = run(1, 1);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    for (std::size_t shards : {1u, 4u, 16u}) {
+      const auto sharded = run(threads, shards);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      EXPECT_EQ(sharded.outputs, reference.outputs);
+      EXPECT_EQ(sharded.metrics.pairs_before_combine,
+                reference.metrics.pairs_before_combine);
+      // pairs_shuffled depends on the chunking (per-chunk combining), which
+      // is fixed per thread count; at equal thread counts it must match.
+      if (threads == 1) {
+        EXPECT_EQ(sharded.metrics.pairs_shuffled,
+                  reference.metrics.pairs_shuffled);
+        EXPECT_EQ(sharded.metrics.bytes_shuffled,
+                  reference.metrics.bytes_shuffled);
+      }
+    }
+  }
+}
+
+TEST(Shuffle, ShardedMatchesSerialDirectly) {
+  // Exercise ShardedShuffle/SerialShuffle below the job layer, with
+  // multi-chunk input and repeated keys straddling chunk boundaries.
+  auto make_chunks = [] {
+    std::vector<std::vector<std::pair<int, int>>> chunks(5);
+    int v = 0;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      for (int i = 0; i < 200; ++i) {
+        chunks[c].emplace_back((v * 7) % 143, v);
+        ++v;
+      }
+    }
+    return chunks;
+  };
+  auto serial_chunks = make_chunks();
+  const auto serial = SerialShuffle(serial_chunks);
+  common::ThreadPool pool(4);
+  for (std::size_t shards : {2u, 3u, 8u, 64u}) {
+    auto chunks = make_chunks();
+    const auto sharded = ShardedShuffle(chunks, pool, shards);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    EXPECT_EQ(sharded.keys, serial.keys);
+    EXPECT_EQ(sharded.groups, serial.groups);
+  }
+}
+
+TEST(Shuffle, ResolveShardCount) {
+  EXPECT_EQ(ResolveShardCount(7, 4, 1 << 20), 7u);   // explicit wins
+  EXPECT_EQ(ResolveShardCount(0, 1, 1 << 20), 1u);   // single thread
+  EXPECT_EQ(ResolveShardCount(0, 8, 1 << 20), 8u);   // one per thread
+  EXPECT_EQ(ResolveShardCount(0, 8, 100), 1u);       // tiny job stays serial
+}
+
+TEST(Shuffle, IndexOfHashRangeAndBalance) {
+  for (std::size_t n : {1u, 2u, 7u, 64u}) {
+    std::vector<std::uint64_t> load(n, 0);
+    const std::size_t kKeys = 100000;
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      const std::size_t idx = IndexOfHash(HashValue(k), n);
+      ASSERT_LT(idx, n);
+      ++load[idx];
+    }
+    const double mean = static_cast<double>(kKeys) / n;
+    for (std::uint64_t l : load) {
+      EXPECT_LT(static_cast<double>(l), 1.15 * mean) << "n=" << n;
+      EXPECT_GT(static_cast<double>(l), 0.85 * mean) << "n=" << n;
+    }
+  }
+}
+
+TEST(Shuffle, SimulatedWorkerLoadBalance) {
+  // The finalized-hash placement must spread many uniform keys evenly over
+  // the simulated workers (the biased low-bit placement this replaced
+  // could collapse onto a subset of workers for structured keys).
+  std::vector<int> inputs(40000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  JobOptions options;
+  options.num_simulated_workers = 16;
+  auto result = SumByResidue(inputs, 20000, options);
+  ASSERT_EQ(result.metrics.worker_loads.count(), 16);
+  const double mean = result.metrics.worker_loads.mean();
+  EXPECT_LT(result.metrics.worker_loads.max(), 1.15 * mean);
+  EXPECT_GT(result.metrics.worker_loads.min(), 0.85 * mean);
+}
+
+// --------------------------------------------------------- caller pool
+
+TEST(Job, CallerOwnedPoolIsReused) {
+  common::ThreadPool pool(3);
+  JobOptions options;
+  options.pool = &pool;
+  EXPECT_EQ(options.ResolvedThreads(), 3u);
+  std::vector<int> inputs(500);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  const auto baseline = SumByResidue(inputs, 17, {});
+  // Two consecutive rounds on the same pool: both must match a fresh-pool
+  // run exactly.
+  for (int round = 0; round < 2; ++round) {
+    const auto pooled = SumByResidue(inputs, 17, options);
+    EXPECT_EQ(pooled.outputs, baseline.outputs);
+    EXPECT_EQ(pooled.metrics.pairs_shuffled, baseline.metrics.pairs_shuffled);
+  }
+}
+
+// ----------------------------------------------------------- pipeline
+
+TEST(Pipeline, TwoRoundMetricsAccumulate) {
+  // Round 1: sum by residue mod 10; round 2: regroup the 10 sums by
+  // parity and sum again.
+  std::vector<int> inputs(100);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  Pipeline pipeline;
+  auto map1 = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x % 10, x);
+  };
+  auto reduce1 = [](const int& key, const std::vector<int>& values,
+                    std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t sum = 0;
+    for (int v : values) sum += v;
+    out.emplace_back(key, sum);
+  };
+  auto sums = pipeline.AddRound<int, int, int, std::pair<int, std::int64_t>>(
+      inputs, map1, reduce1);
+  ASSERT_EQ(sums.size(), 10u);
+
+  auto map2 = [](const std::pair<int, std::int64_t>& p,
+                 Emitter<int, std::int64_t>& emitter) {
+    emitter.Emit(p.first % 2, p.second);
+  };
+  auto reduce2 = [](const int& key,
+                    const std::vector<std::int64_t>& values,
+                    std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t sum = 0;
+    for (std::int64_t v : values) sum += v;
+    out.emplace_back(key, sum);
+  };
+  auto totals = pipeline.AddRound<std::pair<int, std::int64_t>, int,
+                                  std::int64_t,
+                                  std::pair<int, std::int64_t>>(sums, map2,
+                                                                reduce2);
+  ASSERT_EQ(totals.size(), 2u);
+  std::int64_t grand = 0;
+  for (const auto& [parity, sum] : totals) grand += sum;
+  EXPECT_EQ(grand, 99 * 100 / 2);
+
+  ASSERT_EQ(pipeline.num_rounds(), 2u);
+  const PipelineMetrics& m = pipeline.metrics();
+  EXPECT_EQ(m.rounds[0].num_inputs, 100u);
+  EXPECT_EQ(m.rounds[1].num_inputs, 10u);
+  EXPECT_EQ(m.total_pairs(), 110u);
+  EXPECT_DOUBLE_EQ(m.replication_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.replication_rate(1), 1.0);
+  // All 110 shuffled pairs charged against the 100 round-1 inputs.
+  EXPECT_DOUBLE_EQ(m.total_replication_rate(), 1.1);
+}
+
+TEST(Pipeline, SharedPoolAndPerRoundOptions) {
+  common::ThreadPool pool(2);
+  PipelineOptions options;
+  options.pool = &pool;
+  Pipeline pipeline(options);
+  EXPECT_EQ(&pipeline.pool(), &pool);
+  std::vector<int> inputs(200);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x % 5, x);
+  };
+  auto reduce_fn = [](const int& key, const std::vector<int>& values,
+                      std::vector<std::pair<int, std::size_t>>& out) {
+    out.emplace_back(key, values.size());
+  };
+  JobOptions round;
+  round.num_simulated_workers = 3;
+  auto outputs = pipeline.AddRound<int, int, int,
+                                   std::pair<int, std::size_t>>(
+      inputs, map_fn, reduce_fn, round);
+  EXPECT_EQ(outputs.size(), 5u);
+  EXPECT_EQ(pipeline.metrics().rounds[0].worker_loads.count(), 3);
+}
+
+TEST(Pipeline, CombinedRound) {
+  std::vector<int> inputs(1000);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    inputs[i] = static_cast<int>(i % 4);
+  }
+  Pipeline pipeline;
+  auto map_fn = [](const int& x, Emitter<int, std::int64_t>& emitter) {
+    emitter.Emit(x, 1);
+  };
+  auto combine_fn = [](std::int64_t a, std::int64_t b) { return a + b; };
+  auto reduce_fn = [](const int& key,
+                      const std::vector<std::int64_t>& values,
+                      std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t total = 0;
+    for (std::int64_t v : values) total += v;
+    out.emplace_back(key, total);
+  };
+  auto counts = pipeline.AddCombinedRound<int, int, std::int64_t,
+                                          std::pair<int, std::int64_t>>(
+      inputs, map_fn, combine_fn, reduce_fn);
+  ASSERT_EQ(counts.size(), 4u);
+  const JobMetrics& m = pipeline.metrics().rounds[0];
+  EXPECT_EQ(m.pairs_before_combine, 1000u);
+  EXPECT_LT(m.pairs_shuffled, m.pairs_before_combine);
+}
+
+TEST(Pipeline, CompareToLowerBound) {
+  // A synthetic recipe with g(q) = q and |O| = 2|I|: Equation 4 gives
+  // r >= q*|O| / (g(q)*|I|) = 2 at every q.
+  core::Recipe recipe;
+  recipe.problem_name = "synthetic";
+  recipe.g = [](double q) { return q; };
+  recipe.num_inputs = 100;
+  recipe.num_outputs = 200;
+
+  PipelineMetrics metrics;
+  JobMetrics round;
+  round.num_inputs = 100;
+  round.pairs_shuffled = 300;  // realized r = 3
+  round.max_reducer_input = 10;
+  metrics.Add(round);
+
+  const auto reports = CompareToLowerBound(metrics, recipe);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].round, 1u);
+  EXPECT_DOUBLE_EQ(reports[0].realized_q, 10.0);
+  EXPECT_DOUBLE_EQ(reports[0].realized_r, 3.0);
+  EXPECT_DOUBLE_EQ(reports[0].lower_bound_r, 2.0);
+  EXPECT_DOUBLE_EQ(reports[0].optimality_ratio, 1.5);
+  EXPECT_NE(ToString(reports).find("ratio=1.5"), std::string::npos);
 }
 
 // ------------------------------------------------------------ metrics
