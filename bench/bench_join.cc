@@ -14,6 +14,7 @@
 
 #include "src/common/random.h"
 #include "src/common/table.h"
+#include "src/engine/pipeline.h"
 #include "src/join/edge_cover.h"
 #include "src/join/hypercube.h"
 #include "src/join/query.h"
@@ -115,8 +116,11 @@ void DenseChainJoin() {
   // Odd N only: the closed form uses rho = (N+1)/2, the odd-chain value.
   // (N = 3 at n = 10 is the largest dense instance whose n^{N+1} result
   // set stays laptop-sized; beyond that the form's constants dominate.)
+  // The "recipe" columns run the measured metrics through the engine's
+  // CompareToLowerBound against the Section 5.5 recipe at the LP's rho.
   Table t({"N", "n", "p", "measured r", "mean q", "(n/sqrt q)^{N-1}",
-           "r/form", "results (=n^{N+1})"});
+           "r/form", "recipe bound @max q", "r/recipe",
+           "results (=n^{N+1})"});
   for (int n_rel : {3}) {
     const Query query = ChainQuery(n_rel);
     const Value domain = 10;
@@ -135,6 +139,10 @@ void DenseChainJoin() {
     for (const auto& r : rels) ptrs.push_back(&r);
     const std::vector<std::uint64_t> sizes(
         query.num_atoms(), static_cast<std::uint64_t>(domain) * domain);
+    auto cover = SolveFractionalEdgeCover(query);
+    const double rho = cover.ok() ? cover->rho : (n_rel + 1) / 2.0;
+    const auto recipe = MultiwayJoinRecipe(static_cast<double>(domain),
+                                           query.num_attributes(), rho);
     for (double p : {16.0, 64.0}) {
       auto shares = OptimizeShares(query, sizes, p);
       const auto rounded = RoundShares(shares->shares, p);
@@ -142,6 +150,8 @@ void DenseChainJoin() {
       const double mean_q = result->metrics.reducer_sizes.mean();
       const double form = ChainJoinReplication(static_cast<double>(domain),
                                                n_rel, mean_q);
+      const auto report =
+          mrcost::engine::CompareToLowerBound(result->metrics, recipe);
       t.AddRow()
           .Add(n_rel)
           .Add(static_cast<int>(domain))
@@ -150,6 +160,8 @@ void DenseChainJoin() {
           .Add(mean_q)
           .Add(form)
           .Add(result->metrics.replication_rate() / std::max(form, 1e-12))
+          .Add(report.lower_bound_r)
+          .Add(report.optimality_ratio)
           .Add(result->results.size());
     }
   }

@@ -7,14 +7,21 @@
 #include <iostream>
 #include <string>
 
+#include "src/common/random.h"
 #include "src/common/table.h"
 #include "src/core/lower_bound.h"
+#include "src/engine/pipeline.h"
 #include "src/graph/alon.h"
+#include "src/graph/generators.h"
 #include "src/graph/triangle.h"
 #include "src/graph/two_path.h"
+#include "src/hamming/bitstring.h"
 #include "src/hamming/bounds.h"
+#include "src/hamming/similarity_join.h"
 #include "src/join/edge_cover.h"
 #include "src/join/query.h"
+#include "src/matmul/matrix.h"
+#include "src/matmul/mr_multiply.h"
 #include "src/matmul/problem.h"
 
 namespace {
@@ -120,6 +127,63 @@ void PrintNumericTable() {
           "symmetry constant the paper's Omega() hides");
 }
 
+void PrintMeasuredOptimality() {
+  // Table 1 states bounds; this section RUNS one constructive algorithm
+  // per family on the engine and prints its optimality ratio through
+  // CompareToLowerBound, so every bound above is paired with a measured
+  // reproduction against the same recipe.
+  Table t({"Reproduction", "instance", "q", "r", "bound @q", "r/bound"});
+  auto rows = [&t](const std::string& name, const std::string& instance,
+                   const mrcost::engine::JobMetrics& metrics,
+                   const mrcost::core::Recipe& recipe) {
+    const auto rep = mrcost::engine::CompareToLowerBound(metrics, recipe);
+    t.AddRow()
+        .Add(name)
+        .Add(instance)
+        .Add(rep.realized_q)
+        .Add(rep.realized_r)
+        .Add(rep.lower_bound_r)
+        .Add(rep.optimality_ratio);
+  };
+
+  {
+    const int b = 12;
+    auto result = mrcost::hamming::SplittingSimilarityJoin(
+        mrcost::hamming::AllStrings(b), b, /*k=*/4, /*d=*/1);
+    rows("hamming-1 splitting", "b=12, k=4", result->metrics,
+         mrcost::hamming::Hamming1Recipe(b));
+  }
+  {
+    const mrcost::graph::NodeId n = 40;
+    const auto result = mrcost::graph::MRTriangles(
+        mrcost::graph::CompleteGraph(n), /*k=*/4, /*seed=*/11);
+    rows("triangles partition", "n=40, k=4", result.metrics,
+         mrcost::graph::TriangleRecipe(n));
+  }
+  {
+    const mrcost::graph::NodeId n = 40;
+    const auto result =
+        mrcost::graph::MRTwoPathsNode(mrcost::graph::CompleteGraph(n));
+    rows("2-paths node", "n=40", result.metrics,
+         mrcost::graph::TwoPathRecipe(n));
+  }
+  {
+    const int n = 32;
+    mrcost::common::SplitMix64 rng(2);
+    mrcost::matmul::Matrix a(n, n), b_mat(n, n);
+    a.FillRandom(rng);
+    b_mat.FillRandom(rng);
+    auto result = mrcost::matmul::MultiplyOnePhase(a, b_mat, /*tile=*/8);
+    rows("matmul one-phase", "n=32, s=8", result->metrics,
+         mrcost::matmul::MatMulRecipe(n));
+  }
+  t.Print(std::cout,
+          "Measured reproductions vs the Table 1 recipes "
+          "(CompareToLowerBound): splitting and one-phase tiling sit on "
+          "their bounds; the triangle partition algorithm pays its known "
+          "constant-factor gap");
+}
+
 void PrintMonotonicityChecks() {
   // The recipe is only sound where g(q)/q is increasing; verify for every
   // recipe used above (Section 2.4's caveat, executable).
@@ -145,6 +209,7 @@ int main() {
   std::cout << "=== bench_table1: lower bounds (paper Table 1) ===\n";
   PrintSymbolicTable();
   PrintNumericTable();
+  PrintMeasuredOptimality();
   PrintMonotonicityChecks();
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "src/engine/hashing.h"
 #include "src/engine/metrics.h"
 #include "src/engine/shuffle.h"
+#include "src/engine/simulator.h"
 
 namespace mrcost::engine {
 
@@ -32,11 +33,30 @@ struct JobOptions {
   /// Shuffle shards. 0 = auto (one per thread, capped for small jobs);
   /// 1 = the serial reference shuffle.
   std::size_t num_shards = 0;
-  /// If nonzero, reduce keys are additionally assigned (by hash) to this
-  /// many simulated reduce workers and JobMetrics::worker_loads reports the
-  /// per-worker input load — the "reduce-worker is assigned many keys"
-  /// model of Section 1.1.
+  /// Shorthand for `simulation.num_workers` when no other simulation knob
+  /// is needed: if nonzero (and simulation is otherwise off), reduce keys
+  /// are assigned (by hash) to this many simulated reduce workers and
+  /// JobMetrics::worker_loads reports the per-worker input load — the
+  /// "reduce-worker is assigned many keys" model of Section 1.1.
   std::size_t num_simulated_workers = 0;
+  /// Full cluster-simulation knobs (per-worker queues, capacity q,
+  /// stragglers, heterogeneous speeds). When enabled, JobMetrics gains
+  /// makespan, load_imbalance, straggler_impact, and capacity_violations.
+  /// Simulation never changes reduce outputs — only the metrics.
+  SimulationOptions simulation;
+
+  /// The simulation that actually runs: `simulation` when enabled, else
+  /// the num_simulated_workers shorthand (with every other knob default).
+  /// Skew/capacity knobs with num_workers left 0 are a misconfiguration
+  /// (the run would silently report makespan 0 / no violations), so they
+  /// fail loudly instead.
+  SimulationOptions ResolvedSimulation() const {
+    if (simulation.enabled()) return simulation;
+    MRCOST_CHECK(!simulation.customized());
+    SimulationOptions legacy;
+    legacy.num_workers = num_simulated_workers;
+    return legacy;
+  }
 
   std::size_t ResolvedThreads() const {
     if (pool != nullptr) return pool->num_threads();
@@ -125,18 +145,32 @@ std::vector<Output> RunReducePhase(ShuffleResult<Key, Value>& shuffled,
         std::max<std::uint64_t>(metrics.max_reducer_input, group.size());
   }
 
-  // Optional cluster placement simulation, using the same finalized-hash
-  // placement as the sharded shuffle (IndexOfHash) rather than a low-bit
-  // residue.
-  if (options.num_simulated_workers > 0) {
-    std::vector<std::uint64_t> load(options.num_simulated_workers, 0);
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      load[IndexOfHash(HashValue(keys[i]), options.num_simulated_workers)] +=
-          groups[i].size();
-    }
-    for (std::uint64_t l : load) {
-      metrics.worker_loads.Add(static_cast<double>(l));
-    }
+  // Optional cluster simulation: every reduce key becomes a ReducerLoad
+  // (hash decides the worker via the same finalized-hash IndexOfHash
+  // placement the sharded shuffle uses; ByteSizeOf measures its input
+  // list) and the per-worker queues are drained under the configured
+  // skew/straggler model. Outputs are untouched — only metrics change.
+  const SimulationOptions sim = options.ResolvedSimulation();
+  if (sim.enabled()) {
+    // Byte accounting costs a full pass over the shuffled values; skip it
+    // unless a byte-based knob actually consumes the result.
+    const bool need_bytes =
+        sim.cost_per_byte > 0 || sim.reducer_capacity_bytes > 0;
+    std::vector<ReducerLoad> loads(keys.size());
+    common::ParallelFor(pool, 0, keys.size(), [&](std::size_t i) {
+      std::uint64_t bytes = 0;
+      if (need_bytes) {
+        bytes = ByteSizeOf(keys[i]);
+        for (const Value& v : groups[i]) bytes += ByteSizeOf(v);
+      }
+      loads[i] = ReducerLoad{HashValue(keys[i]), groups[i].size(), bytes};
+    });
+    const SimulationReport report = SimulateCluster(loads, sim);
+    metrics.worker_loads = report.worker_pairs;
+    metrics.makespan = report.makespan;
+    metrics.load_imbalance = report.load_imbalance;
+    metrics.straggler_impact = report.straggler_impact;
+    metrics.capacity_violations = report.capacity_violations;
   }
 
   // Reduce phase: parallel across keys, buffered per key so the final

@@ -14,6 +14,12 @@ std::string JobMetrics::ToString() const {
   os << " bytes=" << bytes_shuffled << " reducers=" << num_reducers
      << " max_q=" << max_reducer_input << " outputs=" << num_outputs
      << " r=" << replication_rate();
+  if (simulated()) {
+    os << " | sim: workers=" << worker_loads.count()
+       << " makespan=" << makespan << " imbalance=" << load_imbalance
+       << " straggler_impact=" << straggler_impact
+       << " capacity_violations=" << capacity_violations;
+  }
   return os.str();
 }
 
@@ -35,6 +41,30 @@ std::uint64_t PipelineMetrics::max_reducer_input() const {
   return max_q;
 }
 
+double PipelineMetrics::max_makespan() const {
+  double worst = 0;
+  for (const auto& m : rounds) worst = std::max(worst, m.makespan);
+  return worst;
+}
+
+double PipelineMetrics::total_makespan() const {
+  double total = 0;
+  for (const auto& m : rounds) total += m.makespan;
+  return total;
+}
+
+double PipelineMetrics::max_load_imbalance() const {
+  double worst = 0;
+  for (const auto& m : rounds) worst = std::max(worst, m.load_imbalance);
+  return worst;
+}
+
+std::uint64_t PipelineMetrics::total_capacity_violations() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.capacity_violations;
+  return total;
+}
+
 double PipelineMetrics::replication_rate(std::size_t i) const {
   return i < rounds.size() ? rounds[i].replication_rate() : 0.0;
 }
@@ -50,6 +80,11 @@ std::string PipelineMetrics::ToString() const {
   os << rounds.size() << " round(s), total pairs=" << total_pairs()
      << ", total bytes=" << total_bytes()
      << ", total r=" << total_replication_rate();
+  if (total_capacity_violations() > 0 || max_makespan() > 0) {
+    os << ", sim makespan=" << total_makespan()
+       << ", worst imbalance=" << max_load_imbalance()
+       << ", capacity violations=" << total_capacity_violations();
+  }
   for (std::size_t i = 0; i < rounds.size(); ++i) {
     os << "\n  round " << i + 1 << ": " << rounds[i].ToString();
   }

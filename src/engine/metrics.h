@@ -33,9 +33,23 @@ struct JobMetrics {
 
   /// Distribution of q_i across reducers.
   common::RunningStats reducer_sizes;
-  /// Distribution of per-worker input load when keys are assigned to
-  /// `num_workers` simulated reduce workers (empty if not simulated).
+  /// Distribution of per-worker input load (pairs) when keys are assigned
+  /// to simulated reduce workers (empty if not simulated).
   common::RunningStats worker_loads;
+
+  /// Cluster-simulation results (all zero unless the round ran with
+  /// SimulationOptions enabled; see src/engine/simulator.h):
+  /// time the slowest simulated worker finished,
+  double makespan = 0;
+  /// max/mean per-worker load in pairs (1.0 = perfectly even),
+  double load_imbalance = 0;
+  /// makespan relative to identical-speed workers (1.0 = homogeneous),
+  double straggler_impact = 0;
+  /// and reducers whose input exceeded the configured capacity q.
+  std::uint64_t capacity_violations = 0;
+
+  /// True iff this round ran the cluster simulation.
+  bool simulated() const { return worker_loads.count() > 0; }
 
   /// r = pairs_shuffled / num_inputs; 0 when there are no inputs.
   double replication_rate() const {
@@ -57,6 +71,14 @@ struct PipelineMetrics {
   std::uint64_t total_pairs() const;
   std::uint64_t total_bytes() const;
   std::uint64_t max_reducer_input() const;
+  /// Simulation aggregates across rounds (0 when no round was simulated):
+  /// the slowest round's makespan, the sum of round makespans (total
+  /// simulated wall clock — rounds are barriers), the worst per-round
+  /// imbalance, and the total capacity violations.
+  double max_makespan() const;
+  double total_makespan() const;
+  double max_load_imbalance() const;
+  std::uint64_t total_capacity_violations() const;
 
   /// Replication rate of round `i` (0-based): rounds[i].replication_rate().
   double replication_rate(std::size_t i) const;

@@ -27,6 +27,12 @@ JobOptions Pipeline::Resolve(const std::optional<JobOptions>& round_options) {
   JobOptions resolved =
       round_options.has_value() ? *round_options : options_.round_defaults;
   resolved.pool = &pool_ref_.get();
+  // Pipeline-wide simulation backstop: a round that configures nothing
+  // itself inherits the pipeline's simulated cluster.
+  if (!resolved.simulation.enabled() && resolved.num_simulated_workers == 0 &&
+      options_.simulation.enabled()) {
+    resolved.simulation = options_.simulation;
+  }
   return resolved;
 }
 
@@ -47,9 +53,21 @@ std::vector<RoundCostReport> CompareToLowerBound(
     report.optimality_ratio = report.lower_bound_r > 0
                                   ? report.realized_r / report.lower_bound_r
                                   : 0.0;
+    report.simulated = round.simulated();
+    report.makespan = round.makespan;
+    report.load_imbalance = round.load_imbalance;
+    report.straggler_impact = round.straggler_impact;
+    report.capacity_violations = round.capacity_violations;
     reports.push_back(report);
   }
   return reports;
+}
+
+RoundCostReport CompareToLowerBound(const JobMetrics& metrics,
+                                    const core::Recipe& recipe) {
+  PipelineMetrics wrapped;
+  wrapped.Add(metrics);
+  return CompareToLowerBound(wrapped, recipe).front();
 }
 
 std::string ToString(const std::vector<RoundCostReport>& reports) {
@@ -59,6 +77,12 @@ std::string ToString(const std::vector<RoundCostReport>& reports) {
     os << "round " << report.round << ": q=" << report.realized_q
        << " r=" << report.realized_r << " bound=" << report.lower_bound_r
        << " ratio=" << report.optimality_ratio;
+    if (report.simulated) {
+      os << " makespan=" << report.makespan
+         << " imbalance=" << report.load_imbalance
+         << " straggler_impact=" << report.straggler_impact
+         << " capacity_violations=" << report.capacity_violations;
+    }
   }
   return os.str();
 }

@@ -20,11 +20,15 @@ struct PipelineOptions {
   std::size_t num_threads = 0;
   /// Optional external pool; when set the pipeline does not construct one.
   common::ThreadPool* pool = nullptr;
-  /// Defaults applied to every round (num_shards, num_simulated_workers).
+  /// Defaults applied to every round (num_shards, simulation knobs).
   /// A per-round JobOptions passed to AddRound replaces these defaults
   /// entirely (no field-wise merge); in either case the pool field is
   /// overridden with the pipeline's shared pool.
   JobOptions round_defaults;
+  /// Pipeline-wide cluster simulation: applied to any round whose own
+  /// options leave simulation off, so one knob simulates every round of a
+  /// multi-round computation under the same cluster.
+  SimulationOptions simulation;
 };
 
 /// Multi-round map-reduce driver: one thread pool shared by every round
@@ -117,11 +121,25 @@ struct RoundCostReport {
   /// quantifying exactly how much the multi-round computation evades the
   /// single-round tradeoff.
   double optimality_ratio = 0;
+
+  /// Cluster-simulation results for the round, copied from JobMetrics when
+  /// the round was simulated (see src/engine/simulator.h): how the paper's
+  /// q/r point actually behaved on the simulated cluster.
+  bool simulated = false;
+  double makespan = 0;
+  double load_imbalance = 0;
+  double straggler_impact = 0;
+  std::uint64_t capacity_violations = 0;
 };
 
 /// Evaluates every round of `metrics` against `recipe`'s lower bound.
 std::vector<RoundCostReport> CompareToLowerBound(
     const PipelineMetrics& metrics, const core::Recipe& recipe);
+
+/// Single-round convenience: evaluates one JobMetrics (a one-round job or
+/// schema-stat synthesis) against `recipe` — what the bench tables call.
+RoundCostReport CompareToLowerBound(const JobMetrics& metrics,
+                                    const core::Recipe& recipe);
 
 std::string ToString(const std::vector<RoundCostReport>& reports);
 

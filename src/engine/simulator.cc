@@ -1,0 +1,104 @@
+#include "src/engine/simulator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/engine/shuffle.h"
+
+namespace mrcost::engine {
+
+std::vector<double> WorkerSpeeds(const SimulationOptions& options) {
+  MRCOST_CHECK(options.num_workers > 0);
+  MRCOST_CHECK(options.straggler_slowdown >= 1.0);
+  MRCOST_CHECK(options.speed_jitter >= 0.0 && options.speed_jitter < 1.0);
+  MRCOST_CHECK(options.straggler_fraction >= 0.0 &&
+               options.straggler_fraction <= 1.0);
+  std::vector<double> speeds(options.num_workers, 1.0);
+  common::SplitMix64 rng(options.seed ^ 0x5b8e6b3a1f0c2d4eULL);
+  if (options.speed_jitter > 0) {
+    for (double& s : speeds) {
+      s = 1.0 - options.speed_jitter +
+          2.0 * options.speed_jitter * rng.UniformDouble();
+    }
+  }
+  const auto num_stragglers = static_cast<std::uint64_t>(
+      options.straggler_fraction * static_cast<double>(options.num_workers));
+  if (num_stragglers > 0 && options.straggler_slowdown > 1.0) {
+    for (std::uint64_t w :
+         common::SampleWithoutReplacement(options.num_workers,
+                                          num_stragglers, rng)) {
+      speeds[w] /= options.straggler_slowdown;
+    }
+  }
+  return speeds;
+}
+
+SimulationReport SimulateCluster(const std::vector<ReducerLoad>& reducers,
+                                 const SimulationOptions& options) {
+  MRCOST_CHECK(options.enabled());
+  SimulationReport report;
+  report.num_workers = options.num_workers;
+  report.queues.resize(options.num_workers);
+  const std::vector<double> speeds = WorkerSpeeds(options);
+  for (std::size_t w = 0; w < options.num_workers; ++w) {
+    report.queues[w].speed = speeds[w];
+  }
+
+  // Assignment pass: each reducer joins the queue of the worker its
+  // finalized key hash lands on — the same IndexOfHash placement the
+  // sharded shuffle uses, so the simulated cluster and the real shuffle
+  // agree on where a key lives.
+  for (std::size_t i = 0; i < reducers.size(); ++i) {
+    const ReducerLoad& r = reducers[i];
+    WorkerQueue& queue =
+        report.queues[IndexOfHash(r.key_hash, options.num_workers)];
+    queue.reducers.push_back(static_cast<std::uint32_t>(i));
+    queue.pairs += r.pairs;
+    queue.bytes += r.bytes;
+    if ((options.reducer_capacity_q > 0 &&
+         static_cast<double>(r.pairs) > options.reducer_capacity_q) ||
+        (options.reducer_capacity_bytes > 0 &&
+         r.bytes > options.reducer_capacity_bytes)) {
+      ++report.capacity_violations;
+    }
+  }
+
+  // Cost pass: each worker drains its queue at its own speed; a round ends
+  // when the slowest worker finishes (the paper's rounds are barriers).
+  double total_cost = 0;
+  double total_speed = 0;
+  double homogeneous_makespan = 0;
+  for (WorkerQueue& queue : report.queues) {
+    queue.cost = options.cost_per_pair * static_cast<double>(queue.pairs) +
+                 options.cost_per_byte * static_cast<double>(queue.bytes);
+    queue.finish_time = queue.cost / queue.speed;
+    total_cost += queue.cost;
+    total_speed += queue.speed;
+    homogeneous_makespan = std::max(homogeneous_makespan, queue.cost);
+    report.makespan = std::max(report.makespan, queue.finish_time);
+    report.max_worker_pairs =
+        std::max<std::uint64_t>(report.max_worker_pairs, queue.pairs);
+    report.worker_pairs.Add(static_cast<double>(queue.pairs));
+    report.worker_bytes.Add(static_cast<double>(queue.bytes));
+    report.worker_times.Add(queue.finish_time);
+  }
+  report.ideal_makespan = total_speed > 0 ? total_cost / total_speed : 0;
+  report.load_imbalance = report.worker_pairs.skew();
+  report.straggler_impact =
+      homogeneous_makespan > 0 ? report.makespan / homogeneous_makespan : 0;
+  return report;
+}
+
+std::string SimulationReport::ToString() const {
+  std::ostringstream os;
+  os << "workers=" << num_workers << " makespan=" << makespan
+     << " ideal=" << ideal_makespan << " imbalance=" << load_imbalance
+     << " straggler_impact=" << straggler_impact
+     << " capacity_violations=" << capacity_violations
+     << " max_worker_pairs=" << max_worker_pairs;
+  return os.str();
+}
+
+}  // namespace mrcost::engine

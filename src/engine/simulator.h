@@ -1,0 +1,133 @@
+#ifndef MRCOST_ENGINE_SIMULATOR_H_
+#define MRCOST_ENGINE_SIMULATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace mrcost::engine {
+
+/// Knobs for the cluster-simulation layer. The paper's cost model charges a
+/// computation a replication rate r against a reducer capacity q; this layer
+/// makes the other half of that tradeoff observable by assigning every
+/// reduce key to a simulated worker queue and accumulating per-worker cost,
+/// so skewed key distributions, heterogeneous machines, and stragglers show
+/// up as makespan and load imbalance instead of staying invisible behind
+/// placement counts.
+struct SimulationOptions {
+  /// Number of simulated reduce workers; 0 disables the simulation.
+  std::size_t num_workers = 0;
+
+  /// The recipe's reducer capacity q, in input pairs: a reducer (key group)
+  /// whose value list is longer than this is a capacity violation.
+  /// 0 = unlimited.
+  double reducer_capacity_q = 0;
+  /// Byte-level form of the same capacity, measured with ByteSizeOf over
+  /// the key and its value list. 0 = unlimited.
+  std::uint64_t reducer_capacity_bytes = 0;
+
+  /// Fraction of workers (rounded down, chosen by `seed`) that straggle.
+  double straggler_fraction = 0;
+  /// Stragglers process their queue this factor slower. Must be >= 1.
+  double straggler_slowdown = 1.0;
+  /// Relative uniform jitter on every worker's speed: each worker's speed
+  /// is drawn from [1 - jitter, 1 + jitter]. Models mildly heterogeneous
+  /// machines; 0 = identical workers.
+  double speed_jitter = 0;
+  /// Seeds the speed jitter and the straggler choice. The simulation is a
+  /// pure function of (reducer loads, options), so a fixed seed gives
+  /// identical reports for every thread/shard count.
+  std::uint64_t seed = 0;
+
+  /// Simulated time units charged per input pair and per input byte of a
+  /// reducer's value list. Defaults model the paper's pair-count cost;
+  /// set cost_per_byte to weigh big values more.
+  double cost_per_pair = 1.0;
+  double cost_per_byte = 0;
+
+  bool enabled() const { return num_workers > 0; }
+
+  /// True when any knob beyond num_workers was moved off its default.
+  /// Used to catch configurations that set skew/capacity knobs but forgot
+  /// num_workers — which would otherwise silently skip the simulation.
+  bool customized() const {
+    return reducer_capacity_q != 0 || reducer_capacity_bytes != 0 ||
+           straggler_fraction != 0 || straggler_slowdown != 1.0 ||
+           speed_jitter != 0 || cost_per_pair != 1.0 || cost_per_byte != 0;
+  }
+};
+
+/// One reducer (reduce key) as the simulator sees it: its finalized key
+/// hash (which decides the worker via IndexOfHash) and the size of its
+/// input list in pairs and bytes.
+struct ReducerLoad {
+  std::uint64_t key_hash = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One simulated worker's queue after assignment: the reducers it owns (in
+/// arrival order, i.e. global first-seen key order), its accumulated load,
+/// its speed, and when it finishes draining the queue.
+struct WorkerQueue {
+  std::vector<std::uint32_t> reducers;  // indices into the ReducerLoad list
+  std::uint64_t pairs = 0;
+  std::uint64_t bytes = 0;
+  double cost = 0;         // cost_per_pair * pairs + cost_per_byte * bytes
+  double speed = 1.0;      // jitter and straggler slowdown applied
+  double finish_time = 0;  // cost / speed
+};
+
+/// Everything the simulation measures for one round.
+struct SimulationReport {
+  std::size_t num_workers = 0;
+
+  /// Time the slowest worker finishes: max over workers of cost / speed.
+  double makespan = 0;
+  /// Perfect-balance floor: total cost / total speed. makespan/ideal
+  /// quantifies what placement skew plus heterogeneity cost this round.
+  double ideal_makespan = 0;
+  /// Max worker load / mean worker load, in pairs; 1.0 = perfectly even,
+  /// grows with key skew. 0 when nothing was shuffled.
+  double load_imbalance = 0;
+  /// makespan / (makespan on identical-speed workers): the slowdown
+  /// attributable purely to stragglers and jitter. 1.0 = homogeneous.
+  double straggler_impact = 0;
+  /// Reducers whose input list exceeds reducer_capacity_q pairs or
+  /// reducer_capacity_bytes bytes — the schema promised q and broke it.
+  std::uint64_t capacity_violations = 0;
+  std::uint64_t max_worker_pairs = 0;
+
+  /// Per-worker distributions (count == num_workers, zero-load workers
+  /// included).
+  common::RunningStats worker_pairs;
+  common::RunningStats worker_bytes;
+  common::RunningStats worker_times;
+
+  /// The queues themselves, for callers that want to inspect placement
+  /// (tests, benches). queues[w].reducers indexes the ReducerLoad vector
+  /// passed to SimulateCluster.
+  std::vector<WorkerQueue> queues;
+
+  std::string ToString() const;
+};
+
+/// Deterministic per-worker speeds for `options`: jitter applied from the
+/// seed, then the straggler subset (floor(fraction * workers) workers,
+/// sampled without replacement) divided by straggler_slowdown.
+std::vector<double> WorkerSpeeds(const SimulationOptions& options);
+
+/// Runs the simulation: every reducer is enqueued on worker
+/// IndexOfHash(key_hash, num_workers), per-worker cost accumulates, and the
+/// report summarizes makespan, imbalance, straggler impact, and capacity
+/// violations. Pure and serial — identical results for any thread count.
+/// Requires options.enabled().
+SimulationReport SimulateCluster(const std::vector<ReducerLoad>& reducers,
+                                 const SimulationOptions& options);
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_SIMULATOR_H_

@@ -106,4 +106,14 @@ double AlonSampleEdgeLowerBound(std::uint64_t m, int s, double q) {
   return std::pow(std::sqrt(static_cast<double>(m) / q), s - 2);
 }
 
+core::Recipe AlonSampleEdgeRecipe(std::uint64_t m, int s) {
+  MRCOST_CHECK(s >= 3);
+  core::Recipe recipe;
+  recipe.problem_name = "alon-sample-graph-edges";
+  recipe.g = [s](double q) { return std::pow(q, s / 2.0); };
+  recipe.num_inputs = static_cast<double>(m);
+  recipe.num_outputs = std::pow(static_cast<double>(m), s / 2.0);
+  return recipe;
+}
+
 }  // namespace mrcost::graph

@@ -28,6 +28,12 @@ double AlonSampleLowerBound(NodeId n, int s, double q);
 /// Section 5.3's edge-scaled form: r = Omega((sqrt(m/q))^{s-2}).
 double AlonSampleEdgeLowerBound(std::uint64_t m, int s, double q);
 
+/// The Section 5.3 recipe in edge coordinates, for sparse instances with m
+/// edges: g(q) = q^{s/2}, |I| = m, |O| = m^{s/2} — Equation 4 then yields
+/// exactly the closed form r >= (sqrt(m/q))^{s-2} above, so sparse
+/// reproductions can go through the generic CompareToLowerBound machinery.
+core::Recipe AlonSampleEdgeRecipe(std::uint64_t m, int s);
+
 }  // namespace mrcost::graph
 
 #endif  // MRCOST_GRAPH_ALON_H_

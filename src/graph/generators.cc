@@ -1,5 +1,6 @@
 #include "src/graph/generators.h"
 
+#include <unordered_set>
 #include <vector>
 
 namespace mrcost::graph {
@@ -66,6 +67,28 @@ Graph PreferentialAttachmentGraph(NodeId n, int attach, std::uint64_t seed) {
       pool.push_back(u);
       pool.push_back(target);
     }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph ZipfGraph(NodeId n, std::uint64_t m, double exponent,
+                std::uint64_t seed) {
+  MRCOST_CHECK(n >= 2);
+  common::SplitMix64 rng(seed);
+  const common::ZipfDistribution zipf(n, exponent);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  // Rejection-sample distinct loop-free edges; the attempt cap bounds the
+  // loop when heavy skew keeps landing on the same few hub pairs.
+  const std::uint64_t max_attempts = 20 * m + 100;
+  for (std::uint64_t attempt = 0;
+       attempt < max_attempts && edges.size() < m; ++attempt) {
+    const auto u = static_cast<NodeId>(zipf.Sample(rng));
+    const auto v = static_cast<NodeId>(zipf.Sample(rng));
+    if (u == v) continue;
+    const Edge e(u, v);
+    if (seen.insert(e.Hash()).second) edges.push_back(e);
   }
   return Graph(n, std::move(edges));
 }

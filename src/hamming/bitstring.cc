@@ -1,5 +1,8 @@
 #include "src/hamming/bitstring.h"
 
+#include <unordered_set>
+
+#include "src/common/random.h"
 #include "src/common/status.h"
 
 namespace mrcost::hamming {
@@ -19,6 +22,42 @@ std::vector<BitString> AllStrings(int b) {
   std::vector<BitString> out;
   out.reserve(n);
   for (std::uint64_t w = 0; w < n; ++w) out.push_back(w);
+  return out;
+}
+
+std::vector<BitString> SkewedStrings(int b, std::size_t n,
+                                     std::size_t num_hubs, double exponent,
+                                     std::uint64_t seed) {
+  MRCOST_CHECK(b >= 1 && b <= 32);
+  MRCOST_CHECK(num_hubs >= 1);
+  MRCOST_CHECK(n >= 1 && n <= (std::uint64_t{1} << b));
+  common::SplitMix64 rng(seed);
+  const BitString mask = (BitString{1} << b) - 1;
+
+  std::vector<BitString> hubs(num_hubs);
+  for (BitString& h : hubs) h = rng.Next() & mask;
+  const common::ZipfDistribution zipf(num_hubs, exponent);
+
+  std::unordered_set<BitString> seen;
+  std::vector<BitString> out;
+  out.reserve(n);
+  auto add = [&](BitString w) {
+    if (seen.insert(w).second) out.push_back(w);
+  };
+  // Cluster pass: Zipf-pick a hub, flip 1..3 random bits. Distinctness can
+  // stall near a saturated hub ball, so cap the attempts...
+  for (std::uint64_t attempt = 0; attempt < 40 * n && out.size() < n;
+       ++attempt) {
+    BitString w = hubs[zipf.Sample(rng)];
+    const int flips = 1 + static_cast<int>(rng.UniformBelow(3));
+    for (int f = 0; f < flips; ++f) {
+      w ^= BitString{1} << rng.UniformBelow(static_cast<std::uint64_t>(b));
+    }
+    add(w);
+  }
+  // ...and top up with uniform strings (always distinct eventually, since
+  // n <= 2^b).
+  while (out.size() < n) add(rng.Next() & mask);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MRCOST_HAMMING_BITSTRING_H_
 #define MRCOST_HAMMING_BITSTRING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -24,6 +25,17 @@ std::vector<BitString> NeighborsAtDistance1(BitString w, int b);
 /// The full input domain: all 2^b strings of length b. Precondition b <= 24
 /// (guards accidental huge allocations).
 std::vector<BitString> AllStrings(int b);
+
+/// `n` distinct b-bit strings clustered around Zipf-popular hubs: hub
+/// centers are random strings, each output picks a hub with Zipf(`exponent`)
+/// frequency and flips a few random bits of it. At large exponents most
+/// strings huddle within small Hamming distance of hub 0, so
+/// similarity-join reducers sharing its segments blow up — the
+/// skew-injection input for the hamming family. Exponent 0 degrades to
+/// near-uniform sampling. Requires 1 <= n <= 2^b and num_hubs >= 1.
+std::vector<BitString> SkewedStrings(int b, std::size_t n,
+                                     std::size_t num_hubs, double exponent,
+                                     std::uint64_t seed);
 
 /// Weight (number of 1s) of the `len`-bit segment of `w` starting at `pos`.
 inline int SegmentWeight(BitString w, int pos, int len) {

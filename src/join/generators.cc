@@ -1,0 +1,47 @@
+#include "src/join/generators.h"
+
+#include <utility>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace mrcost::join {
+
+Relation ZipfRelation(std::string name, std::vector<std::string> attributes,
+                      std::uint64_t size, Value domain, double exponent,
+                      std::uint64_t seed) {
+  MRCOST_CHECK(domain >= 1);
+  common::SplitMix64 rng(seed);
+  const common::ZipfDistribution zipf(static_cast<std::uint64_t>(domain),
+                                      exponent);
+  Relation rel(std::move(name), std::move(attributes));
+  const auto arity = static_cast<std::size_t>(rel.arity());
+  for (std::uint64_t i = 0; i < size; ++i) {
+    Tuple t(arity);
+    for (Value& v : t) v = static_cast<Value>(zipf.Sample(rng));
+    rel.Add(std::move(t));
+  }
+  return rel;
+}
+
+std::vector<Relation> ZipfRelationsForQuery(const Query& query,
+                                            std::uint64_t size_per_relation,
+                                            Value domain, double exponent,
+                                            std::uint64_t seed) {
+  std::vector<Relation> rels;
+  rels.reserve(query.num_atoms());
+  for (int e = 0; e < query.num_atoms(); ++e) {
+    const Atom& atom = query.atoms()[e];
+    std::vector<std::string> names;
+    names.reserve(atom.attributes.size());
+    for (int a : atom.attributes) {
+      names.push_back(query.attribute_names()[a]);
+    }
+    rels.push_back(ZipfRelation(atom.relation, std::move(names),
+                                size_per_relation, domain, exponent,
+                                seed + static_cast<std::uint64_t>(e)));
+  }
+  return rels;
+}
+
+}  // namespace mrcost::join

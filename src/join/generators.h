@@ -1,0 +1,32 @@
+#ifndef MRCOST_JOIN_GENERATORS_H_
+#define MRCOST_JOIN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/join/query.h"
+#include "src/join/relation.h"
+
+namespace mrcost::join {
+
+/// A random relation whose attribute values are drawn Zipf(`exponent`)
+/// over [0, domain) — the classic join-skew generator: at exponent 0 this
+/// is the uniform relation the benches already build by hand, and at
+/// exponent >= 1 a handful of hot values dominate, so HyperCube cells and
+/// reduce keys containing them blow up. The skew-injection input for the
+/// join family.
+Relation ZipfRelation(std::string name, std::vector<std::string> attributes,
+                      std::uint64_t size, Value domain, double exponent,
+                      std::uint64_t seed);
+
+/// One Zipf relation per atom of `query`, schema-aligned with the query's
+/// attribute names — what HyperCubeJoin / HyperCubeJoinAggregate consume.
+std::vector<Relation> ZipfRelationsForQuery(const Query& query,
+                                            std::uint64_t size_per_relation,
+                                            Value domain, double exponent,
+                                            std::uint64_t seed);
+
+}  // namespace mrcost::join
+
+#endif  // MRCOST_JOIN_GENERATORS_H_

@@ -9,6 +9,17 @@ void Matrix::FillRandom(common::SplitMix64& rng) {
   for (double& v : data_) v = 2.0 * rng.UniformDouble() - 1.0;
 }
 
+void Matrix::FillZipf(common::SplitMix64& rng, double exponent) {
+  // Rank-r magnitude 1/(r+1)^exponent over 1024 ranks, uniform sign.
+  constexpr std::uint64_t kRanks = 1024;
+  const common::ZipfDistribution zipf(kRanks, 1.0);
+  for (double& v : data_) {
+    const double rank = static_cast<double>(zipf.Sample(rng));
+    const double magnitude = 1.0 / std::pow(rank + 1.0, exponent);
+    v = rng.Bernoulli(0.5) ? magnitude : -magnitude;
+  }
+}
+
 double Matrix::MaxAbsDiff(const Matrix& other) const {
   MRCOST_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   double max_diff = 0.0;

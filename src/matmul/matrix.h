@@ -33,6 +33,16 @@ class Matrix {
   /// Fills with uniform values in [-1, 1) from `rng`.
   void FillRandom(common::SplitMix64& rng);
 
+  /// Fills with Zipf(`exponent`)-skewed magnitudes (random sign): a few
+  /// entries near +/-1 dominate while the tail collapses toward 0 — the
+  /// heavy-tailed value profile of real sparse data. Note this skews only
+  /// the numerical content: the matmul tiling schemas replicate elements
+  /// structurally and a double's wire size is fixed, so engine metrics
+  /// and simulated placement are value-independent. Cluster-level skew
+  /// for the matmul family comes from SimulationOptions' heterogeneous
+  /// worker speeds and stragglers.
+  void FillZipf(common::SplitMix64& rng, double exponent);
+
   /// Max absolute elementwise difference; matrices must be congruent.
   double MaxAbsDiff(const Matrix& other) const;
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/random.h"
 #include "src/common/thread_pool.h"
 #include "src/core/lower_bound.h"
 #include "src/engine/byte_size.h"
@@ -14,6 +15,7 @@
 #include "src/engine/metrics.h"
 #include "src/engine/pipeline.h"
 #include "src/engine/shuffle.h"
+#include "src/engine/simulator.h"
 
 namespace mrcost::engine {
 namespace {
@@ -345,7 +347,8 @@ TEST(Combiner, EmptyInput) {
 
 /// Fanout-3 workload with colliding keys: enough key reuse that grouping
 /// order matters and enough keys that every shard owns some.
-JobResult<std::pair<int, std::int64_t>> FanoutJob(const JobOptions& options) {
+JobResult<std::pair<int, std::uint64_t>> FanoutJob(
+    const JobOptions& options) {
   std::vector<int> inputs(3000);
   std::iota(inputs.begin(), inputs.end(), 0);
   auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
@@ -354,12 +357,14 @@ JobResult<std::pair<int, std::int64_t>> FanoutJob(const JobOptions& options) {
     emitter.Emit(x % 599, x + 2);
   };
   auto reduce_fn = [](const int& key, const std::vector<int>& values,
-                      std::vector<std::pair<int, std::int64_t>>& out) {
-    std::int64_t acc = key;
-    for (int v : values) acc = acc * 31 + v;  // order-sensitive fold
+                      std::vector<std::pair<int, std::uint64_t>>& out) {
+    // Order-sensitive fold; unsigned so the deliberate wraparound is
+    // defined (the sanitized CI job runs this test under UBSan).
+    auto acc = static_cast<std::uint64_t>(key);
+    for (int v : values) acc = acc * 31 + static_cast<std::uint64_t>(v);
     out.emplace_back(key, acc);
   };
-  return RunMapReduce<int, int, int, std::pair<int, std::int64_t>>(
+  return RunMapReduce<int, int, int, std::pair<int, std::uint64_t>>(
       inputs, map_fn, reduce_fn, options);
 }
 
@@ -497,6 +502,403 @@ TEST(Shuffle, SimulatedWorkerLoadBalance) {
   const double mean = result.metrics.worker_loads.mean();
   EXPECT_LT(result.metrics.worker_loads.max(), 1.15 * mean);
   EXPECT_GT(result.metrics.worker_loads.min(), 0.85 * mean);
+}
+
+// ------------------------------------------- shuffle property harness
+
+/// Key distributions the equivalence property is checked under: the
+/// regimes where a sharded shuffle can diverge from the serial reference
+/// (hot keys concentrating in one shard, every key distinct, every pair
+/// the same key).
+enum class KeyDist { kUniform, kZipf, kAllSame, kAllDistinct };
+
+const char* Name(KeyDist dist) {
+  switch (dist) {
+    case KeyDist::kUniform: return "uniform";
+    case KeyDist::kZipf: return "zipf";
+    case KeyDist::kAllSame: return "all-same";
+    case KeyDist::kAllDistinct: return "all-distinct";
+  }
+  return "?";
+}
+
+/// Seed-deterministic random chunks: chunk count, chunk sizes (including
+/// empty chunks), and keys all drawn from `seed`.
+std::vector<std::vector<std::pair<std::uint64_t, int>>> RandomChunks(
+    KeyDist dist, std::uint64_t seed) {
+  common::SplitMix64 rng(seed);
+  const common::ZipfDistribution zipf(64, 1.3);
+  const std::size_t num_chunks = 1 + rng.UniformBelow(8);
+  std::vector<std::vector<std::pair<std::uint64_t, int>>> chunks(num_chunks);
+  int serial = 0;
+  for (auto& chunk : chunks) {
+    const std::size_t size = rng.UniformBelow(400);
+    chunk.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      std::uint64_t key = 0;
+      switch (dist) {
+        case KeyDist::kUniform:
+          key = rng.UniformBelow(150);
+          break;
+        case KeyDist::kZipf:
+          key = zipf.Sample(rng);
+          break;
+        case KeyDist::kAllSame:
+          key = 42;
+          break;
+        case KeyDist::kAllDistinct:
+          key = static_cast<std::uint64_t>(serial);
+          break;
+      }
+      chunk.emplace_back(key, serial++);
+    }
+  }
+  return chunks;
+}
+
+TEST(ShuffleProperty, SerialVsShardedEquivalence) {
+  // For every distribution, seed, and shard count 1..16: keys, group
+  // contents, and global first-seen order must match the serial reference
+  // exactly. Both shuffles consume their chunks, so each run rebuilds them
+  // (RandomChunks is a pure function of its arguments).
+  common::ThreadPool pool(4);
+  for (KeyDist dist : {KeyDist::kUniform, KeyDist::kZipf, KeyDist::kAllSame,
+                       KeyDist::kAllDistinct}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto serial_chunks = RandomChunks(dist, seed);
+      const auto serial = SerialShuffle(serial_chunks);
+      for (std::size_t shards = 1; shards <= 16; ++shards) {
+        auto chunks = RandomChunks(dist, seed);
+        const auto sharded = ShardedShuffle(chunks, pool, shards);
+        SCOPED_TRACE(std::string(Name(dist)) +
+                     " seed=" + std::to_string(seed) +
+                     " shards=" + std::to_string(shards));
+        ASSERT_EQ(sharded.keys, serial.keys);
+        ASSERT_EQ(sharded.groups, serial.groups);
+      }
+    }
+  }
+}
+
+TEST(Shuffle, IndexOfHashSingleBucket) {
+  // n = 1: every hash, including the extremes, must land in bucket 0.
+  EXPECT_EQ(IndexOfHash(0, 1), 0u);
+  EXPECT_EQ(IndexOfHash(~std::uint64_t{0}, 1), 0u);
+  common::SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(IndexOfHash(rng.Next(), 1), 0u);
+  }
+}
+
+TEST(Shuffle, IndexOfHashCoversFullRange) {
+  // fastrange maps the hash's high bits onto [0, n): the extremes of the
+  // hash space must reach the extremes of the bucket range.
+  for (std::size_t n : {2u, 7u, 64u, 1000u}) {
+    EXPECT_EQ(IndexOfHash(0, n), 0u) << n;
+    EXPECT_EQ(IndexOfHash(~std::uint64_t{0}, n), n - 1) << n;
+  }
+}
+
+TEST(Shuffle, ResolveShardCountZeroPairs) {
+  // A zero-pair job must stay serial under auto sharding (no useful
+  // shards), while an explicit request still wins.
+  EXPECT_EQ(ResolveShardCount(0, 8, 0), 1u);
+  EXPECT_EQ(ResolveShardCount(3, 8, 0), 3u);
+}
+
+// ---------------------------------------------------------- simulator
+
+TEST(Simulator, WorkerSpeedsDeterministic) {
+  SimulationOptions options;
+  options.num_workers = 8;
+  options.speed_jitter = 0.2;
+  options.straggler_fraction = 0.25;
+  options.straggler_slowdown = 4.0;
+  options.seed = 7;
+  const auto a = WorkerSpeeds(options);
+  const auto b = WorkerSpeeds(options);
+  ASSERT_EQ(a.size(), 8u);
+  EXPECT_EQ(a, b);
+  // Exactly floor(0.25 * 8) = 2 stragglers: jittered speeds live in
+  // [0.8, 1.2], slowed ones in [0.2, 0.3] — cleanly separable at 0.5.
+  int stragglers = 0;
+  for (double s : a) {
+    if (s < 0.5) ++stragglers;
+  }
+  EXPECT_EQ(stragglers, 2);
+  options.seed = 8;
+  EXPECT_NE(WorkerSpeeds(options), a);
+}
+
+TEST(Simulator, DirectQueuesCapacityAndMakespan) {
+  // Hand-placed reducers: with 2 workers, IndexOfHash takes the hash's top
+  // bit, so hash 0 and 1<<62 land on worker 0 and ~0 lands on worker 1.
+  std::vector<ReducerLoad> loads;
+  loads.push_back(ReducerLoad{0, 5, 50});
+  loads.push_back(ReducerLoad{~std::uint64_t{0}, 2, 20});
+  loads.push_back(ReducerLoad{std::uint64_t{1} << 62, 1, 10});
+  SimulationOptions options;
+  options.num_workers = 2;
+  options.reducer_capacity_q = 4;  // the 5-pair reducer violates
+  const auto report = SimulateCluster(loads, options);
+  ASSERT_EQ(report.queues.size(), 2u);
+  EXPECT_EQ(report.queues[0].pairs, 6u);
+  EXPECT_EQ(report.queues[1].pairs, 2u);
+  EXPECT_EQ(report.queues[0].reducers, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_DOUBLE_EQ(report.makespan, 6.0);       // cost_per_pair = 1, speed 1
+  EXPECT_DOUBLE_EQ(report.ideal_makespan, 4.0);  // 8 pairs / 2 workers
+  EXPECT_DOUBLE_EQ(report.load_imbalance, 1.5);  // max 6 / mean 4
+  EXPECT_DOUBLE_EQ(report.straggler_impact, 1.0);
+  EXPECT_EQ(report.capacity_violations, 1u);
+  EXPECT_EQ(report.max_worker_pairs, 6u);
+}
+
+TEST(Simulator, ByteCapacityViaByteCost) {
+  std::vector<ReducerLoad> loads;
+  loads.push_back(ReducerLoad{0, 1, 100});
+  loads.push_back(ReducerLoad{~std::uint64_t{0}, 1, 10});
+  SimulationOptions options;
+  options.num_workers = 2;
+  options.reducer_capacity_bytes = 50;
+  options.cost_per_pair = 0;
+  options.cost_per_byte = 1.0;
+  const auto report = SimulateCluster(loads, options);
+  EXPECT_EQ(report.capacity_violations, 1u);
+  EXPECT_DOUBLE_EQ(report.makespan, 100.0);
+}
+
+TEST(Simulator, StragglerStretchesMakespan) {
+  // 64 equal reducers over 4 workers; slowing half the workers 4x must
+  // stretch the makespan by ~4x relative to the homogeneous cluster.
+  std::vector<ReducerLoad> loads;
+  common::SplitMix64 rng(11);
+  for (int i = 0; i < 64; ++i) {
+    loads.push_back(ReducerLoad{rng.Next(), 10, 80});
+  }
+  SimulationOptions fair;
+  fair.num_workers = 4;
+  const auto baseline = SimulateCluster(loads, fair);
+  SimulationOptions slow = fair;
+  slow.straggler_fraction = 0.5;
+  slow.straggler_slowdown = 4.0;
+  slow.seed = 3;
+  const auto straggled = SimulateCluster(loads, slow);
+  EXPECT_DOUBLE_EQ(baseline.straggler_impact, 1.0);
+  EXPECT_GE(straggled.straggler_impact, 2.0);
+  EXPECT_GT(straggled.makespan, baseline.makespan);
+  // Placement is speed-independent, so load stats are unchanged.
+  EXPECT_DOUBLE_EQ(straggled.worker_pairs.max(), baseline.worker_pairs.max());
+  EXPECT_EQ(straggled.load_imbalance, baseline.load_imbalance);
+}
+
+/// A key-skewed job: `inputs` keys drawn Zipf(exponent) over `num_keys`
+/// (exponent 0 = uniform), one pair per input.
+JobResult<std::pair<std::uint64_t, std::int64_t>> ZipfJob(
+    double exponent, const JobOptions& options) {
+  common::SplitMix64 rng(99);
+  const common::ZipfDistribution zipf(512, exponent);
+  std::vector<std::uint64_t> inputs(20000);
+  for (auto& x : inputs) x = zipf.Sample(rng);
+  auto map_fn = [](const std::uint64_t& x,
+                   Emitter<std::uint64_t, int>& emitter) {
+    emitter.Emit(x, 1);
+  };
+  auto reduce_fn = [](const std::uint64_t& key, const std::vector<int>& values,
+                      std::vector<std::pair<std::uint64_t, std::int64_t>>&
+                          out) {
+    out.emplace_back(key, static_cast<std::int64_t>(values.size()));
+  };
+  return RunMapReduce<std::uint64_t, std::uint64_t, int,
+                      std::pair<std::uint64_t, std::int64_t>>(
+      inputs, map_fn, reduce_fn, options);
+}
+
+TEST(Simulator, OutputsBitIdenticalWithAndWithoutSimulation) {
+  // The acceptance bar: simulation may only touch metrics. Reduce outputs
+  // must be bit-identical across simulation on/off, worker counts, thread
+  // counts, and shard counts.
+  JobOptions plain;
+  plain.num_threads = 1;
+  plain.num_shards = 1;
+  const auto reference = ZipfJob(1.1, plain);
+  for (std::size_t workers : {1u, 4u, 31u}) {
+    for (std::size_t threads : {1u, 8u}) {
+      for (std::size_t shards : {1u, 8u}) {
+        JobOptions options;
+        options.num_threads = threads;
+        options.num_shards = shards;
+        options.simulation.num_workers = workers;
+        options.simulation.straggler_fraction = 0.3;
+        options.simulation.straggler_slowdown = 3.0;
+        options.simulation.speed_jitter = 0.1;
+        options.simulation.seed = 5;
+        const auto run = ZipfJob(1.1, options);
+        SCOPED_TRACE("workers=" + std::to_string(workers) +
+                     " threads=" + std::to_string(threads) +
+                     " shards=" + std::to_string(shards));
+        ASSERT_EQ(run.outputs, reference.outputs);
+      }
+    }
+  }
+}
+
+TEST(Simulator, MetricsDeterministicAcrossThreadCounts) {
+  // Fixed seed => identical makespan/load metrics for every thread and
+  // shard count: the simulation is a pure function of the (deterministic)
+  // shuffle result and the options.
+  JobOptions base;
+  base.num_threads = 1;
+  base.num_shards = 1;
+  base.simulation.num_workers = 16;
+  base.simulation.speed_jitter = 0.15;
+  base.simulation.straggler_fraction = 0.25;
+  base.simulation.straggler_slowdown = 2.0;
+  base.simulation.reducer_capacity_q = 100;
+  base.simulation.seed = 42;
+  const auto reference = ZipfJob(1.3, base);
+  EXPECT_GT(reference.metrics.makespan, 0.0);
+  for (std::size_t threads : {2u, 8u}) {
+    for (std::size_t shards : {1u, 4u, 16u}) {
+      JobOptions options = base;
+      options.num_threads = threads;
+      options.num_shards = shards;
+      const auto run = ZipfJob(1.3, options);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      EXPECT_DOUBLE_EQ(run.metrics.makespan, reference.metrics.makespan);
+      EXPECT_DOUBLE_EQ(run.metrics.load_imbalance,
+                       reference.metrics.load_imbalance);
+      EXPECT_DOUBLE_EQ(run.metrics.straggler_impact,
+                       reference.metrics.straggler_impact);
+      EXPECT_EQ(run.metrics.capacity_violations,
+                reference.metrics.capacity_violations);
+      EXPECT_DOUBLE_EQ(run.metrics.worker_loads.max(),
+                       reference.metrics.worker_loads.max());
+      EXPECT_DOUBLE_EQ(run.metrics.worker_loads.mean(),
+                       reference.metrics.worker_loads.mean());
+    }
+  }
+}
+
+TEST(Simulator, CapacityViolationsInsteadOfSilentOverfill) {
+  // Keys 0..4 receive 1..5 values; a recipe that promises q = 3 must
+  // report the two oversized reducers (4 and 5), not silently absorb them.
+  std::vector<int> inputs;
+  for (int key = 0; key < 5; ++key) {
+    for (int i = 0; i <= key; ++i) inputs.push_back(key);
+  }
+  auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x, 1);
+  };
+  auto reduce_fn = [](const int&, const std::vector<int>&,
+                      std::vector<int>&) {};
+  JobOptions options;
+  options.simulation.num_workers = 4;
+  options.simulation.reducer_capacity_q = 3;
+  auto result =
+      RunMapReduce<int, int, int, int>(inputs, map_fn, reduce_fn, options);
+  EXPECT_EQ(result.metrics.capacity_violations, 2u);
+  ASSERT_TRUE(result.metrics.simulated());
+  // And with a generous q, no violations.
+  options.simulation.reducer_capacity_q = 5;
+  result = RunMapReduce<int, int, int, int>(inputs, map_fn, reduce_fn,
+                                            options);
+  EXPECT_EQ(result.metrics.capacity_violations, 0u);
+}
+
+TEST(Simulator, ZipfSkewRaisesImbalance) {
+  JobOptions options;
+  options.simulation.num_workers = 8;
+  const auto uniform = ZipfJob(0.0, options);
+  const auto skewed = ZipfJob(1.5, options);
+  // Uniform keys spread evenly; heavy Zipf concentrates pairs on whichever
+  // worker owns key rank 0.
+  EXPECT_LT(uniform.metrics.load_imbalance, 1.3);
+  EXPECT_GT(skewed.metrics.load_imbalance,
+            1.5 * uniform.metrics.load_imbalance);
+  EXPECT_GT(skewed.metrics.makespan, uniform.metrics.makespan);
+}
+
+TEST(SimulatorDeathTest, SkewKnobsWithoutWorkersFailLoudly) {
+  // Setting capacity/skew knobs but forgetting num_workers would
+  // otherwise silently skip the simulation (makespan 0, "no violations").
+  JobOptions options;
+  options.simulation.reducer_capacity_q = 256;
+  EXPECT_DEATH(options.ResolvedSimulation(), "MRCOST_CHECK failed");
+}
+
+TEST(Simulator, LegacyWorkerCountShorthand) {
+  // num_simulated_workers alone still runs the (skew-free) simulation and
+  // fills worker_loads exactly as before, now with makespan alongside.
+  JobOptions options;
+  options.num_simulated_workers = 7;
+  const auto sim = options.ResolvedSimulation();
+  EXPECT_TRUE(sim.enabled());
+  EXPECT_EQ(sim.num_workers, 7u);
+  const auto run = ZipfJob(0.0, options);
+  EXPECT_EQ(run.metrics.worker_loads.count(), 7);
+  EXPECT_DOUBLE_EQ(run.metrics.worker_loads.sum(),
+                   static_cast<double>(run.metrics.pairs_shuffled));
+  EXPECT_GT(run.metrics.makespan, 0.0);
+}
+
+TEST(Simulator, PipelineWideSimulationAndCostReports) {
+  // A pipeline-level SimulationOptions must reach every round, surface in
+  // PipelineMetrics aggregates, and ride along in CompareToLowerBound's
+  // per-round reports.
+  PipelineOptions options;
+  options.simulation.num_workers = 4;
+  options.simulation.reducer_capacity_q = 5;
+  Pipeline pipeline(options);
+  std::vector<int> inputs(100);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map1 = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x % 10, x);  // 10 keys x 10 values: violates q = 5
+  };
+  auto reduce1 = [](const int& key, const std::vector<int>& values,
+                    std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t sum = 0;
+    for (int v : values) sum += v;
+    out.emplace_back(key, sum);
+  };
+  auto sums = pipeline.AddRound<int, int, int, std::pair<int, std::int64_t>>(
+      inputs, map1, reduce1);
+  auto map2 = [](const std::pair<int, std::int64_t>& p,
+                 Emitter<int, std::int64_t>& emitter) {
+    emitter.Emit(p.first % 2, p.second);
+  };
+  auto reduce2 = [](const int& key, const std::vector<std::int64_t>& values,
+                    std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t sum = 0;
+    for (std::int64_t v : values) sum += v;
+    out.emplace_back(key, sum);
+  };
+  pipeline.AddRound<std::pair<int, std::int64_t>, int, std::int64_t,
+                    std::pair<int, std::int64_t>>(sums, map2, reduce2);
+
+  const PipelineMetrics& m = pipeline.metrics();
+  ASSERT_EQ(m.rounds.size(), 2u);
+  EXPECT_TRUE(m.rounds[0].simulated());
+  EXPECT_TRUE(m.rounds[1].simulated());
+  EXPECT_EQ(m.rounds[0].capacity_violations, 10u);  // all 10 reducers > 5
+  EXPECT_EQ(m.rounds[1].capacity_violations, 0u);   // 2 keys x 5 values
+  EXPECT_GT(m.max_makespan(), 0.0);
+  EXPECT_GE(m.total_makespan(), m.max_makespan());
+  EXPECT_EQ(m.total_capacity_violations(), 10u);
+  EXPECT_GE(m.max_load_imbalance(), 1.0);
+
+  core::Recipe recipe;
+  recipe.problem_name = "synthetic";
+  recipe.g = [](double q) { return q; };
+  recipe.num_inputs = 100;
+  recipe.num_outputs = 100;
+  const auto reports = CompareToLowerBound(m, recipe);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].simulated);
+  EXPECT_DOUBLE_EQ(reports[0].makespan, m.rounds[0].makespan);
+  EXPECT_EQ(reports[0].capacity_violations, 10u);
+  EXPECT_NE(ToString(reports).find("capacity_violations=10"),
+            std::string::npos);
 }
 
 // --------------------------------------------------------- caller pool
