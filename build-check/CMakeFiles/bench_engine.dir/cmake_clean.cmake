@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine.dir/bench/bench_engine.cc.o"
+  "CMakeFiles/bench_engine.dir/bench/bench_engine.cc.o.d"
+  "bench_engine"
+  "bench_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_hamming.dir/bench/bench_fig1_hamming.cc.o"
+  "CMakeFiles/bench_fig1_hamming.dir/bench/bench_fig1_hamming.cc.o.d"
+  "bench_fig1_hamming"
+  "bench_fig1_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

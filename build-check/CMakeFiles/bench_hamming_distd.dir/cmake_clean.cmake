@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hamming_distd.dir/bench/bench_hamming_distd.cc.o"
+  "CMakeFiles/bench_hamming_distd.dir/bench/bench_hamming_distd.cc.o.d"
+  "bench_hamming_distd"
+  "bench_hamming_distd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hamming_distd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

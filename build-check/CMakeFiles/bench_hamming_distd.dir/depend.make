@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hamming_distd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hamming_weight.dir/bench/bench_hamming_weight.cc.o"
+  "CMakeFiles/bench_hamming_weight.dir/bench/bench_hamming_weight.cc.o.d"
+  "bench_hamming_weight"
+  "bench_hamming_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hamming_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hamming_weight.
+# This may be replaced when dependencies are built.

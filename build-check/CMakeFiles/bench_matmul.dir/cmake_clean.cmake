@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matmul.dir/bench/bench_matmul.cc.o"
+  "CMakeFiles/bench_matmul.dir/bench/bench_matmul.cc.o.d"
+  "bench_matmul"
+  "bench_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

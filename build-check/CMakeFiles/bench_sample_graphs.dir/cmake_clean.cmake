@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sample_graphs.dir/bench/bench_sample_graphs.cc.o"
+  "CMakeFiles/bench_sample_graphs.dir/bench/bench_sample_graphs.cc.o.d"
+  "bench_sample_graphs"
+  "bench_sample_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sample_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_triangle.dir/bench/bench_triangle.cc.o"
+  "CMakeFiles/bench_triangle.dir/bench/bench_triangle.cc.o.d"
+  "bench_triangle"
+  "bench_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_path.dir/bench/bench_two_path.cc.o"
+  "CMakeFiles/bench_two_path.dir/bench/bench_two_path.cc.o.d"
+  "bench_two_path"
+  "bench_two_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

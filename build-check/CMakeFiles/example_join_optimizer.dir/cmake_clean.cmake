@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_join_optimizer.dir/examples/join_optimizer.cpp.o"
+  "CMakeFiles/example_join_optimizer.dir/examples/join_optimizer.cpp.o.d"
+  "example_join_optimizer"
+  "example_join_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_join_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

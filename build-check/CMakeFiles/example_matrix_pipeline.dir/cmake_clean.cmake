@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matrix_pipeline.dir/examples/matrix_pipeline.cpp.o"
+  "CMakeFiles/example_matrix_pipeline.dir/examples/matrix_pipeline.cpp.o.d"
+  "example_matrix_pipeline"
+  "example_matrix_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matrix_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_similarity_join.dir/examples/similarity_join.cpp.o"
+  "CMakeFiles/example_similarity_join.dir/examples/similarity_join.cpp.o.d"
+  "example_similarity_join"
+  "example_similarity_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_similarity_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_skewed_cluster.dir/examples/skewed_cluster.cpp.o"
+  "CMakeFiles/example_skewed_cluster.dir/examples/skewed_cluster.cpp.o.d"
+  "example_skewed_cluster"
+  "example_skewed_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_skewed_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_triangles.dir/examples/social_triangles.cpp.o"
+  "CMakeFiles/example_social_triangles.dir/examples/social_triangles.cpp.o.d"
+  "example_social_triangles"
+  "example_social_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

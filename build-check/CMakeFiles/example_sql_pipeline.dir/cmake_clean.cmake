@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sql_pipeline.dir/examples/sql_pipeline.cpp.o"
+  "CMakeFiles/example_sql_pipeline.dir/examples/sql_pipeline.cpp.o.d"
+  "example_sql_pipeline"
+  "example_sql_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sql_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamming_test.dir/tests/hamming_test.cc.o"
+  "CMakeFiles/hamming_test.dir/tests/hamming_test.cc.o.d"
+  "hamming_test"
+  "hamming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

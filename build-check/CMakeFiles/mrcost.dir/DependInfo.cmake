@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/combinatorics.cc" "CMakeFiles/mrcost.dir/src/common/combinatorics.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/common/combinatorics.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/mrcost.dir/src/common/random.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/mrcost.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/mrcost.dir/src/common/status.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/mrcost.dir/src/common/table.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/mrcost.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "CMakeFiles/mrcost.dir/src/core/cost_model.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/core/cost_model.cc.o.d"
+  "/root/repo/src/core/lower_bound.cc" "CMakeFiles/mrcost.dir/src/core/lower_bound.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/core/lower_bound.cc.o.d"
+  "/root/repo/src/core/presence.cc" "CMakeFiles/mrcost.dir/src/core/presence.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/core/presence.cc.o.d"
+  "/root/repo/src/core/schema_stats.cc" "CMakeFiles/mrcost.dir/src/core/schema_stats.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/core/schema_stats.cc.o.d"
+  "/root/repo/src/core/schema_validator.cc" "CMakeFiles/mrcost.dir/src/core/schema_validator.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/core/schema_validator.cc.o.d"
+  "/root/repo/src/core/tradeoff.cc" "CMakeFiles/mrcost.dir/src/core/tradeoff.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/core/tradeoff.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "CMakeFiles/mrcost.dir/src/engine/metrics.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/engine/metrics.cc.o.d"
+  "/root/repo/src/engine/pipeline.cc" "CMakeFiles/mrcost.dir/src/engine/pipeline.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/engine/pipeline.cc.o.d"
+  "/root/repo/src/engine/shuffle.cc" "CMakeFiles/mrcost.dir/src/engine/shuffle.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/engine/shuffle.cc.o.d"
+  "/root/repo/src/engine/simulator.cc" "CMakeFiles/mrcost.dir/src/engine/simulator.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/engine/simulator.cc.o.d"
+  "/root/repo/src/graph/alon.cc" "CMakeFiles/mrcost.dir/src/graph/alon.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/graph/alon.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/mrcost.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/mrcost.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/problem.cc" "CMakeFiles/mrcost.dir/src/graph/problem.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/graph/problem.cc.o.d"
+  "/root/repo/src/graph/sample_graph_mr.cc" "CMakeFiles/mrcost.dir/src/graph/sample_graph_mr.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/graph/sample_graph_mr.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "CMakeFiles/mrcost.dir/src/graph/subgraph.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/graph/subgraph.cc.o.d"
+  "/root/repo/src/graph/triangle.cc" "CMakeFiles/mrcost.dir/src/graph/triangle.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/graph/triangle.cc.o.d"
+  "/root/repo/src/graph/two_path.cc" "CMakeFiles/mrcost.dir/src/graph/two_path.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/graph/two_path.cc.o.d"
+  "/root/repo/src/hamming/bitstring.cc" "CMakeFiles/mrcost.dir/src/hamming/bitstring.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/hamming/bitstring.cc.o.d"
+  "/root/repo/src/hamming/bounds.cc" "CMakeFiles/mrcost.dir/src/hamming/bounds.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/hamming/bounds.cc.o.d"
+  "/root/repo/src/hamming/coverage.cc" "CMakeFiles/mrcost.dir/src/hamming/coverage.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/hamming/coverage.cc.o.d"
+  "/root/repo/src/hamming/problem.cc" "CMakeFiles/mrcost.dir/src/hamming/problem.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/hamming/problem.cc.o.d"
+  "/root/repo/src/hamming/schemas.cc" "CMakeFiles/mrcost.dir/src/hamming/schemas.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/hamming/schemas.cc.o.d"
+  "/root/repo/src/hamming/similarity_join.cc" "CMakeFiles/mrcost.dir/src/hamming/similarity_join.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/hamming/similarity_join.cc.o.d"
+  "/root/repo/src/join/aggregate.cc" "CMakeFiles/mrcost.dir/src/join/aggregate.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/aggregate.cc.o.d"
+  "/root/repo/src/join/edge_cover.cc" "CMakeFiles/mrcost.dir/src/join/edge_cover.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/edge_cover.cc.o.d"
+  "/root/repo/src/join/generators.cc" "CMakeFiles/mrcost.dir/src/join/generators.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/generators.cc.o.d"
+  "/root/repo/src/join/hypercube.cc" "CMakeFiles/mrcost.dir/src/join/hypercube.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/hypercube.cc.o.d"
+  "/root/repo/src/join/problem.cc" "CMakeFiles/mrcost.dir/src/join/problem.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/problem.cc.o.d"
+  "/root/repo/src/join/query.cc" "CMakeFiles/mrcost.dir/src/join/query.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/query.cc.o.d"
+  "/root/repo/src/join/serial_join.cc" "CMakeFiles/mrcost.dir/src/join/serial_join.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/serial_join.cc.o.d"
+  "/root/repo/src/join/shares.cc" "CMakeFiles/mrcost.dir/src/join/shares.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/shares.cc.o.d"
+  "/root/repo/src/join/simplex.cc" "CMakeFiles/mrcost.dir/src/join/simplex.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/simplex.cc.o.d"
+  "/root/repo/src/join/two_round.cc" "CMakeFiles/mrcost.dir/src/join/two_round.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/join/two_round.cc.o.d"
+  "/root/repo/src/matmul/matrix.cc" "CMakeFiles/mrcost.dir/src/matmul/matrix.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/matmul/matrix.cc.o.d"
+  "/root/repo/src/matmul/mr_multiply.cc" "CMakeFiles/mrcost.dir/src/matmul/mr_multiply.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/matmul/mr_multiply.cc.o.d"
+  "/root/repo/src/matmul/problem.cc" "CMakeFiles/mrcost.dir/src/matmul/problem.cc.o" "gcc" "CMakeFiles/mrcost.dir/src/matmul/problem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

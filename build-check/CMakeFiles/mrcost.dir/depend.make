@@ -1,0 +1,2 @@
+# Empty dependencies file for mrcost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutation_test.dir/tests/mutation_test.cc.o"
+  "CMakeFiles/mutation_test.dir/tests/mutation_test.cc.o.d"
+  "mutation_test"
+  "mutation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

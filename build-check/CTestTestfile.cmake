@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-check
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build-check/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build-check/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build-check/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build-check/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(hamming_test "/root/repo/build-check/hamming_test")
+set_tests_properties(hamming_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(join_test "/root/repo/build-check/join_test")
+set_tests_properties(join_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(lp_test "/root/repo/build-check/lp_test")
+set_tests_properties(lp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(matmul_test "/root/repo/build-check/matmul_test")
+set_tests_properties(matmul_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(mutation_test "/root/repo/build-check/mutation_test")
+set_tests_properties(mutation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build-check/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;38;add_test;/root/repo/CMakeLists.txt;0;")
