@@ -1,0 +1,141 @@
+// External-shuffle sweep: in-memory (sharded) vs spill-to-disk (external)
+// throughput on a dataset whose intermediate size is ~4x the memory
+// budget, across budget x shards. Prints a human table plus one
+// machine-readable JSON line per configuration (prefix BENCH_JSON) for
+// BENCH_*.json trajectory tracking.
+//
+// What to expect: the external shuffle pays serialization + disk + merge
+// for its bounded memory, so the in-memory path wins while data fits in
+// RAM — the point of the sweep is to measure that price and to watch the
+// spill counters (runs, bytes, merge passes) respond to the budget, the
+// way Section 2.2's communication cost responds to q.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/table.h"
+#include "src/engine/job.h"
+#include "src/engine/shuffle.h"
+
+namespace {
+
+namespace engine = mrcost::engine;
+
+struct RunResult {
+  double seconds = 0;
+  engine::JobMetrics metrics;
+};
+
+/// The swept workload: `n` inputs, fanout 2, ~4k distinct keys.
+RunResult RunConfig(const std::vector<std::uint64_t>& inputs,
+                    const engine::JobOptions& options) {
+  auto map_fn = [](const std::uint64_t& x,
+                   engine::Emitter<std::uint64_t, std::uint64_t>& emitter) {
+    emitter.Emit(mrcost::common::Mix64(x) % 4096, x);
+    emitter.Emit(mrcost::common::Mix64(x ^ 0x9e3779b97f4a7c15ULL) % 4096,
+                 x + 1);
+  };
+  auto reduce_fn = [](const std::uint64_t&,
+                      const std::vector<std::uint64_t>& values,
+                      std::vector<std::uint64_t>& out) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values) sum += v;
+    out.push_back(sum);
+  };
+  const auto start = std::chrono::steady_clock::now();
+  auto result =
+      engine::RunMapReduce<std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::uint64_t>(inputs, map_fn, reduce_fn,
+                                          options);
+  const auto stop = std::chrono::steady_clock::now();
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(stop - start).count();
+  out.metrics = std::move(result.metrics);
+  return out;
+}
+
+void PrintJson(const std::string& strategy, std::size_t shards,
+               std::uint64_t budget, std::size_t n, const RunResult& run) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"external_shuffle\",\"strategy\":\"%s\","
+      "\"shards\":%zu,\"memory_budget_bytes\":%llu,\"inputs\":%zu,"
+      "\"pairs\":%llu,\"bytes_shuffled\":%llu,\"seconds\":%.6f,"
+      "\"mpairs_per_sec\":%.3f,\"spill_runs\":%llu,"
+      "\"spill_bytes_written\":%llu,\"merge_passes\":%llu}\n",
+      strategy.c_str(), shards,
+      static_cast<unsigned long long>(budget), n,
+      static_cast<unsigned long long>(run.metrics.pairs_shuffled),
+      static_cast<unsigned long long>(run.metrics.bytes_shuffled),
+      run.seconds,
+      static_cast<double>(run.metrics.pairs_shuffled) / 1e6 / run.seconds,
+      static_cast<unsigned long long>(run.metrics.spill_runs),
+      static_cast<unsigned long long>(run.metrics.spill_bytes_written),
+      static_cast<unsigned long long>(run.metrics.merge_passes));
+}
+
+}  // namespace
+
+int main() {
+  // Dataset sized so the intermediate data is ~4x the largest swept
+  // budget: n inputs x fanout 2 x 16 bytes/pair = 32n bytes of
+  // ByteSizeOf-intermediate.
+  const std::size_t n = 1 << 19;
+  const std::uint64_t intermediate = 32ull * n;  // = 16 MiB at n = 2^19
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 0);
+
+  mrcost::common::Table table(
+      {"strategy", "shards", "budget", "x_over_budget", "sec", "Mpairs/s",
+       "spill_runs", "spill_MB", "merge_passes"});
+
+  for (std::size_t shards : {1u, 4u}) {
+    engine::JobOptions options;
+    options.num_shards = shards;
+    options.shuffle_strategy = engine::ShuffleStrategy::kSharded;
+    const RunResult run = RunConfig(inputs, options);
+    table.AddRow()
+        .Add(shards == 1 ? "serial" : "sharded")
+        .Add(static_cast<std::uint64_t>(shards))
+        .Add("-")
+        .Add("-")
+        .Add(run.seconds)
+        .Add(static_cast<double>(run.metrics.pairs_shuffled) / 1e6 /
+             run.seconds)
+        .Add(std::uint64_t{0})
+        .Add(std::uint64_t{0})
+        .Add(std::uint64_t{0});
+    PrintJson(shards == 1 ? "serial" : "sharded", shards, 0, n, run);
+  }
+
+  for (std::uint64_t budget = intermediate / 4; budget >= intermediate / 32;
+       budget /= 2) {
+    engine::JobOptions options;
+    options.shuffle_strategy = engine::ShuffleStrategy::kExternal;
+    options.memory_budget_bytes = budget;
+    const RunResult run = RunConfig(inputs, options);
+    table.AddRow()
+        .Add("external")
+        .Add("-")
+        .Add(budget)
+        .Add(static_cast<double>(intermediate) / budget)
+        .Add(run.seconds)
+        .Add(static_cast<double>(run.metrics.pairs_shuffled) / 1e6 /
+             run.seconds)
+        .Add(run.metrics.spill_runs)
+        .Add(static_cast<double>(run.metrics.spill_bytes_written) / 1e6)
+        .Add(run.metrics.merge_passes);
+    PrintJson("external", 0, budget, n, run);
+  }
+
+  table.Print(std::cout,
+              "external vs in-memory shuffle, intermediate = " +
+                  std::to_string(intermediate) + " bytes (dataset ~4x the "
+                  "largest budget)");
+  return 0;
+}

@@ -2,30 +2,99 @@
 #define MRCOST_ENGINE_EMITTER_H_
 
 #include <cstdint>
+#include <functional>
+#include <iterator>
 #include <utility>
 #include <vector>
 
-#include "src/engine/byte_size.h"
+#include "src/common/byte_size.h"
 
 namespace mrcost::engine {
 
-/// Mapper-side sink: map functions call Emit once per key-value pair. Every
-/// Emit is one unit of mapper->reducer communication; the engine charges it
-/// to JobMetrics exactly (Section 2.2's cost model).
+/// Mapper-side sink: map functions call Emit once per key-value pair, or
+/// EmitBatch with a locally accumulated batch. Every emitted pair is one
+/// unit of mapper->reducer communication; the engine charges it to
+/// JobMetrics exactly (Section 2.2's cost model), so bytes() and
+/// num_emitted() count every pair ever emitted even after the buffer has
+/// been drained.
+///
+/// Under the external shuffle the engine binds an overflow sink: once the
+/// buffered batch's ByteSizeOf footprint reaches the budget, the sink
+/// consumes pairs() (spilling them to a sorted run) and the buffer
+/// restarts empty. The engine gives this buffer and the sink's own
+/// serialized batch half the chunk's budget share each, so the chunk's
+/// peak working set — both stages live while a flush drains — stays at
+/// its share (plus one batch of slack).
 template <typename Key, typename Value>
 class Emitter {
  public:
+  using Batch = std::vector<std::pair<Key, Value>>;
+
   void Emit(Key key, Value value) {
-    bytes_ += ByteSizeOf(key) + ByteSizeOf(value);
+    const std::uint64_t size =
+        common::ByteSizeOf(key) + common::ByteSizeOf(value);
+    bytes_ += size;
+    batch_bytes_ += size;
+    ++num_emitted_;
     pairs_.emplace_back(std::move(key), std::move(value));
+    if (sink_ && batch_bytes_ >= budget_) Flush();
   }
 
-  std::vector<std::pair<Key, Value>>& pairs() { return pairs_; }
+  /// Appends a whole batch with one accounting sweep and one bulk move —
+  /// the batched fast path for map functions that emit many pairs per
+  /// input. Consumes `batch`, returning it empty but with usable capacity
+  /// (buffers are swapped, not freed), so callers can reuse one
+  /// (e.g. thread_local) buffer across inputs without reallocating.
+  void EmitBatch(Batch& batch) {
+    std::uint64_t size = 0;
+    for (const auto& [key, value] : batch) {
+      size += common::ByteSizeOf(key) + common::ByteSizeOf(value);
+    }
+    bytes_ += size;
+    batch_bytes_ += size;
+    num_emitted_ += batch.size();
+    if (pairs_.empty()) {
+      pairs_.swap(batch);
+    } else {
+      pairs_.insert(pairs_.end(), std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+    }
+    batch.clear();
+    if (sink_ && batch_bytes_ >= budget_) Flush();
+  }
+
+  /// Binds the overflow sink (the external shuffle's run writer). The sink
+  /// receives the buffered pairs by reference and may leave them in any
+  /// state; the emitter clears the buffer afterwards.
+  void SetOverflow(std::uint64_t budget_bytes,
+                   std::function<void(Batch&)> sink) {
+    budget_ = budget_bytes;
+    sink_ = std::move(sink);
+  }
+
+  /// Hands any buffered pairs to the overflow sink now (no-op without a
+  /// sink); the engine calls this after the last map call of a chunk.
+  void Flush() {
+    if (!sink_ || pairs_.empty()) return;
+    sink_(pairs_);
+    pairs_.clear();
+    batch_bytes_ = 0;
+  }
+
+  Batch& pairs() { return pairs_; }
+  /// Cumulative ByteSizeOf of every pair ever emitted.
   std::uint64_t bytes() const { return bytes_; }
+  /// Cumulative count of every pair ever emitted (pairs().size() only
+  /// until an overflow sink drains the buffer).
+  std::uint64_t num_emitted() const { return num_emitted_; }
 
  private:
-  std::vector<std::pair<Key, Value>> pairs_;
+  Batch pairs_;
   std::uint64_t bytes_ = 0;
+  std::uint64_t batch_bytes_ = 0;
+  std::uint64_t num_emitted_ = 0;
+  std::uint64_t budget_ = 0;
+  std::function<void(Batch&)> sink_;
 };
 
 }  // namespace mrcost::engine

@@ -4,15 +4,17 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/byte_size.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
-#include "src/engine/byte_size.h"
 #include "src/engine/emitter.h"
 #include "src/engine/hashing.h"
 #include "src/engine/metrics.h"
@@ -31,8 +33,24 @@ struct JobOptions {
   /// Pipeline driver uses this to reuse one pool across every round.
   common::ThreadPool* pool = nullptr;
   /// Shuffle shards. 0 = auto (one per thread, capped for small jobs);
-  /// 1 = the serial reference shuffle.
+  /// 1 = the serial reference shuffle. Ignored by the external shuffle.
   std::size_t num_shards = 0;
+  /// Shuffle implementation. kAuto = kExternal when memory_budget_bytes is
+  /// set, else the sharded in-memory shuffle. All strategies produce
+  /// byte-identical outputs; only memory behaviour and metrics differ.
+  ShuffleStrategy shuffle_strategy = ShuffleStrategy::kAuto;
+  /// External-shuffle memory budget in ByteSizeOf bytes (the convention of
+  /// src/common/byte_size.h, shared with the simulator's capacity
+  /// checks). Split evenly across map chunks; a chunk's buffered batch
+  /// spills to a sorted disk run once it exceeds its share, so rounds can
+  /// run intermediate data much larger than the budget. 0 with an explicit
+  /// kExternal spills every pair (degenerate but valid).
+  std::uint64_t memory_budget_bytes = 0;
+  /// Spill-file directory ("" = the system temp directory).
+  std::string spill_dir;
+  /// Runs per k-way merge pass (0 = default 64); smaller values force
+  /// multi-pass merges.
+  std::size_t merge_fan_in = 0;
   /// Shorthand for `simulation.num_workers` when no other simulation knob
   /// is needed: if nonzero (and simulation is otherwise off), reduce keys
   /// are assigned (by hash) to this many simulated reduce workers and
@@ -56,6 +74,20 @@ struct JobOptions {
     SimulationOptions legacy;
     legacy.num_workers = num_simulated_workers;
     return legacy;
+  }
+
+  ShuffleStrategy ResolvedShuffleStrategy() const {
+    if (shuffle_strategy != ShuffleStrategy::kAuto) return shuffle_strategy;
+    return memory_budget_bytes > 0 ? ShuffleStrategy::kExternal
+                                   : ShuffleStrategy::kSharded;
+  }
+
+  ExternalShuffleOptions ExternalOptions() const {
+    ExternalShuffleOptions external;
+    external.memory_budget_bytes = memory_budget_bytes;
+    external.spill_dir = spill_dir;
+    external.merge_fan_in = merge_fan_in;
+    return external;
   }
 
   std::size_t ResolvedThreads() const {
@@ -105,25 +137,66 @@ inline std::size_t NumChunks(std::size_t num_inputs,
 }
 
 /// Map phase: each chunk is mapped on the pool into its own Emitter, and
-/// the emitters are returned in chunk order.
-template <typename Key, typename Value, typename Input, typename MapFn>
+/// the emitters are returned in chunk order. `configure_fn(c, emitter)`
+/// runs on the chunk's pool thread before its first map call — the
+/// external shuffle uses it to bind the chunk's spill sink.
+template <typename Key, typename Value, typename Input, typename MapFn,
+          typename ConfigureFn>
 std::vector<Emitter<Key, Value>> RunMapPhase(const std::vector<Input>& inputs,
                                              MapFn&& map_fn,
-                                             common::ThreadPool& pool) {
+                                             common::ThreadPool& pool,
+                                             ConfigureFn&& configure_fn) {
   const std::size_t num_chunks = NumChunks(inputs.size(), pool.num_threads());
   const std::size_t chunk_size =
       inputs.empty() ? 0 : (inputs.size() + num_chunks - 1) / num_chunks;
   std::vector<Emitter<Key, Value>> emitters(num_chunks);
   if (!inputs.empty()) {
     common::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
+      configure_fn(c, emitters[c]);
       const std::size_t lo = c * chunk_size;
       const std::size_t hi = std::min(lo + chunk_size, inputs.size());
       for (std::size_t i = lo; i < hi; ++i) {
         map_fn(inputs[i], emitters[c]);
       }
+      emitters[c].Flush();
     });
   }
   return emitters;
+}
+
+template <typename Key, typename Value, typename Input, typename MapFn>
+std::vector<Emitter<Key, Value>> RunMapPhase(const std::vector<Input>& inputs,
+                                             MapFn&& map_fn,
+                                             common::ThreadPool& pool) {
+  return RunMapPhase<Key, Value>(inputs, std::forward<MapFn>(map_fn), pool,
+                                 [](std::size_t, Emitter<Key, Value>&) {});
+}
+
+/// In-memory shuffle dispatch shared by the plain and combined rounds:
+/// kSerial forces the single-map reference shuffle, everything else goes
+/// through the sharded shuffle (whose shard resolution falls back to
+/// serial for tiny jobs).
+template <typename Key, typename Value>
+ShuffleResult<Key, Value> RunInMemoryShuffle(
+    std::vector<std::vector<std::pair<Key, Value>>>& chunks,
+    common::ThreadPool& pool, const JobOptions& options,
+    std::uint64_t num_pairs) {
+  if (options.ResolvedShuffleStrategy() == ShuffleStrategy::kSerial) {
+    return SerialShuffle(chunks);
+  }
+  return ShardedShuffle(chunks, pool,
+                        ResolveShardCount(options.num_shards,
+                                          pool.num_threads(),
+                                          static_cast<std::size_t>(
+                                              num_pairs)));
+}
+
+/// Copies one shuffle's spill counters into the round metrics.
+inline void RecordSpillStats(const storage::SpillStats& stats,
+                             JobMetrics& metrics) {
+  metrics.spill_bytes_written = stats.spill_bytes_written;
+  metrics.spill_runs = stats.spill_runs;
+  metrics.merge_passes = stats.merge_passes;
 }
 
 /// Everything after the shuffle, shared by the plain and combined rounds:
@@ -160,8 +233,8 @@ std::vector<Output> RunReducePhase(ShuffleResult<Key, Value>& shuffled,
     common::ParallelFor(pool, 0, keys.size(), [&](std::size_t i) {
       std::uint64_t bytes = 0;
       if (need_bytes) {
-        bytes = ByteSizeOf(keys[i]);
-        for (const Value& v : groups[i]) bytes += ByteSizeOf(v);
+        bytes = common::ByteSizeOf(keys[i]);
+        for (const Value& v : groups[i]) bytes += common::ByteSizeOf(v);
       }
       loads[i] = ReducerLoad{HashValue(keys[i]), groups[i].size(), bytes};
     });
@@ -215,21 +288,77 @@ JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
 
   internal::PoolRef pool(options);
 
-  auto emitters = internal::RunMapPhase<Key, Value>(
-      inputs, std::forward<MapFn>(map_fn), pool.get());
-  std::vector<std::vector<std::pair<Key, Value>>> chunks;
-  chunks.reserve(emitters.size());
-  for (auto& emitter : emitters) {
-    metrics.bytes_shuffled += emitter.bytes();
-    metrics.pairs_shuffled += emitter.pairs().size();
-    chunks.push_back(std::move(emitter.pairs()));
+  ShuffleResult<Key, Value> shuffled;
+  if (options.ResolvedShuffleStrategy() == ShuffleStrategy::kExternal) {
+    // External shuffle, integrated with the map phase: every chunk's
+    // emitter spills its over-budget batches through a RunWriter as the
+    // chunk is still being mapped, so map output never accumulates beyond
+    // the budget in memory. The unspilled tails and the disk runs are then
+    // k-way merged back into groups. RunMapReduce has no error channel,
+    // so environmental spill failures (disk full, unwritable spill_dir,
+    // a corrupted run) CHECK-fail the round; the storage APIs themselves
+    // return Status for callers that need to handle them.
+    storage::RunSpiller spiller(options.spill_dir);
+    const std::size_t num_chunks =
+        internal::NumChunks(inputs.size(), pool.get().num_threads());
+    // Each chunk's share is split between the two buffering stages —
+    // the emitter's pair buffer and the RunWriter's serialized batch —
+    // which briefly coexist while a flush drains, so the chunk's peak
+    // working set stays at its share rather than twice it.
+    const std::uint64_t per_stage_budget =
+        options.memory_budget_bytes / num_chunks / 2;
+    std::vector<std::unique_ptr<storage::RunWriter<Key, Value>>> writers(
+        num_chunks);
+    std::vector<common::Status> spill_status(num_chunks);
+    auto configure = [&](std::size_t c, Emitter<Key, Value>& emitter) {
+      writers[c] = std::make_unique<storage::RunWriter<Key, Value>>(
+          &spiller, per_stage_budget, static_cast<std::uint32_t>(c));
+      storage::RunWriter<Key, Value>* writer = writers[c].get();
+      common::Status* status = &spill_status[c];
+      emitter.SetOverflow(
+          per_stage_budget,
+          [writer, status](std::vector<std::pair<Key, Value>>& pairs) {
+            if (!status->ok()) return;
+            for (const auto& [key, value] : pairs) {
+              *status = writer->Add(HashValue(key), key, value);
+              if (!status->ok()) return;
+            }
+          });
+    };
+    auto emitters = internal::RunMapPhase<Key, Value>(
+        inputs, std::forward<MapFn>(map_fn), pool.get(), configure);
+    for (auto& emitter : emitters) {
+      metrics.bytes_shuffled += emitter.bytes();
+      metrics.pairs_shuffled += emitter.num_emitted();
+    }
+    metrics.pairs_before_combine = metrics.pairs_shuffled;
+    for (const common::Status& status : spill_status) {
+      MRCOST_CHECK_OK(status);
+    }
+    std::vector<std::vector<storage::SpillRecord>> tails(emitters.size());
+    common::ParallelFor(pool.get(), 0, emitters.size(), [&](std::size_t c) {
+      if (writers[c] != nullptr) tails[c] = writers[c]->TakeTail();
+    });
+    storage::SpillStats stats;
+    auto merged = internal::MergeSpilledRuns<Key, Value>(
+        spiller, tails, options.merge_fan_in, stats);
+    MRCOST_CHECK_OK(merged.status());
+    internal::RecordSpillStats(stats, metrics);
+    shuffled = std::move(merged.value());
+  } else {
+    auto emitters = internal::RunMapPhase<Key, Value>(
+        inputs, std::forward<MapFn>(map_fn), pool.get());
+    std::vector<std::vector<std::pair<Key, Value>>> chunks;
+    chunks.reserve(emitters.size());
+    for (auto& emitter : emitters) {
+      metrics.bytes_shuffled += emitter.bytes();
+      metrics.pairs_shuffled += emitter.num_emitted();
+      chunks.push_back(std::move(emitter.pairs()));
+    }
+    metrics.pairs_before_combine = metrics.pairs_shuffled;
+    shuffled = internal::RunInMemoryShuffle(chunks, pool.get(), options,
+                                            metrics.pairs_shuffled);
   }
-  metrics.pairs_before_combine = metrics.pairs_shuffled;
-
-  auto shuffled = ShardedShuffle(
-      chunks, pool.get(),
-      ResolveShardCount(options.num_shards, pool.get().num_threads(),
-                        static_cast<std::size_t>(metrics.pairs_shuffled)));
 
   result.outputs = internal::RunReducePhase<Output>(
       shuffled, std::forward<ReduceFn>(reduce_fn), options, pool.get(),
@@ -297,7 +426,7 @@ JobResult<Output> RunMapReduceCombined(const std::vector<Input>& inputs,
       }
       std::uint64_t bytes = 0;
       for (const auto& [key, value] : out) {
-        bytes += ByteSizeOf(key) + ByteSizeOf(value);
+        bytes += common::ByteSizeOf(key) + common::ByteSizeOf(value);
       }
       combined_bytes[c] = bytes;
     });
@@ -308,10 +437,22 @@ JobResult<Output> RunMapReduceCombined(const std::vector<Input>& inputs,
     metrics.pairs_shuffled += chunks[c].size();
   }
 
-  auto shuffled = ShardedShuffle(
-      chunks, pool.get(),
-      ResolveShardCount(options.num_shards, pool.get().num_threads(),
-                        static_cast<std::size_t>(metrics.pairs_shuffled)));
+  // Post-combine chunks are already materialized, so the external
+  // strategy routes them through the chunk-level ExternalShuffle (chunks
+  // are freed as they serialize into runs).
+  ShuffleResult<Key, Value> shuffled;
+  if (options.ResolvedShuffleStrategy() == ShuffleStrategy::kExternal) {
+    storage::SpillStats stats;
+    auto merged =
+        ExternalShuffle(chunks, pool.get(), options.ExternalOptions(),
+                        &stats);
+    MRCOST_CHECK_OK(merged.status());
+    internal::RecordSpillStats(stats, metrics);
+    shuffled = std::move(merged.value());
+  } else {
+    shuffled = internal::RunInMemoryShuffle(chunks, pool.get(), options,
+                                            metrics.pairs_shuffled);
+  }
 
   result.outputs = internal::RunReducePhase<Output>(
       shuffled, std::forward<ReduceFn>(reduce_fn), options, pool.get(),

@@ -14,6 +14,11 @@ std::string JobMetrics::ToString() const {
   os << " bytes=" << bytes_shuffled << " reducers=" << num_reducers
      << " max_q=" << max_reducer_input << " outputs=" << num_outputs
      << " r=" << replication_rate();
+  if (external_shuffle()) {
+    os << " | spill: runs=" << spill_runs
+       << " bytes=" << spill_bytes_written
+       << " merge_passes=" << merge_passes;
+  }
   if (simulated()) {
     os << " | sim: workers=" << worker_loads.count()
        << " makespan=" << makespan << " imbalance=" << load_imbalance
@@ -65,6 +70,24 @@ std::uint64_t PipelineMetrics::total_capacity_violations() const {
   return total;
 }
 
+std::uint64_t PipelineMetrics::total_spill_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.spill_bytes_written;
+  return total;
+}
+
+std::uint64_t PipelineMetrics::total_spill_runs() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.spill_runs;
+  return total;
+}
+
+std::uint64_t PipelineMetrics::total_merge_passes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.merge_passes;
+  return total;
+}
+
 double PipelineMetrics::replication_rate(std::size_t i) const {
   return i < rounds.size() ? rounds[i].replication_rate() : 0.0;
 }
@@ -80,6 +103,10 @@ std::string PipelineMetrics::ToString() const {
   os << rounds.size() << " round(s), total pairs=" << total_pairs()
      << ", total bytes=" << total_bytes()
      << ", total r=" << total_replication_rate();
+  if (total_merge_passes() > 0) {
+    os << ", spill runs=" << total_spill_runs()
+       << ", spill bytes=" << total_spill_bytes();
+  }
   if (total_capacity_violations() > 0 || max_makespan() > 0) {
     os << ", sim makespan=" << total_makespan()
        << ", worst imbalance=" << max_load_imbalance()

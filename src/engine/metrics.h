@@ -48,6 +48,20 @@ struct JobMetrics {
   /// and reducers whose input exceeded the configured capacity q.
   std::uint64_t capacity_violations = 0;
 
+  /// External-shuffle spill accounting (all zero unless the round ran
+  /// ShuffleStrategy::kExternal; see src/storage/):
+  /// bytes written to spill files (map-side runs plus multi-pass merge
+  /// rewrites),
+  std::uint64_t spill_bytes_written = 0;
+  /// sorted runs spilled to disk by over-budget map batches,
+  std::uint64_t spill_runs = 0;
+  /// and k-way merge passes, the final grouping pass included (>1 means
+  /// the run count exceeded the merge fan-in).
+  std::uint64_t merge_passes = 0;
+
+  /// True iff this round ran the external (spill-to-disk) shuffle.
+  bool external_shuffle() const { return merge_passes > 0; }
+
   /// True iff this round ran the cluster simulation.
   bool simulated() const { return worker_loads.count() > 0; }
 
@@ -79,6 +93,11 @@ struct PipelineMetrics {
   double total_makespan() const;
   double max_load_imbalance() const;
   std::uint64_t total_capacity_violations() const;
+  /// Spill aggregates across rounds (0 when no round shuffled
+  /// externally).
+  std::uint64_t total_spill_bytes() const;
+  std::uint64_t total_spill_runs() const;
+  std::uint64_t total_merge_passes() const;
 
   /// Replication rate of round `i` (0-based): rounds[i].replication_rate().
   double replication_rate(std::size_t i) const;

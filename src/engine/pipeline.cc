@@ -33,6 +33,17 @@ JobOptions Pipeline::Resolve(const std::optional<JobOptions>& round_options) {
       options_.simulation.enabled()) {
     resolved.simulation = options_.simulation;
   }
+  // Same backstop for the shuffle: a round that leaves the strategy on
+  // auto with no budget of its own inherits the pipeline's external
+  // shuffle configuration.
+  if (resolved.shuffle_strategy == ShuffleStrategy::kAuto &&
+      resolved.memory_budget_bytes == 0 &&
+      (options_.shuffle_strategy != ShuffleStrategy::kAuto ||
+       options_.memory_budget_bytes > 0)) {
+    resolved.shuffle_strategy = options_.shuffle_strategy;
+    resolved.memory_budget_bytes = options_.memory_budget_bytes;
+    if (resolved.spill_dir.empty()) resolved.spill_dir = options_.spill_dir;
+  }
   return resolved;
 }
 
@@ -58,6 +69,10 @@ std::vector<RoundCostReport> CompareToLowerBound(
     report.load_imbalance = round.load_imbalance;
     report.straggler_impact = round.straggler_impact;
     report.capacity_violations = round.capacity_violations;
+    report.external_shuffle = round.external_shuffle();
+    report.spill_runs = round.spill_runs;
+    report.spill_bytes_written = round.spill_bytes_written;
+    report.merge_passes = round.merge_passes;
     reports.push_back(report);
   }
   return reports;
@@ -77,6 +92,11 @@ std::string ToString(const std::vector<RoundCostReport>& reports) {
     os << "round " << report.round << ": q=" << report.realized_q
        << " r=" << report.realized_r << " bound=" << report.lower_bound_r
        << " ratio=" << report.optimality_ratio;
+    if (report.external_shuffle) {
+      os << " spill_runs=" << report.spill_runs
+         << " spill_bytes=" << report.spill_bytes_written
+         << " merge_passes=" << report.merge_passes;
+    }
     if (report.simulated) {
       os << " makespan=" << report.makespan
          << " imbalance=" << report.load_imbalance

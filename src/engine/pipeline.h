@@ -2,6 +2,7 @@
 #define MRCOST_ENGINE_PIPELINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -29,6 +30,13 @@ struct PipelineOptions {
   /// options leave simulation off, so one knob simulates every round of a
   /// multi-round computation under the same cluster.
   SimulationOptions simulation;
+  /// Pipeline-wide shuffle backstop, mirroring `simulation`: any round
+  /// whose own options leave shuffle_strategy kAuto with no memory budget
+  /// inherits these three knobs, so one setting runs every round of a
+  /// multi-round computation under the same external-shuffle budget.
+  ShuffleStrategy shuffle_strategy = ShuffleStrategy::kAuto;
+  std::uint64_t memory_budget_bytes = 0;
+  std::string spill_dir;
 };
 
 /// Multi-round map-reduce driver: one thread pool shared by every round
@@ -130,6 +138,15 @@ struct RoundCostReport {
   double load_imbalance = 0;
   double straggler_impact = 0;
   std::uint64_t capacity_violations = 0;
+
+  /// External-shuffle spill counters for the round, copied from JobMetrics
+  /// when the round shuffled externally (see src/storage/): how much of
+  /// the round's communication had to move through disk to fit the memory
+  /// budget.
+  bool external_shuffle = false;
+  std::uint64_t spill_runs = 0;
+  std::uint64_t spill_bytes_written = 0;
+  std::uint64_t merge_passes = 0;
 };
 
 /// Evaluates every round of `metrics` against `recipe`'s lower bound.

@@ -2,6 +2,16 @@
 
 namespace mrcost::engine {
 
+const char* ToString(ShuffleStrategy strategy) {
+  switch (strategy) {
+    case ShuffleStrategy::kAuto: return "auto";
+    case ShuffleStrategy::kSerial: return "serial";
+    case ShuffleStrategy::kSharded: return "sharded";
+    case ShuffleStrategy::kExternal: return "external";
+  }
+  return "?";
+}
+
 std::size_t ResolveShardCount(std::size_t requested, std::size_t num_threads,
                               std::size_t num_pairs) {
   if (requested > 0) return requested;

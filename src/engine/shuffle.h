@@ -4,14 +4,49 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/engine/hashing.h"
+#include "src/storage/external_merge.h"
+#include "src/storage/run_writer.h"
 
 namespace mrcost::engine {
+
+/// How a round's shuffle is executed.
+///   kAuto     — kExternal when a memory budget is set, else kSharded.
+///   kSerial   — the single-map reference shuffle (one thread, no shards).
+///   kSharded  — radix-partitioned parallel in-memory shuffle.
+///   kExternal — spill-to-disk shuffle: map-side batches over the memory
+///               budget are sorted and spilled as runs, then k-way merged
+///               back into groups. The only strategy that can run rounds
+///               whose intermediate data exceeds RAM.
+/// All strategies produce byte-identical ShuffleResults.
+enum class ShuffleStrategy { kAuto = 0, kSerial, kSharded, kExternal };
+
+const char* ToString(ShuffleStrategy strategy);
+
+/// Knobs of the external (spill-to-disk) shuffle.
+struct ExternalShuffleOptions {
+  /// Shuffle memory budget in ByteSizeOf bytes (src/common/byte_size.h —
+  /// the same convention the simulator's capacity checks use). The budget
+  /// is split evenly across the round's map chunks; a chunk's batch spills
+  /// to a sorted run once it exceeds its share. 0 spills every pair
+  /// individually (valid, maximally degenerate).
+  std::uint64_t memory_budget_bytes = 0;
+  /// Where run files live; "" = std::filesystem::temp_directory_path().
+  std::string spill_dir;
+  /// Runs merged per k-way pass; 0 = storage::kDefaultMergeFanIn. Runs in
+  /// excess are first merged down in extra passes (merge_passes counts
+  /// them).
+  std::size_t merge_fan_in = 0;
+};
 
 /// Maps a finalized 64-bit hash onto [0, n) with a 128-bit multiply
 /// (Lemire's fastrange) instead of `%`. All of the engine's placement
@@ -167,6 +202,100 @@ ShuffleResult<Key, Value> ShardedShuffle(
     result.keys.push_back(std::move(shards[e.shard].keys[e.index]));
     result.groups.push_back(std::move(shards[e.shard].groups[e.index]));
   }
+  return result;
+}
+
+namespace internal {
+
+/// Restores the engine's first-seen-key-order contract on a key-ordered
+/// external merge: groups are permuted by the global position of each
+/// key's first record — exactly the order SerialShuffle discovers keys in.
+template <typename Key, typename Value>
+ShuffleResult<Key, Value> ReorderByFirstSeen(
+    storage::MergedGroups<Key, Value>& merged) {
+  std::vector<std::size_t> order(merged.keys.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&merged](std::size_t a, std::size_t b) {
+              return merged.first_pos[a] < merged.first_pos[b];
+            });
+  ShuffleResult<Key, Value> result;
+  result.keys.reserve(order.size());
+  result.groups.reserve(order.size());
+  for (std::size_t i : order) {
+    result.keys.push_back(std::move(merged.keys[i]));
+    result.groups.push_back(std::move(merged.groups[i]));
+  }
+  return result;
+}
+
+/// Builds the merge inputs from per-chunk writers' unspilled tails plus
+/// every disk run, merges, and reorders. `spiller` must outlive the call
+/// (it owns the run files) but not the result.
+template <typename Key, typename Value>
+common::Result<ShuffleResult<Key, Value>> MergeSpilledRuns(
+    storage::RunSpiller& spiller,
+    std::vector<std::vector<storage::SpillRecord>>& tails,
+    std::size_t merge_fan_in, storage::SpillStats& stats) {
+  std::vector<std::unique_ptr<storage::RunSource>> sources;
+  for (auto& tail : tails) {
+    if (!tail.empty()) {
+      sources.push_back(
+          std::make_unique<storage::MemoryRunSource>(std::move(tail)));
+    }
+  }
+  for (const std::string& path : spiller.spill_run_paths()) {
+    sources.push_back(std::make_unique<storage::DiskRunSource>(path));
+  }
+  auto merged = storage::MergeRunsToGroups<Key, Value>(
+      std::move(sources), spiller, merge_fan_in, stats);
+  if (!merged.ok()) return merged.status();
+  stats.spill_runs = spiller.spill_runs();
+  stats.spill_bytes_written = spiller.bytes_written();
+  return ReorderByFirstSeen(*merged);
+}
+
+}  // namespace internal
+
+/// External (spill-to-disk) shuffle over materialized chunks: each chunk
+/// streams through a budgeted RunWriter (over-budget batches become sorted
+/// disk runs, chunks are freed as they are consumed), and a k-way
+/// loser-tree merge groups the runs back in key order before the
+/// first-seen reorder. Byte-identical to SerialShuffle for every budget,
+/// chunking, and fan-in; errors (I/O failure, corrupt run) surface as a
+/// Status. Consumes `chunks`.
+template <typename Key, typename Value>
+common::Result<ShuffleResult<Key, Value>> ExternalShuffle(
+    std::vector<std::vector<std::pair<Key, Value>>>& chunks,
+    common::ThreadPool& pool, const ExternalShuffleOptions& options,
+    storage::SpillStats* stats = nullptr) {
+  const std::size_t num_chunks = chunks.size();
+  storage::RunSpiller spiller(options.spill_dir);
+  const std::uint64_t per_chunk_budget =
+      options.memory_budget_bytes / std::max<std::size_t>(1, num_chunks);
+  std::vector<std::vector<storage::SpillRecord>> tails(num_chunks);
+  std::vector<common::Status> chunk_status(num_chunks);
+  common::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
+    storage::RunWriter<Key, Value> writer(&spiller, per_chunk_budget,
+                                          static_cast<std::uint32_t>(c));
+    for (auto& [key, value] : chunks[c]) {
+      if (auto status = writer.Add(HashValue(key), key, value);
+          !status.ok()) {
+        chunk_status[c] = status;
+        return;
+      }
+    }
+    chunks[c].clear();
+    chunks[c].shrink_to_fit();
+    tails[c] = writer.TakeTail();
+  });
+  for (const common::Status& status : chunk_status) {
+    if (!status.ok()) return status;
+  }
+  storage::SpillStats local;
+  auto result = internal::MergeSpilledRuns<Key, Value>(
+      spiller, tails, options.merge_fan_in, local);
+  if (result.ok() && stats != nullptr) *stats = local;
   return result;
 }
 

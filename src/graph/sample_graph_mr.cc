@@ -83,7 +83,10 @@ SampleGraphJobResult MRSampleGraphInstances(const Graph& data,
     });
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    for (std::uint64_t key : keys) emitter.Emit(key, e);
+    // One batched hand-off for the edge's whole reducer fan-out.
+    static thread_local engine::Emitter<std::uint64_t, Edge>::Batch batch;
+    for (std::uint64_t key : keys) batch.emplace_back(key, e);
+    emitter.EmitBatch(batch);
   };
 
   auto reduce_fn = [&](const std::uint64_t& key,

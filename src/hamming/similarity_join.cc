@@ -53,13 +53,18 @@ common::Result<SimilarityJoinResult> SplittingSimilarityJoin(
   const SplittingDistanceDSchema& s = *schema;
 
   // Key = reducer id (deleted-subset rank in the high bits, residual bits
-  // below); value = the original string.
+  // below); value = the original string. Each string fans out to C(k,d)
+  // reducers, so the emissions are collected in a reused thread-local
+  // batch and handed over in one EmitBatch call.
   auto map_fn = [&s](const BitString& w,
                      engine::Emitter<std::uint64_t, BitString>& emitter) {
-    common::ForEachSubsetOfSize(s.k(), s.d(),
-                                [&](const std::vector<int>& subset) {
-                                  emitter.Emit(s.ReducerFor(w, subset), w);
-                                });
+    static thread_local engine::Emitter<std::uint64_t, BitString>::Batch
+        batch;
+    common::ForEachSubsetOfSize(
+        s.k(), s.d(), [&](const std::vector<int>& subset) {
+          batch.emplace_back(s.ReducerFor(w, subset), w);
+        });
+    emitter.EmitBatch(batch);
   };
 
   const int residual_bits = b - d * (b / k);
@@ -102,11 +107,16 @@ common::Result<SimilarityJoinResult> BallSimilarityJoin(
   }
 
   // Key = center string; value = original string (center itself included so
-  // distance-1 pairs are covered; see Section 3.6 discussion).
+  // distance-1 pairs are covered; see Section 3.6 discussion). The b + 1
+  // emissions per string go through the batched path.
   auto map_fn = [b](const BitString& w,
                     engine::Emitter<BitString, BitString>& emitter) {
-    emitter.Emit(w, w);
-    for (int i = 0; i < b; ++i) emitter.Emit(w ^ (BitString{1} << i), w);
+    static thread_local engine::Emitter<BitString, BitString>::Batch batch;
+    batch.emplace_back(w, w);
+    for (int i = 0; i < b; ++i) {
+      batch.emplace_back(w ^ (BitString{1} << i), w);
+    }
+    emitter.EmitBatch(batch);
   };
 
   auto reduce_fn = [d](const BitString& center,

@@ -108,11 +108,15 @@ common::Result<MultiwayJoinResult> HyperCubeJoin(
     for (const Tuple& t : relations[e]->tuples()) inputs.emplace_back(e, t);
   }
 
+  // A tuple is replicated to every cell matching its atom's shares, so the
+  // fan-out is batched through a reused thread-local buffer.
   auto map_fn = [&](const Input& input,
                     engine::Emitter<std::uint64_t, Input>& emitter) {
+    static thread_local engine::Emitter<std::uint64_t, Input>::Batch batch;
     internal::ForEachHyperCubeCell(
         query, shares, input.first, input.second, seed,
-        [&](std::uint64_t cell) { emitter.Emit(cell, input); });
+        [&](std::uint64_t cell) { batch.emplace_back(cell, input); });
+    emitter.EmitBatch(batch);
   };
 
   auto reduce_fn = [&](const std::uint64_t& /*cell*/,

@@ -42,12 +42,15 @@ common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
     for (const Tuple& t : relations[e]->tuples()) inputs.emplace_back(e, t);
   }
 
-  // ---- Round 1: HyperCube join, emitting per-group contributions.
+  // ---- Round 1: HyperCube join, emitting per-group contributions. The
+  // per-tuple cell fan-out is batched (see HyperCubeJoin).
   auto map1 = [&](const Input& input,
                   engine::Emitter<std::uint64_t, Input>& emitter) {
+    static thread_local engine::Emitter<std::uint64_t, Input>::Batch batch;
     internal::ForEachHyperCubeCell(
         query, shares, input.first, input.second, seed,
-        [&](std::uint64_t cell) { emitter.Emit(cell, input); });
+        [&](std::uint64_t cell) { batch.emplace_back(cell, input); });
+    emitter.EmitBatch(batch);
   };
 
   auto reduce1 = [&](const std::uint64_t& /*cell*/,

@@ -50,21 +50,25 @@ common::Result<OnePhaseResult> MultiplyOnePhase(
   }
   const std::uint32_t groups = static_cast<std::uint32_t>(n / tile);
 
-  // Key = row-group * groups + col-group.
+  // Key = row-group * groups + col-group. Every element is replicated to
+  // `groups` reducers, so the fan-out is batched through a reused
+  // thread-local buffer.
   auto map_fn = [groups, tile](const Element& e,
                                engine::Emitter<std::uint32_t, Element>&
                                    emitter) {
+    static thread_local engine::Emitter<std::uint32_t, Element>::Batch batch;
     if (e.matrix == 0) {
       const std::uint32_t gi = e.row / tile;
       for (std::uint32_t gk = 0; gk < groups; ++gk) {
-        emitter.Emit(gi * groups + gk, e);
+        batch.emplace_back(gi * groups + gk, e);
       }
     } else {
       const std::uint32_t gk = e.col / tile;
       for (std::uint32_t gi = 0; gi < groups; ++gi) {
-        emitter.Emit(gi * groups + gk, e);
+        batch.emplace_back(gi * groups + gk, e);
       }
     }
+    emitter.EmitBatch(batch);
   };
 
   auto reduce_fn = [n, tile, groups](const std::uint32_t& key,

@@ -1,0 +1,180 @@
+#include "src/storage/run_writer.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
+namespace mrcost::storage {
+namespace {
+
+/// Distinguishes the spill files of concurrent shuffles (and of successive
+/// shuffles in one process) within the shared spill directory.
+std::uint64_t NextSpillerId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void EncodeRecord(const SpillRecord& rec, std::string& out) {
+  internal::AppendRaw(&rec.hash, sizeof(rec.hash), out);
+  internal::AppendRaw(&rec.pos, sizeof(rec.pos), out);
+  internal::AppendRaw(&rec.key_size, sizeof(rec.key_size), out);
+  const std::uint32_t total = static_cast<std::uint32_t>(rec.bytes.size());
+  internal::AppendRaw(&total, sizeof(total), out);
+  out.append(rec.bytes);
+}
+
+bool DecodeRecord(const char*& p, const char* end, SpillRecord& rec) {
+  std::uint32_t total = 0;
+  if (!internal::ReadRaw(p, end, &rec.hash, sizeof(rec.hash)) ||
+      !internal::ReadRaw(p, end, &rec.pos, sizeof(rec.pos)) ||
+      !internal::ReadRaw(p, end, &rec.key_size, sizeof(rec.key_size)) ||
+      !internal::ReadRaw(p, end, &total, sizeof(total))) {
+    return false;
+  }
+  if (rec.key_size > total ||
+      total > static_cast<std::uint64_t>(end - p)) {
+    return false;
+  }
+  rec.bytes.assign(p, total);
+  p += total;
+  return true;
+}
+
+common::Result<RunFileWriter> RunFileWriter::Create(const std::string& path,
+                                                    std::size_t block_bytes) {
+  auto file = SpillFileWriter::Create(path);
+  if (!file.ok()) return file.status();
+  return RunFileWriter(std::move(file.value()), block_bytes);
+}
+
+common::Status RunFileWriter::Append(const SpillRecord& rec) {
+  // The reader rejects blocks over kMaxBlockBytes, and the u32 length
+  // fields cannot frame more; refuse oversized records at write time with
+  // a clear error instead of producing a run no merge can read, and flush
+  // the current block early when appending would push it past the limit.
+  constexpr std::size_t kRecordHeaderBytes = 24;  // hash, pos, two u32s
+  const std::size_t encoded = kRecordHeaderBytes + rec.bytes.size();
+  if (encoded > kMaxBlockBytes) {
+    return common::Status::InvalidArgument(
+        "run writer: record of " + std::to_string(rec.bytes.size()) +
+        " bytes exceeds the maximum spill block size");
+  }
+  if (!block_.empty() && block_.size() + encoded > kMaxBlockBytes) {
+    auto status = file_.AppendBlock(block_);
+    block_.clear();
+    if (!status.ok()) return status;
+  }
+  EncodeRecord(rec, block_);
+  if (block_.size() >= block_bytes_) {
+    auto status = file_.AppendBlock(block_);
+    block_.clear();
+    return status;
+  }
+  return common::Status::Ok();
+}
+
+common::Status RunFileWriter::Finish() {
+  if (!block_.empty()) {
+    auto status = file_.AppendBlock(block_);
+    block_.clear();
+    if (!status.ok()) return status;
+  }
+  return file_.Close();
+}
+
+RunSpiller::RunSpiller(std::string dir)
+    : dir_(std::move(dir)), spiller_id_(NextSpillerId()) {
+  if (dir_.empty()) {
+    std::error_code ec;
+    dir_ = std::filesystem::temp_directory_path(ec).string();
+    if (ec) dir_ = ".";
+  }
+}
+
+RunSpiller::~RunSpiller() {
+  std::error_code ec;
+  for (const std::string& path : spill_paths_) {
+    std::filesystem::remove(path, ec);
+  }
+  for (const std::string& path : merge_paths_) {
+    std::filesystem::remove(path, ec);
+  }
+}
+
+std::string RunSpiller::NextPath() {
+  // Callers hold mu_.
+  return (std::filesystem::path(dir_) /
+          ("mrcost-spill-" + std::to_string(::getpid()) + "-" +
+           std::to_string(spiller_id_) + "-" +
+           std::to_string(next_run_id_++) + ".run"))
+      .string();
+}
+
+common::Status RunSpiller::SpillRun(std::vector<SpillRecord>& records) {
+  std::sort(records.begin(), records.end(),
+            [](const SpillRecord& a, const SpillRecord& b) {
+              return SpillRecordLess(a, b);
+            });
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = NextPath();
+    spill_paths_.push_back(path);
+  }
+  auto writer = RunFileWriter::Create(path);
+  if (!writer.ok()) return writer.status();
+  for (const SpillRecord& rec : records) {
+    if (auto status = writer->Append(rec); !status.ok()) return status;
+  }
+  if (auto status = writer->Finish(); !status.ok()) return status;
+  records.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_written_ += writer->bytes_written();
+  }
+  return common::Status::Ok();
+}
+
+common::Result<RunFileWriter> RunSpiller::NewRun() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = NextPath();
+    merge_paths_.push_back(path);
+  }
+  return RunFileWriter::Create(path);
+}
+
+common::Status RunSpiller::CloseRun(RunFileWriter& writer) {
+  if (auto status = writer.Finish(); !status.ok()) return status;
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_written_ += writer.bytes_written();
+  return common::Status::Ok();
+}
+
+std::vector<std::string> RunSpiller::run_paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> all = spill_paths_;
+  all.insert(all.end(), merge_paths_.begin(), merge_paths_.end());
+  return all;
+}
+
+std::vector<std::string> RunSpiller::spill_run_paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spill_paths_;
+}
+
+std::uint64_t RunSpiller::spill_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spill_paths_.size();
+}
+
+std::uint64_t RunSpiller::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+}  // namespace mrcost::storage

@@ -1,0 +1,154 @@
+#ifndef MRCOST_STORAGE_SERDE_H_
+#define MRCOST_STORAGE_SERDE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mrcost::storage {
+
+/// Binary serialization for the key and value types the engine shuffles:
+/// trivially copyable types are copied byte-for-byte, strings and vectors
+/// are length-prefixed (64-bit count), pairs and tuples recurse over their
+/// members. The encoding is injective per type — equal encodings mean
+/// equal values — which is what lets the external merge group records by
+/// comparing key bytes without deserializing them.
+///
+/// Spill files are process-lifetime temporaries, so the encoding uses host
+/// byte order and host widths; it is not a portable interchange format.
+///
+/// All overloads are declared before any definition so the container
+/// overloads are visible from inside the composite overloads (ordinary
+/// lookup happens at template definition time).
+template <typename T>
+void SerializeValue(const T& value, std::string& out);
+template <typename A, typename B>
+void SerializeValue(const std::pair<A, B>& p, std::string& out);
+template <typename... Ts>
+void SerializeValue(const std::tuple<Ts...>& t, std::string& out);
+inline void SerializeValue(const std::string& s, std::string& out);
+template <typename T>
+void SerializeValue(const std::vector<T>& v, std::string& out);
+
+/// Deserializers advance `p` past the bytes they consume and return false
+/// (leaving `out` unspecified) when the input is truncated or malformed.
+template <typename T>
+bool DeserializeValue(const char*& p, const char* end, T& out);
+template <typename A, typename B>
+bool DeserializeValue(const char*& p, const char* end, std::pair<A, B>& out);
+template <typename... Ts>
+bool DeserializeValue(const char*& p, const char* end,
+                      std::tuple<Ts...>& out);
+inline bool DeserializeValue(const char*& p, const char* end,
+                             std::string& out);
+template <typename T>
+bool DeserializeValue(const char*& p, const char* end, std::vector<T>& out);
+
+namespace internal {
+
+inline void AppendRaw(const void* data, std::size_t n, std::string& out) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+inline bool ReadRaw(const char*& p, const char* end, void* data,
+                    std::size_t n) {
+  if (static_cast<std::size_t>(end - p) < n) return false;
+  std::memcpy(data, p, n);
+  p += n;
+  return true;
+}
+
+}  // namespace internal
+
+template <typename A, typename B>
+void SerializeValue(const std::pair<A, B>& p, std::string& out) {
+  SerializeValue(p.first, out);
+  SerializeValue(p.second, out);
+}
+
+template <typename A, typename B>
+bool DeserializeValue(const char*& p, const char* end, std::pair<A, B>& out) {
+  return DeserializeValue(p, end, out.first) &&
+         DeserializeValue(p, end, out.second);
+}
+
+template <typename... Ts>
+void SerializeValue(const std::tuple<Ts...>& t, std::string& out) {
+  std::apply([&out](const Ts&... elems) { (SerializeValue(elems, out), ...); },
+             t);
+}
+
+template <typename... Ts>
+bool DeserializeValue(const char*& p, const char* end,
+                      std::tuple<Ts...>& out) {
+  return std::apply(
+      [&p, end](Ts&... elems) {
+        return (DeserializeValue(p, end, elems) && ...);
+      },
+      out);
+}
+
+inline void SerializeValue(const std::string& s, std::string& out) {
+  const std::uint64_t n = s.size();
+  internal::AppendRaw(&n, sizeof(n), out);
+  out.append(s);
+}
+
+inline bool DeserializeValue(const char*& p, const char* end,
+                             std::string& out) {
+  std::uint64_t n = 0;
+  if (!internal::ReadRaw(p, end, &n, sizeof(n))) return false;
+  if (static_cast<std::uint64_t>(end - p) < n) return false;
+  out.assign(p, static_cast<std::size_t>(n));
+  p += n;
+  return true;
+}
+
+template <typename T>
+void SerializeValue(const std::vector<T>& v, std::string& out) {
+  const std::uint64_t n = v.size();
+  internal::AppendRaw(&n, sizeof(n), out);
+  for (const T& x : v) SerializeValue(x, out);
+}
+
+template <typename T>
+bool DeserializeValue(const char*& p, const char* end, std::vector<T>& out) {
+  std::uint64_t n = 0;
+  if (!internal::ReadRaw(p, end, &n, sizeof(n))) return false;
+  out.clear();
+  // A corrupt count cannot force a huge allocation: every element consumes
+  // at least one byte, so the remaining input bounds any honest count.
+  if (n > static_cast<std::uint64_t>(end - p)) return false;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    T elem;
+    if (!DeserializeValue(p, end, elem)) return false;
+    out.push_back(std::move(elem));
+  }
+  return true;
+}
+
+template <typename T>
+void SerializeValue(const T& value, std::string& out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SerializeValue: provide an overload or a trivially "
+                "copyable type");
+  internal::AppendRaw(&value, sizeof(T), out);
+}
+
+template <typename T>
+bool DeserializeValue(const char*& p, const char* end, T& out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DeserializeValue: provide an overload or a trivially "
+                "copyable type");
+  return internal::ReadRaw(p, end, &out, sizeof(T));
+}
+
+}  // namespace mrcost::storage
+
+#endif  // MRCOST_STORAGE_SERDE_H_

@@ -1,0 +1,134 @@
+#include "src/storage/spill_file.h"
+
+#include <array>
+
+namespace mrcost::storage {
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  // Standard IEEE 802.3 CRC-32, reflected polynomial.
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Reads exactly `n` bytes; false on short read (stream eof/fail set).
+bool ReadExact(std::ifstream& in, char* data, std::size_t n) {
+  in.read(data, static_cast<std::streamsize>(n));
+  return in.gcount() == static_cast<std::streamsize>(n);
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+common::Result<SpillFileWriter> SpillFileWriter::Create(
+    const std::string& path) {
+  SpillFileWriter writer;
+  writer.path_ = path;
+  writer.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!writer.out_) {
+    return common::Status::NotFound("spill file: cannot create " + path);
+  }
+  const std::uint32_t header[2] = {kSpillMagic, kSpillFormatVersion};
+  writer.out_.write(reinterpret_cast<const char*>(header), sizeof(header));
+  writer.bytes_written_ = sizeof(header);
+  if (!writer.out_) {
+    return common::Status::Internal("spill file: header write failed for " +
+                                    path);
+  }
+  return writer;
+}
+
+common::Status SpillFileWriter::AppendBlock(const std::string& payload) {
+  const std::uint32_t frame[2] = {static_cast<std::uint32_t>(payload.size()),
+                                  Crc32(payload.data(), payload.size())};
+  out_.write(reinterpret_cast<const char*>(frame), sizeof(frame));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out_) {
+    return common::Status::Internal("spill file: block write failed for " +
+                                    path_);
+  }
+  bytes_written_ += sizeof(frame) + payload.size();
+  return common::Status::Ok();
+}
+
+common::Status SpillFileWriter::Close() {
+  if (!out_.is_open()) return common::Status::Ok();
+  out_.flush();
+  out_.close();
+  if (out_.fail()) {
+    return common::Status::Internal("spill file: close failed for " + path_);
+  }
+  return common::Status::Ok();
+}
+
+common::Result<SpillFileReader> SpillFileReader::Open(
+    const std::string& path) {
+  SpillFileReader reader;
+  reader.path_ = path;
+  reader.in_.open(path, std::ios::binary);
+  if (!reader.in_) {
+    return common::Status::NotFound("spill file: cannot open " + path);
+  }
+  std::uint32_t header[2] = {0, 0};
+  if (!ReadExact(reader.in_, reinterpret_cast<char*>(header),
+                 sizeof(header))) {
+    return common::Status::OutOfRange("spill file: truncated header in " +
+                                      path);
+  }
+  if (header[0] != kSpillMagic) {
+    return common::Status::InvalidArgument("spill file: bad magic in " +
+                                           path);
+  }
+  if (header[1] != kSpillFormatVersion) {
+    return common::Status::InvalidArgument(
+        "spill file: unsupported version " + std::to_string(header[1]) +
+        " in " + path);
+  }
+  return reader;
+}
+
+common::Status SpillFileReader::Next(std::string& payload, bool& done) {
+  done = false;
+  std::uint32_t frame[2] = {0, 0};
+  in_.read(reinterpret_cast<char*>(frame), sizeof(frame));
+  if (in_.gcount() == 0 && in_.eof()) {
+    done = true;
+    return common::Status::Ok();
+  }
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(frame))) {
+    return common::Status::OutOfRange(
+        "spill file: truncated block header in " + path_);
+  }
+  if (frame[0] > kMaxBlockBytes) {
+    return common::Status::Internal("spill file: implausible block length " +
+                                    std::to_string(frame[0]) + " in " +
+                                    path_);
+  }
+  payload.resize(frame[0]);
+  if (!ReadExact(in_, payload.data(), payload.size())) {
+    return common::Status::OutOfRange("spill file: truncated block in " +
+                                      path_);
+  }
+  if (Crc32(payload.data(), payload.size()) != frame[1]) {
+    return common::Status::Internal("spill file: CRC mismatch in " + path_);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace mrcost::storage

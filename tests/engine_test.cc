@@ -6,10 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/byte_size.h"
 #include "src/common/random.h"
 #include "src/common/thread_pool.h"
 #include "src/core/lower_bound.h"
-#include "src/engine/byte_size.h"
 #include "src/engine/hashing.h"
 #include "src/engine/job.h"
 #include "src/engine/metrics.h"
@@ -50,19 +50,35 @@ TEST(Hashing, Vectors) {
 // ---------------------------------------------------------- byte size
 
 TEST(ByteSize, TriviallyCopyable) {
-  EXPECT_EQ(ByteSizeOf(1), sizeof(int));
-  EXPECT_EQ(ByteSizeOf(1.0), sizeof(double));
+  EXPECT_EQ(common::ByteSizeOf(1), sizeof(int));
+  EXPECT_EQ(common::ByteSizeOf(1.0), sizeof(double));
 }
 
 TEST(ByteSize, Composites) {
-  EXPECT_EQ(ByteSizeOf(std::pair<int, double>{1, 2.0}),
+  // The in-memory footprint convention of src/common/byte_size.h:
+  // composites sum their members, containers count their object plus the
+  // heap payload their elements own.
+  EXPECT_EQ(common::ByteSizeOf(std::pair<int, double>{1, 2.0}),
             sizeof(int) + sizeof(double));
-  EXPECT_EQ(ByteSizeOf(std::string("hello")),
-            sizeof(std::size_t) + 5);
-  EXPECT_EQ(ByteSizeOf(std::vector<int>{1, 2, 3}),
-            sizeof(std::size_t) + 3 * sizeof(int));
-  EXPECT_EQ(ByteSizeOf(std::pair<int, std::vector<int>>{1, {2, 3}}),
-            sizeof(int) + sizeof(std::size_t) + 2 * sizeof(int));
+  EXPECT_EQ(common::ByteSizeOf(std::vector<int>{1, 2, 3}),
+            sizeof(std::vector<int>) + 3 * sizeof(int));
+  EXPECT_EQ(common::ByteSizeOf(std::pair<int, std::vector<int>>{1, {2, 3}}),
+            sizeof(int) + sizeof(std::vector<int>) + 2 * sizeof(int));
+}
+
+TEST(ByteSize, StringSmallBufferConvention) {
+  // Strings at or under the modeled SSO capacity cost only the object;
+  // longer strings add their heap payload.
+  EXPECT_EQ(common::ByteSizeOf(std::string("hello")), sizeof(std::string));
+  const std::string sso_edge(common::kStringSsoCapacity, 'x');
+  EXPECT_EQ(common::ByteSizeOf(sso_edge), sizeof(std::string));
+  const std::string heap(common::kStringSsoCapacity + 1, 'x');
+  EXPECT_EQ(common::ByteSizeOf(heap),
+            sizeof(std::string) + common::kStringSsoCapacity + 1);
+  // A vector of heap strings prices both levels of the hierarchy.
+  const std::vector<std::string> v{heap, heap};
+  EXPECT_EQ(common::ByteSizeOf(v),
+            sizeof(std::vector<std::string>) + 2 * common::ByteSizeOf(heap));
 }
 
 // ---------------------------------------------------------------- job

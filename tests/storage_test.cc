@@ -1,0 +1,463 @@
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/engine/shuffle.h"
+#include "src/storage/external_merge.h"
+#include "src/storage/run_writer.h"
+#include "src/storage/serde.h"
+#include "src/storage/spill_file.h"
+
+namespace mrcost::storage {
+namespace {
+
+/// Per-process scratch directory; removed by the last test that uses it.
+std::string TestDir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mrcost-storage-test-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string TestPath(const std::string& name) {
+  return (std::filesystem::path(TestDir()) / name).string();
+}
+
+// -------------------------------------------------------------- serde
+
+template <typename T>
+T RoundTrip(const T& value) {
+  std::string bytes;
+  SerializeValue(value, bytes);
+  const char* p = bytes.data();
+  const char* end = p + bytes.size();
+  T out;
+  EXPECT_TRUE(DeserializeValue(p, end, out));
+  EXPECT_EQ(p, end) << "deserialize must consume every byte";
+  return out;
+}
+
+TEST(Serde, RoundTripsEngineKeyAndValueTypes) {
+  EXPECT_EQ(RoundTrip(std::uint64_t{42}), 42u);
+  EXPECT_EQ(RoundTrip(std::int32_t{-7}), -7);
+  EXPECT_EQ(RoundTrip(std::string()), "");
+  EXPECT_EQ(RoundTrip(std::string("hello")), "hello");
+  EXPECT_EQ(RoundTrip(std::string(1000, 'x')), std::string(1000, 'x'));
+  EXPECT_EQ(RoundTrip(std::vector<int>{1, 2, 3}),
+            (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(RoundTrip(std::vector<std::vector<int>>{{1}, {}, {2, 3}}),
+            (std::vector<std::vector<int>>{{1}, {}, {2, 3}}));
+  // The join drivers' shuffle value: (atom index, tuple).
+  const std::pair<int, std::vector<std::int32_t>> tuple_value{2, {5, -1, 9}};
+  EXPECT_EQ(RoundTrip(tuple_value), tuple_value);
+  const std::tuple<int, std::string, double> mixed{1, "ab", 2.5};
+  EXPECT_EQ(RoundTrip(mixed), mixed);
+}
+
+TEST(Serde, TruncatedInputFailsCleanly) {
+  std::string bytes;
+  SerializeValue(std::pair<std::uint64_t, std::string>{7, "payload"}, bytes);
+  // Every strict prefix must fail, never read past `end`, never crash.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const char* p = bytes.data();
+    const char* end = p + cut;
+    std::pair<std::uint64_t, std::string> out;
+    EXPECT_FALSE(DeserializeValue(p, end, out)) << "cut=" << cut;
+  }
+}
+
+TEST(Serde, CorruptVectorCountCannotForceHugeAllocation) {
+  std::string bytes;
+  SerializeValue(std::vector<int>{1, 2, 3}, bytes);
+  // Overwrite the count with a huge value: must fail, not allocate.
+  const std::uint64_t huge = ~std::uint64_t{0};
+  bytes.replace(0, sizeof(huge),
+                reinterpret_cast<const char*>(&huge), sizeof(huge));
+  const char* p = bytes.data();
+  std::vector<int> out;
+  EXPECT_FALSE(DeserializeValue(p, p + bytes.size(), out));
+}
+
+// --------------------------------------------------------- spill file
+
+TEST(SpillFile, Crc32KnownAnswer) {
+  // The IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(SpillFile, BlocksRoundTrip) {
+  const std::string path = TestPath("roundtrip.spill");
+  auto writer = SpillFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE(writer->AppendBlock("first block").ok());
+  ASSERT_TRUE(writer->AppendBlock(std::string(100000, 'z')).ok());
+  ASSERT_TRUE(writer->AppendBlock("").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_GT(writer->bytes_written(), 100000u);
+
+  auto reader = SpillFileReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  std::string payload;
+  bool done = false;
+  ASSERT_TRUE(reader->Next(payload, done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_EQ(payload, "first block");
+  ASSERT_TRUE(reader->Next(payload, done).ok());
+  EXPECT_EQ(payload, std::string(100000, 'z'));
+  ASSERT_TRUE(reader->Next(payload, done).ok());
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(reader->Next(payload, done).ok());
+  EXPECT_TRUE(done);
+}
+
+TEST(SpillFile, MissingFileIsNotFound) {
+  auto reader = SpillFileReader::Open(TestPath("does-not-exist.spill"));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(SpillFile, BadMagicRejected) {
+  const std::string path = TestPath("badmagic.spill");
+  std::ofstream(path, std::ios::binary) << "XXXXYYYYsome bytes";
+  auto reader = SpillFileReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(SpillFile, TruncatedHeaderAndBlockReturnOutOfRange) {
+  const std::string path = TestPath("truncated.spill");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint32_t magic = kSpillMagic;
+    out.write(reinterpret_cast<const char*>(&magic), 2);  // half a magic
+  }
+  auto reader = SpillFileReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), common::StatusCode::kOutOfRange);
+
+  // A valid header + block, then the file cut mid-payload.
+  auto writer = SpillFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendBlock("a payload that will be cut").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 5);
+  auto cut = SpillFileReader::Open(path);
+  ASSERT_TRUE(cut.ok());
+  std::string payload;
+  bool done = false;
+  const auto status = cut->Next(payload, done);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kOutOfRange);
+}
+
+TEST(SpillFile, FlippedByteFailsCrc) {
+  const std::string path = TestPath("corrupt.spill");
+  auto writer = SpillFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendBlock("sensitive payload bytes").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-3, std::ios::end);  // inside the payload
+    f.put('!');
+  }
+  auto reader = SpillFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  bool done = false;
+  const auto status = reader->Next(payload, done);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kInternal);
+}
+
+// ------------------------------------------------- runs and the merge
+
+SpillRecord MakeRecord(std::uint64_t hash, std::uint64_t pos,
+                       std::uint64_t key, int value) {
+  SpillRecord rec;
+  rec.hash = hash;
+  rec.pos = pos;
+  SerializeValue(key, rec.bytes);
+  rec.key_size = static_cast<std::uint32_t>(rec.bytes.size());
+  SerializeValue(value, rec.bytes);
+  return rec;
+}
+
+TEST(RunWriter, EncodeDecodeRecord) {
+  const SpillRecord rec = MakeRecord(7, 9, 1234, -5);
+  std::string block;
+  EncodeRecord(rec, block);
+  const char* p = block.data();
+  SpillRecord out;
+  ASSERT_TRUE(DecodeRecord(p, block.data() + block.size(), out));
+  EXPECT_EQ(p, block.data() + block.size());
+  EXPECT_EQ(out.hash, rec.hash);
+  EXPECT_EQ(out.pos, rec.pos);
+  EXPECT_EQ(out.key_size, rec.key_size);
+  EXPECT_EQ(out.bytes, rec.bytes);
+}
+
+TEST(RunWriter, BudgetTriggersSpills) {
+  RunSpiller spiller(TestDir());
+  RunWriter<std::uint64_t, int> writer(&spiller, 200, /*chunk_id=*/0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer.Add(/*hash=*/static_cast<std::uint64_t>(i),
+                           static_cast<std::uint64_t>(i), i)
+                    .ok());
+  }
+  const auto tail = writer.TakeTail();
+  EXPECT_GT(spiller.spill_runs(), 0u);
+  EXPECT_GT(spiller.bytes_written(), 0u);
+  // Every record is either in a run or in the tail.
+  std::uint64_t on_disk = 0;
+  for (const std::string& path : spiller.spill_run_paths()) {
+    DiskRunSource source(path);
+    SpillRecord rec;
+    while (source.Next(rec)) ++on_disk;
+    ASSERT_TRUE(source.status().ok()) << source.status();
+  }
+  EXPECT_EQ(on_disk + tail.size(), 100u);
+}
+
+TEST(RunWriter, ZeroBudgetSpillsEveryRecord) {
+  RunSpiller spiller(TestDir());
+  RunWriter<std::uint64_t, int> writer(&spiller, 0, /*chunk_id=*/0);
+  for (int i = 0; i < 17; ++i) {
+    ASSERT_TRUE(writer.Add(static_cast<std::uint64_t>(i),
+                           static_cast<std::uint64_t>(i), i)
+                    .ok());
+  }
+  EXPECT_TRUE(writer.TakeTail().empty());
+  EXPECT_EQ(spiller.spill_runs(), 17u);
+}
+
+TEST(RunSpiller, RemovesItsFilesOnDestruction) {
+  std::vector<std::string> paths;
+  {
+    RunSpiller spiller(TestDir());
+    std::vector<SpillRecord> records{MakeRecord(1, 1, 1, 1)};
+    ASSERT_TRUE(spiller.SpillRun(records).ok());
+    paths = spiller.run_paths();
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(paths[0]));
+  }
+  EXPECT_FALSE(std::filesystem::exists(paths[0]));
+}
+
+TEST(LoserTree, EmptyAndSingleSource) {
+  LoserTree empty({});
+  SpillRecord rec;
+  EXPECT_FALSE(empty.Next(rec));
+
+  std::vector<SpillRecord> records;
+  records.push_back(MakeRecord(2, 0, 2, 20));
+  records.push_back(MakeRecord(5, 1, 5, 50));
+  MemoryRunSource source(std::move(records));
+  std::vector<RunSource*> sources{&source};
+  LoserTree tree(sources);
+  ASSERT_TRUE(tree.Next(rec));
+  EXPECT_EQ(rec.hash, 2u);
+  ASSERT_TRUE(tree.Next(rec));
+  EXPECT_EQ(rec.hash, 5u);
+  EXPECT_FALSE(tree.Next(rec));
+  EXPECT_TRUE(tree.status().ok());
+}
+
+TEST(LoserTree, MergesManySourcesInOrder) {
+  // 7 sources with interleaved hashes; positions globally unique.
+  common::SplitMix64 rng(13);
+  std::vector<MemoryRunSource> owned;
+  std::vector<std::vector<SpillRecord>> runs(7);
+  std::uint64_t pos = 0;
+  for (int i = 0; i < 500; ++i) {
+    runs[rng.UniformBelow(7)].push_back(
+        MakeRecord(rng.UniformBelow(40), pos, rng.UniformBelow(40),
+                   static_cast<int>(pos)));
+    ++pos;
+  }
+  std::vector<RunSource*> sources;
+  for (auto& run : runs) {
+    std::sort(run.begin(), run.end(),
+              [](const SpillRecord& a, const SpillRecord& b) {
+                return SpillRecordLess(a, b);
+              });
+    owned.emplace_back(std::move(run));
+  }
+  for (auto& source : owned) sources.push_back(&source);
+  LoserTree tree(sources);
+  SpillRecord prev;
+  SpillRecord rec;
+  std::size_t count = 0;
+  while (tree.Next(rec)) {
+    if (count > 0) {
+      EXPECT_TRUE(SpillRecordLess(prev, rec));
+    }
+    prev = rec;
+    ++count;
+  }
+  EXPECT_EQ(count, 500u);
+  EXPECT_TRUE(tree.status().ok());
+}
+
+TEST(ExternalMerge, CorruptRunSurfacesStatusNotCrash) {
+  RunSpiller spiller(TestDir());
+  std::vector<SpillRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(MakeRecord(static_cast<std::uint64_t>(i), i,
+                                 static_cast<std::uint64_t>(i), i));
+  }
+  ASSERT_TRUE(spiller.SpillRun(records).ok());
+  const std::string path = spiller.spill_run_paths()[0];
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 7);
+
+  std::vector<std::unique_ptr<RunSource>> sources;
+  sources.push_back(std::make_unique<DiskRunSource>(path));
+  SpillStats stats;
+  auto merged = MergeRunsToGroups<std::uint64_t, int>(
+      std::move(sources), spiller, kDefaultMergeFanIn, stats);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), common::StatusCode::kOutOfRange);
+}
+
+// ----------------------------------- round-trip property vs the engine
+
+/// The four key distributions of the PR 2 shuffle harness: the regimes
+/// where an external merge could diverge from the in-memory reference.
+enum class KeyDist { kUniform, kZipf, kAllSame, kAllDistinct };
+
+const char* Name(KeyDist dist) {
+  switch (dist) {
+    case KeyDist::kUniform: return "uniform";
+    case KeyDist::kZipf: return "zipf";
+    case KeyDist::kAllSame: return "all-same";
+    case KeyDist::kAllDistinct: return "all-distinct";
+  }
+  return "?";
+}
+
+std::vector<std::vector<std::pair<std::uint64_t, int>>> RandomChunks(
+    KeyDist dist, std::uint64_t seed) {
+  common::SplitMix64 rng(seed);
+  const common::ZipfDistribution zipf(64, 1.3);
+  const std::size_t num_chunks = 1 + rng.UniformBelow(8);
+  std::vector<std::vector<std::pair<std::uint64_t, int>>> chunks(num_chunks);
+  int serial = 0;
+  for (auto& chunk : chunks) {
+    const std::size_t size = rng.UniformBelow(400);
+    chunk.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      std::uint64_t key = 0;
+      switch (dist) {
+        case KeyDist::kUniform: key = rng.UniformBelow(150); break;
+        case KeyDist::kZipf: key = zipf.Sample(rng); break;
+        case KeyDist::kAllSame: key = 42; break;
+        case KeyDist::kAllDistinct:
+          key = static_cast<std::uint64_t>(serial);
+          break;
+      }
+      chunk.emplace_back(key, serial++);
+    }
+  }
+  return chunks;
+}
+
+TEST(ExternalShuffleProperty, MatchesSerialShuffleAcrossDistributions) {
+  // For every distribution, seed, and budget (from spill-everything to
+  // spill-nothing): keys, group contents, and global first-seen order must
+  // match the serial in-memory reference exactly.
+  common::ThreadPool pool(4);
+  for (KeyDist dist : {KeyDist::kUniform, KeyDist::kZipf, KeyDist::kAllSame,
+                       KeyDist::kAllDistinct}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      auto serial_chunks = RandomChunks(dist, seed);
+      const auto serial = engine::SerialShuffle(serial_chunks);
+      for (std::uint64_t budget : {std::uint64_t{0}, std::uint64_t{256},
+                                   std::uint64_t{4096},
+                                   std::uint64_t{1} << 30}) {
+        auto chunks = RandomChunks(dist, seed);
+        engine::ExternalShuffleOptions options;
+        options.memory_budget_bytes = budget;
+        options.spill_dir = TestDir();
+        SpillStats stats;
+        auto external =
+            engine::ExternalShuffle(chunks, pool, options, &stats);
+        SCOPED_TRACE(std::string(Name(dist)) +
+                     " seed=" + std::to_string(seed) +
+                     " budget=" + std::to_string(budget));
+        ASSERT_TRUE(external.ok()) << external.status();
+        ASSERT_EQ(external->keys, serial.keys);
+        ASSERT_EQ(external->groups, serial.groups);
+        EXPECT_GE(stats.merge_passes, 1u);
+        if (budget == 0) {
+          EXPECT_GT(stats.spill_runs, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(ExternalShuffleProperty, TinyFanInForcesMultiPassMerge) {
+  common::ThreadPool pool(4);
+  auto serial_chunks = RandomChunks(KeyDist::kUniform, 9);
+  const auto serial = engine::SerialShuffle(serial_chunks);
+  auto chunks = RandomChunks(KeyDist::kUniform, 9);
+  engine::ExternalShuffleOptions options;
+  options.memory_budget_bytes = 512;  // many small runs
+  options.merge_fan_in = 2;           // smallest legal fan-in
+  options.spill_dir = TestDir();
+  SpillStats stats;
+  auto external = engine::ExternalShuffle(chunks, pool, options, &stats);
+  ASSERT_TRUE(external.ok()) << external.status();
+  EXPECT_EQ(external->keys, serial.keys);
+  EXPECT_EQ(external->groups, serial.groups);
+  EXPECT_GT(stats.merge_passes, 1u);
+  EXPECT_GT(stats.spill_runs, 2u);
+}
+
+TEST(ExternalShuffleProperty, StringKeysAndValues) {
+  // Variable-length keys exercise the key-byte comparison path.
+  std::vector<std::vector<std::pair<std::string, std::string>>> chunks(3);
+  common::SplitMix64 rng(21);
+  for (auto& chunk : chunks) {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t k = rng.UniformBelow(37);
+      chunk.emplace_back("key-" + std::string(k % 5, 'x') +
+                             std::to_string(k),
+                         "value-" + std::to_string(i));
+    }
+  }
+  auto serial_chunks = chunks;
+  const auto serial = engine::SerialShuffle(serial_chunks);
+  common::ThreadPool pool(2);
+  engine::ExternalShuffleOptions options;
+  options.memory_budget_bytes = 2048;
+  options.spill_dir = TestDir();
+  auto external = engine::ExternalShuffle(chunks, pool, options);
+  ASSERT_TRUE(external.ok()) << external.status();
+  EXPECT_EQ(external->keys, serial.keys);
+  EXPECT_EQ(external->groups, serial.groups);
+}
+
+/// Removes the per-process scratch directory. gtest runs suites in
+/// declaration order within a file, so keep this test last.
+TEST(ZCleanup, RemoveTestDir) {
+  std::error_code ec;
+  std::filesystem::remove_all(TestDir(), ec);
+  EXPECT_FALSE(ec) << ec.message();
+}
+
+}  // namespace
+}  // namespace mrcost::storage
