@@ -15,6 +15,7 @@
 #include "src/core/lower_bound.h"
 #include "src/engine/job.h"
 #include "src/engine/pipeline.h"
+#include "src/engine/plan.h"
 #include "src/engine/shuffle.h"
 #include "src/join/aggregate.h"
 #include "src/matmul/matrix.h"
@@ -238,6 +239,50 @@ void BM_MatMulOnePhase(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatMulOnePhase)->Arg(32)->Arg(64);
+
+void BM_PlanVsEagerOverhead(benchmark::State& state) {
+  // The lazy Plan path (type-erased std::function map/reduce, per-round
+  // strategy chooser sampling) vs calling RunMapReduce directly with the
+  // same lambdas: range(0) == 0 benches eager, 1 benches the plan. The
+  // delta is the price of the Estimate/Explain/choose seam.
+  const bool lazy = state.range(0) == 1;
+  const std::size_t n = 1 << 17;
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [](const std::uint64_t& x,
+                   mrcost::engine::Emitter<std::uint64_t, std::uint64_t>&
+                       emitter) {
+    emitter.Emit(mrcost::common::Mix64(x) % 2048, x);
+  };
+  auto reduce_fn = [](const std::uint64_t&,
+                      const std::vector<std::uint64_t>& values,
+                      std::vector<std::uint64_t>& out) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values) sum += v;
+    out.push_back(sum);
+  };
+  // The plan is built once (as the eager arm's input vector is), so each
+  // lazy iteration measures Execute — the chooser's sampling plus the
+  // type-erased lowering — not source re-materialization.
+  mrcost::engine::Plan plan;
+  auto dataset = plan.Source(inputs)
+                     .Map<std::uint64_t, std::uint64_t>(map_fn)
+                     .ReduceByKey<std::uint64_t>(reduce_fn);
+  for (auto _ : state) {
+    if (lazy) {
+      auto run = dataset.Execute();
+      benchmark::DoNotOptimize(run.outputs);
+    } else {
+      auto result =
+          mrcost::engine::RunMapReduce<std::uint64_t, std::uint64_t,
+                                       std::uint64_t, std::uint64_t>(
+              inputs, map_fn, reduce_fn, {});
+      benchmark::DoNotOptimize(result.outputs);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PlanVsEagerOverhead)->Arg(0)->Arg(1);
 
 void BM_MatMulTwoPhase(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

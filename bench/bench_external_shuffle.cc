@@ -97,7 +97,7 @@ int main() {
   for (std::size_t shards : {1u, 4u}) {
     engine::JobOptions options;
     options.num_shards = shards;
-    options.shuffle_strategy = engine::ShuffleStrategy::kSharded;
+    options.shuffle.strategy = engine::ShuffleStrategy::kSharded;
     const RunResult run = RunConfig(inputs, options);
     table.AddRow()
         .Add(shards == 1 ? "serial" : "sharded")
@@ -116,8 +116,8 @@ int main() {
   for (std::uint64_t budget = intermediate / 4; budget >= intermediate / 32;
        budget /= 2) {
     engine::JobOptions options;
-    options.shuffle_strategy = engine::ShuffleStrategy::kExternal;
-    options.memory_budget_bytes = budget;
+    options.shuffle.strategy = engine::ShuffleStrategy::kExternal;
+    options.shuffle.memory_budget_bytes = budget;
     const RunResult run = RunConfig(inputs, options);
     table.AddRow()
         .Add("external")

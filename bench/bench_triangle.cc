@@ -85,7 +85,7 @@ void OneVsTwoRounds() {
   Table t({"algorithm", "rounds", "total pairs", "max reducer input",
            "worker-load skew (max/mean)", "triangles"});
   mrcost::engine::JobOptions options;
-  options.num_simulated_workers = 16;
+  options.simulation.num_workers = 16;
 
   const auto partition = MRTriangles(g, 6, /*seed=*/2, options);
   t.AddRow()

@@ -3,8 +3,9 @@
 //   1. Model a problem (Hamming-distance-1 on 12-bit strings).
 //   2. Get a lower bound on replication rate from the Section 2.4 recipe.
 //   3. Build a mapping schema (the Splitting algorithm) and validate it.
-//   4. Run the schema as a real map-reduce job on the engine and compare
-//      the measured communication against the bound.
+//   4. Build the join as a lazy Plan, Estimate its (q, r) against the
+//      bound BEFORE running, Explain the physical plan, then Execute and
+//      compare the realized communication.
 //   5. Pick the cost-optimal reducer size for a made-up cluster price.
 //
 // Build: cmake -B build -G Ninja && cmake --build build
@@ -18,6 +19,7 @@
 #include "src/core/lower_bound.h"
 #include "src/core/schema_stats.h"
 #include "src/core/schema_validator.h"
+#include "src/engine/plan.h"
 #include "src/hamming/bounds.h"
 #include "src/hamming/problem.h"
 #include "src/hamming/schemas.h"
@@ -61,12 +63,29 @@ int main() {
                    b, static_cast<double>(stats.max_reducer_load))
             << "  -> the algorithm is exactly optimal\n\n";
 
-  // 4. Run it for real: fuzzy-join the full domain on the engine.
-  auto join = hamming::SplittingSimilarityJoin(
+  // 4. Build the join as a lazy plan: nothing runs yet, but the cost is
+  //    already knowable — the paper's point, as an API.
+  auto plan = hamming::BuildSplittingSimilarityJoinPlan(
       hamming::AllStrings(b), b, /*k=*/3, /*d=*/1);
-  std::cout << "Engine run: found " << join->pairs.size()
+  if (!plan.ok()) {
+    std::cerr << plan.status() << "\n";
+    return 1;
+  }
+
+  //    Estimate: predicted q, r, and the bound ratio, before any data
+  //    moves (the splitting schema declares its analytic geometry).
+  std::cout << "Estimate (before execution):\n  "
+            << plan->plan.Estimate(recipe).ToString() << "\n\n";
+
+  //    Explain: the physical plan Execute would run.
+  engine::ExecutionOptions exec_options;
+  std::cout << "Explain:\n" << plan->plan.Explain(exec_options) << "\n\n";
+
+  //    Execute: lowers onto the eager engine, byte-identical to it.
+  auto run = plan->pairs.Execute(exec_options);
+  std::cout << "Engine run: found " << run.outputs.size()
             << " distance-1 pairs (expected " << problem.num_outputs()
-            << ")\n  " << join->metrics.ToString() << "\n\n";
+            << ")\n  " << run.metrics.rounds[0].ToString() << "\n\n";
 
   // 5. Cost model (Example 1.1): suppose communication costs 50 units per
   //    replicated input and reducers do quadratic work at 0.002/pair.

@@ -15,11 +15,13 @@
 //
 // Run: ./build/examples/sql_pipeline
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/core/lower_bound.h"
 #include "src/common/table.h"
 #include "src/join/query.h"
 #include "src/join/relation.h"
@@ -54,23 +56,49 @@ int main() {
             << serial.size() << " regions\n\n";
 
   const std::vector<int> shares{1, 8, 1};  // hash by customer: 8 reducers
+
+  // The two-round pipeline is a lazy plan: estimate and explain the naive
+  // variant before anything runs — round 1's Shares geometry is declared,
+  // round 2's input is propagated until execution materializes it.
+  {
+    auto plan = BuildHyperCubeJoinAggregatePlan(
+        query, rels, shares, group_attr, sum_attr,
+        /*pre_aggregate=*/false, /*seed=*/4);
+    if (!plan.ok()) {
+      std::cerr << plan.status() << "\n";
+      return 1;
+    }
+    mrcost::core::Recipe recipe;
+    recipe.problem_name = "join+aggregate";
+    recipe.g = [](double q) { return q * q; };
+    recipe.num_inputs = static_cast<double>(orders.size()) +
+                        static_cast<double>(customers.size());
+    recipe.num_outputs = 8;  // regions
+    std::cout << "Estimate (before execution):\n  "
+              << plan->plan.Estimate(recipe).ToString() << "\n\n"
+              << "Explain:\n"
+              << plan->plan.Explain({}) << "\n\n";
+  }
+
   common::Table t({"pipeline", "round1 pairs", "round2 pairs",
                    "total pairs", "round2 max q", "correct"});
   for (bool pre_aggregate : {false, true}) {
-    auto result = HyperCubeJoinAggregate(query, rels, shares, group_attr,
-                                         sum_attr, pre_aggregate,
-                                         /*seed=*/4);
-    if (!result.ok()) {
-      std::cerr << result.status() << "\n";
+    auto plan = BuildHyperCubeJoinAggregatePlan(
+        query, rels, shares, group_attr, sum_attr, pre_aggregate,
+        /*seed=*/4);
+    if (!plan.ok()) {
+      std::cerr << plan.status() << "\n";
       return 1;
     }
+    auto run = plan->sums.Execute({});
+    std::sort(run.outputs.begin(), run.outputs.end());
     t.AddRow()
         .Add(pre_aggregate ? "pre-aggregated (partial sums)" : "naive")
-        .Add(result->metrics.rounds[0].pairs_shuffled)
-        .Add(result->metrics.rounds[1].pairs_shuffled)
-        .Add(result->metrics.total_pairs())
-        .Add(result->metrics.rounds[1].max_reducer_input)
-        .Add(result->sums == serial ? "yes" : "NO");
+        .Add(run.metrics.rounds[0].pairs_shuffled)
+        .Add(run.metrics.rounds[1].pairs_shuffled)
+        .Add(run.metrics.total_pairs())
+        .Add(run.metrics.rounds[1].max_reducer_input)
+        .Add(run.outputs == serial ? "yes" : "NO");
   }
   t.Print(std::cout, "Join + GROUP BY, two map-reduce rounds");
   std::cout

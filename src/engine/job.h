@@ -35,27 +35,19 @@ struct JobOptions {
   /// Shuffle shards. 0 = auto (one per thread, capped for small jobs);
   /// 1 = the serial reference shuffle. Ignored by the external shuffle.
   std::size_t num_shards = 0;
-  /// Shuffle implementation. kAuto = kExternal when memory_budget_bytes is
-  /// set, else the sharded in-memory shuffle. All strategies produce
-  /// byte-identical outputs; only memory behaviour and metrics differ.
-  ShuffleStrategy shuffle_strategy = ShuffleStrategy::kAuto;
-  /// External-shuffle memory budget in ByteSizeOf bytes (the convention of
-  /// src/common/byte_size.h, shared with the simulator's capacity
-  /// checks). Split evenly across map chunks; a chunk's buffered batch
-  /// spills to a sorted disk run once it exceeds its share, so rounds can
-  /// run intermediate data much larger than the budget. 0 with an explicit
-  /// kExternal spills every pair (degenerate but valid).
-  std::uint64_t memory_budget_bytes = 0;
-  /// Spill-file directory ("" = the system temp directory).
-  std::string spill_dir;
-  /// Runs per k-way merge pass (0 = default 64); smaller values force
-  /// multi-pass merges.
-  std::size_t merge_fan_in = 0;
-  /// Shorthand for `simulation.num_workers` when no other simulation knob
-  /// is needed: if nonzero (and simulation is otherwise off), reduce keys
-  /// are assigned (by hash) to this many simulated reduce workers and
-  /// JobMetrics::worker_loads reports the per-worker input load — the
-  /// "reduce-worker is assigned many keys" model of Section 1.1.
+  /// Shuffle configuration (strategy, memory budget, spill dir, merge
+  /// fan-in) — the one ShuffleConfig shared with PipelineOptions and the
+  /// external shuffle; see its comment for the field-wise resolution
+  /// order. All strategies produce byte-identical outputs; only memory
+  /// behaviour and metrics differ.
+  ShuffleConfig shuffle;
+  /// DEPRECATED legacy shorthand for `simulation.num_workers`: if nonzero
+  /// (and simulation is otherwise off), reduce keys are assigned (by hash)
+  /// to this many simulated reduce workers and JobMetrics::worker_loads
+  /// reports the per-worker input load. New code should set
+  /// `simulation.num_workers` directly; this field survives only for the
+  /// ResolvedSimulation() compatibility path and will be removed once the
+  /// remaining external callers migrate.
   std::size_t num_simulated_workers = 0;
   /// Full cluster-simulation knobs (per-worker queues, capacity q,
   /// stragglers, heterogeneous speeds). When enabled, JobMetrics gains
@@ -77,17 +69,7 @@ struct JobOptions {
   }
 
   ShuffleStrategy ResolvedShuffleStrategy() const {
-    if (shuffle_strategy != ShuffleStrategy::kAuto) return shuffle_strategy;
-    return memory_budget_bytes > 0 ? ShuffleStrategy::kExternal
-                                   : ShuffleStrategy::kSharded;
-  }
-
-  ExternalShuffleOptions ExternalOptions() const {
-    ExternalShuffleOptions external;
-    external.memory_budget_bytes = memory_budget_bytes;
-    external.spill_dir = spill_dir;
-    external.merge_fan_in = merge_fan_in;
-    return external;
+    return shuffle.Resolved();
   }
 
   std::size_t ResolvedThreads() const {
@@ -97,6 +79,29 @@ struct JobOptions {
     return hw == 0 ? 4 : hw;
   }
 };
+
+/// Field-wise merge of per-round overrides onto defaults: every field left
+/// at its unset value (0 / nullptr / kAuto / "" / disabled simulation)
+/// inherits the default's value. This is the single merge rule used by
+/// Pipeline round defaults and the plan executor — a round overriding only
+/// `num_shards` still gets the defaults' memory budget, simulation, and
+/// thread sizing.
+inline JobOptions MergedJobOptions(JobOptions overrides,
+                                   const JobOptions& defaults) {
+  if (overrides.num_threads == 0) overrides.num_threads = defaults.num_threads;
+  if (overrides.pool == nullptr) overrides.pool = defaults.pool;
+  if (overrides.num_shards == 0) overrides.num_shards = defaults.num_shards;
+  overrides.shuffle = overrides.shuffle.MergedOver(defaults.shuffle);
+  // Simulation is one logical knob (the options struct plus the deprecated
+  // worker-count shorthand): inherit it only when the override configures
+  // neither half, so a round's explicit simulation always wins whole.
+  if (!overrides.simulation.enabled() && !overrides.simulation.customized() &&
+      overrides.num_simulated_workers == 0) {
+    overrides.simulation = defaults.simulation;
+    overrides.num_simulated_workers = defaults.num_simulated_workers;
+  }
+  return overrides;
+}
 
 /// Result of one round: reducer outputs (in deterministic first-seen key
 /// order) plus the exact cost metrics.
@@ -298,7 +303,7 @@ JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
     // so environmental spill failures (disk full, unwritable spill_dir,
     // a corrupted run) CHECK-fail the round; the storage APIs themselves
     // return Status for callers that need to handle them.
-    storage::RunSpiller spiller(options.spill_dir);
+    storage::RunSpiller spiller(options.shuffle.spill_dir);
     const std::size_t num_chunks =
         internal::NumChunks(inputs.size(), pool.get().num_threads());
     // Each chunk's share is split between the two buffering stages —
@@ -306,7 +311,7 @@ JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
     // which briefly coexist while a flush drains, so the chunk's peak
     // working set stays at its share rather than twice it.
     const std::uint64_t per_stage_budget =
-        options.memory_budget_bytes / num_chunks / 2;
+        options.shuffle.memory_budget_bytes / num_chunks / 2;
     std::vector<std::unique_ptr<storage::RunWriter<Key, Value>>> writers(
         num_chunks);
     std::vector<common::Status> spill_status(num_chunks);
@@ -341,7 +346,7 @@ JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
     });
     storage::SpillStats stats;
     auto merged = internal::MergeSpilledRuns<Key, Value>(
-        spiller, tails, options.merge_fan_in, stats);
+        spiller, tails, options.shuffle.merge_fan_in, stats);
     MRCOST_CHECK_OK(merged.status());
     internal::RecordSpillStats(stats, metrics);
     shuffled = std::move(merged.value());
@@ -444,8 +449,7 @@ JobResult<Output> RunMapReduceCombined(const std::vector<Input>& inputs,
   if (options.ResolvedShuffleStrategy() == ShuffleStrategy::kExternal) {
     storage::SpillStats stats;
     auto merged =
-        ExternalShuffle(chunks, pool.get(), options.ExternalOptions(),
-                        &stats);
+        ExternalShuffle(chunks, pool.get(), options.shuffle, &stats);
     MRCOST_CHECK_OK(merged.status());
     internal::RecordSpillStats(stats, metrics);
     shuffled = std::move(merged.value());

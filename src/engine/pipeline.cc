@@ -24,8 +24,12 @@ Pipeline::Pipeline(const JobOptions& round_defaults)
       }()) {}
 
 JobOptions Pipeline::Resolve(const std::optional<JobOptions>& round_options) {
+  // Per-round options are merged over the round defaults field-wise (see
+  // MergedJobOptions): explicitly set fields win, unset fields inherit.
   JobOptions resolved =
-      round_options.has_value() ? *round_options : options_.round_defaults;
+      round_options.has_value()
+          ? MergedJobOptions(*round_options, options_.round_defaults)
+          : options_.round_defaults;
   resolved.pool = &pool_ref_.get();
   // Pipeline-wide simulation backstop: a round that configures nothing
   // itself inherits the pipeline's simulated cluster.
@@ -33,17 +37,9 @@ JobOptions Pipeline::Resolve(const std::optional<JobOptions>& round_options) {
       options_.simulation.enabled()) {
     resolved.simulation = options_.simulation;
   }
-  // Same backstop for the shuffle: a round that leaves the strategy on
-  // auto with no budget of its own inherits the pipeline's external
-  // shuffle configuration.
-  if (resolved.shuffle_strategy == ShuffleStrategy::kAuto &&
-      resolved.memory_budget_bytes == 0 &&
-      (options_.shuffle_strategy != ShuffleStrategy::kAuto ||
-       options_.memory_budget_bytes > 0)) {
-    resolved.shuffle_strategy = options_.shuffle_strategy;
-    resolved.memory_budget_bytes = options_.memory_budget_bytes;
-    if (resolved.spill_dir.empty()) resolved.spill_dir = options_.spill_dir;
-  }
+  // Same backstop for the shuffle, field-wise: whatever the round and the
+  // round defaults left unset inherits the pipeline's shuffle config.
+  resolved.shuffle = resolved.shuffle.MergedOver(options_.shuffle);
   return resolved;
 }
 

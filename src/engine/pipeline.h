@@ -21,22 +21,23 @@ struct PipelineOptions {
   std::size_t num_threads = 0;
   /// Optional external pool; when set the pipeline does not construct one.
   common::ThreadPool* pool = nullptr;
-  /// Defaults applied to every round (num_shards, simulation knobs).
-  /// A per-round JobOptions passed to AddRound replaces these defaults
-  /// entirely (no field-wise merge); in either case the pool field is
-  /// overridden with the pipeline's shared pool.
+  /// Defaults applied to every round (num_shards, shuffle config,
+  /// simulation knobs). A per-round JobOptions passed to AddRound is
+  /// merged over these defaults field-wise (MergedJobOptions): fields the
+  /// round leaves unset inherit the default — a round overriding only
+  /// `num_shards` still runs under the defaults' memory budget. The pool
+  /// field is always overridden with the pipeline's shared pool.
   JobOptions round_defaults;
   /// Pipeline-wide cluster simulation: applied to any round whose own
   /// options leave simulation off, so one knob simulates every round of a
   /// multi-round computation under the same cluster.
   SimulationOptions simulation;
-  /// Pipeline-wide shuffle backstop, mirroring `simulation`: any round
-  /// whose own options leave shuffle_strategy kAuto with no memory budget
-  /// inherits these three knobs, so one setting runs every round of a
-  /// multi-round computation under the same external-shuffle budget.
-  ShuffleStrategy shuffle_strategy = ShuffleStrategy::kAuto;
-  std::uint64_t memory_budget_bytes = 0;
-  std::string spill_dir;
+  /// Pipeline-wide shuffle backstop, mirroring `simulation`: any shuffle
+  /// field a round (and the round defaults) leaves unset inherits this
+  /// config field-wise, so one setting runs every round of a multi-round
+  /// computation under the same external-shuffle budget. See
+  /// ShuffleConfig's comment for the full resolution order.
+  ShuffleConfig shuffle;
 };
 
 /// Multi-round map-reduce driver: one thread pool shared by every round

@@ -1,0 +1,529 @@
+#ifndef MRCOST_ENGINE_PLAN_H_
+#define MRCOST_ENGINE_PLAN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/lower_bound.h"
+#include "src/engine/emitter.h"
+#include "src/engine/hashing.h"
+#include "src/engine/job.h"
+#include "src/engine/metrics.h"
+#include "src/engine/pipeline.h"
+
+namespace mrcost::engine {
+
+// The lazy, typed dataflow surface of the engine: a Plan is a DAG of
+// map-reduce round nodes built with Dataset<T> fluent calls
+// (Map / CombineByKey / ReduceByKey) that run nothing when built. The
+// paper's whole point is that a map-reduce computation has a knowable cost
+// *before* it runs — the Section 2.4 recipe prices a mapping schema
+// analytically — so the plan offers, in order:
+//   * Estimate(recipe)  — predicted q, r, and lower-bound ratio per round
+//                         from declared schema hints or map-fn sampling,
+//                         priced through core::CostModel, before any data
+//                         moves;
+//   * Explain(options)  — the physical plan: per-round shuffle strategy,
+//                         shard count, memory budget, simulation;
+//   * Execute(options)  — lowering onto the eager Pipeline/RunMapReduce
+//                         machinery, byte-identical to it for every
+//                         shuffle strategy, with a per-round strategy
+//                         chooser (serial/sharded/external from estimated
+//                         intermediate bytes vs budget) replacing the
+//                         pipeline-wide external-shuffle backstop;
+//   * ExecuteAsync      — the same, on its own thread, returning a future
+//                         (the seam the ROADMAP's round-overlap work
+//                         attaches to).
+
+template <typename T>
+class Dataset;
+class Plan;
+
+/// Analytic estimate hints for one round, declared by whoever knows the
+/// mapping schema (the four family drivers declare the paper's exact
+/// formulas). A stage declaring both `replication` and `num_reducers` is
+/// priced by Estimate without executing anything; when either is 0,
+/// Estimate samples the map function over the round's materialized input
+/// instead — an exhaustive sample (max_sample_inputs >= |I|) reproduces
+/// the realized r and q exactly, a partial sample extrapolates linearly.
+struct StageEstimate {
+  /// Pairs emitted per input — the schema's replication rate r.
+  double replication = 0;
+  /// Distinct reduce keys the schema addresses (the paper's reducers).
+  double num_reducers = 0;
+  /// Predicted reduce outputs per reducer, used to propagate the input
+  /// count of the next round of a multi-round plan. Defaults to 1 (the
+  /// aggregation-shaped common case).
+  double outputs_per_reducer = 1;
+  /// ByteSizeOf bytes per shuffled pair; 0 = measure by sampling.
+  double bytes_per_pair = 0;
+};
+
+/// One round of a PlanEstimate: the predicted communication geometry and
+/// its standing against the recipe lower bound, all computed before the
+/// round runs.
+struct RoundEstimate {
+  std::size_t round = 0;  // 1-based, matching RoundCostReport
+  std::string label;
+  /// True when the round's input count was read off a materialized
+  /// dataset (always true for round 1); false when it was propagated from
+  /// the previous round's predicted reducers x outputs_per_reducer.
+  bool inputs_known = false;
+  double num_inputs = 0;
+  double predicted_pairs = 0;
+  /// Predicted replication rate r = predicted_pairs / num_inputs. For a
+  /// combined round this is the pre-combine rate (an upper bound on what
+  /// crosses the shuffle).
+  double predicted_r = 0;
+  double predicted_reducers = 0;
+  /// Predicted reducer size q: the exact max input-list length when the
+  /// round was sampled exhaustively, else the mean load
+  /// predicted_pairs / predicted_reducers.
+  double predicted_q = 0;
+  double predicted_bytes = 0;
+  /// Section 2.4 bound at predicted_q, clamped at the trivial r >= 1.
+  double lower_bound_r = 0;
+  /// predicted_r / lower_bound_r (see RoundCostReport::optimality_ratio
+  /// for the reading of values below 1 on partial-result rounds).
+  double optimality_ratio = 0;
+  /// cost_model.Cost(predicted_r, predicted_q) — the Section 1.2 price.
+  double cost = 0;
+  /// The strategy the per-round chooser would pick for this round under
+  /// the EstimateOptions' shuffle config.
+  ShuffleStrategy planned_strategy = ShuffleStrategy::kAuto;
+  /// True when any field came from sampling the map function (vs hints
+  /// and propagation alone).
+  bool sampled = false;
+};
+
+struct PlanEstimate {
+  std::vector<RoundEstimate> rounds;
+
+  double total_predicted_pairs() const;
+  double total_cost() const;
+  std::string ToString() const;
+};
+
+/// Knobs for Plan::Estimate.
+struct EstimateOptions {
+  /// Prices each round's (r, q) point; default weighs communication only.
+  core::CostModel cost_model;
+  /// Inputs sampled per round to fill hint gaps (deterministic stride
+  /// sample). >= the source size means exhaustive: predicted r and q are
+  /// then exact for round 1. 0 = sample everything.
+  std::size_t max_sample_inputs = 1024;
+  /// Shuffle config the planned_strategy annotation is computed against.
+  ShuffleConfig shuffle;
+};
+
+/// Knobs for Plan::Execute / ExecuteAsync.
+struct ExecutionOptions {
+  /// Thread sizing, round defaults, simulation, and the pipeline-wide
+  /// shuffle backstop — exactly what the eager Pipeline takes, so a plan
+  /// execution is configured like the pipeline it lowers onto.
+  PipelineOptions pipeline;
+  /// Per-round strategy chooser: a round whose resolved shuffle strategy
+  /// is still kAuto gets serial/sharded/external picked from its
+  /// estimated intermediate bytes vs the memory budget (sampling the map
+  /// function over `strategy_sample_inputs` of the round's actual,
+  /// materialized inputs). Replaces the eager path's all-or-nothing
+  /// budget=>external rule: only rounds estimated over budget pay the
+  /// spill path. Outputs are byte-identical for every choice; only memory
+  /// behaviour and spill metrics differ.
+  bool choose_strategy_per_round = true;
+  std::size_t strategy_sample_inputs = 256;
+
+  ExecutionOptions() = default;
+  explicit ExecutionOptions(PipelineOptions options)
+      : pipeline(std::move(options)) {}
+  /// Convenience mirroring Pipeline(const JobOptions&): a plan execution
+  /// matching one round's JobOptions — what the family drivers construct
+  /// from their caller-facing options argument.
+  explicit ExecutionOptions(const JobOptions& round_defaults) {
+    pipeline.num_threads = round_defaults.num_threads;
+    pipeline.pool = round_defaults.pool;
+    pipeline.round_defaults = round_defaults;
+  }
+};
+
+/// What Execute returns for a typed target dataset: its materialized
+/// elements plus the exact per-round metrics of everything that ran.
+template <typename T>
+struct ExecutionResult {
+  std::vector<T> outputs;
+  PipelineMetrics metrics;
+  /// The shuffle strategy each executed round actually ran (after the
+  /// per-round chooser), aligned with metrics.rounds.
+  std::vector<ShuffleStrategy> round_strategies;
+};
+
+namespace internal {
+
+inline constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+inline constexpr std::size_t kUnknownSize = static_cast<std::size_t>(-1);
+
+/// What sampling a round's map function over (a stride sample of) its
+/// materialized input measures.
+struct MapSample {
+  bool valid = false;       // input was materialized, sampling ran
+  bool exhaustive = false;  // the sample covered every input
+  std::size_t sampled_inputs = 0;
+  double pairs_per_input = 0;
+  double bytes_per_input = 0;
+  std::uint64_t distinct_keys = 0;
+  std::uint64_t max_group = 0;  // max pairs sharing one key in the sample
+};
+
+struct PlanGraph;
+
+/// One type-erased node of the DAG: either a materialized source or a
+/// map(+combine)+reduce round. The typed closures are bound by
+/// KeyedDataset::ReduceByKey; everything the untyped executor needs
+/// (run / sample / input_size) is std::function.
+struct PlanNode {
+  std::string label;
+  bool is_source = false;
+  bool combined = false;
+  std::size_t input = kNoNode;  // producer node of this round's input
+  std::size_t source_size = 0;  // for sources
+  StageEstimate hint;
+  std::optional<JobOptions> options;  // per-round overrides (field-wise)
+  std::function<void(PlanGraph&, Pipeline&, const JobOptions&)> run;
+  std::function<MapSample(const PlanGraph&, std::size_t)> sample;
+  std::function<std::size_t(const PlanGraph&)> input_size;
+};
+
+/// Shared state behind Plan and every Dataset handle: the nodes in
+/// creation (= topological) order and, per node, the materialized
+/// std::vector<T> slot (type-erased; sources are materialized at build
+/// time, rounds when they execute).
+struct PlanGraph {
+  std::vector<PlanNode> nodes;
+  std::vector<std::shared_ptr<void>> slots;
+  /// Per executed round (in execution order), the strategy it ran with —
+  /// filled by the most recent Execute.
+  std::vector<ShuffleStrategy> last_strategies;
+};
+
+/// Deterministic stride sample of `map_fn` over `inputs`: runs the map on
+/// every stride-th input into a scratch emitter and measures fan-out,
+/// bytes, and key multiplicity. Never moves any data — this is the
+/// "evaluate the schema, not the job" half of the paper's cost model.
+template <typename In, typename K, typename V>
+MapSample SampleMapFanout(
+    const std::vector<In>& inputs,
+    const std::function<void(const In&, Emitter<K, V>&)>& map_fn,
+    std::size_t max_inputs) {
+  MapSample sample;
+  sample.valid = true;
+  if (inputs.empty()) {
+    sample.exhaustive = true;
+    return sample;
+  }
+  const std::size_t take =
+      max_inputs == 0 ? inputs.size() : std::min(inputs.size(), max_inputs);
+  // Indices spread across the whole range (i * n / take), not a prefix:
+  // drivers concatenate heterogeneous inputs (e.g. one relation after
+  // another), so a prefix sample would miss the tail's fan-out entirely.
+  Emitter<K, V> scratch;
+  for (std::size_t i = 0; i < take; ++i) {
+    map_fn(inputs[i * inputs.size() / take], scratch);
+  }
+  sample.sampled_inputs = take;
+  sample.exhaustive = take == inputs.size();
+  sample.pairs_per_input =
+      static_cast<double>(scratch.num_emitted()) / static_cast<double>(take);
+  sample.bytes_per_input =
+      static_cast<double>(scratch.bytes()) / static_cast<double>(take);
+  std::unordered_map<K, std::uint64_t, KeyHash> groups;
+  for (const auto& [key, value] : scratch.pairs()) ++groups[key];
+  sample.distinct_keys = groups.size();
+  for (const auto& [key, count] : groups) {
+    sample.max_group = std::max(sample.max_group, count);
+  }
+  return sample;
+}
+
+/// Resolves the JobOptions one round executes with: per-round overrides
+/// merged over the execution's round defaults, then the pipeline-wide
+/// shuffle backstop — the same order Pipeline::Resolve applies, computed
+/// here too so the strategy chooser sees the merged view.
+JobOptions ResolveRoundOptions(const PlanNode& node,
+                               const ExecutionOptions& options);
+
+/// The per-round strategy chooser (see ExecutionOptions).
+ShuffleStrategy ChooseStrategy(const ShuffleConfig& config,
+                               const MapSample& sample,
+                               std::size_t num_inputs);
+
+/// Runs every round node that `target` depends on (all rounds when
+/// target == kNoNode) in node order on one Pipeline, materializing slots,
+/// and returns the accumulated metrics. Not reentrant: one execution per
+/// PlanGraph at a time.
+PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
+                                 const ExecutionOptions& options,
+                                 std::size_t target);
+
+PlanEstimate EstimatePlanGraph(const PlanGraph& graph,
+                               const core::Recipe& recipe,
+                               const EstimateOptions& options);
+
+std::string ExplainPlanGraph(const PlanGraph& graph,
+                             const ExecutionOptions& options);
+
+}  // namespace internal
+
+/// A keyed intermediate: a dataset with a map function attached but no
+/// reducer yet. Value-semantic builder — WithLabel / WithEstimate /
+/// WithOptions / CombineByKey return updated copies; ReduceByKey appends
+/// the round node to the plan and returns the typed output dataset.
+template <typename In, typename K, typename V>
+class KeyedDataset {
+ public:
+  using MapFn = std::function<void(const In&, Emitter<K, V>&)>;
+  using CombineFn = std::function<V(V, V)>;
+
+  KeyedDataset WithLabel(std::string label) const {
+    KeyedDataset copy = *this;
+    copy.label_ = std::move(label);
+    return copy;
+  }
+
+  /// Declares the schema's analytic estimate (replication rate, reducer
+  /// count) so Estimate can price the round without sampling.
+  KeyedDataset WithEstimate(StageEstimate hint) const {
+    KeyedDataset copy = *this;
+    copy.hint_ = hint;
+    return copy;
+  }
+
+  /// Per-round execution overrides, merged field-wise over the
+  /// execution's round defaults (MergedJobOptions).
+  KeyedDataset WithOptions(JobOptions options) const {
+    KeyedDataset copy = *this;
+    copy.options_ = std::move(options);
+    return copy;
+  }
+
+  /// Attaches a map-side combiner (associative V x V -> V); the round
+  /// lowers onto RunMapReduceCombined.
+  KeyedDataset CombineByKey(CombineFn combine_fn) const {
+    KeyedDataset copy = *this;
+    copy.combine_ = std::move(combine_fn);
+    return copy;
+  }
+
+  /// Closes the round: appends a lazy map(+combine)+reduce node to the
+  /// plan and returns the typed (unmaterialized) output dataset.
+  template <typename Out, typename ReduceFn>
+  Dataset<Out> ReduceByKey(ReduceFn reduce, std::string label = "") const;
+
+ private:
+  template <typename T>
+  friend class Dataset;
+
+  KeyedDataset(std::shared_ptr<internal::PlanGraph> graph, std::size_t input,
+               MapFn map_fn, std::string label)
+      : graph_(std::move(graph)),
+        input_(input),
+        map_(std::move(map_fn)),
+        label_(std::move(label)) {}
+
+  std::shared_ptr<internal::PlanGraph> graph_;
+  std::size_t input_;
+  MapFn map_;
+  CombineFn combine_;  // empty = plain round
+  std::string label_;
+  StageEstimate hint_;
+  std::optional<JobOptions> options_;
+};
+
+/// A typed handle onto one node of a plan: either a materialized source
+/// (Plan::Source) or the future output of a round. Cheap to copy; all
+/// copies share the plan.
+template <typename T>
+class Dataset {
+ public:
+  /// Starts a round: attaches `map_fn` (void(const T&, Emitter<K, V>&))
+  /// under key type K and value type V. Nothing runs until Execute.
+  template <typename K, typename V, typename MapFn>
+  KeyedDataset<T, K, V> Map(MapFn map_fn, std::string label = "round") const {
+    return KeyedDataset<T, K, V>(
+        graph_, node_,
+        typename KeyedDataset<T, K, V>::MapFn(std::move(map_fn)),
+        std::move(label));
+  }
+
+  /// Runs every round this dataset depends on and returns its elements
+  /// plus the metrics of everything that ran. Re-executes from the
+  /// sources each call.
+  ExecutionResult<T> Execute(const ExecutionOptions& options = {}) const {
+    ExecutionResult<T> result;
+    result.metrics = internal::ExecutePlanGraph(*graph_, options, node_);
+    result.round_strategies = graph_->last_strategies;
+    auto slot = std::static_pointer_cast<std::vector<T>>(graph_->slots[node_]);
+    if (graph_->nodes[node_].is_source) {
+      result.outputs = *slot;  // sources stay materialized
+    } else {
+      result.outputs = std::move(*slot);
+      graph_->slots[node_] = nullptr;
+    }
+    return result;
+  }
+
+  /// Execute on its own thread. The plan must not be executed (or
+  /// estimated) concurrently with the returned future — one execution per
+  /// plan at a time; a caller-owned pool in the options must outlive the
+  /// future.
+  std::future<ExecutionResult<T>> ExecuteAsync(
+      ExecutionOptions options = {}) const {
+    Dataset self = *this;
+    return std::async(std::launch::async, [self, options = std::move(
+                                                     options)]() {
+      return self.Execute(options);
+    });
+  }
+
+  /// The plan this dataset belongs to (for Estimate / Explain).
+  Plan plan() const;
+
+  std::size_t node() const { return node_; }
+
+ private:
+  friend class Plan;
+  template <typename In, typename K, typename V>
+  friend class KeyedDataset;
+
+  Dataset(std::shared_ptr<internal::PlanGraph> graph, std::size_t node)
+      : graph_(std::move(graph)), node_(node) {}
+
+  std::shared_ptr<internal::PlanGraph> graph_;
+  std::size_t node_;
+};
+
+/// The plan handle: owns the shared DAG, creates sources, and offers the
+/// untyped whole-plan operations (Estimate / Explain / Execute /
+/// ExecuteAsync). Typed outputs are read through Dataset<T>::Execute.
+class Plan {
+ public:
+  Plan() : graph_(std::make_shared<internal::PlanGraph>()) {}
+
+  /// Materializes `inputs` as a source dataset (moved into the plan).
+  template <typename T>
+  Dataset<T> Source(std::vector<T> inputs, std::string label = "source") {
+    internal::PlanNode node;
+    node.label = std::move(label);
+    node.is_source = true;
+    node.source_size = inputs.size();
+    const std::size_t id = graph_->nodes.size();
+    graph_->nodes.push_back(std::move(node));
+    graph_->slots.push_back(
+        std::make_shared<std::vector<T>>(std::move(inputs)));
+    return Dataset<T>(graph_, id);
+  }
+
+  std::size_t num_rounds() const;
+
+  /// Prices every round against `recipe` before any data moves — see
+  /// RoundEstimate. Rounds whose inputs are not yet materialized are
+  /// propagated from the previous round's predicted reducers x
+  /// outputs_per_reducer.
+  PlanEstimate Estimate(const core::Recipe& recipe,
+                        const EstimateOptions& options = {}) const;
+
+  /// The human-readable physical plan: per-round shuffle strategy (with
+  /// the chooser's reasoning where it applies), shard count, memory
+  /// budget, and simulation, as `options` would execute it.
+  std::string Explain(const ExecutionOptions& options = {}) const;
+
+  /// Runs every round, returning the accumulated metrics. Typed outputs
+  /// are read through Dataset<T>::Execute instead.
+  PipelineMetrics Execute(const ExecutionOptions& options = {});
+
+  /// Execute on its own thread (see Dataset::ExecuteAsync's caveats).
+  std::future<PipelineMetrics> ExecuteAsync(ExecutionOptions options = {});
+
+  /// Per executed round, the strategy the most recent Execute ran with.
+  const std::vector<ShuffleStrategy>& last_round_strategies() const;
+
+ private:
+  template <typename T>
+  friend class Dataset;
+
+  explicit Plan(std::shared_ptr<internal::PlanGraph> graph)
+      : graph_(std::move(graph)) {}
+
+  std::shared_ptr<internal::PlanGraph> graph_;
+};
+
+template <typename T>
+Plan Dataset<T>::plan() const {
+  return Plan(graph_);
+}
+
+template <typename In, typename K, typename V>
+template <typename Out, typename ReduceFn>
+Dataset<Out> KeyedDataset<In, K, V>::ReduceByKey(ReduceFn reduce,
+                                                 std::string label) const {
+  using ReduceStd =
+      std::function<void(const K&, const std::vector<V>&, std::vector<Out>&)>;
+  internal::PlanNode node;
+  node.label = label.empty() ? label_ : std::move(label);
+  node.input = input_;
+  node.combined = static_cast<bool>(combine_);
+  node.hint = hint_;
+  node.options = options_;
+
+  const std::size_t in_id = input_;
+  const std::size_t out_id = graph_->nodes.size();
+  MapFn map_fn = map_;
+  CombineFn combine_fn = combine_;
+  ReduceStd reduce_fn = std::move(reduce);
+
+  node.run = [in_id, out_id, map_fn, combine_fn, reduce_fn](
+                 internal::PlanGraph& graph, Pipeline& pipeline,
+                 const JobOptions& options) {
+    auto input =
+        std::static_pointer_cast<const std::vector<In>>(graph.slots[in_id]);
+    std::vector<Out> outputs =
+        combine_fn
+            ? pipeline.AddCombinedRound<In, K, V, Out>(
+                  *input, map_fn, combine_fn, reduce_fn, options)
+            : pipeline.AddRound<In, K, V, Out>(*input, map_fn, reduce_fn,
+                                               options);
+    graph.slots[out_id] =
+        std::make_shared<std::vector<Out>>(std::move(outputs));
+  };
+  node.sample = [in_id, map_fn](const internal::PlanGraph& graph,
+                                std::size_t max_inputs) {
+    auto input =
+        std::static_pointer_cast<const std::vector<In>>(graph.slots[in_id]);
+    if (!input) return internal::MapSample{};
+    return internal::SampleMapFanout<In, K, V>(*input, map_fn, max_inputs);
+  };
+  node.input_size =
+      [in_id](const internal::PlanGraph& graph) -> std::size_t {
+    auto input =
+        std::static_pointer_cast<const std::vector<In>>(graph.slots[in_id]);
+    return input ? input->size() : internal::kUnknownSize;
+  };
+
+  auto graph = graph_;
+  graph->nodes.push_back(std::move(node));
+  graph->slots.push_back(nullptr);
+  return Dataset<Out>(graph, out_id);
+}
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_PLAN_H_

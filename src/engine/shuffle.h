@@ -32,13 +32,28 @@ enum class ShuffleStrategy { kAuto = 0, kSerial, kSharded, kExternal };
 
 const char* ToString(ShuffleStrategy strategy);
 
-/// Knobs of the external (spill-to-disk) shuffle.
-struct ExternalShuffleOptions {
+/// The one shuffle-configuration struct, shared by every layer that used
+/// to duplicate these knobs (JobOptions, PipelineOptions, and the external
+/// shuffle's own options). Resolution order, applied field-wise — each
+/// field's zero value (kAuto / 0 / "") means "unset":
+///   1. explicit per-round settings (JobOptions::shuffle) win;
+///   2. fields still unset inherit the pipeline-wide config
+///      (PipelineOptions::shuffle / the plan executor's
+///      ExecutionOptions) via MergedOver;
+///   3. a still-kAuto strategy resolves through Resolved(): kExternal when
+///      a memory budget is set, else kSharded. The plan executor's
+///      per-round chooser (src/engine/plan.h) refines this step using the
+///      round's estimated intermediate bytes, so only rounds that actually
+///      exceed the budget pay the spill path.
+struct ShuffleConfig {
+  /// How the shuffle executes; kAuto defers to step 3 above.
+  ShuffleStrategy strategy = ShuffleStrategy::kAuto;
   /// Shuffle memory budget in ByteSizeOf bytes (src/common/byte_size.h —
   /// the same convention the simulator's capacity checks use). The budget
   /// is split evenly across the round's map chunks; a chunk's batch spills
   /// to a sorted run once it exceeds its share. 0 spills every pair
-  /// individually (valid, maximally degenerate).
+  /// individually when kExternal is explicit (valid, maximally
+  /// degenerate).
   std::uint64_t memory_budget_bytes = 0;
   /// Where run files live; "" = std::filesystem::temp_directory_path().
   std::string spill_dir;
@@ -46,6 +61,35 @@ struct ExternalShuffleOptions {
   /// excess are first merged down in extra passes (merge_passes counts
   /// them).
   std::size_t merge_fan_in = 0;
+
+  /// True when any field was moved off its unset value.
+  bool configured() const {
+    return strategy != ShuffleStrategy::kAuto || memory_budget_bytes > 0 ||
+           !spill_dir.empty() || merge_fan_in > 0;
+  }
+
+  /// Step 2 of the resolution order: fields still unset here inherit
+  /// `fallback`'s values.
+  ShuffleConfig MergedOver(const ShuffleConfig& fallback) const {
+    ShuffleConfig merged = *this;
+    if (merged.strategy == ShuffleStrategy::kAuto) {
+      merged.strategy = fallback.strategy;
+    }
+    if (merged.memory_budget_bytes == 0) {
+      merged.memory_budget_bytes = fallback.memory_budget_bytes;
+    }
+    if (merged.spill_dir.empty()) merged.spill_dir = fallback.spill_dir;
+    if (merged.merge_fan_in == 0) merged.merge_fan_in = fallback.merge_fan_in;
+    return merged;
+  }
+
+  /// Step 3 of the resolution order: the strategy that actually runs when
+  /// no plan-level chooser intervenes.
+  ShuffleStrategy Resolved() const {
+    if (strategy != ShuffleStrategy::kAuto) return strategy;
+    return memory_budget_bytes > 0 ? ShuffleStrategy::kExternal
+                                   : ShuffleStrategy::kSharded;
+  }
 };
 
 /// Maps a finalized 64-bit hash onto [0, n) with a 128-bit multiply
@@ -267,7 +311,7 @@ common::Result<ShuffleResult<Key, Value>> MergeSpilledRuns(
 template <typename Key, typename Value>
 common::Result<ShuffleResult<Key, Value>> ExternalShuffle(
     std::vector<std::vector<std::pair<Key, Value>>>& chunks,
-    common::ThreadPool& pool, const ExternalShuffleOptions& options,
+    common::ThreadPool& pool, const ShuffleConfig& options,
     storage::SpillStats* stats = nullptr) {
   const std::size_t num_chunks = chunks.size();
   storage::RunSpiller spiller(options.spill_dir);

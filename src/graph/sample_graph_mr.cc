@@ -49,10 +49,8 @@ std::uint64_t InstanceFingerprint(std::vector<Edge> instance_edges) {
 
 }  // namespace
 
-SampleGraphJobResult MRSampleGraphInstances(const Graph& data,
-                                            const Graph& pattern, int k,
-                                            std::uint64_t seed,
-                                            const engine::JobOptions& options) {
+SampleGraphPlan BuildSampleGraphPlan(const Graph& data, const Graph& pattern,
+                                     int k, std::uint64_t seed) {
   const int s = static_cast<int>(pattern.num_nodes());
   MRCOST_CHECK(s >= 3 && s <= 5);
   for (NodeId v = 0; v < pattern.num_nodes(); ++v) {
@@ -60,9 +58,12 @@ SampleGraphJobResult MRSampleGraphInstances(const Graph& data,
   }
   const NodeBucketer bucketer(k, seed);
 
-  // Key = rank of the size-s bucket multiset; value = edge.
-  auto map_fn = [&](const Edge& e,
-                    engine::Emitter<std::uint64_t, Edge>& emitter) {
+  // Key = rank of the size-s bucket multiset; value = edge. The closures
+  // outlive this function (the plan is lazy), so the bucketer and the
+  // (small) pattern graph are captured by value.
+  auto map_fn = [bucketer, k, s](const Edge& e,
+                                 engine::Emitter<std::uint64_t, Edge>&
+                                     emitter) {
     const int a = bucketer.Bucket(e.u);
     const int b = bucketer.Bucket(e.v);
     std::vector<std::uint64_t> keys;
@@ -89,9 +90,9 @@ SampleGraphJobResult MRSampleGraphInstances(const Graph& data,
     emitter.EmitBatch(batch);
   };
 
-  auto reduce_fn = [&](const std::uint64_t& key,
-                       const std::vector<Edge>& edges,
-                       std::vector<std::uint64_t>& out) {
+  auto reduce_fn = [bucketer, pattern, k, s](const std::uint64_t& key,
+                                             const std::vector<Edge>& edges,
+                                             std::vector<std::uint64_t>& out) {
     const std::vector<int> owned = common::MultisetUnrank(k, s, key);
     std::vector<NodeId> local_to_global;
     const Graph local = BuildLocalGraph(edges, local_to_global);
@@ -120,12 +121,22 @@ SampleGraphJobResult MRSampleGraphInstances(const Graph& data,
     if (count > 0) out.push_back(count);
   };
 
-  engine::Pipeline pipeline(options);
-  auto counts = pipeline.AddRound<Edge, std::uint64_t, Edge, std::uint64_t>(
-      data.edges(), map_fn, reduce_fn);
+  engine::Plan plan;
+  auto counts = plan.Source(data.edges(), "edges")
+                    .Map<std::uint64_t, Edge>(map_fn, "bucket multisets")
+                    .ReduceByKey<std::uint64_t>(reduce_fn);
+  return SampleGraphPlan{std::move(plan), std::move(counts)};
+}
+
+SampleGraphJobResult MRSampleGraphInstances(const Graph& data,
+                                            const Graph& pattern, int k,
+                                            std::uint64_t seed,
+                                            const engine::JobOptions& options) {
+  auto plan = BuildSampleGraphPlan(data, pattern, k, seed);
+  auto run = plan.counts.Execute(engine::ExecutionOptions(options));
   SampleGraphJobResult result;
-  result.metrics = std::move(pipeline.TakeMetrics().rounds[0]);
-  for (std::uint64_t c : counts) result.instance_count += c;
+  result.metrics = std::move(run.metrics.rounds[0]);
+  for (std::uint64_t c : run.outputs) result.instance_count += c;
   return result;
 }
 

@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "src/engine/pipeline.h"
+#include "src/engine/plan.h"
 #include "src/graph/graph.h"
 
 namespace mrcost::graph {
@@ -12,6 +12,21 @@ struct SampleGraphJobResult {
   std::uint64_t instance_count = 0;
   engine::JobMetrics metrics;
 };
+
+/// The sample-graph enumeration as a lazy plan: the dataset of per-reducer
+/// instance counts plus the plan handle. No analytic hints are declared —
+/// the edge fan-out is data-dependent (bucket collisions dedup keys), so
+/// Plan::Estimate samples the map function instead; an exhaustive sample
+/// reproduces the realized r and q exactly.
+struct SampleGraphPlan {
+  engine::Plan plan;
+  engine::Dataset<std::uint64_t> counts;
+};
+
+/// Builds (without running) the enumeration plan. `data`'s edges are
+/// copied into the plan; `pattern` is copied into the closures.
+SampleGraphPlan BuildSampleGraphPlan(const Graph& data, const Graph& pattern,
+                                     int k, std::uint64_t seed);
 
 /// Map-reduce enumeration of sample-graph instances (the algorithm family
 /// of [2] that matches the Section 5.2/5.3 bounds): nodes are hashed into k

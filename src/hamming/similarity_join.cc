@@ -1,8 +1,11 @@
 #include "src/hamming/similarity_join.h"
 
 #include <algorithm>
-#include "src/common/bit_util.h"
+#include <cmath>
+#include <memory>
+#include <utility>
 
+#include "src/common/bit_util.h"
 #include "src/common/combinatorics.h"
 #include "src/hamming/schemas.h"
 
@@ -43,32 +46,45 @@ void SortPairs(std::vector<Pair>& pairs) {
   std::sort(pairs.begin(), pairs.end());
 }
 
+/// Builds a plan, executes it with the caller's round options, and sorts.
+common::Result<SimilarityJoinResult> ExecuteJoinPlan(
+    common::Result<SimilarityJoinPlan> plan,
+    const engine::JobOptions& options) {
+  if (!plan.ok()) return plan.status();
+  auto run = plan->pairs.Execute(engine::ExecutionOptions(options));
+  SortPairs(run.outputs);
+  return SimilarityJoinResult{std::move(run.outputs),
+                              std::move(run.metrics.rounds[0])};
+}
+
 }  // namespace
 
-common::Result<SimilarityJoinResult> SplittingSimilarityJoin(
-    const std::vector<BitString>& strings, int b, int k, int d,
-    const engine::JobOptions& options) {
+common::Result<SimilarityJoinPlan> BuildSplittingSimilarityJoinPlan(
+    const std::vector<BitString>& strings, int b, int k, int d) {
   auto schema = SplittingDistanceDSchema::Make(b, k, d);
   if (!schema.ok()) return schema.status();
-  const SplittingDistanceDSchema& s = *schema;
+  // The map closure outlives this function (the plan is lazy), so the
+  // schema is owned by shared_ptr rather than captured by reference.
+  auto s = std::make_shared<SplittingDistanceDSchema>(std::move(*schema));
 
   // Key = reducer id (deleted-subset rank in the high bits, residual bits
   // below); value = the original string. Each string fans out to C(k,d)
   // reducers, so the emissions are collected in a reused thread-local
   // batch and handed over in one EmitBatch call.
-  auto map_fn = [&s](const BitString& w,
-                     engine::Emitter<std::uint64_t, BitString>& emitter) {
+  auto map_fn = [s](const BitString& w,
+                    engine::Emitter<std::uint64_t, BitString>& emitter) {
     static thread_local engine::Emitter<std::uint64_t, BitString>::Batch
         batch;
     common::ForEachSubsetOfSize(
-        s.k(), s.d(), [&](const std::vector<int>& subset) {
-          batch.emplace_back(s.ReducerFor(w, subset), w);
+        s->k(), s->d(), [&](const std::vector<int>& subset) {
+          batch.emplace_back(s->ReducerFor(w, subset), w);
         });
     emitter.EmitBatch(batch);
   };
 
   const int residual_bits = b - d * (b / k);
-  auto reduce_fn = [&](const std::uint64_t& key,
+  auto reduce_fn = [b, k, d, residual_bits](
+                       const std::uint64_t& key,
                        const std::vector<BitString>& values,
                        std::vector<Pair>& out) {
     const std::uint64_t rank = key >> residual_bits;
@@ -87,17 +103,33 @@ common::Result<SimilarityJoinResult> SplittingSimilarityJoin(
     }
   };
 
-  engine::Pipeline pipeline(options);
-  auto pairs = pipeline.AddRound<BitString, std::uint64_t, BitString, Pair>(
-      strings, map_fn, reduce_fn);
-  SortPairs(pairs);
-  return SimilarityJoinResult{std::move(pairs),
-                              std::move(pipeline.TakeMetrics().rounds[0])};
+  // Section 3.6's exact schema geometry, declared so Estimate needs no
+  // sampling: every string goes to C(k,d) reducers, of C(k,d) * 2^residual
+  // possible; on the full domain every reducer holds exactly 2^(d*b/k)
+  // strings, so the mean load is the max.
+  engine::StageEstimate estimate;
+  estimate.replication = common::BinomialDouble(k, d);
+  estimate.num_reducers =
+      common::BinomialDouble(k, d) * std::ldexp(1.0, residual_bits);
+
+  engine::Plan plan;
+  auto pairs =
+      plan.Source(strings, "bit strings")
+          .Map<std::uint64_t, BitString>(map_fn, "splitting fan-out")
+          .WithEstimate(estimate)
+          .ReduceByKey<Pair>(reduce_fn);
+  return SimilarityJoinPlan{std::move(plan), std::move(pairs)};
 }
 
-common::Result<SimilarityJoinResult> BallSimilarityJoin(
-    const std::vector<BitString>& strings, int b, int d,
+common::Result<SimilarityJoinResult> SplittingSimilarityJoin(
+    const std::vector<BitString>& strings, int b, int k, int d,
     const engine::JobOptions& options) {
+  return ExecuteJoinPlan(BuildSplittingSimilarityJoinPlan(strings, b, k, d),
+                         options);
+}
+
+common::Result<SimilarityJoinPlan> BuildBallSimilarityJoinPlan(
+    const std::vector<BitString>& strings, int b, int d) {
   if (d < 1 || d > 2) {
     return common::Status::InvalidArgument(
         "BallSimilarityJoin: only d in {1,2} is supported");
@@ -143,12 +175,24 @@ common::Result<SimilarityJoinResult> BallSimilarityJoin(
     }
   };
 
-  engine::Pipeline pipeline(options);
-  auto pairs = pipeline.AddRound<BitString, BitString, BitString, Pair>(
-      strings, map_fn, reduce_fn);
-  SortPairs(pairs);
-  return SimilarityJoinResult{std::move(pairs),
-                              std::move(pipeline.TakeMetrics().rounds[0])};
+  // r = b + 1 independent of the data (the Ball-2 signature); how many
+  // distinct centers the strings touch is data-dependent, left to
+  // sampling.
+  engine::StageEstimate estimate;
+  estimate.replication = static_cast<double>(b) + 1.0;
+
+  engine::Plan plan;
+  auto pairs = plan.Source(strings, "bit strings")
+                   .Map<BitString, BitString>(map_fn, "ball-2 fan-out")
+                   .WithEstimate(estimate)
+                   .ReduceByKey<Pair>(reduce_fn);
+  return SimilarityJoinPlan{std::move(plan), std::move(pairs)};
+}
+
+common::Result<SimilarityJoinResult> BallSimilarityJoin(
+    const std::vector<BitString>& strings, int b, int d,
+    const engine::JobOptions& options) {
+  return ExecuteJoinPlan(BuildBallSimilarityJoinPlan(strings, b, d), options);
 }
 
 std::vector<std::pair<BitString, BitString>> SerialSimilarityJoin(

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/engine/pipeline.h"
+#include "src/engine/plan.h"
 #include "src/hamming/bitstring.h"
 
 namespace mrcost::hamming {
@@ -17,6 +17,27 @@ struct SimilarityJoinResult {
   std::vector<std::pair<BitString, BitString>> pairs;
   engine::JobMetrics metrics;
 };
+
+/// The similarity join as a lazy engine::Plan: the typed dataset of result
+/// pairs (unsorted; the executing wrappers below sort) plus the plan
+/// handle for Estimate / Explain before anything runs. `strings` is copied
+/// into the plan's source.
+struct SimilarityJoinPlan {
+  engine::Plan plan;
+  engine::Dataset<std::pair<BitString, BitString>> pairs;
+};
+
+/// Builds (without running) the Splitting-schema join plan. The stage
+/// carries the schema's analytic estimate — r = C(k,d) and
+/// C(k,d) * 2^(b - d*b/k) reducers, Section 3.6's exact numbers on the
+/// full domain — so Plan::Estimate prices it without sampling.
+common::Result<SimilarityJoinPlan> BuildSplittingSimilarityJoinPlan(
+    const std::vector<BitString>& strings, int b, int k, int d);
+
+/// Builds (without running) the Ball-2 join plan; r = b + 1 declared, the
+/// data-dependent reducer count left to sampling.
+common::Result<SimilarityJoinPlan> BuildBallSimilarityJoinPlan(
+    const std::vector<BitString>& strings, int b, int d);
 
 /// Map-reduce fuzzy join via the distance-d Splitting schema (Sections 3.3
 /// and 3.6): finds all unordered pairs of distinct strings in `strings`

@@ -90,12 +90,33 @@ void ForEachHyperCubeCell(const Query& query, const std::vector<int>& shares,
   }
 }
 
+engine::StageEstimate HyperCubeStageEstimate(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares) {
+  double cells = 1;
+  for (int s : shares) cells *= static_cast<double>(s);
+  double tuples = 0;
+  double weighted_fanout = 0;
+  for (int e = 0; e < query.num_atoms(); ++e) {
+    double bound = 1;
+    for (int a : query.atoms()[e].attributes) {
+      bound *= static_cast<double>(shares[a]);
+    }
+    const double size = static_cast<double>(relations[e]->size());
+    tuples += size;
+    weighted_fanout += size * (cells / bound);
+  }
+  engine::StageEstimate estimate;
+  estimate.replication = tuples > 0 ? weighted_fanout / tuples : 0;
+  estimate.num_reducers = cells;
+  return estimate;
+}
+
 }  // namespace internal
 
-common::Result<MultiwayJoinResult> HyperCubeJoin(
+common::Result<MultiwayJoinPlan> BuildHyperCubeJoinPlan(
     const Query& query, const std::vector<const Relation*>& relations,
-    const std::vector<int>& shares, std::uint64_t seed,
-    const engine::JobOptions& options) {
+    const std::vector<int>& shares, std::uint64_t seed) {
   if (auto status = internal::CheckHyperCubeArgs(query, relations, shares);
       !status.ok()) {
     return status;
@@ -109,8 +130,12 @@ common::Result<MultiwayJoinResult> HyperCubeJoin(
   }
 
   // A tuple is replicated to every cell matching its atom's shares, so the
-  // fan-out is batched through a reused thread-local buffer.
-  auto map_fn = [&](const Input& input,
+  // fan-out is batched through a reused thread-local buffer. The closures
+  // outlive this function (the plan is lazy): query/shares/seed are
+  // captured by value, the relation pointers must stay valid until
+  // Execute.
+  auto map_fn = [query, shares, seed](
+                    const Input& input,
                     engine::Emitter<std::uint64_t, Input>& emitter) {
     static thread_local engine::Emitter<std::uint64_t, Input>::Batch batch;
     internal::ForEachHyperCubeCell(
@@ -119,7 +144,8 @@ common::Result<MultiwayJoinResult> HyperCubeJoin(
     emitter.EmitBatch(batch);
   };
 
-  auto reduce_fn = [&](const std::uint64_t& /*cell*/,
+  auto reduce_fn = [query, relations, num_atoms](
+                       const std::uint64_t& /*cell*/,
                        const std::vector<Input>& values,
                        std::vector<Tuple>& out) {
     // Rebuild per-atom fragments and run the serial join on them.
@@ -138,10 +164,26 @@ common::Result<MultiwayJoinResult> HyperCubeJoin(
     out = SerialMultiwayJoin(query, fragment_ptrs);
   };
 
-  auto job = engine::RunMapReduce<Input, std::uint64_t, Input, Tuple>(
-      inputs, map_fn, reduce_fn, options);
-  std::sort(job.outputs.begin(), job.outputs.end());
-  return MultiwayJoinResult{std::move(job.outputs), std::move(job.metrics)};
+  engine::Plan plan;
+  auto tuples =
+      plan.Source(std::move(inputs), "tagged tuples")
+          .Map<std::uint64_t, Input>(map_fn, "hypercube cells")
+          .WithEstimate(
+              internal::HyperCubeStageEstimate(query, relations, shares))
+          .ReduceByKey<Tuple>(reduce_fn);
+  return MultiwayJoinPlan{std::move(plan), std::move(tuples)};
+}
+
+common::Result<MultiwayJoinResult> HyperCubeJoin(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares, std::uint64_t seed,
+    const engine::JobOptions& options) {
+  auto plan = BuildHyperCubeJoinPlan(query, relations, shares, seed);
+  if (!plan.ok()) return plan.status();
+  auto run = plan->tuples.Execute(engine::ExecutionOptions(options));
+  std::sort(run.outputs.begin(), run.outputs.end());
+  return MultiwayJoinResult{std::move(run.outputs),
+                            std::move(run.metrics.rounds[0])};
 }
 
 }  // namespace mrcost::join

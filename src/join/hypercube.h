@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/engine/job.h"
+#include "src/engine/plan.h"
 #include "src/join/query.h"
 #include "src/join/relation.h"
 
@@ -17,6 +19,19 @@ struct MultiwayJoinResult {
   std::vector<Tuple> results;
   engine::JobMetrics metrics;
 };
+
+/// The HyperCube join as a lazy plan: the dataset of (unsorted) result
+/// tuples plus the plan handle. The stage declares the Shares schema's
+/// analytic estimate (see internal::HyperCubeStageEstimate). The pointed-to
+/// relations must outlive every Execute of the plan; tuples are copied
+/// into the plan's source.
+struct MultiwayJoinPlan {
+  engine::Plan plan;
+  engine::Dataset<Tuple> tuples;
+};
+common::Result<MultiwayJoinPlan> BuildHyperCubeJoinPlan(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares, std::uint64_t seed);
 
 /// The Shares/HyperCube single-round multiway join of [1] (the upper-bound
 /// algorithm of Section 5.5.2): attribute `a` is hashed into `shares[a]`
@@ -47,6 +62,15 @@ void ForEachHyperCubeCell(const Query& query, const std::vector<int>& shares,
 /// Validates the (query, relations, shares) triple; shared precondition
 /// checks for the HyperCube entry points.
 common::Status CheckHyperCubeArgs(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares);
+
+/// The Shares schema's analytic estimate, shared by the one-round join and
+/// the two-round aggregate pipelines: a tuple of atom e fans out to
+/// (prod_a shares[a]) / (prod_{a in e} shares[a]) cells, so the declared
+/// replication rate is the tuple-count-weighted average of the per-atom
+/// fan-outs, onto prod_a shares[a] cell reducers.
+engine::StageEstimate HyperCubeStageEstimate(
     const Query& query, const std::vector<const Relation*>& relations,
     const std::vector<int>& shares);
 

@@ -20,11 +20,10 @@ struct Partial {
 
 }  // namespace
 
-common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
+common::Result<JoinAggregatePlan> BuildHyperCubeJoinAggregatePlan(
     const Query& query, const std::vector<const Relation*>& relations,
     const std::vector<int>& shares, int group_attr, int sum_attr,
-    bool pre_aggregate, std::uint64_t seed,
-    const engine::JobOptions& options) {
+    bool pre_aggregate, std::uint64_t seed) {
   if (auto status = internal::CheckHyperCubeArgs(query, relations, shares);
       !status.ok()) {
     return status;
@@ -43,8 +42,11 @@ common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
   }
 
   // ---- Round 1: HyperCube join, emitting per-group contributions. The
-  // per-tuple cell fan-out is batched (see HyperCubeJoin).
-  auto map1 = [&](const Input& input,
+  // per-tuple cell fan-out is batched (see HyperCubeJoin). The closures
+  // outlive this function (the plan is lazy): query/shares/seed captured
+  // by value, the relation pointers must stay valid until Execute.
+  auto map1 = [query, shares, seed](
+                  const Input& input,
                   engine::Emitter<std::uint64_t, Input>& emitter) {
     static thread_local engine::Emitter<std::uint64_t, Input>::Batch batch;
     internal::ForEachHyperCubeCell(
@@ -53,9 +55,10 @@ common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
     emitter.EmitBatch(batch);
   };
 
-  auto reduce1 = [&](const std::uint64_t& /*cell*/,
-                     const std::vector<Input>& values,
-                     std::vector<Partial>& out) {
+  auto reduce1 = [query, relations, num_atoms, group_attr, sum_attr,
+                  pre_aggregate](const std::uint64_t& /*cell*/,
+                                 const std::vector<Input>& values,
+                                 std::vector<Partial>& out) {
     std::vector<Relation> fragments;
     fragments.reserve(num_atoms);
     for (int e = 0; e < num_atoms; ++e) {
@@ -86,11 +89,6 @@ common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
     }
   };
 
-  engine::Pipeline pipeline(options);
-  auto partials =
-      pipeline.AddRound<Input, std::uint64_t, Input, Partial>(inputs, map1,
-                                                              reduce1);
-
   // ---- Round 2: group by the grouping attribute and add.
   auto map2 = [](const Partial& p,
                  engine::Emitter<Value, std::int64_t>& emitter) {
@@ -103,14 +101,36 @@ common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
     for (std::int64_t p : partials) total += p;
     out.emplace_back(group, total);
   };
-  auto sums = pipeline.AddRound<Partial, Value, std::int64_t,
-                                std::pair<Value, std::int64_t>>(
-      partials, map2, reduce2);
+
+  engine::Plan plan;
+  auto partials =
+      plan.Source(std::move(inputs), "tagged tuples")
+          .Map<std::uint64_t, Input>(map1, "hypercube join")
+          .WithEstimate(
+              internal::HyperCubeStageEstimate(query, relations, shares))
+          .ReduceByKey<Partial>(reduce1);
+  auto sums = partials
+                  .Map<Value, std::int64_t>(map2, pre_aggregate
+                                                      ? "sum partials"
+                                                      : "group and sum")
+                  .ReduceByKey<std::pair<Value, std::int64_t>>(reduce2);
+  return JoinAggregatePlan{std::move(plan), std::move(sums)};
+}
+
+common::Result<JoinAggregateResult> HyperCubeJoinAggregate(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares, int group_attr, int sum_attr,
+    bool pre_aggregate, std::uint64_t seed,
+    const engine::JobOptions& options) {
+  auto plan = BuildHyperCubeJoinAggregatePlan(
+      query, relations, shares, group_attr, sum_attr, pre_aggregate, seed);
+  if (!plan.ok()) return plan.status();
+  auto run = plan->sums.Execute(engine::ExecutionOptions(options));
 
   JoinAggregateResult result;
-  std::sort(sums.begin(), sums.end());
-  result.sums = std::move(sums);
-  result.metrics = pipeline.TakeMetrics();
+  std::sort(run.outputs.begin(), run.outputs.end());
+  result.sums = std::move(run.outputs);
+  result.metrics = std::move(run.metrics);
   return result;
 }
 

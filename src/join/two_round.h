@@ -7,7 +7,7 @@
 
 #include "src/common/status.h"
 #include "src/engine/metrics.h"
-#include "src/engine/pipeline.h"
+#include "src/engine/plan.h"
 #include "src/join/query.h"
 #include "src/join/relation.h"
 
@@ -21,6 +21,21 @@ struct JoinAggregateResult {
   std::vector<std::pair<Value, std::int64_t>> sums;
   engine::PipelineMetrics metrics;  // round 1 (join), round 2 (aggregate)
 };
+
+/// The Section 7.1 pipeline as a lazy two-round plan: round 1 (HyperCube
+/// join emitting per-group contributions) feeds round 2 (group + sum)
+/// without executing either. Round 1 declares the Shares schema's
+/// analytic estimate; round 2's data-dependent group count is left to
+/// sampling at execution/estimation time. The pointed-to relations must
+/// outlive every Execute; tuples are copied into the plan's source.
+struct JoinAggregatePlan {
+  engine::Plan plan;
+  engine::Dataset<std::pair<Value, std::int64_t>> sums;  // unsorted
+};
+common::Result<JoinAggregatePlan> BuildHyperCubeJoinAggregatePlan(
+    const Query& query, const std::vector<const Relation*>& relations,
+    const std::vector<int>& shares, int group_attr, int sum_attr,
+    bool pre_aggregate, std::uint64_t seed);
 
 /// The Section 7.1 "joins followed by aggregations" pipeline, analyzed the
 /// way Section 6.3 analyzes two-phase matrix multiplication. Round 1 runs

@@ -28,17 +28,11 @@ std::vector<Element> FlattenInputs(const Matrix& r, const Matrix& s) {
   return inputs;
 }
 
-struct Cell {
-  std::uint32_t i;
-  std::uint32_t k;
-  double value;
-};
-
 }  // namespace
 
-common::Result<OnePhaseResult> MultiplyOnePhase(
-    const Matrix& r, const Matrix& s, int tile,
-    const engine::JobOptions& options) {
+common::Result<OnePhasePlan> BuildMultiplyOnePhasePlan(const Matrix& r,
+                                                       const Matrix& s,
+                                                       int tile) {
   const int n = r.rows();
   if (r.cols() != n || s.rows() != n || s.cols() != n) {
     return common::Status::InvalidArgument(
@@ -99,21 +93,39 @@ common::Result<OnePhaseResult> MultiplyOnePhase(
     }
   };
 
-  engine::Pipeline pipeline(options);
-  auto cells = pipeline.AddRound<Element, std::uint32_t, Element, Cell>(
-      FlattenInputs(r, s), map_fn, reduce_fn);
+  // Section 6.2's exact geometry: r = n/s replication onto (n/s)^2 tile
+  // reducers of q = 2sn inputs each, s*s product cells out of each.
+  engine::StageEstimate estimate;
+  estimate.replication = static_cast<double>(groups);
+  estimate.num_reducers = static_cast<double>(groups) * groups;
+  estimate.outputs_per_reducer = static_cast<double>(tile) * tile;
 
-  OnePhaseResult result{Matrix(n, n),
-                        std::move(pipeline.TakeMetrics().rounds[0])};
-  for (const Cell& c : cells) {
+  engine::Plan plan;
+  auto cells = plan.Source(FlattenInputs(r, s), "matrix elements")
+                   .Map<std::uint32_t, Element>(map_fn, "one-phase tiles")
+                   .WithEstimate(estimate)
+                   .ReduceByKey<Cell>(reduce_fn);
+  return OnePhasePlan{std::move(plan), std::move(cells)};
+}
+
+common::Result<OnePhaseResult> MultiplyOnePhase(
+    const Matrix& r, const Matrix& s, int tile,
+    const engine::JobOptions& options) {
+  auto plan = BuildMultiplyOnePhasePlan(r, s, tile);
+  if (!plan.ok()) return plan.status();
+  auto run = plan->cells.Execute(engine::ExecutionOptions(options));
+
+  const int n = r.rows();
+  OnePhaseResult result{Matrix(n, n), std::move(run.metrics.rounds[0])};
+  for (const Cell& c : run.outputs) {
     result.product.At(static_cast<int>(c.i), static_cast<int>(c.k)) = c.value;
   }
   return result;
 }
 
-common::Result<TwoPhaseResult> MultiplyTwoPhase(
-    const Matrix& r, const Matrix& s, int s_rows, int t_js,
-    const engine::JobOptions& options) {
+common::Result<TwoPhasePlan> BuildMultiplyTwoPhasePlan(const Matrix& r,
+                                                       const Matrix& s,
+                                                       int s_rows, int t_js) {
   const int n = r.rows();
   if (r.cols() != n || s.rows() != n || s.cols() != n) {
     return common::Status::InvalidArgument(
@@ -132,7 +144,8 @@ common::Result<TwoPhaseResult> MultiplyTwoPhase(
     return (static_cast<std::uint64_t>(gi) * i_groups + gk) * j_groups + gj;
   };
 
-  auto map1 = [&](const Element& e,
+  auto map1 = [cube_key, i_groups, s_rows, t_js](
+                  const Element& e,
                   engine::Emitter<std::uint64_t, Element>& emitter) {
     if (e.matrix == 0) {
       // r_ij: fixed I-group and J-group; all K-groups (Fig. 5).
@@ -151,7 +164,8 @@ common::Result<TwoPhaseResult> MultiplyTwoPhase(
     }
   };
 
-  auto reduce1 = [&](const std::uint64_t& key,
+  auto reduce1 = [i_groups, j_groups, s_rows, t_js](
+                     const std::uint64_t& key,
                      const std::vector<Element>& elems,
                      std::vector<Cell>& out) {
     const std::uint32_t gj = static_cast<std::uint32_t>(key % j_groups);
@@ -180,9 +194,13 @@ common::Result<TwoPhaseResult> MultiplyTwoPhase(
     }
   };
 
-  engine::Pipeline pipeline(options);
-  auto partials = pipeline.AddRound<Element, std::uint64_t, Element, Cell>(
-      FlattenInputs(r, s), map1, reduce1);
+  // Round 1 of Section 6.3: every element fans to n/s cubes, of
+  // (n/s)^2 * (n/t) total, q = 2st each, s*s partial sums out.
+  engine::StageEstimate estimate1;
+  estimate1.replication = static_cast<double>(i_groups);
+  estimate1.num_reducers =
+      static_cast<double>(i_groups) * i_groups * j_groups;
+  estimate1.outputs_per_reducer = static_cast<double>(s_rows) * s_rows;
 
   // ---- Round 2: group partial sums by (i, k) and add (embarrassingly
   // parallel; Sec. 6.3).
@@ -199,11 +217,34 @@ common::Result<TwoPhaseResult> MultiplyTwoPhase(
     out.emplace_back(key, total);
   };
 
-  auto sums = pipeline.AddRound<Cell, std::uint64_t, double, Keyed>(
-      partials, map2, reduce2);
+  // Round 2: one pair per partial sum onto n^2 cell reducers, q = n/t.
+  engine::StageEstimate estimate2;
+  estimate2.replication = 1.0;
+  estimate2.num_reducers = static_cast<double>(n) * n;
+  estimate2.outputs_per_reducer = 1.0;
 
-  TwoPhaseResult result{Matrix(n, n), pipeline.TakeMetrics()};
-  for (const auto& [key, value] : sums) {
+  engine::Plan plan;
+  auto partials =
+      plan.Source(FlattenInputs(r, s), "matrix elements")
+          .Map<std::uint64_t, Element>(map1, "two-phase cubes")
+          .WithEstimate(estimate1)
+          .ReduceByKey<Cell>(reduce1);
+  auto sums = partials.Map<std::uint64_t, double>(map2, "partial-sum add")
+                  .WithEstimate(estimate2)
+                  .ReduceByKey<Keyed>(reduce2);
+  return TwoPhasePlan{std::move(plan), std::move(sums)};
+}
+
+common::Result<TwoPhaseResult> MultiplyTwoPhase(
+    const Matrix& r, const Matrix& s, int s_rows, int t_js,
+    const engine::JobOptions& options) {
+  auto plan = BuildMultiplyTwoPhasePlan(r, s, s_rows, t_js);
+  if (!plan.ok()) return plan.status();
+  auto run = plan->sums.Execute(engine::ExecutionOptions(options));
+
+  const int n = r.rows();
+  TwoPhaseResult result{Matrix(n, n), std::move(run.metrics)};
+  for (const auto& [key, value] : run.outputs) {
     result.product.At(static_cast<int>(key / n), static_cast<int>(key % n)) =
         value;
   }

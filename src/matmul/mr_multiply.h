@@ -2,10 +2,11 @@
 #define MRCOST_MATMUL_MR_MULTIPLY_H_
 
 #include <cstdint>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/engine/metrics.h"
-#include "src/engine/pipeline.h"
+#include "src/engine/plan.h"
 #include "src/matmul/matrix.h"
 
 namespace mrcost::matmul {
@@ -17,6 +18,35 @@ struct Element {
   std::uint32_t col;
   double value;
 };
+
+/// One product cell (or round-1 partial sum) in flight.
+struct Cell {
+  std::uint32_t i;
+  std::uint32_t k;
+  double value;
+};
+
+/// The one-phase algorithm as a lazy plan: the dataset of product cells
+/// plus the plan handle. The stage declares Section 6.2's exact geometry
+/// (r = n/s, q = 2sn), so Estimate prices it without sampling.
+struct OnePhasePlan {
+  engine::Plan plan;
+  engine::Dataset<Cell> cells;
+};
+common::Result<OnePhasePlan> BuildMultiplyOnePhasePlan(const Matrix& r,
+                                                       const Matrix& s,
+                                                       int tile);
+
+/// The two-phase algorithm as a lazy two-round plan: round-1 partial sums
+/// regrouped and added in round 2 (Section 6.3), with both rounds'
+/// analytic estimates declared.
+struct TwoPhasePlan {
+  engine::Plan plan;
+  engine::Dataset<std::pair<std::uint64_t, double>> sums;  // key = i*n + k
+};
+common::Result<TwoPhasePlan> BuildMultiplyTwoPhasePlan(const Matrix& r,
+                                                       const Matrix& s,
+                                                       int s_rows, int t_js);
 
 struct OnePhaseResult {
   Matrix product;

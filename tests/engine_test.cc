@@ -227,7 +227,7 @@ TEST(Job, SimulatedWorkerLoads) {
   std::vector<int> inputs(300);
   std::iota(inputs.begin(), inputs.end(), 0);
   JobOptions options;
-  options.num_simulated_workers = 7;
+  options.simulation.num_workers = 7;
   auto result = SumByResidue(inputs, 100, options);
   EXPECT_EQ(result.metrics.worker_loads.count(), 7);
   // Loads sum to the total pairs shuffled.
@@ -512,7 +512,7 @@ TEST(Shuffle, SimulatedWorkerLoadBalance) {
   std::vector<int> inputs(40000);
   std::iota(inputs.begin(), inputs.end(), 0);
   JobOptions options;
-  options.num_simulated_workers = 16;
+  options.simulation.num_workers = 16;
   auto result = SumByResidue(inputs, 20000, options);
   ASSERT_EQ(result.metrics.worker_loads.count(), 16);
   const double mean = result.metrics.worker_loads.mean();
@@ -1004,12 +1004,51 @@ TEST(Pipeline, SharedPoolAndPerRoundOptions) {
     out.emplace_back(key, values.size());
   };
   JobOptions round;
-  round.num_simulated_workers = 3;
+  round.simulation.num_workers = 3;
   auto outputs = pipeline.AddRound<int, int, int,
                                    std::pair<int, std::size_t>>(
       inputs, map_fn, reduce_fn, round);
   EXPECT_EQ(outputs.size(), 5u);
   EXPECT_EQ(pipeline.metrics().rounds[0].worker_loads.count(), 3);
+}
+
+TEST(Pipeline, RoundDefaultsMergeFieldWise) {
+  // The historical footgun: per-round options used to replace the
+  // defaults wholesale, so a round overriding only num_shards silently
+  // dropped the pipeline's memory budget. MergedJobOptions inherits every
+  // unset field instead — the round below must still spill.
+  PipelineOptions options;
+  options.round_defaults.shuffle.memory_budget_bytes = 1 << 10;
+  options.round_defaults.simulation.num_workers = 4;
+  Pipeline pipeline(options);
+  std::vector<int> inputs(4000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [](const int& x, Emitter<int, int>& emitter) {
+    emitter.Emit(x % 512, x);
+  };
+  auto reduce_fn = [](const int& key, const std::vector<int>& values,
+                      std::vector<std::pair<int, std::size_t>>& out) {
+    out.emplace_back(key, values.size());
+  };
+  JobOptions round;
+  round.num_shards = 2;  // the only field the round overrides
+  auto outputs =
+      pipeline.AddRound<int, int, int, std::pair<int, std::size_t>>(
+          inputs, map_fn, reduce_fn, round);
+  EXPECT_EQ(outputs.size(), 512u);
+  const JobMetrics& m = pipeline.metrics().rounds[0];
+  // Budget inherited from the defaults: the round ran externally...
+  EXPECT_TRUE(m.external_shuffle());
+  EXPECT_GT(m.spill_runs, 0u);
+  // ...and the defaults' simulation reached it too.
+  EXPECT_EQ(m.worker_loads.count(), 4);
+
+  // The pipeline-wide shuffle backstop composes field-wise as well: a
+  // round forcing only the strategy still inherits the backstop budget.
+  JobOptions merged = MergedJobOptions(round, options.round_defaults);
+  EXPECT_EQ(merged.num_shards, 2u);
+  EXPECT_EQ(merged.shuffle.memory_budget_bytes, std::uint64_t{1} << 10);
+  EXPECT_EQ(merged.simulation.num_workers, 4u);
 }
 
 TEST(Pipeline, CombinedRound) {

@@ -37,14 +37,48 @@ namespace {
 TEST(ShuffleStrategyResolution, AutoFollowsBudget) {
   JobOptions options;
   EXPECT_EQ(options.ResolvedShuffleStrategy(), ShuffleStrategy::kSharded);
-  options.memory_budget_bytes = 1 << 16;
+  options.shuffle.memory_budget_bytes = 1 << 16;
   EXPECT_EQ(options.ResolvedShuffleStrategy(), ShuffleStrategy::kExternal);
-  options.shuffle_strategy = ShuffleStrategy::kSharded;
+  options.shuffle.strategy = ShuffleStrategy::kSharded;
   EXPECT_EQ(options.ResolvedShuffleStrategy(), ShuffleStrategy::kSharded);
-  options.shuffle_strategy = ShuffleStrategy::kSerial;
-  options.memory_budget_bytes = 0;
+  options.shuffle.strategy = ShuffleStrategy::kSerial;
+  options.shuffle.memory_budget_bytes = 0;
   EXPECT_EQ(options.ResolvedShuffleStrategy(), ShuffleStrategy::kSerial);
   EXPECT_STREQ(ToString(ShuffleStrategy::kExternal), "external");
+}
+
+TEST(ShuffleConfigResolution, FieldWiseMergeOrder) {
+  // The documented resolution order: explicit per-round fields win, unset
+  // fields inherit the fallback, and a still-kAuto strategy follows the
+  // (merged) budget.
+  ShuffleConfig fallback;
+  fallback.strategy = ShuffleStrategy::kSharded;
+  fallback.memory_budget_bytes = 1 << 20;
+  fallback.spill_dir = "/tmp/fallback";
+  fallback.merge_fan_in = 8;
+
+  ShuffleConfig round;  // everything unset
+  EXPECT_FALSE(round.configured());
+  ShuffleConfig merged = round.MergedOver(fallback);
+  EXPECT_EQ(merged.strategy, ShuffleStrategy::kSharded);
+  EXPECT_EQ(merged.memory_budget_bytes, std::uint64_t{1} << 20);
+  EXPECT_EQ(merged.spill_dir, "/tmp/fallback");
+  EXPECT_EQ(merged.merge_fan_in, 8u);
+
+  round.strategy = ShuffleStrategy::kExternal;
+  round.spill_dir = "/tmp/round";
+  merged = round.MergedOver(fallback);
+  EXPECT_EQ(merged.strategy, ShuffleStrategy::kExternal);  // round wins
+  EXPECT_EQ(merged.spill_dir, "/tmp/round");               // round wins
+  EXPECT_EQ(merged.memory_budget_bytes,
+            std::uint64_t{1} << 20);  // inherited field-wise
+  EXPECT_EQ(merged.merge_fan_in, 8u);
+
+  // kAuto resolution after the merge: budget => external.
+  ShuffleConfig auto_config;
+  EXPECT_EQ(auto_config.Resolved(), ShuffleStrategy::kSharded);
+  auto_config.memory_budget_bytes = 1;
+  EXPECT_EQ(auto_config.Resolved(), ShuffleStrategy::kExternal);
 }
 
 /// The fanout workload of the sharded-shuffle determinism tests: colliding
@@ -78,8 +112,8 @@ TEST(ExternalShuffleJob, IdenticalToInMemoryAcrossBudgetsAndThreads) {
                                  std::uint64_t{1} << 30}) {
       JobOptions options;
       options.num_threads = threads;
-      options.shuffle_strategy = ShuffleStrategy::kExternal;
-      options.memory_budget_bytes = budget;
+      options.shuffle.strategy = ShuffleStrategy::kExternal;
+      options.shuffle.memory_budget_bytes = budget;
       const auto run = FanoutJob(options);
       SCOPED_TRACE("threads=" + std::to_string(threads) +
                    " budget=" + std::to_string(budget));
@@ -128,7 +162,7 @@ TEST(ExternalShuffleJob, CombinedRoundMatchesInMemory) {
   plain.num_threads = 2;
   const auto reference = run(plain);
   JobOptions external = plain;
-  external.memory_budget_bytes = 1 << 10;
+  external.shuffle.memory_budget_bytes = 1 << 10;
   const auto spilled = run(external);
   EXPECT_EQ(spilled.outputs, reference.outputs);
   EXPECT_EQ(spilled.metrics.pairs_shuffled, reference.metrics.pairs_shuffled);
@@ -142,7 +176,7 @@ TEST(ExternalShuffleJob, SimulationComposesWithSpilling) {
   // Capacity-q enforcement (simulated) and the real memory budget must
   // coexist: same outputs, both metric families populated.
   JobOptions options;
-  options.memory_budget_bytes = 1 << 10;
+  options.shuffle.memory_budget_bytes = 1 << 10;
   options.simulation.num_workers = 4;
   options.simulation.reducer_capacity_q = 8;
   const auto run = FanoutJob(options);
@@ -156,7 +190,7 @@ TEST(ExternalShuffleJob, SimulationComposesWithSpilling) {
 
 TEST(ExternalShufflePipeline, BackstopReachesEveryRoundAndReports) {
   PipelineOptions options;
-  options.memory_budget_bytes = 1 << 10;
+  options.shuffle.memory_budget_bytes = 1 << 10;
   Pipeline pipeline(options);
   std::vector<int> inputs(4000);
   std::iota(inputs.begin(), inputs.end(), 0);
@@ -221,8 +255,8 @@ TEST(ExternalShuffleEndToEnd, HammingSimilarityJoinUnderTightBudget) {
   ASSERT_TRUE(in_memory.ok()) << in_memory.status();
 
   JobOptions options;
-  options.memory_budget_bytes = in_memory->metrics.bytes_shuffled / 5;
-  ASSERT_GT(options.memory_budget_bytes, 0u);
+  options.shuffle.memory_budget_bytes = in_memory->metrics.bytes_shuffled / 5;
+  ASSERT_GT(options.shuffle.memory_budget_bytes, 0u);
   const auto external =
       hamming::SplittingSimilarityJoin(strings, b, k, d, options);
   ASSERT_TRUE(external.ok()) << external.status();
@@ -239,7 +273,7 @@ TEST(ExternalShuffleEndToEnd, HammingSimilarityJoinUnderTightBudget) {
   EXPECT_GT(external->metrics.spill_runs, 0u);
   EXPECT_GT(external->metrics.spill_bytes_written, 0u);
   // The budget really was <25% of what crossed the shuffle.
-  EXPECT_LT(4 * options.memory_budget_bytes,
+  EXPECT_LT(4 * options.shuffle.memory_budget_bytes,
             in_memory->metrics.bytes_shuffled);
 }
 
@@ -257,8 +291,8 @@ TEST(ExternalShuffleEndToEnd, JoinAggregateUnderTightBudget) {
   ASSERT_TRUE(in_memory.ok()) << in_memory.status();
 
   JobOptions options;
-  options.memory_budget_bytes = in_memory->metrics.total_bytes() / 5;
-  ASSERT_GT(options.memory_budget_bytes, 0u);
+  options.shuffle.memory_budget_bytes = in_memory->metrics.total_bytes() / 5;
+  ASSERT_GT(options.shuffle.memory_budget_bytes, 0u);
   const auto external = join::HyperCubeJoinAggregate(
       query, ptrs, shares, 0, 2, false, 3, options);
   ASSERT_TRUE(external.ok()) << external.status();
@@ -268,7 +302,7 @@ TEST(ExternalShuffleEndToEnd, JoinAggregateUnderTightBudget) {
   EXPECT_EQ(external->metrics.total_bytes(), in_memory->metrics.total_bytes());
   EXPECT_GT(external->metrics.total_spill_runs(), 0u);
   EXPECT_GT(external->metrics.total_spill_bytes(), 0u);
-  EXPECT_LT(4 * options.memory_budget_bytes,
+  EXPECT_LT(4 * options.shuffle.memory_budget_bytes,
             in_memory->metrics.total_bytes());
 }
 
@@ -282,7 +316,7 @@ TEST(ExternalShuffleEndToEnd, MatmulOnePhaseUnderBudget) {
   ASSERT_TRUE(in_memory.ok()) << in_memory.status();
 
   JobOptions options;
-  options.memory_budget_bytes = in_memory->metrics.bytes_shuffled / 5;
+  options.shuffle.memory_budget_bytes = in_memory->metrics.bytes_shuffled / 5;
   const auto external = matmul::MultiplyOnePhase(r, s, tile, options);
   ASSERT_TRUE(external.ok()) << external.status();
   EXPECT_EQ(external->product.MaxAbsDiff(in_memory->product), 0.0);
@@ -299,7 +333,7 @@ TEST(ExternalShuffleEndToEnd, SampleGraphUnderBudget) {
       graph::MRSampleGraphInstances(data, pattern, /*k=*/6, /*seed=*/2, {});
 
   JobOptions options;
-  options.memory_budget_bytes = in_memory.metrics.bytes_shuffled / 5;
+  options.shuffle.memory_budget_bytes = in_memory.metrics.bytes_shuffled / 5;
   const auto external =
       graph::MRSampleGraphInstances(data, pattern, 6, 2, options);
   EXPECT_EQ(external.instance_count, in_memory.instance_count);

@@ -1,0 +1,751 @@
+// The lazy typed dataflow Plan API (src/engine/plan.h): building is free
+// of execution, Estimate prices rounds against the Section 2.4 recipe
+// before any data moves, Explain narrates the physical plan, and Execute
+// lowers onto the eager Pipeline machinery byte-identically for every
+// shuffle strategy — verified here on a synthetic round (plan vs eager,
+// metrics compared field by field) and on all four problem-family drivers
+// across {serial, sharded, external} x seeds.
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/engine/job.h"
+#include "src/engine/plan.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/graph/sample_graph_mr.h"
+#include "src/hamming/bitstring.h"
+#include "src/hamming/bounds.h"
+#include "src/hamming/similarity_join.h"
+#include "src/join/generators.h"
+#include "src/join/query.h"
+#include "src/join/relation.h"
+#include "src/join/two_round.h"
+#include "src/matmul/matrix.h"
+#include "src/matmul/mr_multiply.h"
+#include "src/matmul/problem.h"
+
+namespace mrcost::engine {
+namespace {
+
+/// A synthetic recipe accepting any (q, r); only the bound math matters.
+core::Recipe SyntheticRecipe(double num_inputs, double num_outputs) {
+  core::Recipe recipe;
+  recipe.problem_name = "synthetic";
+  recipe.g = [](double q) { return q * q; };
+  recipe.num_inputs = num_inputs;
+  recipe.num_outputs = num_outputs;
+  return recipe;
+}
+
+void ExpectSameMetrics(const JobMetrics& a, const JobMetrics& b) {
+  EXPECT_EQ(a.num_inputs, b.num_inputs);
+  EXPECT_EQ(a.pairs_shuffled, b.pairs_shuffled);
+  EXPECT_EQ(a.pairs_before_combine, b.pairs_before_combine);
+  EXPECT_EQ(a.bytes_shuffled, b.bytes_shuffled);
+  EXPECT_EQ(a.num_reducers, b.num_reducers);
+  EXPECT_EQ(a.max_reducer_input, b.max_reducer_input);
+  EXPECT_EQ(a.num_outputs, b.num_outputs);
+  EXPECT_EQ(a.spill_runs, b.spill_runs);
+  EXPECT_EQ(a.spill_bytes_written, b.spill_bytes_written);
+  EXPECT_EQ(a.merge_passes, b.merge_passes);
+}
+
+// --------------------------------------------------------------- laziness
+
+TEST(Plan, BuildingRunsNothing) {
+  static std::atomic<int> map_calls{0};
+  map_calls = 0;
+  std::vector<int> inputs(100);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  Plan plan;
+  auto counts =
+      plan.Source(std::move(inputs))
+          .Map<int, int>([](const int& x, Emitter<int, int>& emitter) {
+            ++map_calls;
+            emitter.Emit(x % 10, x);
+          })
+          .ReduceByKey<std::pair<int, std::size_t>>(
+              [](const int& key, const std::vector<int>& values,
+                 std::vector<std::pair<int, std::size_t>>& out) {
+                out.emplace_back(key, values.size());
+              });
+  EXPECT_EQ(map_calls.load(), 0);  // nothing ran
+  EXPECT_EQ(plan.num_rounds(), 1u);
+
+  // Estimate with fully declared hints (r and reducer count) prices the
+  // round without executing the map function at all.
+  StageEstimate hint;
+  hint.replication = 1;
+  hint.num_reducers = 10;
+  Plan hinted;
+  std::vector<int> inputs2(100);
+  std::iota(inputs2.begin(), inputs2.end(), 0);
+  auto hinted_ds =
+      hinted.Source(std::move(inputs2))
+          .Map<int, int>([](const int& x, Emitter<int, int>& e) {
+            ++map_calls;
+            e.Emit(x % 10, x);
+          })
+          .WithEstimate(hint)
+          .ReduceByKey<std::pair<int, std::size_t>>(
+              [](const int& key, const std::vector<int>& values,
+                 std::vector<std::pair<int, std::size_t>>& out) {
+                out.emplace_back(key, values.size());
+              });
+  (void)hinted_ds;
+  const auto hinted_estimate =
+      hinted.Estimate(SyntheticRecipe(100, 10));
+  EXPECT_EQ(map_calls.load(), 0);  // declared stages are never sampled
+  ASSERT_EQ(hinted_estimate.rounds.size(), 1u);
+  EXPECT_FALSE(hinted_estimate.rounds[0].sampled);
+  EXPECT_DOUBLE_EQ(hinted_estimate.rounds[0].predicted_q, 10.0);
+
+  auto run = counts.Execute();
+  // The strategy chooser samples the map function before the round runs,
+  // so the map executes at least once per input (sampling included).
+  EXPECT_GE(map_calls.load(), 100);
+  EXPECT_EQ(run.outputs.size(), 10u);
+  ASSERT_EQ(run.metrics.rounds.size(), 1u);
+  EXPECT_EQ(run.metrics.rounds[0].pairs_shuffled, 100u);
+  ASSERT_EQ(run.round_strategies.size(), 1u);
+}
+
+// ----------------------------------------------- plan-vs-eager equivalence
+
+/// The shared synthetic workload: colliding keys, order-sensitive fold.
+struct SyntheticJob {
+  std::vector<int> inputs;
+  SyntheticJob() : inputs(5000) {
+    std::iota(inputs.begin(), inputs.end(), 0);
+  }
+  static void MapFn(const int& x, Emitter<int, std::uint64_t>& emitter) {
+    emitter.Emit(x % 97, static_cast<std::uint64_t>(x));
+    emitter.Emit(x % 251, static_cast<std::uint64_t>(x) + 1);
+  }
+  static void ReduceFn(const int& key,
+                       const std::vector<std::uint64_t>& values,
+                       std::vector<std::pair<int, std::uint64_t>>& out) {
+    std::uint64_t acc = static_cast<std::uint64_t>(key);
+    for (std::uint64_t v : values) acc = acc * 31 + v;
+    out.emplace_back(key, acc);
+  }
+};
+
+TEST(Plan, ExecuteMatchesEagerPipelineForEveryStrategy) {
+  SyntheticJob job;
+  for (ShuffleStrategy strategy :
+       {ShuffleStrategy::kSerial, ShuffleStrategy::kSharded,
+        ShuffleStrategy::kExternal}) {
+    SCOPED_TRACE(ToString(strategy));
+    JobOptions options;
+    options.num_threads = 2;
+    options.shuffle.strategy = strategy;
+    if (strategy == ShuffleStrategy::kExternal) {
+      options.shuffle.memory_budget_bytes = 1 << 12;
+    }
+
+    // Eager path: the Pipeline the plan lowers onto.
+    Pipeline pipeline(options);
+    auto eager =
+        pipeline.AddRound<int, int, std::uint64_t,
+                          std::pair<int, std::uint64_t>>(
+            job.inputs, SyntheticJob::MapFn, SyntheticJob::ReduceFn);
+    const PipelineMetrics eager_metrics = pipeline.TakeMetrics();
+
+    // Lazy path, same options.
+    Plan plan;
+    auto ds = plan.Source(job.inputs)
+                  .Map<int, std::uint64_t>(SyntheticJob::MapFn)
+                  .ReduceByKey<std::pair<int, std::uint64_t>>(
+                      SyntheticJob::ReduceFn);
+    auto run = ds.Execute(ExecutionOptions(options));
+
+    EXPECT_EQ(run.outputs, eager);  // byte-identical
+    ASSERT_EQ(run.metrics.rounds.size(), 1u);
+    ExpectSameMetrics(run.metrics.rounds[0], eager_metrics.rounds[0]);
+    ASSERT_EQ(run.round_strategies.size(), 1u);
+    EXPECT_EQ(run.round_strategies[0], strategy);
+  }
+}
+
+TEST(Plan, CombinedRoundMatchesEager) {
+  std::vector<int> inputs(8000);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    inputs[i] = static_cast<int>(i % 613);
+  }
+  auto map_fn = [](const int& x, Emitter<int, std::int64_t>& emitter) {
+    emitter.Emit(x, x);
+    emitter.Emit(x + 1000, 2 * x);
+  };
+  auto combine_fn = [](std::int64_t a, std::int64_t b) { return a + b; };
+  auto reduce_fn = [](const int& key, const std::vector<std::int64_t>& values,
+                      std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t total = 0;
+    for (std::int64_t v : values) total += v;
+    out.emplace_back(key, total);
+  };
+  JobOptions options;
+  options.num_threads = 2;
+
+  Pipeline pipeline(options);
+  auto eager = pipeline.AddCombinedRound<int, int, std::int64_t,
+                                         std::pair<int, std::int64_t>>(
+      inputs, map_fn, combine_fn, reduce_fn);
+  const PipelineMetrics eager_metrics = pipeline.TakeMetrics();
+
+  Plan plan;
+  auto run = plan.Source(inputs)
+                 .Map<int, std::int64_t>(map_fn)
+                 .CombineByKey(combine_fn)
+                 .ReduceByKey<std::pair<int, std::int64_t>>(reduce_fn)
+                 .Execute(ExecutionOptions(options));
+  EXPECT_EQ(run.outputs, eager);
+  ASSERT_EQ(run.metrics.rounds.size(), 1u);
+  ExpectSameMetrics(run.metrics.rounds[0], eager_metrics.rounds[0]);
+  EXPECT_LT(run.metrics.rounds[0].pairs_shuffled,
+            run.metrics.rounds[0].pairs_before_combine);
+}
+
+TEST(Plan, IntermediateDatasetExecutesOnlyItsAncestry) {
+  std::vector<int> inputs(500);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  Plan plan;
+  auto round1 = plan.Source(std::move(inputs))
+                    .Map<int, int>([](const int& x, Emitter<int, int>& e) {
+                      e.Emit(x % 50, x);
+                    })
+                    .ReduceByKey<std::pair<int, std::int64_t>>(
+                        [](const int& key, const std::vector<int>& values,
+                           std::vector<std::pair<int, std::int64_t>>& out) {
+                          std::int64_t sum = 0;
+                          for (int v : values) sum += v;
+                          out.emplace_back(key, sum);
+                        });
+  auto round2 =
+      round1
+          .Map<int, std::int64_t>(
+              [](const std::pair<int, std::int64_t>& p,
+                 Emitter<int, std::int64_t>& e) { e.Emit(p.first % 5, p.second); })
+          .ReduceByKey<std::pair<int, std::int64_t>>(
+              [](const int& key, const std::vector<std::int64_t>& values,
+                 std::vector<std::pair<int, std::int64_t>>& out) {
+                std::int64_t sum = 0;
+                for (std::int64_t v : values) sum += v;
+                out.emplace_back(key, sum);
+              });
+  EXPECT_EQ(plan.num_rounds(), 2u);
+
+  auto first = round1.Execute();
+  EXPECT_EQ(first.metrics.rounds.size(), 1u);  // round 2 did not run
+  EXPECT_EQ(first.outputs.size(), 50u);
+
+  auto both = round2.Execute();
+  EXPECT_EQ(both.metrics.rounds.size(), 2u);
+  EXPECT_EQ(both.outputs.size(), 5u);
+}
+
+TEST(Plan, ExecuteAsyncMatchesSync) {
+  SyntheticJob job;
+  JobOptions options;
+  options.num_threads = 2;
+  Plan plan;
+  auto ds = plan.Source(job.inputs)
+                .Map<int, std::uint64_t>(SyntheticJob::MapFn)
+                .ReduceByKey<std::pair<int, std::uint64_t>>(
+                    SyntheticJob::ReduceFn);
+  auto sync = ds.Execute(ExecutionOptions(options));
+  auto future = ds.ExecuteAsync(ExecutionOptions(options));
+  auto async = future.get();
+  EXPECT_EQ(async.outputs, sync.outputs);
+  ExpectSameMetrics(async.metrics.rounds[0], sync.metrics.rounds[0]);
+}
+
+// ------------------------------------------------ per-round strategy chooser
+
+TEST(Plan, ChooserSkipsSpillWhenRoundFitsBudget) {
+  // Eager rule: any budget forces the external shuffle. The plan chooser
+  // only goes external when the round's estimated intermediate bytes
+  // exceed the budget — same outputs, no spill metrics.
+  SyntheticJob job;
+  JobOptions options;
+  options.shuffle.memory_budget_bytes = 1 << 30;  // far above the data
+
+  auto eager = RunMapReduce<int, int, std::uint64_t,
+                            std::pair<int, std::uint64_t>>(
+      job.inputs, SyntheticJob::MapFn, SyntheticJob::ReduceFn, options);
+  EXPECT_TRUE(eager.metrics.external_shuffle());
+
+  Plan plan;
+  auto run = plan.Source(job.inputs)
+                 .Map<int, std::uint64_t>(SyntheticJob::MapFn)
+                 .ReduceByKey<std::pair<int, std::uint64_t>>(
+                     SyntheticJob::ReduceFn)
+                 .Execute(ExecutionOptions(options));
+  EXPECT_EQ(run.outputs, eager.outputs);
+  EXPECT_FALSE(run.metrics.rounds[0].external_shuffle());
+  ASSERT_EQ(run.round_strategies.size(), 1u);
+  EXPECT_EQ(run.round_strategies[0], ShuffleStrategy::kSharded);
+}
+
+TEST(Plan, ChooserDecidesPerRoundNotPerPipeline) {
+  // A two-round plan whose round 1 is far over budget and whose round 2 is
+  // far under it: only round 1 pays the spill path. (The eager pipeline
+  // backstop would run both rounds externally.)
+  std::vector<int> inputs(20000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  PipelineOptions pipeline_options;
+  // Round 1's intermediate is ~940 KiB, round 2's ~64 KiB; the budget sits
+  // between them with room for the chooser's 2x in-memory headroom.
+  pipeline_options.shuffle.memory_budget_bytes = 384 << 10;
+
+  Plan plan;
+  auto round1 = plan.Source(std::move(inputs))
+                    .Map<std::uint64_t, std::uint64_t>(
+                        [](const int& x,
+                           Emitter<std::uint64_t, std::uint64_t>& e) {
+                          const auto v = static_cast<std::uint64_t>(x);
+                          e.Emit(v % 4096, v);
+                          e.Emit((v * 31) % 4096, v + 1);
+                          e.Emit((v * 131) % 4096, v + 2);
+                        },
+                        "big fan-out")
+                    .ReduceByKey<std::pair<std::uint64_t, std::uint64_t>>(
+                        [](const std::uint64_t& key,
+                           const std::vector<std::uint64_t>& values,
+                           std::vector<std::pair<std::uint64_t,
+                                                 std::uint64_t>>& out) {
+                          std::uint64_t sum = 0;
+                          for (std::uint64_t v : values) sum += v;
+                          out.emplace_back(key, sum);
+                        });
+  auto round2 =
+      round1
+          .Map<std::uint64_t, std::uint64_t>(
+              [](const std::pair<std::uint64_t, std::uint64_t>& p,
+                 Emitter<std::uint64_t, std::uint64_t>& e) {
+                e.Emit(p.first % 8, p.second);
+              },
+              "tiny regroup")
+          .ReduceByKey<std::pair<std::uint64_t, std::uint64_t>>(
+              [](const std::uint64_t& key,
+                 const std::vector<std::uint64_t>& values,
+                 std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) {
+                std::uint64_t sum = 0;
+                for (std::uint64_t v : values) sum += v;
+                out.emplace_back(key, sum);
+              });
+
+  auto run = round2.Execute(ExecutionOptions(pipeline_options));
+  ASSERT_EQ(run.metrics.rounds.size(), 2u);
+  EXPECT_TRUE(run.metrics.rounds[0].external_shuffle());
+  EXPECT_GT(run.metrics.rounds[0].spill_runs, 0u);
+  EXPECT_FALSE(run.metrics.rounds[1].external_shuffle());
+  ASSERT_EQ(run.round_strategies.size(), 2u);
+  EXPECT_EQ(run.round_strategies[0], ShuffleStrategy::kExternal);
+  EXPECT_NE(run.round_strategies[1], ShuffleStrategy::kExternal);
+
+  // Byte-identical to the no-budget run.
+  auto reference = round2.Execute();
+  EXPECT_EQ(run.outputs, reference.outputs);
+}
+
+TEST(Plan, ExplicitShardRequestSuppressesSerialDowngrade) {
+  // A tiny round would be downgraded to the serial shuffle by the
+  // chooser, but an explicit num_shards request asks for the sharded
+  // code path and must keep it.
+  std::vector<int> inputs(200);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto build = [&](Plan& plan) {
+    return plan.Source(inputs)
+        .Map<int, int>([](const int& x, Emitter<int, int>& e) {
+          e.Emit(x % 10, x);
+        })
+        .ReduceByKey<std::pair<int, std::size_t>>(
+            [](const int& key, const std::vector<int>& values,
+               std::vector<std::pair<int, std::size_t>>& out) {
+              out.emplace_back(key, values.size());
+            });
+  };
+  Plan tiny;
+  auto serial_run = build(tiny).Execute();
+  ASSERT_EQ(serial_run.round_strategies.size(), 1u);
+  EXPECT_EQ(serial_run.round_strategies[0], ShuffleStrategy::kSerial);
+
+  JobOptions options;
+  options.num_shards = 4;
+  Plan sharded;
+  auto sharded_run = build(sharded).Execute(ExecutionOptions(options));
+  ASSERT_EQ(sharded_run.round_strategies.size(), 1u);
+  EXPECT_EQ(sharded_run.round_strategies[0], ShuffleStrategy::kSharded);
+  EXPECT_EQ(sharded_run.outputs, serial_run.outputs);
+}
+
+TEST(Plan, ExplicitStrategyBypassesChooser) {
+  SyntheticJob job;
+  JobOptions options;
+  options.shuffle.strategy = ShuffleStrategy::kExternal;
+  options.shuffle.memory_budget_bytes = 1 << 30;  // would fit in memory
+  Plan plan;
+  auto run = plan.Source(job.inputs)
+                 .Map<int, std::uint64_t>(SyntheticJob::MapFn)
+                 .ReduceByKey<std::pair<int, std::uint64_t>>(
+                     SyntheticJob::ReduceFn)
+                 .Execute(ExecutionOptions(options));
+  EXPECT_TRUE(run.metrics.rounds[0].external_shuffle());
+  EXPECT_EQ(run.round_strategies[0], ShuffleStrategy::kExternal);
+}
+
+// --------------------------------------------------------- Estimate/Explain
+
+TEST(Plan, EstimateBeforeExecutionAndPropagation) {
+  // Two-phase matmul: round 1's estimate is fully declared, round 2's
+  // input count must be propagated (inputs_known == false) before
+  // execution and read off the materialized intermediate after.
+  const int n = 12, s_rows = 4, t_js = 2;
+  matmul::Matrix r(n, n), s(n, n);
+  common::SplitMix64 rng(7);
+  r.FillRandom(rng);
+  s.FillRandom(rng);
+  auto plan = matmul::BuildMultiplyTwoPhasePlan(r, s, s_rows, t_js);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  const core::Recipe recipe = matmul::MatMulRecipe(n);
+  const auto before = plan->plan.Estimate(recipe);
+  ASSERT_EQ(before.rounds.size(), 2u);
+  EXPECT_TRUE(before.rounds[0].inputs_known);
+  EXPECT_DOUBLE_EQ(before.rounds[0].num_inputs, 2.0 * n * n);
+  // Section 6.3: r = n/s, q = 2st.
+  EXPECT_DOUBLE_EQ(before.rounds[0].predicted_r, double(n) / s_rows);
+  EXPECT_DOUBLE_EQ(before.rounds[0].predicted_q, 2.0 * s_rows * t_js);
+  EXPECT_GE(before.rounds[0].lower_bound_r, 0.0);
+  // Round 2: propagated input count n^3/t, one pair each, q = n/t.
+  EXPECT_FALSE(before.rounds[1].inputs_known);
+  EXPECT_DOUBLE_EQ(before.rounds[1].num_inputs,
+                   double(n) * n * n / t_js);
+  EXPECT_DOUBLE_EQ(before.rounds[1].predicted_q, double(n) / t_js);
+  EXPECT_NE(before.ToString().find("propagated"), std::string::npos);
+  EXPECT_GT(before.total_predicted_pairs(), 0.0);
+
+  // Execute, then re-estimate: round 2's input is now materialized.
+  auto run = plan->sums.Execute();
+  const auto after = plan->plan.Estimate(recipe);
+  EXPECT_TRUE(after.rounds[1].inputs_known);
+  EXPECT_DOUBLE_EQ(after.rounds[1].num_inputs,
+                   static_cast<double>(run.metrics.rounds[1].num_inputs));
+}
+
+TEST(Plan, EstimateAgreesWithRealizedOnTableWorkloads) {
+  // The acceptance bar: Estimate's predicted (r, q) matches the realized
+  // JobMetrics on the paper-table workloads, before execution.
+
+  // Hamming splitting (Tables 1/2 geometry): b = 12, k = 3, d = 1 on the
+  // full domain — r = C(3,1) = 3, q = 2^4 = 16, exactly on the bound.
+  {
+    const int b = 12, k = 3, d = 1;
+    auto plan = hamming::BuildSplittingSimilarityJoinPlan(
+        hamming::AllStrings(b), b, k, d);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    const auto estimate = plan->plan.Estimate(hamming::Hamming1Recipe(b));
+    ASSERT_EQ(estimate.rounds.size(), 1u);
+    const auto run = plan->pairs.Execute();
+    const JobMetrics& realized = run.metrics.rounds[0];
+    EXPECT_DOUBLE_EQ(estimate.rounds[0].predicted_r,
+                     realized.replication_rate());
+    EXPECT_DOUBLE_EQ(estimate.rounds[0].predicted_q,
+                     static_cast<double>(realized.max_reducer_input));
+    // The splitting algorithm is exactly optimal at its q, and its fully
+    // declared geometry is priced without sampling the map function.
+    EXPECT_NEAR(estimate.rounds[0].optimality_ratio, 1.0, 1e-9);
+    EXPECT_FALSE(estimate.rounds[0].sampled);
+  }
+
+  // One-phase matmul (Section 6.2): r = n/s, q = 2sn.
+  {
+    const int n = 24, tile = 6;
+    matmul::Matrix r(n, n), s(n, n);
+    common::SplitMix64 rng(3);
+    r.FillRandom(rng);
+    s.FillRandom(rng);
+    auto plan = matmul::BuildMultiplyOnePhasePlan(r, s, tile);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    const auto estimate = plan->plan.Estimate(matmul::MatMulRecipe(n));
+    const auto run = plan->cells.Execute();
+    const JobMetrics& realized = run.metrics.rounds[0];
+    EXPECT_DOUBLE_EQ(estimate.rounds[0].predicted_r,
+                     realized.replication_rate());
+    EXPECT_DOUBLE_EQ(estimate.rounds[0].predicted_q,
+                     static_cast<double>(realized.max_reducer_input));
+  }
+
+  // HyperCube join: the Shares schema's weighted fan-out.
+  {
+    const join::Query query = join::ChainQuery(2);
+    const auto relations = join::ZipfRelationsForQuery(
+        query, /*size=*/500, /*domain=*/40, /*exponent=*/0.5, /*seed=*/9);
+    std::vector<const join::Relation*> ptrs;
+    for (const auto& rel : relations) ptrs.push_back(&rel);
+    const std::vector<int> shares{2, 4, 2};
+    auto plan = join::BuildHyperCubeJoinAggregatePlan(
+        query, ptrs, shares, /*group_attr=*/0, /*sum_attr=*/2,
+        /*pre_aggregate=*/false, /*seed=*/3);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    const auto estimate =
+        plan->plan.Estimate(SyntheticRecipe(1000, 100));
+    ASSERT_EQ(estimate.rounds.size(), 2u);
+    const auto run = plan->sums.Execute();
+    EXPECT_DOUBLE_EQ(estimate.rounds[0].predicted_r,
+                     run.metrics.rounds[0].replication_rate());
+  }
+
+  // Sample-graph enumeration: no declared hints — an exhaustive sample of
+  // the map function reproduces the realized r and q exactly.
+  {
+    const graph::Graph data =
+        graph::ZipfGraph(/*n=*/120, /*m=*/500, /*exponent=*/0.6, /*seed=*/4);
+    const graph::Graph pattern(3, {{0, 1}, {1, 2}, {0, 2}});
+    auto plan = graph::BuildSampleGraphPlan(data, pattern, /*k=*/5,
+                                            /*seed=*/11);
+    EstimateOptions exhaustive;
+    exhaustive.max_sample_inputs = 0;  // sample every input
+    const auto estimate = plan.plan.Estimate(
+        SyntheticRecipe(data.num_edges(), 1), exhaustive);
+    ASSERT_EQ(estimate.rounds.size(), 1u);
+    EXPECT_TRUE(estimate.rounds[0].sampled);
+    const auto run = plan.counts.Execute();
+    const JobMetrics& realized = run.metrics.rounds[0];
+    EXPECT_DOUBLE_EQ(estimate.rounds[0].predicted_r,
+                     realized.replication_rate());
+    EXPECT_DOUBLE_EQ(estimate.rounds[0].predicted_q,
+                     static_cast<double>(realized.max_reducer_input));
+    EXPECT_DOUBLE_EQ(estimate.rounds[0].predicted_reducers,
+                     static_cast<double>(realized.num_reducers));
+  }
+}
+
+TEST(Plan, EstimatePropagatesPerProducerOnBranchedPlans) {
+  // Two rounds consuming the same intermediate: each must read its own
+  // producer's predicted output count, not whatever round was estimated
+  // last (the single-carried-scalar failure mode).
+  std::vector<int> inputs(100);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map_fn = [](const int& x, Emitter<int, int>& e) { e.Emit(x, x); };
+  auto reduce_fn = [](const int& key, const std::vector<int>&,
+                      std::vector<int>& out) { out.push_back(key); };
+
+  StageEstimate hint_a;
+  hint_a.replication = 2;
+  hint_a.num_reducers = 10;
+  hint_a.outputs_per_reducer = 3;  // a predicts 30 outputs
+  StageEstimate hint_big;
+  hint_big.replication = 1;
+  hint_big.num_reducers = 5;
+  hint_big.outputs_per_reducer = 100;  // c predicts 500 outputs
+
+  Plan plan;
+  auto a = plan.Source(std::move(inputs))
+               .Map<int, int>(map_fn, "a")
+               .WithEstimate(hint_a)
+               .ReduceByKey<int>(reduce_fn);
+  auto c = a.Map<int, int>(map_fn, "c")
+               .WithEstimate(hint_big)
+               .ReduceByKey<int>(reduce_fn);
+  auto d = a.Map<int, int>(map_fn, "d")
+               .WithEstimate(hint_a)
+               .ReduceByKey<int>(reduce_fn);
+  (void)c;
+  (void)d;
+
+  const auto estimate = plan.Estimate(SyntheticRecipe(100, 10));
+  ASSERT_EQ(estimate.rounds.size(), 3u);
+  // Both branches read a's predicted 30 outputs, d unaffected by c.
+  EXPECT_DOUBLE_EQ(estimate.rounds[1].num_inputs, 30.0);
+  EXPECT_DOUBLE_EQ(estimate.rounds[2].num_inputs, 30.0);
+}
+
+TEST(Plan, PlannedStrategyMatchesExecuteChooser) {
+  // A fully declared stage with a budget: the planned_strategy annotation
+  // must apply the same bytes-vs-budget rule the Execute chooser does
+  // (sampling for bytes when none are declared), not blanket-report
+  // external just because a budget is set.
+  const int b = 12, k = 3, d = 1;
+  auto plan = hamming::BuildSplittingSimilarityJoinPlan(
+      hamming::AllStrings(b), b, k, d);
+  ASSERT_TRUE(plan.ok());
+
+  EstimateOptions roomy;
+  roomy.shuffle.memory_budget_bytes = 1 << 30;  // far above ~192 KiB
+  const auto fits = plan->plan.Estimate(hamming::Hamming1Recipe(b), roomy);
+  EXPECT_EQ(fits.rounds[0].planned_strategy, ShuffleStrategy::kSharded);
+
+  EstimateOptions tight;
+  tight.shuffle.memory_budget_bytes = 1 << 10;  // far below
+  const auto spills = plan->plan.Estimate(hamming::Hamming1Recipe(b), tight);
+  EXPECT_EQ(spills.rounds[0].planned_strategy, ShuffleStrategy::kExternal);
+
+  // And Execute agrees with the roomy annotation: no spill.
+  JobOptions options;
+  options.shuffle.memory_budget_bytes = 1 << 30;
+  auto run = plan->pairs.Execute(ExecutionOptions(options));
+  ASSERT_EQ(run.round_strategies.size(), 1u);
+  EXPECT_EQ(run.round_strategies[0], ShuffleStrategy::kSharded);
+}
+
+TEST(Plan, ExplainNarratesThePhysicalPlan) {
+  const int n = 12;
+  matmul::Matrix r(n, n), s(n, n);
+  common::SplitMix64 rng(5);
+  r.FillRandom(rng);
+  s.FillRandom(rng);
+  auto plan = matmul::BuildMultiplyTwoPhasePlan(r, s, 4, 2);
+  ASSERT_TRUE(plan.ok());
+
+  ExecutionOptions options;
+  options.pipeline.shuffle.memory_budget_bytes = 1 << 10;
+  options.pipeline.simulation.num_workers = 8;
+  const std::string text = plan->plan.Explain(options);
+  EXPECT_NE(text.find("source 'matrix elements'"), std::string::npos);
+  EXPECT_NE(text.find("round 1 'two-phase cubes'"), std::string::npos);
+  EXPECT_NE(text.find("round 2"), std::string::npos);
+  EXPECT_NE(text.find("external"), std::string::npos);  // over tiny budget
+  EXPECT_NE(text.find("memory budget"), std::string::npos);
+  EXPECT_NE(text.find("8 workers"), std::string::npos);
+  // Round 2's input is unmaterialized before execution.
+  EXPECT_NE(text.find("chooser decides at run time"), std::string::npos);
+
+  // Explicit strategies are reported as such.
+  ExecutionOptions explicit_options;
+  explicit_options.pipeline.round_defaults.shuffle.strategy =
+      ShuffleStrategy::kSerial;
+  const std::string explicit_text = plan->plan.Explain(explicit_options);
+  EXPECT_NE(explicit_text.find("serial (explicit)"), std::string::npos);
+}
+
+// --------------------------------------- family drivers across strategies
+
+/// Per-strategy JobOptions for the family sweeps; tight budget so external
+/// really spills.
+JobOptions StrategyOptions(ShuffleStrategy strategy) {
+  JobOptions options;
+  options.shuffle.strategy = strategy;
+  if (strategy == ShuffleStrategy::kExternal) {
+    options.shuffle.memory_budget_bytes = 1 << 12;
+  }
+  return options;
+}
+
+TEST(PlanFamilies, HammingAcrossStrategiesAndSeeds) {
+  for (std::uint64_t seed : {1u, 2u}) {
+    const auto strings = hamming::SkewedStrings(
+        /*b=*/12, /*n=*/600, /*num_hubs=*/8, /*exponent=*/0.8, seed);
+    const auto serial_pairs = hamming::SerialSimilarityJoin(strings, 1);
+    const auto reference =
+        hamming::SplittingSimilarityJoin(strings, 12, 3, 1, {});
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    EXPECT_EQ(reference->pairs, serial_pairs);
+    for (ShuffleStrategy strategy :
+         {ShuffleStrategy::kSerial, ShuffleStrategy::kSharded,
+          ShuffleStrategy::kExternal}) {
+      SCOPED_TRACE(std::string(ToString(strategy)) +
+                   " seed=" + std::to_string(seed));
+      const auto run = hamming::SplittingSimilarityJoin(
+          strings, 12, 3, 1, StrategyOptions(strategy));
+      ASSERT_TRUE(run.ok()) << run.status();
+      EXPECT_EQ(run->pairs, reference->pairs);
+      EXPECT_EQ(run->metrics.pairs_shuffled,
+                reference->metrics.pairs_shuffled);
+      EXPECT_EQ(run->metrics.bytes_shuffled,
+                reference->metrics.bytes_shuffled);
+      EXPECT_EQ(run->metrics.num_reducers, reference->metrics.num_reducers);
+      EXPECT_EQ(run->metrics.max_reducer_input,
+                reference->metrics.max_reducer_input);
+    }
+  }
+}
+
+TEST(PlanFamilies, JoinAggregateAcrossStrategiesAndSeeds) {
+  const join::Query query = join::ChainQuery(2);
+  for (std::uint64_t seed : {5u, 6u}) {
+    const auto relations = join::ZipfRelationsForQuery(
+        query, /*size=*/600, /*domain=*/30, /*exponent=*/0.8, seed);
+    std::vector<const join::Relation*> ptrs;
+    for (const auto& rel : relations) ptrs.push_back(&rel);
+    const std::vector<int> shares{1, 4, 1};
+    const auto serial =
+        join::SerialJoinAggregate(query, ptrs, /*group_attr=*/0,
+                                  /*sum_attr=*/2);
+    const auto reference = join::HyperCubeJoinAggregate(
+        query, ptrs, shares, 0, 2, /*pre_aggregate=*/false, /*seed=*/3, {});
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    EXPECT_EQ(reference->sums, serial);
+    for (ShuffleStrategy strategy :
+         {ShuffleStrategy::kSerial, ShuffleStrategy::kSharded,
+          ShuffleStrategy::kExternal}) {
+      SCOPED_TRACE(std::string(ToString(strategy)) +
+                   " seed=" + std::to_string(seed));
+      const auto run = join::HyperCubeJoinAggregate(
+          query, ptrs, shares, 0, 2, false, 3, StrategyOptions(strategy));
+      ASSERT_TRUE(run.ok()) << run.status();
+      EXPECT_EQ(run->sums, reference->sums);
+      EXPECT_EQ(run->metrics.total_pairs(),
+                reference->metrics.total_pairs());
+      EXPECT_EQ(run->metrics.total_bytes(),
+                reference->metrics.total_bytes());
+    }
+  }
+}
+
+TEST(PlanFamilies, MatmulTwoPhaseAcrossStrategies) {
+  const int n = 16;
+  matmul::Matrix r(n, n), s(n, n);
+  common::SplitMix64 rng(21);
+  r.FillRandom(rng);
+  s.FillRandom(rng);
+  const matmul::Matrix expected = matmul::SerialMultiply(r, s);
+  const auto reference = matmul::MultiplyTwoPhase(r, s, 4, 2, {});
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_LT(reference->product.MaxAbsDiff(expected), 1e-9);
+  for (ShuffleStrategy strategy :
+       {ShuffleStrategy::kSerial, ShuffleStrategy::kSharded,
+        ShuffleStrategy::kExternal}) {
+    SCOPED_TRACE(ToString(strategy));
+    const auto run =
+        matmul::MultiplyTwoPhase(r, s, 4, 2, StrategyOptions(strategy));
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run->product.MaxAbsDiff(reference->product), 0.0);
+    EXPECT_EQ(run->metrics.total_pairs(), reference->metrics.total_pairs());
+    EXPECT_EQ(run->metrics.total_bytes(), reference->metrics.total_bytes());
+  }
+}
+
+TEST(PlanFamilies, SampleGraphAcrossStrategiesAndSeeds) {
+  const graph::Graph pattern(3, {{0, 1}, {1, 2}, {0, 2}});  // triangle
+  for (std::uint64_t seed : {13u, 14u}) {
+    const graph::Graph data =
+        graph::ZipfGraph(/*n=*/200, /*m=*/800, /*exponent=*/0.7, seed);
+    const auto reference =
+        graph::MRSampleGraphInstances(data, pattern, /*k=*/5, /*seed=*/2, {});
+    for (ShuffleStrategy strategy :
+         {ShuffleStrategy::kSerial, ShuffleStrategy::kSharded,
+          ShuffleStrategy::kExternal}) {
+      SCOPED_TRACE(std::string(ToString(strategy)) +
+                   " seed=" + std::to_string(seed));
+      const auto run = graph::MRSampleGraphInstances(
+          data, pattern, 5, 2, StrategyOptions(strategy));
+      EXPECT_EQ(run.instance_count, reference.instance_count);
+      EXPECT_EQ(run.metrics.pairs_shuffled, reference.metrics.pairs_shuffled);
+      EXPECT_EQ(run.metrics.bytes_shuffled, reference.metrics.bytes_shuffled);
+      EXPECT_EQ(run.metrics.num_reducers, reference.metrics.num_reducers);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrcost::engine

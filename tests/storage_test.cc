@@ -388,7 +388,7 @@ TEST(ExternalShuffleProperty, MatchesSerialShuffleAcrossDistributions) {
                                    std::uint64_t{4096},
                                    std::uint64_t{1} << 30}) {
         auto chunks = RandomChunks(dist, seed);
-        engine::ExternalShuffleOptions options;
+        engine::ShuffleConfig options;
         options.memory_budget_bytes = budget;
         options.spill_dir = TestDir();
         SpillStats stats;
@@ -414,7 +414,7 @@ TEST(ExternalShuffleProperty, TinyFanInForcesMultiPassMerge) {
   auto serial_chunks = RandomChunks(KeyDist::kUniform, 9);
   const auto serial = engine::SerialShuffle(serial_chunks);
   auto chunks = RandomChunks(KeyDist::kUniform, 9);
-  engine::ExternalShuffleOptions options;
+  engine::ShuffleConfig options;
   options.memory_budget_bytes = 512;  // many small runs
   options.merge_fan_in = 2;           // smallest legal fan-in
   options.spill_dir = TestDir();
@@ -442,7 +442,7 @@ TEST(ExternalShuffleProperty, StringKeysAndValues) {
   auto serial_chunks = chunks;
   const auto serial = engine::SerialShuffle(serial_chunks);
   common::ThreadPool pool(2);
-  engine::ExternalShuffleOptions options;
+  engine::ShuffleConfig options;
   options.memory_budget_bytes = 2048;
   options.spill_dir = TestDir();
   auto external = engine::ExternalShuffle(chunks, pool, options);
