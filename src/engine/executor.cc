@@ -1,0 +1,101 @@
+#include "src/engine/executor.h"
+
+namespace mrcost::engine {
+
+StageGraphExecutor::StageGraphExecutor(common::ThreadPool& pool)
+    : pool_(pool), epoch_(std::chrono::steady_clock::now()) {}
+
+StageGraphExecutor::~StageGraphExecutor() { Wait(); }
+
+double StageGraphExecutor::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+StageGraphExecutor::TaskId StageGraphExecutor::AddTask(
+    StageKind kind, std::uint32_t round_tag, std::vector<TaskId> deps,
+    std::function<void()> fn) {
+  TaskId id;
+  bool ready;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    id = tasks_.size();
+    tasks_.emplace_back();
+    Task& task = tasks_.back();
+    task.fn = std::move(fn);
+    task.kind = kind;
+    task.round_tag = round_tag;
+    for (TaskId dep : deps) {
+      if (dep == kNoTask) continue;
+      if (!tasks_[dep].done) {
+        ++task.unmet;
+        tasks_[dep].dependents.push_back(id);
+      }
+    }
+    ready = task.unmet == 0;
+    ++pending_;
+  }
+  if (ready) {
+    pool_.Submit([this, id] { RunTask(id); });
+  }
+  return id;
+}
+
+void StageGraphExecutor::RunTask(TaskId id) {
+  std::function<void()> fn;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_[id].span.begin_ms = NowMs();
+    fn = std::move(tasks_[id].fn);
+    tasks_[id].fn = nullptr;
+  }
+  fn();
+  std::vector<TaskId> ready;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Task& task = tasks_[id];
+    task.span.end_ms = NowMs();
+    task.done = true;
+    for (TaskId dependent : task.dependents) {
+      if (--tasks_[dependent].unmet == 0) ready.push_back(dependent);
+    }
+    task.dependents.clear();
+    if (--pending_ == 0) all_done_.notify_all();
+  }
+  for (TaskId next : ready) {
+    pool_.Submit([this, next] { RunTask(next); });
+  }
+}
+
+void StageGraphExecutor::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+TaskSpan StageGraphExecutor::SpanOf(TaskId id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return tasks_[id].span;
+}
+
+std::vector<StageGraphExecutor::TaskRecord>
+StageGraphExecutor::SnapshotRecords() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<TaskRecord> records;
+  records.reserve(tasks_.size());
+  for (const Task& task : tasks_) {
+    records.push_back(TaskRecord{task.kind, task.round_tag, task.span});
+  }
+  return records;
+}
+
+AsyncRunner::AsyncRunner() : pool_(2) {}
+
+AsyncRunner& AsyncRunner::Global() {
+  // Meyers singleton: destroyed at exit, after draining queued executions
+  // (the pool destructor joins its workers), and leak-clean under ASan.
+  static AsyncRunner runner;
+  return runner;
+}
+
+}  // namespace mrcost::engine

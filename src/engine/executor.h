@@ -1,0 +1,1179 @@
+#ifndef MRCOST_ENGINE_EXECUTOR_H_
+#define MRCOST_ENGINE_EXECUTOR_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/byte_size.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/engine/emitter.h"
+#include "src/engine/hashing.h"
+#include "src/engine/metrics.h"
+#include "src/engine/shuffle.h"
+#include "src/engine/simulator.h"
+#include "src/storage/external_merge.h"
+#include "src/storage/run_writer.h"
+
+namespace mrcost::engine {
+
+// The stage-graph execution core. The previous engine ran every round as
+// map -> barrier -> shuffle -> barrier -> reduce; this layer dissolves
+// those barriers into a task graph scheduled on the shared ThreadPool:
+// each round decomposes into per-chunk MapPartition tasks, per-shard
+// ShardGroup tasks, per-shard ReduceShard tasks, and one Finalize task,
+// with explicit dependency edges. A shard whose group is complete starts
+// reducing while other shards are still grouping, and — when a Plan stage
+// declares a per-key input dependency — round k's reduce output for shard
+// s streams straight into round k+1's map with no global barrier.
+// Outputs stay byte-identical to the barrier engine for every strategy:
+// every emitted pair carries a scan-order tag (internal::PairPos) and the
+// deterministic first-seen merge runs on tags instead of arrival order.
+
+/// Execution knobs for one round.
+struct JobOptions {
+  /// Threads used to run map and reduce tasks. 0 = hardware concurrency.
+  /// Ignored when `pool` is set (the pool's size governs).
+  std::size_t num_threads = 0;
+  /// Optional caller-owned thread pool. When set, the round runs on it
+  /// instead of constructing (and tearing down) a private pool — the
+  /// Pipeline driver uses this to reuse one pool across every round.
+  common::ThreadPool* pool = nullptr;
+  /// Shuffle shards. 0 = auto: one per thread, capped for small rounds
+  /// when a pair estimate is available (the plan executor passes its
+  /// declared or sampled estimate; the eager entry points have none
+  /// before the map runs, so they size for a large round — tiny jobs pay
+  /// a few near-empty shard tasks rather than fan-out jobs losing their
+  /// parallelism). 1 = the serial reference shuffle. Ignored by the
+  /// external shuffle.
+  std::size_t num_shards = 0;
+  /// Shuffle configuration (strategy, memory budget, spill dir, merge
+  /// fan-in) — the one ShuffleConfig shared with PipelineOptions and the
+  /// external shuffle; see its comment for the field-wise resolution
+  /// order. All strategies produce byte-identical outputs; only memory
+  /// behaviour and metrics differ.
+  ShuffleConfig shuffle;
+  /// Full cluster-simulation knobs (per-worker queues, capacity q,
+  /// stragglers, heterogeneous speeds). When enabled, JobMetrics gains
+  /// makespan, load_imbalance, straggler_impact, and capacity_violations.
+  /// Simulation never changes reduce outputs — only the metrics.
+  SimulationOptions simulation;
+
+  /// The simulation that actually runs. Skew/capacity knobs with
+  /// num_workers left 0 are a misconfiguration (the run would silently
+  /// report makespan 0 / no violations), so they fail loudly instead.
+  SimulationOptions ResolvedSimulation() const {
+    if (simulation.enabled()) return simulation;
+    MRCOST_CHECK(!simulation.customized());
+    return SimulationOptions{};
+  }
+
+  ShuffleStrategy ResolvedShuffleStrategy() const {
+    return shuffle.Resolved();
+  }
+
+  std::size_t ResolvedThreads() const {
+    if (pool != nullptr) return pool->num_threads();
+    if (num_threads > 0) return num_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+  }
+};
+
+/// Field-wise merge of per-round overrides onto defaults: every field left
+/// at its unset value (0 / nullptr / kAuto / "" / disabled simulation)
+/// inherits the default's value. This is the single merge rule used by
+/// Pipeline round defaults and the plan executor — a round overriding only
+/// `num_shards` still gets the defaults' memory budget, simulation, and
+/// thread sizing.
+inline JobOptions MergedJobOptions(JobOptions overrides,
+                                   const JobOptions& defaults) {
+  if (overrides.num_threads == 0) overrides.num_threads = defaults.num_threads;
+  if (overrides.pool == nullptr) overrides.pool = defaults.pool;
+  if (overrides.num_shards == 0) overrides.num_shards = defaults.num_shards;
+  overrides.shuffle = overrides.shuffle.MergedOver(defaults.shuffle);
+  // Simulation inherits only when the override configures nothing, so a
+  // round's explicit simulation always wins whole.
+  if (!overrides.simulation.enabled() && !overrides.simulation.customized()) {
+    overrides.simulation = defaults.simulation;
+  }
+  return overrides;
+}
+
+/// Result of one round: reducer outputs (in deterministic first-seen key
+/// order) plus the exact cost metrics.
+template <typename Output>
+struct JobResult {
+  std::vector<Output> outputs;
+  JobMetrics metrics;
+};
+
+/// Which stage of a round a task belongs to, for the timing breakdown.
+enum class StageKind { kMap, kShuffle, kReduce, kFinalize, kOther };
+
+/// Wall-clock span of one task, in ms since the executor's epoch.
+struct TaskSpan {
+  double begin_ms = 0;
+  double end_ms = 0;
+};
+
+/// A dependency-graph task scheduler over the shared ThreadPool. Tasks are
+/// added with explicit dependency edges and submitted to the pool the
+/// moment their last dependency completes — there are no phase barriers,
+/// only the edges the computation actually requires. Tasks may be added
+/// while the graph is running (the plan executor stages round k+1 against
+/// round k's still-running tasks); Wait blocks until every task added so
+/// far has finished. Task completion is published under the executor's
+/// mutex, so a task's writes happen-before every dependent task's reads.
+class StageGraphExecutor {
+ public:
+  using TaskId = std::size_t;
+  static constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+
+  explicit StageGraphExecutor(common::ThreadPool& pool);
+  ~StageGraphExecutor();  // waits for every added task
+
+  StageGraphExecutor(const StageGraphExecutor&) = delete;
+  StageGraphExecutor& operator=(const StageGraphExecutor&) = delete;
+
+  /// Adds a task depending on `deps` (kNoTask entries are ignored;
+  /// already-finished deps are fine). Runs on the pool as soon as every
+  /// dep is done. `fn` must never block on another task — all waiting is
+  /// the caller's (Wait), so pool threads always make progress.
+  TaskId AddTask(StageKind kind, std::uint32_t round_tag,
+                 std::vector<TaskId> deps, std::function<void()> fn);
+
+  /// Blocks until every task added so far has finished.
+  void Wait();
+
+  /// The task's recorded span (zeros until it ran). Thread-safe.
+  TaskSpan SpanOf(TaskId id) const;
+
+  /// Every task's (kind, round tag, span), for cross-round overlap
+  /// accounting. Call after Wait.
+  struct TaskRecord {
+    StageKind kind;
+    std::uint32_t round_tag;
+    TaskSpan span;
+  };
+  std::vector<TaskRecord> SnapshotRecords() const;
+
+  /// Milliseconds since this executor's construction.
+  double NowMs() const;
+
+  common::ThreadPool& pool() { return pool_; }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::vector<TaskId> dependents;
+    std::size_t unmet = 0;
+    bool done = false;
+    StageKind kind = StageKind::kOther;
+    std::uint32_t round_tag = 0;
+    TaskSpan span;
+  };
+
+  void RunTask(TaskId id);
+
+  common::ThreadPool& pool_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::condition_variable all_done_;
+  std::deque<Task> tasks_;
+  std::size_t pending_ = 0;
+};
+
+/// Bounded replacement for the std::async-thread-per-call ExecuteAsync:
+/// every async plan execution runs on this small shared pool, so the
+/// number of concurrently driven executions is bounded by its thread
+/// count instead of growing with the number of outstanding futures. The
+/// heavy lifting still happens on each execution's own (or caller-owned)
+/// pool — these threads only drive the staging loop.
+class AsyncRunner {
+ public:
+  static AsyncRunner& Global();
+
+  template <typename Fn>
+  auto Run(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    pool_.Submit([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  AsyncRunner();
+  common::ThreadPool pool_;
+};
+
+namespace internal {
+
+/// RAII choice between a caller-owned pool and a pool private to one round.
+class PoolRef {
+ public:
+  explicit PoolRef(const JobOptions& options) {
+    if (options.pool != nullptr) {
+      pool_ = options.pool;
+    } else {
+      owned_.emplace(options.ResolvedThreads());
+      pool_ = &*owned_;
+    }
+  }
+  common::ThreadPool& get() { return *pool_; }
+
+ private:
+  std::optional<common::ThreadPool> owned_;
+  common::ThreadPool* pool_ = nullptr;
+};
+
+/// Chunking shared by every round form: inputs are cut into contiguous
+/// chunks, a small multiple of the thread count. Chunk boundaries never
+/// affect results: grouping runs in scan-order-tag order, which equals
+/// emission order in input order for every chunking.
+inline std::size_t NumChunks(std::size_t num_inputs,
+                             std::size_t num_threads) {
+  return std::max<std::size_t>(1, std::min(num_inputs, num_threads * 4));
+}
+
+/// Scan-order tag carried by every routed pair. Lexicographic (major,
+/// minor) order over a round's pairs equals the barrier engine's global
+/// scan order, so the first-seen-key merge is identical no matter which
+/// task produced a pair or when it ran:
+///   * materialized input — major is the pair's global emission position
+///     (task base + local index, bases applied at group time), minor 0;
+///   * streamed input — major is the producing upstream key's global
+///     first-seen rank, minor a per-key emission counter (a key's outputs
+///     are mapped in order, so (rank, counter) reproduces the order a
+///     barrier round would scan the materialized outputs in).
+struct PairPos {
+  std::uint64_t major = 0;
+  std::uint64_t minor = 0;
+  friend bool operator<(const PairPos& a, const PairPos& b) {
+    return a.major != b.major ? a.major < b.major : a.minor < b.minor;
+  }
+};
+
+/// Sentinel combiner type marking a plain (uncombined) round.
+struct NoCombine {};
+
+/// Type-erased face of a staged round — all the plan driver needs: stage
+/// the finalize task, read metrics, and wire streamed consumers.
+class StagedHandleBase {
+ public:
+  virtual ~StagedHandleBase() = default;
+
+  /// Stages the finalize task (deterministic merge + metrics). Streaming
+  /// consumers pass their map-task ids as `extra_deps` so finalize does
+  /// not move the shard outputs out from under a reader. Idempotent after
+  /// the first call.
+  virtual void StageFinalize(
+      std::vector<StageGraphExecutor::TaskId> extra_deps) = 0;
+  virtual bool finalize_staged() const = 0;
+
+  /// Valid once the executor has drained this round's tasks.
+  virtual const JobMetrics& metrics() const = 0;
+  virtual ShuffleStrategy strategy() const = 0;
+
+  /// Map / reduce task ids, for cross-round overlap accounting and for
+  /// chaining a streamed consumer's maps behind this round's reduces.
+  virtual const std::vector<StageGraphExecutor::TaskId>& map_task_ids()
+      const = 0;
+  virtual const std::vector<StageGraphExecutor::TaskId>& reduce_task_ids()
+      const = 0;
+};
+
+/// Typed streaming face of a staged round: per-shard blocks of reduce
+/// outputs a downstream per-key round consumes without a global barrier.
+template <typename T>
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  virtual std::size_t stream_block_count() const = 0;
+  /// Task after which block `b`'s outputs are readable (its reduce task).
+  virtual StageGraphExecutor::TaskId stream_block_task(
+      std::size_t block) const = 0;
+  /// Task after which every block's key ranks are readable; staged on
+  /// first call. kNoTask when ranks ride with the block tasks themselves
+  /// (the external shuffle's merged key order is already global).
+  virtual StageGraphExecutor::TaskId stream_ranks_task() = 0;
+  /// Visits block `b`'s keys: global first-seen rank plus the key's
+  /// reduce outputs. Only valid from a task depending on the block task
+  /// and the ranks task.
+  virtual void VisitStreamBlock(
+      std::size_t block,
+      const std::function<void(std::uint64_t rank,
+                               const std::vector<T>& outputs)>& fn)
+      const = 0;
+};
+
+inline double IntervalOverlap(double a_begin, double a_end, double b_begin,
+                              double b_end) {
+  return std::max(0.0, std::min(a_end, b_end) - std::max(a_begin, b_begin));
+}
+
+/// Wall-clock envelope of a set of tasks (invalid when empty).
+struct StageWindow {
+  double begin = 0;
+  double end = 0;
+  bool valid = false;
+};
+
+inline StageWindow WindowOf(const StageGraphExecutor& exec,
+                            const std::vector<StageGraphExecutor::TaskId>&
+                                tasks) {
+  StageWindow w;
+  for (const auto id : tasks) {
+    const TaskSpan span = exec.SpanOf(id);
+    if (!w.valid || span.begin_ms < w.begin) w.begin = span.begin_ms;
+    if (!w.valid || span.end_ms > w.end) w.end = span.end_ms;
+    w.valid = true;
+  }
+  return w;
+}
+
+/// One staged map-reduce round: builds the MapPartition -> ShardGroup ->
+/// ReduceShard -> Finalize task graph (MapSpill -> Merge -> ReduceRange ->
+/// Finalize for the external shuffle) on a StageGraphExecutor, and doubles
+/// as a StreamSource so a per-key downstream round can consume its shard
+/// outputs as they complete. MapFn / CombineFn / ReduceFn are template
+/// parameters so the eager RunMapReduce path keeps direct calls; the plan
+/// path instantiates with std::function. CombineFn == NoCombine marks a
+/// plain round.
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
+ public:
+  using TaskId = StageGraphExecutor::TaskId;
+  static constexpr bool kCombined = !std::is_same_v<CombineFn, NoCombine>;
+
+  /// Stages a round over a materialized input vector. `inputs` must stay
+  /// valid until the executor drains the round (`keepalive`, when set,
+  /// guarantees that for plan slots). `pairs_hint` sizes the shard count
+  /// before any pair exists — the plan driver passes its declared or
+  /// sampled pair estimate; 0 means unknown, which assumes a large round
+  /// (one shard per thread) rather than starving fan-out rounds of
+  /// parallelism.
+  static std::shared_ptr<StagedRound> StageMaterialized(
+      StageGraphExecutor& exec, std::uint32_t round_tag,
+      const std::vector<In>& inputs, std::shared_ptr<const void> keepalive,
+      MapFn map_fn, CombineFn combine_fn, ReduceFn reduce_fn,
+      const JobOptions& options, std::uint64_t pairs_hint = 0) {
+    auto self = std::shared_ptr<StagedRound>(new StagedRound(
+        exec, round_tag, std::move(map_fn), std::move(combine_fn),
+        std::move(reduce_fn), options));
+    self->self_ = self;
+    self->inputs_ = &inputs;
+    self->keepalive_ = std::move(keepalive);
+    self->BuildMaterialized(
+        pairs_hint == 0 ? static_cast<std::size_t>(-1)
+                        : static_cast<std::size_t>(pairs_hint));
+    return self;
+  }
+
+  /// Stages a plain round whose input streams per-shard from `upstream`.
+  /// Only in-memory strategies stream; the caller falls back to the
+  /// materialized path for external and combined rounds.
+  static std::shared_ptr<StagedRound> StageStreamed(
+      StageGraphExecutor& exec, std::uint32_t round_tag,
+      std::shared_ptr<StagedHandleBase> upstream_handle,
+      StreamSource<In>* upstream, MapFn map_fn, ReduceFn reduce_fn,
+      const JobOptions& options) {
+    static_assert(!kCombined, "combined rounds do not stream their input");
+    auto self = std::shared_ptr<StagedRound>(new StagedRound(
+        exec, round_tag, std::move(map_fn), CombineFn{},
+        std::move(reduce_fn), options));
+    self->self_ = self;
+    self->upstream_keepalive_ = std::move(upstream_handle);
+    self->BuildStreamed(upstream);
+    return self;
+  }
+
+  /// Where finalize publishes the merged outputs (a plan slot); when
+  /// unset, outputs land in result().
+  void set_output_slot(std::shared_ptr<void>* slot) { output_slot_ = slot; }
+
+  /// Valid after StageGraphExecutor::Wait (finalize staged and drained).
+  JobResult<Out>& result() { return result_; }
+  JobResult<Out> TakeResult() { return std::move(result_); }
+
+  // ----- StagedHandleBase
+
+  void StageFinalize(std::vector<TaskId> extra_deps) override {
+    if (finalize_staged_) return;
+    finalize_staged_ = true;
+    std::vector<TaskId> deps = reduce_tasks_;
+    deps.insert(deps.end(), extra_deps.begin(), extra_deps.end());
+    auto self = self_.lock();
+    finalize_task_ = exec_.AddTask(StageKind::kFinalize, round_tag_,
+                                   std::move(deps),
+                                   [self] { self->Finalize(); });
+  }
+  bool finalize_staged() const override { return finalize_staged_; }
+  const JobMetrics& metrics() const override { return result_.metrics; }
+  ShuffleStrategy strategy() const override { return strategy_; }
+  const std::vector<TaskId>& map_task_ids() const override {
+    return map_tasks_;
+  }
+  const std::vector<TaskId>& reduce_task_ids() const override {
+    return reduce_tasks_;
+  }
+
+  // ----- StreamSource<Out>
+
+  std::size_t stream_block_count() const override {
+    return reduce_tasks_.size();
+  }
+  TaskId stream_block_task(std::size_t block) const override {
+    return reduce_tasks_[block];
+  }
+  TaskId stream_ranks_task() override {
+    if (strategy_ == ShuffleStrategy::kExternal) {
+      return StageGraphExecutor::kNoTask;  // merged order is global already
+    }
+    if (ranks_task_ == StageGraphExecutor::kNoTask) {
+      auto self = self_.lock();
+      ranks_task_ =
+          exec_.AddTask(StageKind::kOther, round_tag_, group_tasks_,
+                        [self] { self->AssignKeyRanks(); });
+    }
+    return ranks_task_;
+  }
+  void VisitStreamBlock(
+      std::size_t block,
+      const std::function<void(std::uint64_t rank,
+                               const std::vector<Out>& outputs)>& fn)
+      const override {
+    if (strategy_ == ShuffleStrategy::kExternal) {
+      for (std::size_t i = range_begin_[block];
+           i < range_begin_[block + 1]; ++i) {
+        fn(static_cast<std::uint64_t>(i), flat_outputs_[i]);
+      }
+      return;
+    }
+    const Shard& shard = shards_[block];
+    for (std::size_t i = 0; i < shard.keys.size(); ++i) {
+      fn(shard.ranks[i], shard.outputs[i]);
+    }
+  }
+
+ private:
+  struct RoutedPair {
+    PairPos pos;
+    std::pair<K, V> kv;
+  };
+
+  /// One in-memory shard's grouped state, filled by its ShardGroup task
+  /// and consumed by its ReduceShard task.
+  struct Shard {
+    std::vector<K> keys;
+    std::vector<PairPos> first;  // scan tag of each key's first pair
+    std::vector<std::vector<V>> groups;
+    std::vector<std::uint64_t> ranks;       // filled by AssignKeyRanks
+    std::vector<std::uint64_t> sizes;       // group sizes (groups freed)
+    std::vector<std::vector<Out>> outputs;  // filled by ReduceShard
+    std::vector<ReducerLoad> loads;         // when simulating
+  };
+
+  StagedRound(StageGraphExecutor& exec, std::uint32_t round_tag, MapFn map_fn,
+              CombineFn combine_fn, ReduceFn reduce_fn,
+              const JobOptions& options)
+      : exec_(exec),
+        round_tag_(round_tag),
+        map_(std::move(map_fn)),
+        combine_(std::move(combine_fn)),
+        reduce_(std::move(reduce_fn)),
+        options_(options),
+        strategy_(options.ResolvedShuffleStrategy()),
+        simulation_(options.ResolvedSimulation()) {}
+
+  void BuildMaterialized(std::size_t pairs_hint);
+  void BuildStreamed(StreamSource<In>* upstream);
+  void StageGroupAndReduce();
+
+  void MapChunk(std::size_t c, std::size_t lo, std::size_t hi);
+  void MapStreamBlock(std::size_t b);
+  void RoutePairs(std::size_t task, std::vector<std::pair<K, V>>& pairs);
+  std::vector<std::pair<K, V>> CombineEmitted(Emitter<K, V>& emitter,
+                                              std::uint64_t& bytes);
+  void SpillPairs(std::size_t c, std::vector<std::pair<K, V>>& pairs);
+  void GroupShard(std::size_t p);
+  void MergeSpills();
+  template <typename Keys, typename Groups>
+  void ReduceKeyRange(const Keys& keys, Groups& groups, std::size_t lo,
+                      std::size_t hi, std::vector<std::uint64_t>& sizes,
+                      std::vector<std::vector<Out>>& outputs,
+                      std::vector<ReducerLoad>* loads);
+  void ReduceShard(std::size_t p);
+  void ReduceRange(std::size_t t);
+  void AssignKeyRanks();
+  void Finalize();
+  void FillTimings(JobMetrics& m) const;
+
+  /// The shards' keys in global first-seen order: (scan tag, shard, index
+  /// within shard), sorted by tag. The single source of the cross-shard
+  /// key order — AssignKeyRanks and Finalize's merge both use it, so
+  /// streamed ranks can never diverge from the finalize order.
+  std::vector<std::tuple<PairPos, std::uint32_t, std::uint32_t>>
+  SortedKeyOrder() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) total += shard.keys.size();
+    std::vector<std::tuple<PairPos, std::uint32_t, std::uint32_t>> order;
+    order.reserve(total);
+    for (std::uint32_t p = 0; p < shards_.size(); ++p) {
+      for (std::uint32_t i = 0; i < shards_[p].keys.size(); ++i) {
+        order.emplace_back(shards_[p].first[i], p, i);
+      }
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) {
+                return std::get<0>(a) < std::get<0>(b);
+              });
+    return order;
+  }
+
+  StageGraphExecutor& exec_;
+  std::uint32_t round_tag_ = 0;
+  MapFn map_;
+  CombineFn combine_;
+  ReduceFn reduce_;
+  JobOptions options_;
+  ShuffleStrategy strategy_;
+  SimulationOptions simulation_;
+  std::weak_ptr<StagedRound> self_;
+
+  // Input: exactly one of (inputs_, upstream_) is set.
+  const std::vector<In>* inputs_ = nullptr;
+  std::shared_ptr<const void> keepalive_;
+  StreamSource<In>* upstream_ = nullptr;
+  std::shared_ptr<StagedHandleBase> upstream_keepalive_;
+  bool streamed_input_ = false;
+
+  std::size_t num_map_tasks_ = 0;
+  std::size_t num_shards_ = 1;
+
+  // Per-map-task partials (indexed by task).
+  std::vector<std::vector<std::vector<RoutedPair>>> buckets_;  // [task][shard]
+  std::vector<std::uint64_t> task_pairs_;      // routed (post-combine)
+  std::vector<std::uint64_t> task_raw_pairs_;  // pre-combine
+  std::vector<std::uint64_t> task_bytes_;      // shuffled bytes
+  std::vector<std::uint64_t> task_inputs_;     // streamed: inputs consumed
+
+  // External-shuffle state.
+  std::unique_ptr<storage::RunSpiller> spiller_;
+  std::vector<std::unique_ptr<storage::RunWriter<K, V>>> writers_;
+  std::vector<common::Status> spill_status_;
+  std::vector<std::vector<storage::SpillRecord>> tails_;
+  storage::SpillStats spill_stats_;
+  ShuffleResult<K, V> merged_;
+  std::vector<std::size_t> range_begin_;  // ReduceRange key boundaries
+  std::vector<std::vector<Out>> flat_outputs_;
+  std::vector<std::uint64_t> flat_sizes_;
+  std::vector<ReducerLoad> flat_loads_;
+
+  std::vector<Shard> shards_;
+
+  /// Global key order cached by AssignKeyRanks for Finalize (empty when
+  /// no streamed consumer forced the rank task).
+  std::vector<std::tuple<PairPos, std::uint32_t, std::uint32_t>> key_order_;
+
+  std::vector<TaskId> map_tasks_;
+  std::vector<TaskId> group_tasks_;   // in-memory: per shard; external: merge
+  std::vector<TaskId> reduce_tasks_;  // per shard / per key range
+  TaskId ranks_task_ = StageGraphExecutor::kNoTask;
+  TaskId finalize_task_ = StageGraphExecutor::kNoTask;
+  bool finalize_staged_ = false;
+
+  std::shared_ptr<void>* output_slot_ = nullptr;
+  JobResult<Out> result_;
+};
+
+// ---------------------------------------------------------------------------
+// StagedRound implementation.
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::
+    BuildMaterialized(std::size_t pairs_hint) {
+  const std::size_t n = inputs_->size();
+  num_map_tasks_ = NumChunks(n, exec_.pool().num_threads());
+  result_.metrics.num_inputs = n;
+  if (strategy_ != ShuffleStrategy::kExternal) {
+    num_shards_ = strategy_ == ShuffleStrategy::kSerial
+                      ? 1
+                      : ResolveShardCount(options_.num_shards,
+                                          exec_.pool().num_threads(),
+                                          std::max<std::size_t>(pairs_hint,
+                                                                1));
+  }
+  task_pairs_.assign(num_map_tasks_, 0);
+  task_raw_pairs_.assign(num_map_tasks_, 0);
+  task_bytes_.assign(num_map_tasks_, 0);
+  if (strategy_ == ShuffleStrategy::kExternal) {
+    spiller_ =
+        std::make_unique<storage::RunSpiller>(options_.shuffle.spill_dir);
+    writers_.resize(num_map_tasks_);
+    spill_status_.assign(num_map_tasks_, common::Status::Ok());
+    tails_.resize(num_map_tasks_);
+  } else {
+    buckets_.resize(num_map_tasks_);
+    for (auto& b : buckets_) b.resize(num_shards_);
+  }
+
+  const std::size_t chunk_size =
+      n == 0 ? 0 : (n + num_map_tasks_ - 1) / num_map_tasks_;
+  map_tasks_.reserve(num_map_tasks_);
+  auto self = self_.lock();
+  for (std::size_t c = 0; c < num_map_tasks_; ++c) {
+    const std::size_t lo = std::min(n, c * chunk_size);
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    map_tasks_.push_back(
+        exec_.AddTask(StageKind::kMap, round_tag_, {},
+                      [self, c, lo, hi] { self->MapChunk(c, lo, hi); }));
+  }
+  StageGroupAndReduce();
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::BuildStreamed(
+    StreamSource<In>* upstream) {
+  MRCOST_CHECK(strategy_ != ShuffleStrategy::kExternal);
+  streamed_input_ = true;
+  upstream_ = upstream;
+  num_map_tasks_ = std::max<std::size_t>(1, upstream->stream_block_count());
+  num_shards_ = strategy_ == ShuffleStrategy::kSerial
+                    ? 1
+                    : ResolveShardCount(options_.num_shards,
+                                        exec_.pool().num_threads(),
+                                        static_cast<std::size_t>(-1));
+  task_pairs_.assign(num_map_tasks_, 0);
+  task_raw_pairs_.assign(num_map_tasks_, 0);
+  task_bytes_.assign(num_map_tasks_, 0);
+  task_inputs_.assign(num_map_tasks_, 0);
+  buckets_.resize(num_map_tasks_);
+  for (auto& b : buckets_) b.resize(num_shards_);
+
+  const TaskId ranks = upstream->stream_ranks_task();
+  map_tasks_.reserve(num_map_tasks_);
+  auto self = self_.lock();
+  for (std::size_t b = 0; b < upstream->stream_block_count(); ++b) {
+    map_tasks_.push_back(exec_.AddTask(
+        StageKind::kMap, round_tag_,
+        {upstream->stream_block_task(b), ranks},
+        [self, b] { self->MapStreamBlock(b); }));
+  }
+  if (map_tasks_.empty()) {
+    // Degenerate upstream with zero blocks: a single empty map task keeps
+    // the stage graph (and its timing windows) well-formed.
+    map_tasks_.push_back(exec_.AddTask(StageKind::kMap, round_tag_, {},
+                                       [] {}));
+  }
+  StageGroupAndReduce();
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn,
+                 ReduceFn>::StageGroupAndReduce() {
+  auto self = self_.lock();
+  if (strategy_ == ShuffleStrategy::kExternal) {
+    const TaskId merge = exec_.AddTask(StageKind::kShuffle, round_tag_,
+                                       map_tasks_,
+                                       [self] { self->MergeSpills(); });
+    group_tasks_ = {merge};
+    const std::size_t ranges =
+        std::max<std::size_t>(1, exec_.pool().num_threads() * 2);
+    range_begin_.assign(ranges + 1, 0);
+    reduce_tasks_.reserve(ranges);
+    for (std::size_t t = 0; t < ranges; ++t) {
+      reduce_tasks_.push_back(
+          exec_.AddTask(StageKind::kReduce, round_tag_, {merge},
+                        [self, t] { self->ReduceRange(t); }));
+    }
+    return;
+  }
+  shards_.resize(num_shards_);
+  group_tasks_.reserve(num_shards_);
+  for (std::size_t p = 0; p < num_shards_; ++p) {
+    group_tasks_.push_back(
+        exec_.AddTask(StageKind::kShuffle, round_tag_, map_tasks_,
+                      [self, p] { self->GroupShard(p); }));
+  }
+  reduce_tasks_.reserve(num_shards_);
+  for (std::size_t p = 0; p < num_shards_; ++p) {
+    reduce_tasks_.push_back(
+        exec_.AddTask(StageKind::kReduce, round_tag_, {group_tasks_[p]},
+                      [self, p] { self->ReduceShard(p); }));
+  }
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+std::vector<std::pair<K, V>>
+StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::CombineEmitted(
+    Emitter<K, V>& emitter, std::uint64_t& bytes) {
+  // Map-side combine, first-seen key order within the chunk — the same
+  // fold the barrier engine ran, so post-combine pairs (and their bytes,
+  // re-measured on what actually crosses the shuffle) are identical.
+  std::vector<std::pair<K, V>> out;
+  if constexpr (kCombined) {
+    std::unordered_map<K, std::size_t, KeyHash> local_index;
+    for (auto& [key, value] : emitter.pairs()) {
+      auto [it, inserted] = local_index.try_emplace(key, out.size());
+      if (inserted) {
+        out.emplace_back(key, std::move(value));
+      } else {
+        out[it->second].second =
+            combine_(std::move(out[it->second].second), std::move(value));
+      }
+    }
+    bytes = 0;
+    for (const auto& [key, value] : out) {
+      bytes += common::ByteSizeOf(key) + common::ByteSizeOf(value);
+    }
+  }
+  return out;
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::SpillPairs(
+    std::size_t c, std::vector<std::pair<K, V>>& pairs) {
+  common::Status& status = spill_status_[c];
+  for (const auto& [key, value] : pairs) {
+    if (!status.ok()) return;
+    status = writers_[c]->Add(HashValue(key), key, value);
+  }
+  pairs.clear();
+  pairs.shrink_to_fit();
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::MapChunk(
+    std::size_t c, std::size_t lo, std::size_t hi) {
+  Emitter<K, V> emitter;
+  if (strategy_ == ShuffleStrategy::kExternal) {
+    if constexpr (kCombined) {
+      // Post-combine pairs are what cross the shuffle: feed them through
+      // this chunk's RunWriter, budget split as the chunk-level
+      // ExternalShuffle splits it.
+      const std::uint64_t budget =
+          options_.shuffle.memory_budget_bytes / num_map_tasks_;
+      writers_[c] = std::make_unique<storage::RunWriter<K, V>>(
+          spiller_.get(), budget, static_cast<std::uint32_t>(c));
+      for (std::size_t i = lo; i < hi; ++i) map_((*inputs_)[i], emitter);
+      task_raw_pairs_[c] = emitter.pairs().size();
+      std::uint64_t bytes = 0;
+      auto combined = CombineEmitted(emitter, bytes);
+      task_bytes_[c] = bytes;
+      task_pairs_[c] = combined.size();
+      SpillPairs(c, combined);
+    } else {
+      // The budget's chunk share is split between the emitter's pair
+      // buffer and the RunWriter's serialized batch, which briefly
+      // coexist while a flush drains — so the chunk's peak working set
+      // stays at its share rather than twice it.
+      const std::uint64_t per_stage_budget =
+          options_.shuffle.memory_budget_bytes / num_map_tasks_ / 2;
+      writers_[c] = std::make_unique<storage::RunWriter<K, V>>(
+          spiller_.get(), per_stage_budget, static_cast<std::uint32_t>(c));
+      storage::RunWriter<K, V>* writer = writers_[c].get();
+      common::Status* status = &spill_status_[c];
+      emitter.SetOverflow(
+          per_stage_budget,
+          [writer, status](std::vector<std::pair<K, V>>& pairs) {
+            if (!status->ok()) return;
+            for (const auto& [key, value] : pairs) {
+              *status = writer->Add(HashValue(key), key, value);
+              if (!status->ok()) return;
+            }
+          });
+      for (std::size_t i = lo; i < hi; ++i) map_((*inputs_)[i], emitter);
+      emitter.Flush();
+      task_bytes_[c] = emitter.bytes();
+      task_raw_pairs_[c] = task_pairs_[c] = emitter.num_emitted();
+    }
+    if (spill_status_[c].ok()) tails_[c] = writers_[c]->TakeTail();
+    return;
+  }
+
+  for (std::size_t i = lo; i < hi; ++i) map_((*inputs_)[i], emitter);
+  if constexpr (kCombined) {
+    task_raw_pairs_[c] = emitter.pairs().size();
+    std::uint64_t bytes = 0;
+    auto combined = CombineEmitted(emitter, bytes);
+    task_bytes_[c] = bytes;
+    task_pairs_[c] = combined.size();
+    RoutePairs(c, combined);
+  } else {
+    task_raw_pairs_[c] = task_pairs_[c] = emitter.num_emitted();
+    task_bytes_[c] = emitter.bytes();
+    RoutePairs(c, emitter.pairs());
+  }
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::RoutePairs(
+    std::size_t task, std::vector<std::pair<K, V>>& pairs) {
+  auto& buckets = buckets_[task];
+  std::uint64_t local = 0;
+  for (auto& kv : pairs) {
+    const std::size_t p =
+        num_shards_ == 1 ? 0 : IndexOfHash(HashValue(kv.first), num_shards_);
+    buckets[p].push_back(RoutedPair{PairPos{local++, 0}, std::move(kv)});
+  }
+  pairs.clear();
+  pairs.shrink_to_fit();
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::MapStreamBlock(
+    std::size_t b) {
+  Emitter<K, V> emitter;
+  auto& buckets = buckets_[b];
+  std::uint64_t inputs_seen = 0;
+  std::uint64_t routed = 0;
+  upstream_->VisitStreamBlock(
+      b, [&](std::uint64_t rank, const std::vector<In>& outs) {
+        for (const In& o : outs) {
+          ++inputs_seen;
+          map_(o, emitter);
+        }
+        std::uint64_t seq = 0;
+        for (auto& kv : emitter.pairs()) {
+          const std::size_t p =
+              num_shards_ == 1 ? 0
+                               : IndexOfHash(HashValue(kv.first),
+                                             num_shards_);
+          buckets[p].push_back(
+              RoutedPair{PairPos{rank, seq++}, std::move(kv)});
+          ++routed;
+        }
+        emitter.pairs().clear();
+      });
+  task_inputs_[b] = inputs_seen;
+  task_raw_pairs_[b] = task_pairs_[b] = routed;
+  task_bytes_[b] = emitter.bytes();
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::GroupShard(
+    std::size_t p) {
+  Shard& shard = shards_[p];
+  std::size_t owned = 0;
+  for (std::size_t t = 0; t < num_map_tasks_; ++t) {
+    owned += buckets_[t][p].size();
+  }
+  std::unordered_map<K, std::size_t, KeyHash> index;
+  index.reserve(owned);
+
+  if (!streamed_input_) {
+    // Scanning buckets in task order visits pairs in global scan order
+    // (tasks are contiguous input ranges), so append order is already
+    // deterministic; only the tag's task base needs applying.
+    std::uint64_t base = 0;
+    for (std::size_t t = 0; t < num_map_tasks_; ++t) {
+      auto& bucket = buckets_[t][p];
+      for (RoutedPair& routed : bucket) {
+        const PairPos pos{routed.pos.major + base, 0};
+        auto [it, inserted] =
+            index.try_emplace(routed.kv.first, shard.keys.size());
+        if (inserted) {
+          shard.keys.push_back(routed.kv.first);
+          shard.groups.emplace_back();
+          shard.first.push_back(pos);
+        }
+        shard.groups[it->second].push_back(std::move(routed.kv.second));
+      }
+      bucket.clear();
+      bucket.shrink_to_fit();
+      base += task_pairs_[t];
+    }
+    return;
+  }
+
+  // Streamed input: blocks carry final (rank, seq) tags but arrive
+  // interleaved across upstream shards, so value order inside a group (and
+  // each key's first-seen tag) must be restored by tag.
+  std::vector<std::vector<PairPos>> vpos;
+  for (std::size_t t = 0; t < num_map_tasks_; ++t) {
+    auto& bucket = buckets_[t][p];
+    for (RoutedPair& routed : bucket) {
+      auto [it, inserted] =
+          index.try_emplace(routed.kv.first, shard.keys.size());
+      if (inserted) {
+        shard.keys.push_back(routed.kv.first);
+        shard.groups.emplace_back();
+        vpos.emplace_back();
+        shard.first.push_back(routed.pos);
+      } else if (routed.pos < shard.first[it->second]) {
+        shard.first[it->second] = routed.pos;
+      }
+      shard.groups[it->second].push_back(std::move(routed.kv.second));
+      vpos[it->second].push_back(routed.pos);
+    }
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  for (std::size_t g = 0; g < shard.groups.size(); ++g) {
+    auto& tags = vpos[g];
+    if (std::is_sorted(tags.begin(), tags.end())) continue;
+    std::vector<std::uint32_t> order(tags.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&tags](std::uint32_t a, std::uint32_t b) {
+                return tags[a] < tags[b];
+              });
+    std::vector<V> sorted;
+    sorted.reserve(order.size());
+    for (std::uint32_t i : order) {
+      sorted.push_back(std::move(shard.groups[g][i]));
+    }
+    shard.groups[g] = std::move(sorted);
+  }
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::MergeSpills() {
+  for (const common::Status& status : spill_status_) {
+    MRCOST_CHECK_OK(status);
+  }
+  storage::SpillStats stats;
+  auto merged = MergeSpilledRuns<K, V>(
+      *spiller_, tails_, options_.shuffle.merge_fan_in, stats);
+  MRCOST_CHECK_OK(merged.status());
+  spill_stats_ = stats;
+  merged_ = std::move(merged.value());
+  writers_.clear();
+  spiller_.reset();  // run files removed as soon as the merge is done
+  tails_.clear();
+
+  const std::size_t nkeys = merged_.keys.size();
+  const std::size_t ranges = range_begin_.size() - 1;
+  for (std::size_t t = 0; t <= ranges; ++t) {
+    range_begin_[t] = t * nkeys / ranges;
+  }
+  flat_outputs_.resize(nkeys);
+  flat_sizes_.resize(nkeys);
+  if (simulation_.enabled()) flat_loads_.resize(nkeys);
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+template <typename Keys, typename Groups>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::ReduceKeyRange(
+    const Keys& keys, Groups& groups, std::size_t lo, std::size_t hi,
+    std::vector<std::uint64_t>& sizes,
+    std::vector<std::vector<Out>>& outputs,
+    std::vector<ReducerLoad>* loads) {
+  const bool need_bytes =
+      loads != nullptr && (simulation_.cost_per_byte > 0 ||
+                           simulation_.reducer_capacity_bytes > 0);
+  for (std::size_t i = lo; i < hi; ++i) {
+    auto& group = groups[i];
+    sizes[i] = group.size();
+    if (loads != nullptr) {
+      std::uint64_t bytes = 0;
+      if (need_bytes) {
+        bytes = common::ByteSizeOf(keys[i]);
+        for (const V& v : group) bytes += common::ByteSizeOf(v);
+      }
+      (*loads)[i] = ReducerLoad{HashValue(keys[i]), group.size(), bytes};
+    }
+    reduce_(keys[i], group, outputs[i]);
+    std::vector<V>().swap(group);  // free each group as it reduces
+  }
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::ReduceShard(
+    std::size_t p) {
+  Shard& shard = shards_[p];
+  const std::size_t n = shard.keys.size();
+  shard.outputs.resize(n);
+  shard.sizes.resize(n);
+  if (simulation_.enabled()) shard.loads.resize(n);
+  ReduceKeyRange(shard.keys, shard.groups, 0, n, shard.sizes, shard.outputs,
+                 simulation_.enabled() ? &shard.loads : nullptr);
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::ReduceRange(
+    std::size_t t) {
+  ReduceKeyRange(merged_.keys, merged_.groups, range_begin_[t],
+                 range_begin_[t + 1], flat_sizes_, flat_outputs_,
+                 simulation_.enabled() ? &flat_loads_ : nullptr);
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn,
+                 ReduceFn>::AssignKeyRanks() {
+  for (Shard& shard : shards_) shard.ranks.resize(shard.keys.size());
+  // Cache the order for Finalize, which runs strictly after this task
+  // (finalize depends on the consumer maps, which depend on it) — the
+  // O(K log K) merge sort is paid once per round, not twice.
+  key_order_ = SortedKeyOrder();
+  for (std::size_t r = 0; r < key_order_.size(); ++r) {
+    shards_[std::get<1>(key_order_[r])].ranks[std::get<2>(key_order_[r])] =
+        r;
+  }
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::FillTimings(
+    JobMetrics& m) const {
+  const StageWindow map = internal::WindowOf(exec_, map_tasks_);
+  const StageWindow shuffle = internal::WindowOf(exec_, group_tasks_);
+  const StageWindow reduce = internal::WindowOf(exec_, reduce_tasks_);
+  if (!map.valid || !shuffle.valid || !reduce.valid) return;
+  m.map_ms = map.end - map.begin;
+  m.shuffle_ms = shuffle.end - shuffle.begin;
+  m.reduce_ms = reduce.end - reduce.begin;
+  // Idle thread-time at the graph's real dependency edges: map chunks
+  // waiting for the slowest map before any group can start (the one true
+  // barrier the stage graph keeps), plus each shard's gap between its
+  // group finishing and its reduce starting (≈0 here; the cost the old
+  // engine's reduce barrier paid).
+  double wait = 0;
+  for (TaskId id : map_tasks_) {
+    wait += std::max(0.0, shuffle.begin - exec_.SpanOf(id).end_ms);
+  }
+  if (group_tasks_.size() == reduce_tasks_.size()) {
+    for (std::size_t p = 0; p < group_tasks_.size(); ++p) {
+      wait += std::max(0.0, exec_.SpanOf(reduce_tasks_[p]).begin_ms -
+                                exec_.SpanOf(group_tasks_[p]).end_ms);
+    }
+  } else {
+    for (TaskId id : reduce_tasks_) {
+      wait += std::max(0.0, exec_.SpanOf(id).begin_ms - shuffle.end);
+    }
+  }
+  m.barrier_wait_ms = wait;
+  m.overlap_ms =
+      IntervalOverlap(map.begin, map.end, shuffle.begin, shuffle.end) +
+      IntervalOverlap(shuffle.begin, shuffle.end, reduce.begin, reduce.end);
+  m.span_ms = std::max({map.end, shuffle.end, reduce.end}) - map.begin;
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
+  JobMetrics& m = result_.metrics;
+  for (std::size_t t = 0; t < num_map_tasks_; ++t) {
+    m.pairs_before_combine += task_raw_pairs_[t];
+    m.pairs_shuffled += task_pairs_[t];
+    m.bytes_shuffled += task_bytes_[t];
+  }
+  if (streamed_input_) {
+    m.num_inputs = 0;
+    for (std::uint64_t n : task_inputs_) m.num_inputs += n;
+  }
+
+  std::vector<Out> outputs;
+  std::vector<ReducerLoad> loads;
+  const bool sim = simulation_.enabled();
+
+  if (strategy_ == ShuffleStrategy::kExternal) {
+    m.spill_runs = spill_stats_.spill_runs;
+    m.spill_bytes_written = spill_stats_.spill_bytes_written;
+    m.merge_passes = spill_stats_.merge_passes;
+    const std::size_t nkeys = merged_.keys.size();
+    m.num_reducers = nkeys;
+    std::size_t total_outputs = 0;
+    for (std::size_t i = 0; i < nkeys; ++i) {
+      m.reducer_sizes.Add(static_cast<double>(flat_sizes_[i]));
+      m.max_reducer_input =
+          std::max<std::uint64_t>(m.max_reducer_input, flat_sizes_[i]);
+      total_outputs += flat_outputs_[i].size();
+    }
+    outputs.reserve(total_outputs);
+    for (auto& v : flat_outputs_) {
+      for (auto& out : v) outputs.push_back(std::move(out));
+    }
+    if (sim) loads = std::move(flat_loads_);
+  } else {
+    // Deterministic merge: interleave the shards' keys back into global
+    // first-seen order by scan tag — byte-identical to the serial
+    // reference for every shard count, thread count, and task schedule.
+    // (AssignKeyRanks caches the order when a streamed consumer ran.)
+    const auto order =
+        key_order_.empty() ? SortedKeyOrder() : std::move(key_order_);
+    m.num_reducers = order.size();
+    std::size_t total_outputs = 0;
+    for (const auto& [pos, p, i] : order) {
+      const std::uint64_t size = shards_[p].sizes[i];
+      m.reducer_sizes.Add(static_cast<double>(size));
+      m.max_reducer_input = std::max<std::uint64_t>(m.max_reducer_input,
+                                                    size);
+      total_outputs += shards_[p].outputs[i].size();
+    }
+    outputs.reserve(total_outputs);
+    if (sim) loads.reserve(order.size());
+    for (const auto& [pos, p, i] : order) {
+      for (auto& out : shards_[p].outputs[i]) {
+        outputs.push_back(std::move(out));
+      }
+      if (sim) loads.push_back(shards_[p].loads[i]);
+    }
+  }
+  m.num_outputs = outputs.size();
+
+  if (sim) {
+    // Loads arrive in global first-seen key order — the exact order the
+    // barrier engine fed SimulateCluster, so reports are bit-identical.
+    const SimulationReport report = SimulateCluster(loads, simulation_);
+    m.worker_loads = report.worker_pairs;
+    m.makespan = report.makespan;
+    m.load_imbalance = report.load_imbalance;
+    m.straggler_impact = report.straggler_impact;
+    m.capacity_violations = report.capacity_violations;
+  }
+
+  FillTimings(m);
+
+  if (output_slot_ != nullptr) {
+    *output_slot_ = std::make_shared<std::vector<Out>>(std::move(outputs));
+  } else {
+    result_.outputs = std::move(outputs);
+  }
+  // Release the bulky intermediate state; nothing reads it after finalize
+  // (streamed consumers are finalize dependencies).
+  shards_.clear();
+  merged_ = ShuffleResult<K, V>{};
+  flat_outputs_.clear();
+  flat_sizes_.clear();
+  buckets_.clear();
+}
+
+}  // namespace internal
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_EXECUTOR_H_

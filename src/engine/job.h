@@ -1,275 +1,17 @@
 #ifndef MRCOST_ENGINE_JOB_H_
 #define MRCOST_ENGINE_JOB_H_
 
-#include <algorithm>
-#include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <string>
-#include <thread>
-#include <unordered_map>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
-#include "src/common/byte_size.h"
-#include "src/common/status.h"
-#include "src/common/thread_pool.h"
-#include "src/engine/emitter.h"
-#include "src/engine/hashing.h"
-#include "src/engine/metrics.h"
-#include "src/engine/shuffle.h"
-#include "src/engine/simulator.h"
+#include "src/engine/executor.h"
 
 namespace mrcost::engine {
 
-/// Execution knobs for one round.
-struct JobOptions {
-  /// Threads used to run map and reduce tasks. 0 = hardware concurrency.
-  /// Ignored when `pool` is set (the pool's size governs).
-  std::size_t num_threads = 0;
-  /// Optional caller-owned thread pool. When set, the round runs on it
-  /// instead of constructing (and tearing down) a private pool — the
-  /// Pipeline driver uses this to reuse one pool across every round.
-  common::ThreadPool* pool = nullptr;
-  /// Shuffle shards. 0 = auto (one per thread, capped for small jobs);
-  /// 1 = the serial reference shuffle. Ignored by the external shuffle.
-  std::size_t num_shards = 0;
-  /// Shuffle configuration (strategy, memory budget, spill dir, merge
-  /// fan-in) — the one ShuffleConfig shared with PipelineOptions and the
-  /// external shuffle; see its comment for the field-wise resolution
-  /// order. All strategies produce byte-identical outputs; only memory
-  /// behaviour and metrics differ.
-  ShuffleConfig shuffle;
-  /// DEPRECATED legacy shorthand for `simulation.num_workers`: if nonzero
-  /// (and simulation is otherwise off), reduce keys are assigned (by hash)
-  /// to this many simulated reduce workers and JobMetrics::worker_loads
-  /// reports the per-worker input load. New code should set
-  /// `simulation.num_workers` directly; this field survives only for the
-  /// ResolvedSimulation() compatibility path and will be removed once the
-  /// remaining external callers migrate.
-  std::size_t num_simulated_workers = 0;
-  /// Full cluster-simulation knobs (per-worker queues, capacity q,
-  /// stragglers, heterogeneous speeds). When enabled, JobMetrics gains
-  /// makespan, load_imbalance, straggler_impact, and capacity_violations.
-  /// Simulation never changes reduce outputs — only the metrics.
-  SimulationOptions simulation;
-
-  /// The simulation that actually runs: `simulation` when enabled, else
-  /// the num_simulated_workers shorthand (with every other knob default).
-  /// Skew/capacity knobs with num_workers left 0 are a misconfiguration
-  /// (the run would silently report makespan 0 / no violations), so they
-  /// fail loudly instead.
-  SimulationOptions ResolvedSimulation() const {
-    if (simulation.enabled()) return simulation;
-    MRCOST_CHECK(!simulation.customized());
-    SimulationOptions legacy;
-    legacy.num_workers = num_simulated_workers;
-    return legacy;
-  }
-
-  ShuffleStrategy ResolvedShuffleStrategy() const {
-    return shuffle.Resolved();
-  }
-
-  std::size_t ResolvedThreads() const {
-    if (pool != nullptr) return pool->num_threads();
-    if (num_threads > 0) return num_threads;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 4 : hw;
-  }
-};
-
-/// Field-wise merge of per-round overrides onto defaults: every field left
-/// at its unset value (0 / nullptr / kAuto / "" / disabled simulation)
-/// inherits the default's value. This is the single merge rule used by
-/// Pipeline round defaults and the plan executor — a round overriding only
-/// `num_shards` still gets the defaults' memory budget, simulation, and
-/// thread sizing.
-inline JobOptions MergedJobOptions(JobOptions overrides,
-                                   const JobOptions& defaults) {
-  if (overrides.num_threads == 0) overrides.num_threads = defaults.num_threads;
-  if (overrides.pool == nullptr) overrides.pool = defaults.pool;
-  if (overrides.num_shards == 0) overrides.num_shards = defaults.num_shards;
-  overrides.shuffle = overrides.shuffle.MergedOver(defaults.shuffle);
-  // Simulation is one logical knob (the options struct plus the deprecated
-  // worker-count shorthand): inherit it only when the override configures
-  // neither half, so a round's explicit simulation always wins whole.
-  if (!overrides.simulation.enabled() && !overrides.simulation.customized() &&
-      overrides.num_simulated_workers == 0) {
-    overrides.simulation = defaults.simulation;
-    overrides.num_simulated_workers = defaults.num_simulated_workers;
-  }
-  return overrides;
-}
-
-/// Result of one round: reducer outputs (in deterministic first-seen key
-/// order) plus the exact cost metrics.
-template <typename Output>
-struct JobResult {
-  std::vector<Output> outputs;
-  JobMetrics metrics;
-};
-
-namespace internal {
-
-/// RAII choice between a caller-owned pool and a pool private to one round.
-class PoolRef {
- public:
-  explicit PoolRef(const JobOptions& options) {
-    if (options.pool != nullptr) {
-      pool_ = options.pool;
-    } else {
-      owned_.emplace(options.ResolvedThreads());
-      pool_ = &*owned_;
-    }
-  }
-  common::ThreadPool& get() { return *pool_; }
-
- private:
-  std::optional<common::ThreadPool> owned_;
-  common::ThreadPool* pool_ = nullptr;
-};
-
-/// Chunking shared by the plain and combined rounds: inputs are cut into
-/// contiguous chunks, a small multiple of the thread count. Chunk
-/// boundaries never affect results: downstream grouping runs in global
-/// scan order, which equals emission order in input order for every
-/// chunking.
-inline std::size_t NumChunks(std::size_t num_inputs,
-                             std::size_t num_threads) {
-  return std::max<std::size_t>(1, std::min(num_inputs, num_threads * 4));
-}
-
-/// Map phase: each chunk is mapped on the pool into its own Emitter, and
-/// the emitters are returned in chunk order. `configure_fn(c, emitter)`
-/// runs on the chunk's pool thread before its first map call — the
-/// external shuffle uses it to bind the chunk's spill sink.
-template <typename Key, typename Value, typename Input, typename MapFn,
-          typename ConfigureFn>
-std::vector<Emitter<Key, Value>> RunMapPhase(const std::vector<Input>& inputs,
-                                             MapFn&& map_fn,
-                                             common::ThreadPool& pool,
-                                             ConfigureFn&& configure_fn) {
-  const std::size_t num_chunks = NumChunks(inputs.size(), pool.num_threads());
-  const std::size_t chunk_size =
-      inputs.empty() ? 0 : (inputs.size() + num_chunks - 1) / num_chunks;
-  std::vector<Emitter<Key, Value>> emitters(num_chunks);
-  if (!inputs.empty()) {
-    common::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
-      configure_fn(c, emitters[c]);
-      const std::size_t lo = c * chunk_size;
-      const std::size_t hi = std::min(lo + chunk_size, inputs.size());
-      for (std::size_t i = lo; i < hi; ++i) {
-        map_fn(inputs[i], emitters[c]);
-      }
-      emitters[c].Flush();
-    });
-  }
-  return emitters;
-}
-
-template <typename Key, typename Value, typename Input, typename MapFn>
-std::vector<Emitter<Key, Value>> RunMapPhase(const std::vector<Input>& inputs,
-                                             MapFn&& map_fn,
-                                             common::ThreadPool& pool) {
-  return RunMapPhase<Key, Value>(inputs, std::forward<MapFn>(map_fn), pool,
-                                 [](std::size_t, Emitter<Key, Value>&) {});
-}
-
-/// In-memory shuffle dispatch shared by the plain and combined rounds:
-/// kSerial forces the single-map reference shuffle, everything else goes
-/// through the sharded shuffle (whose shard resolution falls back to
-/// serial for tiny jobs).
-template <typename Key, typename Value>
-ShuffleResult<Key, Value> RunInMemoryShuffle(
-    std::vector<std::vector<std::pair<Key, Value>>>& chunks,
-    common::ThreadPool& pool, const JobOptions& options,
-    std::uint64_t num_pairs) {
-  if (options.ResolvedShuffleStrategy() == ShuffleStrategy::kSerial) {
-    return SerialShuffle(chunks);
-  }
-  return ShardedShuffle(chunks, pool,
-                        ResolveShardCount(options.num_shards,
-                                          pool.num_threads(),
-                                          static_cast<std::size_t>(
-                                              num_pairs)));
-}
-
-/// Copies one shuffle's spill counters into the round metrics.
-inline void RecordSpillStats(const storage::SpillStats& stats,
-                             JobMetrics& metrics) {
-  metrics.spill_bytes_written = stats.spill_bytes_written;
-  metrics.spill_runs = stats.spill_runs;
-  metrics.merge_passes = stats.merge_passes;
-}
-
-/// Everything after the shuffle, shared by the plain and combined rounds:
-/// reducer-size metrics, the optional worker-placement simulation, the
-/// parallel reduce, and the deterministic concatenation of outputs.
-template <typename Output, typename Key, typename Value, typename ReduceFn>
-std::vector<Output> RunReducePhase(ShuffleResult<Key, Value>& shuffled,
-                                   ReduceFn&& reduce_fn,
-                                   const JobOptions& options,
-                                   common::ThreadPool& pool,
-                                   JobMetrics& metrics) {
-  const std::vector<Key>& keys = shuffled.keys;
-  const std::vector<std::vector<Value>>& groups = shuffled.groups;
-
-  metrics.num_reducers = keys.size();
-  for (const auto& group : groups) {
-    metrics.reducer_sizes.Add(static_cast<double>(group.size()));
-    metrics.max_reducer_input =
-        std::max<std::uint64_t>(metrics.max_reducer_input, group.size());
-  }
-
-  // Optional cluster simulation: every reduce key becomes a ReducerLoad
-  // (hash decides the worker via the same finalized-hash IndexOfHash
-  // placement the sharded shuffle uses; ByteSizeOf measures its input
-  // list) and the per-worker queues are drained under the configured
-  // skew/straggler model. Outputs are untouched — only metrics change.
-  const SimulationOptions sim = options.ResolvedSimulation();
-  if (sim.enabled()) {
-    // Byte accounting costs a full pass over the shuffled values; skip it
-    // unless a byte-based knob actually consumes the result.
-    const bool need_bytes =
-        sim.cost_per_byte > 0 || sim.reducer_capacity_bytes > 0;
-    std::vector<ReducerLoad> loads(keys.size());
-    common::ParallelFor(pool, 0, keys.size(), [&](std::size_t i) {
-      std::uint64_t bytes = 0;
-      if (need_bytes) {
-        bytes = common::ByteSizeOf(keys[i]);
-        for (const Value& v : groups[i]) bytes += common::ByteSizeOf(v);
-      }
-      loads[i] = ReducerLoad{HashValue(keys[i]), groups[i].size(), bytes};
-    });
-    const SimulationReport report = SimulateCluster(loads, sim);
-    metrics.worker_loads = report.worker_pairs;
-    metrics.makespan = report.makespan;
-    metrics.load_imbalance = report.load_imbalance;
-    metrics.straggler_impact = report.straggler_impact;
-    metrics.capacity_violations = report.capacity_violations;
-  }
-
-  // Reduce phase: parallel across keys, buffered per key so the final
-  // concatenation is in deterministic key order.
-  std::vector<std::vector<Output>> per_key_outputs(keys.size());
-  common::ParallelFor(pool, 0, keys.size(), [&](std::size_t i) {
-    reduce_fn(keys[i], groups[i], per_key_outputs[i]);
-  });
-
-  std::size_t total_outputs = 0;
-  for (const auto& v : per_key_outputs) total_outputs += v.size();
-  std::vector<Output> outputs;
-  outputs.reserve(total_outputs);
-  for (auto& v : per_key_outputs) {
-    for (auto& out : v) outputs.push_back(std::move(out));
-  }
-  metrics.num_outputs = outputs.size();
-  return outputs;
-}
-
-}  // namespace internal
+// One-round entry points over the stage-graph executor (executor.h).
+// JobOptions / JobResult / MergedJobOptions live there too — this header
+// re-exports them, so callers keep including src/engine/job.h.
 
 /// Runs one map-reduce round.
 ///
@@ -281,94 +23,35 @@ std::vector<Output> RunReducePhase(ShuffleResult<Key, Value>& shuffled,
 /// (Section 2.3), pairs are shuffled by key, and each distinct key forms one
 /// reducer whose input list is the values emitted for it, in input order.
 /// Determinism: outputs are grouped in first-seen key order and value lists
-/// preserve input order regardless of thread count and shard count.
+/// preserve input order regardless of thread count, shard count, and task
+/// schedule — the staged executor tags every pair with its scan position
+/// and merges on tags, so the barrier engine's ordering contract survives
+/// the barriers' removal. The round executes as a task graph (map chunks ->
+/// per-shard grouping -> per-shard reduce -> finalize): a shard whose group
+/// is complete starts reducing while other shards still group, and
+/// JobMetrics reports the stage timings, barrier wait, and overlap.
+///
+/// The external shuffle has no error channel here: environmental spill
+/// failures (disk full, unwritable spill_dir, a corrupted run) CHECK-fail
+/// the round; the storage APIs themselves return Status for callers that
+/// need to handle them.
 template <typename Input, typename Key, typename Value, typename Output,
           typename MapFn, typename ReduceFn>
 JobResult<Output> RunMapReduce(const std::vector<Input>& inputs,
                                MapFn&& map_fn, ReduceFn&& reduce_fn,
                                const JobOptions& options = {}) {
-  JobResult<Output> result;
-  JobMetrics& metrics = result.metrics;
-  metrics.num_inputs = inputs.size();
-
   internal::PoolRef pool(options);
-
-  ShuffleResult<Key, Value> shuffled;
-  if (options.ResolvedShuffleStrategy() == ShuffleStrategy::kExternal) {
-    // External shuffle, integrated with the map phase: every chunk's
-    // emitter spills its over-budget batches through a RunWriter as the
-    // chunk is still being mapped, so map output never accumulates beyond
-    // the budget in memory. The unspilled tails and the disk runs are then
-    // k-way merged back into groups. RunMapReduce has no error channel,
-    // so environmental spill failures (disk full, unwritable spill_dir,
-    // a corrupted run) CHECK-fail the round; the storage APIs themselves
-    // return Status for callers that need to handle them.
-    storage::RunSpiller spiller(options.shuffle.spill_dir);
-    const std::size_t num_chunks =
-        internal::NumChunks(inputs.size(), pool.get().num_threads());
-    // Each chunk's share is split between the two buffering stages —
-    // the emitter's pair buffer and the RunWriter's serialized batch —
-    // which briefly coexist while a flush drains, so the chunk's peak
-    // working set stays at its share rather than twice it.
-    const std::uint64_t per_stage_budget =
-        options.shuffle.memory_budget_bytes / num_chunks / 2;
-    std::vector<std::unique_ptr<storage::RunWriter<Key, Value>>> writers(
-        num_chunks);
-    std::vector<common::Status> spill_status(num_chunks);
-    auto configure = [&](std::size_t c, Emitter<Key, Value>& emitter) {
-      writers[c] = std::make_unique<storage::RunWriter<Key, Value>>(
-          &spiller, per_stage_budget, static_cast<std::uint32_t>(c));
-      storage::RunWriter<Key, Value>* writer = writers[c].get();
-      common::Status* status = &spill_status[c];
-      emitter.SetOverflow(
-          per_stage_budget,
-          [writer, status](std::vector<std::pair<Key, Value>>& pairs) {
-            if (!status->ok()) return;
-            for (const auto& [key, value] : pairs) {
-              *status = writer->Add(HashValue(key), key, value);
-              if (!status->ok()) return;
-            }
-          });
-    };
-    auto emitters = internal::RunMapPhase<Key, Value>(
-        inputs, std::forward<MapFn>(map_fn), pool.get(), configure);
-    for (auto& emitter : emitters) {
-      metrics.bytes_shuffled += emitter.bytes();
-      metrics.pairs_shuffled += emitter.num_emitted();
-    }
-    metrics.pairs_before_combine = metrics.pairs_shuffled;
-    for (const common::Status& status : spill_status) {
-      MRCOST_CHECK_OK(status);
-    }
-    std::vector<std::vector<storage::SpillRecord>> tails(emitters.size());
-    common::ParallelFor(pool.get(), 0, emitters.size(), [&](std::size_t c) {
-      if (writers[c] != nullptr) tails[c] = writers[c]->TakeTail();
-    });
-    storage::SpillStats stats;
-    auto merged = internal::MergeSpilledRuns<Key, Value>(
-        spiller, tails, options.shuffle.merge_fan_in, stats);
-    MRCOST_CHECK_OK(merged.status());
-    internal::RecordSpillStats(stats, metrics);
-    shuffled = std::move(merged.value());
-  } else {
-    auto emitters = internal::RunMapPhase<Key, Value>(
-        inputs, std::forward<MapFn>(map_fn), pool.get());
-    std::vector<std::vector<std::pair<Key, Value>>> chunks;
-    chunks.reserve(emitters.size());
-    for (auto& emitter : emitters) {
-      metrics.bytes_shuffled += emitter.bytes();
-      metrics.pairs_shuffled += emitter.num_emitted();
-      chunks.push_back(std::move(emitter.pairs()));
-    }
-    metrics.pairs_before_combine = metrics.pairs_shuffled;
-    shuffled = internal::RunInMemoryShuffle(chunks, pool.get(), options,
-                                            metrics.pairs_shuffled);
-  }
-
-  result.outputs = internal::RunReducePhase<Output>(
-      shuffled, std::forward<ReduceFn>(reduce_fn), options, pool.get(),
-      metrics);
-  return result;
+  StageGraphExecutor executor(pool.get());
+  using Round =
+      internal::StagedRound<Input, Key, Value, Output, std::decay_t<MapFn>,
+                            internal::NoCombine, std::decay_t<ReduceFn>>;
+  auto round = Round::StageMaterialized(
+      executor, 0, inputs, /*keepalive=*/nullptr,
+      std::forward<MapFn>(map_fn), internal::NoCombine{},
+      std::forward<ReduceFn>(reduce_fn), options);
+  round->StageFinalize({});
+  executor.Wait();
+  return round->TakeResult();
 }
 
 /// Runs one map-reduce round with a map-side combiner, the standard
@@ -392,76 +75,18 @@ JobResult<Output> RunMapReduceCombined(const std::vector<Input>& inputs,
                                        CombineFn&& combine_fn,
                                        ReduceFn&& reduce_fn,
                                        const JobOptions& options = {}) {
-  JobResult<Output> result;
-  JobMetrics& metrics = result.metrics;
-  metrics.num_inputs = inputs.size();
-
   internal::PoolRef pool(options);
-
-  // Fused map + combine: each chunk is mapped into a task-local emitter
-  // and combined (first-seen key order, for determinism) inside the same
-  // task, so raw pre-combine pairs never outlive their chunk and bytes are
-  // re-measured on the post-combine pairs that actually cross the shuffle.
-  const std::size_t num_chunks =
-      internal::NumChunks(inputs.size(), pool.get().num_threads());
-  const std::size_t chunk_size =
-      inputs.empty() ? 0 : (inputs.size() + num_chunks - 1) / num_chunks;
-  std::vector<std::uint64_t> raw_pairs(num_chunks, 0);
-  std::vector<std::uint64_t> combined_bytes(num_chunks, 0);
-  std::vector<std::vector<std::pair<Key, Value>>> chunks(num_chunks);
-  if (!inputs.empty()) {
-    common::ParallelFor(pool.get(), 0, num_chunks, [&](std::size_t c) {
-      Emitter<Key, Value> emitter;
-      const std::size_t lo = c * chunk_size;
-      const std::size_t hi = std::min(lo + chunk_size, inputs.size());
-      for (std::size_t i = lo; i < hi; ++i) {
-        map_fn(inputs[i], emitter);
-      }
-      raw_pairs[c] = emitter.pairs().size();
-      std::unordered_map<Key, std::size_t, KeyHash> local_index;
-      auto& out = chunks[c];
-      for (auto& [key, value] : emitter.pairs()) {
-        auto [it, inserted] = local_index.try_emplace(key, out.size());
-        if (inserted) {
-          out.emplace_back(key, std::move(value));
-        } else {
-          out[it->second].second =
-              combine_fn(std::move(out[it->second].second), std::move(value));
-        }
-      }
-      std::uint64_t bytes = 0;
-      for (const auto& [key, value] : out) {
-        bytes += common::ByteSizeOf(key) + common::ByteSizeOf(value);
-      }
-      combined_bytes[c] = bytes;
-    });
-  }
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    metrics.pairs_before_combine += raw_pairs[c];
-    metrics.bytes_shuffled += combined_bytes[c];
-    metrics.pairs_shuffled += chunks[c].size();
-  }
-
-  // Post-combine chunks are already materialized, so the external
-  // strategy routes them through the chunk-level ExternalShuffle (chunks
-  // are freed as they serialize into runs).
-  ShuffleResult<Key, Value> shuffled;
-  if (options.ResolvedShuffleStrategy() == ShuffleStrategy::kExternal) {
-    storage::SpillStats stats;
-    auto merged =
-        ExternalShuffle(chunks, pool.get(), options.shuffle, &stats);
-    MRCOST_CHECK_OK(merged.status());
-    internal::RecordSpillStats(stats, metrics);
-    shuffled = std::move(merged.value());
-  } else {
-    shuffled = internal::RunInMemoryShuffle(chunks, pool.get(), options,
-                                            metrics.pairs_shuffled);
-  }
-
-  result.outputs = internal::RunReducePhase<Output>(
-      shuffled, std::forward<ReduceFn>(reduce_fn), options, pool.get(),
-      metrics);
-  return result;
+  StageGraphExecutor executor(pool.get());
+  using Round =
+      internal::StagedRound<Input, Key, Value, Output, std::decay_t<MapFn>,
+                            std::decay_t<CombineFn>, std::decay_t<ReduceFn>>;
+  auto round = Round::StageMaterialized(
+      executor, 0, inputs, /*keepalive=*/nullptr,
+      std::forward<MapFn>(map_fn), std::forward<CombineFn>(combine_fn),
+      std::forward<ReduceFn>(reduce_fn), options);
+  round->StageFinalize({});
+  executor.Wait();
+  return round->TakeResult();
 }
 
 }  // namespace mrcost::engine

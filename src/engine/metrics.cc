@@ -25,6 +25,11 @@ std::string JobMetrics::ToString() const {
        << " straggler_impact=" << straggler_impact
        << " capacity_violations=" << capacity_violations;
   }
+  if (timed()) {
+    os << " | stages: map=" << map_ms << "ms shuffle=" << shuffle_ms
+       << "ms reduce=" << reduce_ms << "ms barrier_wait=" << barrier_wait_ms
+       << "ms overlap=" << overlap_fraction();
+  }
   return os.str();
 }
 
@@ -88,6 +93,26 @@ std::uint64_t PipelineMetrics::total_merge_passes() const {
   return total;
 }
 
+double PipelineMetrics::total_barrier_wait_ms() const {
+  double total = 0;
+  for (const auto& m : rounds) total += m.barrier_wait_ms;
+  return total;
+}
+
+double PipelineMetrics::total_overlap_ms() const {
+  double total = streamed_overlap_ms;
+  for (const auto& m : rounds) total += m.overlap_ms;
+  return total;
+}
+
+double PipelineMetrics::overlap_fraction() const {
+  double span = exec_span_ms;
+  if (span <= 0) {
+    for (const auto& m : rounds) span += m.span_ms;
+  }
+  return span > 0 ? total_overlap_ms() / span : 0.0;
+}
+
 double PipelineMetrics::replication_rate(std::size_t i) const {
   return i < rounds.size() ? rounds[i].replication_rate() : 0.0;
 }
@@ -111,6 +136,11 @@ std::string PipelineMetrics::ToString() const {
     os << ", sim makespan=" << total_makespan()
        << ", worst imbalance=" << max_load_imbalance()
        << ", capacity violations=" << total_capacity_violations();
+  }
+  if (total_overlap_ms() > 0 || streamed_rounds > 0) {
+    os << ", overlap=" << overlap_fraction()
+       << " (streamed rounds=" << streamed_rounds
+       << "), barrier wait=" << total_barrier_wait_ms() << "ms";
   }
   for (std::size_t i = 0; i < rounds.size(); ++i) {
     os << "\n  round " << i + 1 << ": " << rounds[i].ToString();

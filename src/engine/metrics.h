@@ -1,6 +1,7 @@
 #ifndef MRCOST_ENGINE_METRICS_H_
 #define MRCOST_ENGINE_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -48,6 +49,24 @@ struct JobMetrics {
   /// and reducers whose input exceeded the configured capacity q.
   std::uint64_t capacity_violations = 0;
 
+  /// Stage-graph timing (all zero when the round ran untimed — see
+  /// src/engine/executor.h). Wall-clock spans of the map, shuffle
+  /// (group/merge), and reduce stages:
+  double map_ms = 0;
+  double shuffle_ms = 0;
+  double reduce_ms = 0;
+  /// Idle thread-time at the graph's real dependency edges: map chunks
+  /// waiting for the slowest map before grouping can start, plus each
+  /// shard's gap between group end and reduce start — the barrier cost
+  /// the paper's per-round pricing abstracts away.
+  double barrier_wait_ms = 0;
+  /// Wall-clock during which two adjacent stages ran concurrently (a
+  /// shard reducing while other shards still group); always 0 under a
+  /// strict phase-barrier schedule.
+  double overlap_ms = 0;
+  /// The round's whole span (first map start to last reduce end).
+  double span_ms = 0;
+
   /// External-shuffle spill accounting (all zero unless the round ran
   /// ShuffleStrategy::kExternal; see src/storage/):
   /// bytes written to spill files (map-side runs plus multi-pass merge
@@ -65,6 +84,15 @@ struct JobMetrics {
   /// True iff this round ran the cluster simulation.
   bool simulated() const { return worker_loads.count() > 0; }
 
+  /// True iff the round recorded stage timings.
+  bool timed() const { return span_ms > 0; }
+
+  /// overlap_ms / span_ms: the fraction of the round's wall clock during
+  /// which adjacent stages overlapped. 0 when untimed.
+  double overlap_fraction() const {
+    return span_ms > 0 ? overlap_ms / span_ms : 0.0;
+  }
+
   /// r = pairs_shuffled / num_inputs; 0 when there are no inputs.
   double replication_rate() const {
     return num_inputs == 0 ? 0.0
@@ -79,6 +107,15 @@ struct JobMetrics {
 /// (Section 6.3's two-phase matrix multiplication).
 struct PipelineMetrics {
   std::vector<JobMetrics> rounds;
+
+  /// Cross-round streaming observed by the plan executor: wall-clock
+  /// during which a streamed round's map overlapped its producer's
+  /// reduce, the executor's whole span, and how many rounds consumed
+  /// their input as a stream. All zero for barrier (sequential-round)
+  /// executions.
+  double streamed_overlap_ms = 0;
+  double exec_span_ms = 0;
+  std::size_t streamed_rounds = 0;
 
   void Add(JobMetrics m) { rounds.push_back(std::move(m)); }
 
@@ -98,6 +135,13 @@ struct PipelineMetrics {
   std::uint64_t total_spill_bytes() const;
   std::uint64_t total_spill_runs() const;
   std::uint64_t total_merge_passes() const;
+  /// Timing aggregates (0 when rounds ran untimed): total idle
+  /// thread-time at stage barriers, total stage overlap (within-round
+  /// plus cross-round streaming), and the overlap as a fraction of the
+  /// execution span.
+  double total_barrier_wait_ms() const;
+  double total_overlap_ms() const;
+  double overlap_fraction() const;
 
   /// Replication rate of round `i` (0-based): rounds[i].replication_rate().
   double replication_rate(std::size_t i) const;

@@ -33,8 +33,7 @@ JobOptions Pipeline::Resolve(const std::optional<JobOptions>& round_options) {
   resolved.pool = &pool_ref_.get();
   // Pipeline-wide simulation backstop: a round that configures nothing
   // itself inherits the pipeline's simulated cluster.
-  if (!resolved.simulation.enabled() && resolved.num_simulated_workers == 0 &&
-      options_.simulation.enabled()) {
+  if (!resolved.simulation.enabled() && options_.simulation.enabled()) {
     resolved.simulation = options_.simulation;
   }
   // Same backstop for the shuffle, field-wise: whatever the round and the
@@ -69,6 +68,12 @@ std::vector<RoundCostReport> CompareToLowerBound(
     report.spill_runs = round.spill_runs;
     report.spill_bytes_written = round.spill_bytes_written;
     report.merge_passes = round.merge_passes;
+    report.timed = round.timed();
+    report.map_ms = round.map_ms;
+    report.shuffle_ms = round.shuffle_ms;
+    report.reduce_ms = round.reduce_ms;
+    report.barrier_wait_ms = round.barrier_wait_ms;
+    report.overlap_fraction = round.overlap_fraction();
     reports.push_back(report);
   }
   return reports;
@@ -98,6 +103,12 @@ std::string ToString(const std::vector<RoundCostReport>& reports) {
          << " imbalance=" << report.load_imbalance
          << " straggler_impact=" << report.straggler_impact
          << " capacity_violations=" << report.capacity_violations;
+    }
+    if (report.timed) {
+      os << " map_ms=" << report.map_ms << " shuffle_ms=" << report.shuffle_ms
+         << " reduce_ms=" << report.reduce_ms
+         << " barrier_wait_ms=" << report.barrier_wait_ms
+         << " overlap=" << report.overlap_fraction;
     }
   }
   return os.str();

@@ -148,6 +148,18 @@ struct RoundCostReport {
   std::uint64_t spill_runs = 0;
   std::uint64_t spill_bytes_written = 0;
   std::uint64_t merge_passes = 0;
+
+  /// Stage-graph timings for the round, copied from JobMetrics when the
+  /// round ran timed (see src/engine/executor.h): where the round's wall
+  /// clock went, what the stage barriers cost, and how much adjacent
+  /// stages overlapped — the execution-side cost the paper's per-round
+  /// (q, r) pricing abstracts away.
+  bool timed = false;
+  double map_ms = 0;
+  double shuffle_ms = 0;
+  double reduce_ms = 0;
+  double barrier_wait_ms = 0;
+  double overlap_fraction = 0;
 };
 
 /// Evaluates every round of `metrics` against `recipe`'s lower bound.

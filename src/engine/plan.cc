@@ -1,7 +1,9 @@
 #include "src/engine/plan.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 namespace mrcost::engine {
 namespace internal {
@@ -44,6 +46,13 @@ JobOptions ResolveRoundOptions(const PlanNode& node,
           ? MergedJobOptions(*node.options, options.pipeline.round_defaults)
           : options.pipeline.round_defaults;
   resolved.shuffle = resolved.shuffle.MergedOver(options.pipeline.shuffle);
+  // Pipeline-wide simulation backstop, exactly as Pipeline::Resolve
+  // applies it: a round that configures nothing itself inherits the
+  // pipeline's simulated cluster.
+  if (!resolved.simulation.enabled() &&
+      options.pipeline.simulation.enabled()) {
+    resolved.simulation = options.pipeline.simulation;
+  }
   return resolved;
 }
 
@@ -97,30 +106,144 @@ PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
        id = graph.nodes[id].input) {
     needed[id] = true;
   }
-  Pipeline pipeline(options.pipeline);
+
+  JobOptions sizing;
+  sizing.num_threads = options.pipeline.num_threads;
+  sizing.pool = options.pipeline.pool;
+  PoolRef pool(sizing);
+  StageGraphExecutor exec(pool.get());
   graph.last_strategies.clear();
+
+  // How many needed rounds consume each node's output. Streaming needs a
+  // sole consumer: the producer's finalize (which moves the shard
+  // outputs) is sequenced behind exactly that consumer's map tasks.
+  std::vector<int> needed_consumers(graph.nodes.size(), 0);
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    if (needed[id] && !graph.nodes[id].is_source &&
+        graph.nodes[id].input != kNoNode) {
+      ++needed_consumers[graph.nodes[id].input];
+    }
+  }
+
+  std::vector<std::shared_ptr<StagedHandleBase>> handles(graph.nodes.size());
+  // Rounds staged but not yet finalized/awaited — the open streaming
+  // chain. Every non-streamed round first closes it (the old sequential
+  // schedule); a streamed round keeps it growing instead.
+  std::vector<std::size_t> open;
+  std::vector<std::size_t> executed;  // round node ids, node order
+  struct StreamedEdge {
+    std::size_t producer;
+    std::size_t consumer;
+  };
+  std::vector<StreamedEdge> streamed;
+
+  const auto close_chain = [&] {
+    if (open.empty()) return;
+    for (std::size_t id : open) {
+      handles[id]->StageFinalize({});
+    }
+    open.clear();
+    exec.Wait();
+  };
+
   for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
     PlanNode& node = graph.nodes[id];
     if (node.is_source || !needed[id]) continue;
+    executed.push_back(id);
     JobOptions resolved = ResolveRoundOptions(node, options);
-    if (options.choose_strategy_per_round &&
-        resolved.shuffle.strategy == ShuffleStrategy::kAuto) {
-      resolved.shuffle.strategy = ChooseStrategy(
-          resolved.shuffle,
-          node.sample(graph, options.strategy_sample_inputs),
-          node.input_size(graph));
-      // An explicit shard request asks for the sharded code path; the
-      // small-round serial downgrade must not override it (the eager
-      // ResolveShardCount honors the request too).
-      if (resolved.shuffle.strategy == ShuffleStrategy::kSerial &&
-          resolved.num_shards > 1) {
-        resolved.shuffle.strategy = ShuffleStrategy::kSharded;
+
+    const std::size_t producer = node.input;
+    const bool producer_open =
+        producer != kNoNode &&
+        std::find(open.begin(), open.end(), producer) != open.end();
+    bool stream = options.streaming && node.per_key_input &&
+                  !node.combined && producer_open &&
+                  needed_consumers[producer] == 1;
+    if (stream) {
+      // A streamed round has no materialized input to sample, so the
+      // strategy resolves from the config alone; external (spill) rounds
+      // fall back to the barrier path — spilling wants the whole input
+      // on hand anyway.
+      const ShuffleStrategy s = resolved.shuffle.Resolved();
+      if (s == ShuffleStrategy::kExternal) {
+        stream = false;
+      } else {
+        resolved.shuffle.strategy = s;
       }
     }
-    graph.last_strategies.push_back(resolved.shuffle.Resolved());
-    node.run(graph, pipeline, resolved);
+
+    std::shared_ptr<StagedHandleBase> handle;
+    if (stream) {
+      handle = node.stage(graph, exec, resolved, handles[producer], 0);
+      if (handle != nullptr) {
+        // The producer's finalize moves its shard outputs; sequence it
+        // behind the consumer's map tasks that read them.
+        handles[producer]->StageFinalize(handle->map_task_ids());
+        streamed.push_back(StreamedEdge{producer, id});
+      }
+    }
+    if (handle == nullptr) {
+      close_chain();  // materialize this round's input
+      MapSample sample;
+      if (options.choose_strategy_per_round &&
+          resolved.shuffle.strategy == ShuffleStrategy::kAuto) {
+        sample = node.sample(graph, options.strategy_sample_inputs);
+        resolved.shuffle.strategy = ChooseStrategy(resolved.shuffle, sample,
+                                                   node.input_size(graph));
+        // An explicit shard request asks for the sharded code path; the
+        // small-round serial downgrade must not override it (the eager
+        // ResolveShardCount honors the request too).
+        if (resolved.shuffle.strategy == ShuffleStrategy::kSerial &&
+            resolved.num_shards > 1) {
+          resolved.shuffle.strategy = ShuffleStrategy::kSharded;
+        }
+      }
+      // Shard sizing from whatever estimate is on hand: the declared
+      // schema replication, else the chooser's sample (0 = unknown).
+      std::uint64_t pairs_hint = 0;
+      const std::size_t input_size = node.input_size(graph);
+      if (input_size != kUnknownSize) {
+        const double n = static_cast<double>(input_size);
+        if (node.hint.replication > 0) {
+          pairs_hint =
+              static_cast<std::uint64_t>(node.hint.replication * n);
+        } else if (sample.valid) {
+          pairs_hint =
+              static_cast<std::uint64_t>(sample.pairs_per_input * n);
+        }
+      }
+      handle = node.stage(graph, exec, resolved, nullptr, pairs_hint);
+    }
+    handles[id] = handle;
+    open.push_back(id);
+    graph.last_strategies.push_back(handle->strategy());
   }
-  return pipeline.TakeMetrics();
+  close_chain();
+
+  PipelineMetrics metrics;
+  for (std::size_t id : executed) metrics.Add(handles[id]->metrics());
+  metrics.streamed_rounds = streamed.size();
+  if (!executed.empty()) {
+    const auto records = exec.SnapshotRecords();
+    double begin = records.front().span.begin_ms;
+    double end = records.front().span.end_ms;
+    for (const auto& record : records) {
+      begin = std::min(begin, record.span.begin_ms);
+      end = std::max(end, record.span.end_ms);
+    }
+    metrics.exec_span_ms = end - begin;
+    // Cross-round overlap per streamed edge: the producer's reduce window
+    // against the consumer's map window.
+    for (const StreamedEdge& edge : streamed) {
+      const StageWindow reduce =
+          WindowOf(exec, handles[edge.producer]->reduce_task_ids());
+      const StageWindow map =
+          WindowOf(exec, handles[edge.consumer]->map_task_ids());
+      metrics.streamed_overlap_ms += IntervalOverlap(
+          reduce.begin, reduce.end, map.begin, map.end);
+    }
+  }
+  return metrics;
 }
 
 PlanEstimate EstimatePlanGraph(const PlanGraph& graph,
@@ -289,11 +412,8 @@ std::string ExplainPlanGraph(const PlanGraph& graph,
                  ? std::string(", spill dir: <system temp>")
                  : ", spill dir: " + resolved.shuffle.spill_dir);
     }
-    const SimulationOptions simulation =
-        resolved.simulation.enabled() ? resolved.simulation
-        : options.pipeline.simulation.enabled()
-            ? options.pipeline.simulation
-            : resolved.ResolvedSimulation();
+    // ResolveRoundOptions already applied the pipeline-wide backstop.
+    const SimulationOptions simulation = resolved.ResolvedSimulation();
     os << "\n  simulation: ";
     if (simulation.enabled()) {
       os << simulation.num_workers << " workers";
@@ -366,11 +486,9 @@ PipelineMetrics Plan::Execute(const ExecutionOptions& options) {
 
 std::future<PipelineMetrics> Plan::ExecuteAsync(ExecutionOptions options) {
   auto graph = graph_;
-  return std::async(std::launch::async,
-                    [graph, options = std::move(options)]() {
-                      return internal::ExecutePlanGraph(
-                          *graph, options, internal::kNoNode);
-                    });
+  return AsyncRunner::Global().Run([graph, options = std::move(options)]() {
+    return internal::ExecutePlanGraph(*graph, options, internal::kNoNode);
+  });
 }
 
 const std::vector<ShuffleStrategy>& Plan::last_round_strategies() const {

@@ -16,6 +16,7 @@
 #include "src/core/cost_model.h"
 #include "src/core/lower_bound.h"
 #include "src/engine/emitter.h"
+#include "src/engine/executor.h"
 #include "src/engine/hashing.h"
 #include "src/engine/job.h"
 #include "src/engine/metrics.h"
@@ -35,15 +36,19 @@ namespace mrcost::engine {
 //                         moves;
 //   * Explain(options)  — the physical plan: per-round shuffle strategy,
 //                         shard count, memory budget, simulation;
-//   * Execute(options)  — lowering onto the eager Pipeline/RunMapReduce
-//                         machinery, byte-identical to it for every
-//                         shuffle strategy, with a per-round strategy
-//                         chooser (serial/sharded/external from estimated
-//                         intermediate bytes vs budget) replacing the
-//                         pipeline-wide external-shuffle backstop;
-//   * ExecuteAsync      — the same, on its own thread, returning a future
-//                         (the seam the ROADMAP's round-overlap work
-//                         attaches to).
+//   * Execute(options)  — lowering onto the stage-graph executor
+//                         (src/engine/executor.h), byte-identical to the
+//                         eager RunMapReduce for every shuffle strategy,
+//                         with a per-round strategy chooser
+//                         (serial/sharded/external from estimated
+//                         intermediate bytes vs budget). Rounds whose
+//                         stage declares a per-key input dependency
+//                         (WithPerKeyInput) stream: round k's reduce
+//                         output for shard s feeds round k+1's map with
+//                         no global barrier between the rounds;
+//   * ExecuteAsync      — the same, returning a future backed by the
+//                         bounded AsyncRunner instead of a detached
+//                         thread per call.
 
 template <typename T>
 class Dataset;
@@ -142,6 +147,16 @@ struct ExecutionOptions {
   /// behaviour and spill metrics differ.
   bool choose_strategy_per_round = true;
   std::size_t strategy_sample_inputs = 256;
+  /// Dissolve the barrier between consecutive rounds whose consumer stage
+  /// declared a per-key input dependency (WithPerKeyInput): the producer's
+  /// per-shard reduce outputs stream into the consumer's map tasks as
+  /// each shard completes, on one shared stage graph. Byte-identical to
+  /// the barrier schedule — outputs and (non-timing) metrics are the
+  /// same; only wall-clock overlap changes. Streaming needs an in-memory
+  /// strategy on both sides, a plain (uncombined) consumer, and a sole
+  /// consumer; anything else falls back to the barrier path. Set false to
+  /// force the sequential round-by-round schedule (the bench's baseline).
+  bool streaming = true;
 
   ExecutionOptions() = default;
   explicit ExecutionOptions(PipelineOptions options)
@@ -189,16 +204,30 @@ struct PlanGraph;
 /// One type-erased node of the DAG: either a materialized source or a
 /// map(+combine)+reduce round. The typed closures are bound by
 /// KeyedDataset::ReduceByKey; everything the untyped executor needs
-/// (run / sample / input_size) is std::function.
+/// (stage / sample / input_size) is std::function.
 struct PlanNode {
   std::string label;
   bool is_source = false;
   bool combined = false;
+  /// The stage declared a per-key input dependency: its map consumes each
+  /// upstream output independently, so the executor may stream the
+  /// producer's per-shard reduce outputs into this round's map tasks.
+  bool per_key_input = false;
   std::size_t input = kNoNode;  // producer node of this round's input
   std::size_t source_size = 0;  // for sources
   StageEstimate hint;
   std::optional<JobOptions> options;  // per-round overrides (field-wise)
-  std::function<void(PlanGraph&, Pipeline&, const JobOptions&)> run;
+  /// Stages this round's task graph onto `exec`. `upstream` non-null asks
+  /// for the streamed form (input read per-shard from the producer's
+  /// StreamSource); returns null if this round cannot stream, in which
+  /// case the driver materializes the input and calls again with null.
+  /// `pairs_hint` is the driver's pair estimate for shard sizing (0 =
+  /// unknown).
+  std::function<std::shared_ptr<StagedHandleBase>(
+      PlanGraph&, StageGraphExecutor& exec, const JobOptions&,
+      const std::shared_ptr<StagedHandleBase>& upstream,
+      std::uint64_t pairs_hint)>
+      stage;
   std::function<MapSample(const PlanGraph&, std::size_t)> sample;
   std::function<std::size_t(const PlanGraph&)> input_size;
 };
@@ -267,9 +296,12 @@ ShuffleStrategy ChooseStrategy(const ShuffleConfig& config,
                                std::size_t num_inputs);
 
 /// Runs every round node that `target` depends on (all rounds when
-/// target == kNoNode) in node order on one Pipeline, materializing slots,
-/// and returns the accumulated metrics. Not reentrant: one execution per
-/// PlanGraph at a time.
+/// target == kNoNode) in node order on one StageGraphExecutor,
+/// materializing slots, and returns the accumulated metrics. Consecutive
+/// rounds joined by a per-key dependency hint share the task graph with
+/// no barrier between them (ExecutionOptions::streaming); everything else
+/// runs round by round exactly as before. Not reentrant: one execution
+/// per PlanGraph at a time.
 PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
                                  const ExecutionOptions& options,
                                  std::size_t target);
@@ -316,10 +348,25 @@ class KeyedDataset {
   }
 
   /// Attaches a map-side combiner (associative V x V -> V); the round
-  /// lowers onto RunMapReduceCombined.
+  /// lowers onto the combined (map+combine+reduce) form.
   KeyedDataset CombineByKey(CombineFn combine_fn) const {
     KeyedDataset copy = *this;
     copy.combine_ = std::move(combine_fn);
+    return copy;
+  }
+
+  /// Declares that this stage's map depends on each upstream output
+  /// individually (per key), not on the producing round as a whole —
+  /// always true of a map function by the paper's model (Section 2.3);
+  /// the hint is the caller's assertion that nothing outside the plan
+  /// needs the producer's materialized output before this round runs.
+  /// With it, Execute streams the producer's per-shard reduce outputs
+  /// into this round's map tasks with no global barrier between the
+  /// rounds (see ExecutionOptions::streaming for the fallback rules).
+  /// Outputs are byte-identical either way.
+  KeyedDataset WithPerKeyInput(bool per_key = true) const {
+    KeyedDataset copy = *this;
+    copy.per_key_input_ = per_key;
     return copy;
   }
 
@@ -346,6 +393,7 @@ class KeyedDataset {
   std::string label_;
   StageEstimate hint_;
   std::optional<JobOptions> options_;
+  bool per_key_input_ = false;
 };
 
 /// A typed handle onto one node of a plan: either a materialized source
@@ -381,17 +429,19 @@ class Dataset {
     return result;
   }
 
-  /// Execute on its own thread. The plan must not be executed (or
-  /// estimated) concurrently with the returned future — one execution per
-  /// plan at a time; a caller-owned pool in the options must outlive the
-  /// future.
+  /// Execute asynchronously, returning a future backed by the bounded
+  /// AsyncRunner (src/engine/executor.h) — concurrent async executions
+  /// queue behind its fixed thread count instead of each spawning a
+  /// fresh thread. The plan must not be executed (or estimated)
+  /// concurrently with the returned future — one execution per plan at a
+  /// time; a caller-owned pool in the options must outlive the future.
   std::future<ExecutionResult<T>> ExecuteAsync(
       ExecutionOptions options = {}) const {
     Dataset self = *this;
-    return std::async(std::launch::async, [self, options = std::move(
-                                                     options)]() {
-      return self.Execute(options);
-    });
+    return AsyncRunner::Global().Run(
+        [self, options = std::move(options)]() {
+          return self.Execute(options);
+        });
   }
 
   /// The plan this dataset belongs to (for Estimate / Explain).
@@ -450,7 +500,8 @@ class Plan {
   /// are read through Dataset<T>::Execute instead.
   PipelineMetrics Execute(const ExecutionOptions& options = {});
 
-  /// Execute on its own thread (see Dataset::ExecuteAsync's caveats).
+  /// Execute asynchronously on the bounded AsyncRunner (see
+  /// Dataset::ExecuteAsync's caveats).
   std::future<PipelineMetrics> ExecuteAsync(ExecutionOptions options = {});
 
   /// Per executed round, the strategy the most recent Execute ran with.
@@ -481,6 +532,7 @@ Dataset<Out> KeyedDataset<In, K, V>::ReduceByKey(ReduceFn reduce,
   node.label = label.empty() ? label_ : std::move(label);
   node.input = input_;
   node.combined = static_cast<bool>(combine_);
+  node.per_key_input = per_key_input_;
   node.hint = hint_;
   node.options = options_;
 
@@ -490,19 +542,43 @@ Dataset<Out> KeyedDataset<In, K, V>::ReduceByKey(ReduceFn reduce,
   CombineFn combine_fn = combine_;
   ReduceStd reduce_fn = std::move(reduce);
 
-  node.run = [in_id, out_id, map_fn, combine_fn, reduce_fn](
-                 internal::PlanGraph& graph, Pipeline& pipeline,
-                 const JobOptions& options) {
+  node.stage = [in_id, out_id, map_fn, combine_fn, reduce_fn](
+                   internal::PlanGraph& graph, StageGraphExecutor& exec,
+                   const JobOptions& options,
+                   const std::shared_ptr<internal::StagedHandleBase>&
+                       upstream,
+                   std::uint64_t pairs_hint)
+      -> std::shared_ptr<internal::StagedHandleBase> {
+    using PlainRound = internal::StagedRound<In, K, V, Out, MapFn,
+                                             internal::NoCombine, ReduceStd>;
+    using CombinedRound =
+        internal::StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceStd>;
+    const auto tag = static_cast<std::uint32_t>(out_id);
+    if (upstream != nullptr) {
+      // Streamed form: only a plain round over a producer whose output
+      // type matches can consume per-shard blocks.
+      auto* source =
+          dynamic_cast<internal::StreamSource<In>*>(upstream.get());
+      if (combine_fn || source == nullptr) return nullptr;
+      auto round = PlainRound::StageStreamed(exec, tag, upstream, source,
+                                             map_fn, reduce_fn, options);
+      round->set_output_slot(&graph.slots[out_id]);
+      return round;
+    }
     auto input =
         std::static_pointer_cast<const std::vector<In>>(graph.slots[in_id]);
-    std::vector<Out> outputs =
-        combine_fn
-            ? pipeline.AddCombinedRound<In, K, V, Out>(
-                  *input, map_fn, combine_fn, reduce_fn, options)
-            : pipeline.AddRound<In, K, V, Out>(*input, map_fn, reduce_fn,
-                                               options);
-    graph.slots[out_id] =
-        std::make_shared<std::vector<Out>>(std::move(outputs));
+    if (combine_fn) {
+      auto round = CombinedRound::StageMaterialized(
+          exec, tag, *input, input, map_fn, combine_fn, reduce_fn, options,
+          pairs_hint);
+      round->set_output_slot(&graph.slots[out_id]);
+      return round;
+    }
+    auto round = PlainRound::StageMaterialized(
+        exec, tag, *input, input, map_fn, internal::NoCombine{}, reduce_fn,
+        options, pairs_hint);
+    round->set_output_slot(&graph.slots[out_id]);
+    return round;
   };
   node.sample = [in_id, map_fn](const internal::PlanGraph& graph,
                                 std::size_t max_inputs) {

@@ -229,8 +229,12 @@ common::Result<TwoPhasePlan> BuildMultiplyTwoPhasePlan(const Matrix& r,
           .Map<std::uint64_t, Element>(map1, "two-phase cubes")
           .WithEstimate(estimate1)
           .ReduceByKey<Cell>(reduce1);
+  // Round 2 depends on each partial sum individually, so Execute streams
+  // round 1's per-shard reduce outputs into round 2's map with no global
+  // barrier between the rounds.
   auto sums = partials.Map<std::uint64_t, double>(map2, "partial-sum add")
                   .WithEstimate(estimate2)
+                  .WithPerKeyInput()
                   .ReduceByKey<Keyed>(reduce2);
   return TwoPhasePlan{std::move(plan), std::move(sums)};
 }

@@ -843,11 +843,11 @@ TEST(SimulatorDeathTest, SkewKnobsWithoutWorkersFailLoudly) {
   EXPECT_DEATH(options.ResolvedSimulation(), "MRCOST_CHECK failed");
 }
 
-TEST(Simulator, LegacyWorkerCountShorthand) {
-  // num_simulated_workers alone still runs the (skew-free) simulation and
-  // fills worker_loads exactly as before, now with makespan alongside.
+TEST(Simulator, WorkerCountOnlySimulation) {
+  // simulation.num_workers alone runs the (skew-free) simulation and
+  // fills worker_loads, with makespan alongside.
   JobOptions options;
-  options.num_simulated_workers = 7;
+  options.simulation.num_workers = 7;
   const auto sim = options.ResolvedSimulation();
   EXPECT_TRUE(sim.enabled());
   EXPECT_EQ(sim.num_workers, 7u);
@@ -1049,6 +1049,115 @@ TEST(Pipeline, RoundDefaultsMergeFieldWise) {
   EXPECT_EQ(merged.num_shards, 2u);
   EXPECT_EQ(merged.shuffle.memory_budget_bytes, std::uint64_t{1} << 10);
   EXPECT_EQ(merged.simulation.num_workers, 4u);
+}
+
+// ------------------------------------------- shuffle-config resolution
+
+/// A fully populated config, distinct from the per-field overrides below.
+ShuffleConfig FullShuffleDefaults() {
+  ShuffleConfig defaults;
+  defaults.strategy = ShuffleStrategy::kSharded;
+  defaults.memory_budget_bytes = 1 << 20;
+  defaults.spill_dir = "/tmp/mrcost-default-spill";
+  defaults.merge_fan_in = 16;
+  return defaults;
+}
+
+TEST(ShuffleConfigResolution, SingleFieldOverridesInheritTheRest) {
+  // The documented resolution order, exercised field by field: a round
+  // overriding exactly one field keeps that field and inherits the other
+  // three from the fallback.
+  const ShuffleConfig defaults = FullShuffleDefaults();
+
+  {
+    ShuffleConfig round;
+    round.strategy = ShuffleStrategy::kExternal;
+    const ShuffleConfig merged = round.MergedOver(defaults);
+    EXPECT_EQ(merged.strategy, ShuffleStrategy::kExternal);
+    EXPECT_EQ(merged.memory_budget_bytes, defaults.memory_budget_bytes);
+    EXPECT_EQ(merged.spill_dir, defaults.spill_dir);
+    EXPECT_EQ(merged.merge_fan_in, defaults.merge_fan_in);
+  }
+  {
+    ShuffleConfig round;
+    round.memory_budget_bytes = 1 << 12;
+    const ShuffleConfig merged = round.MergedOver(defaults);
+    EXPECT_EQ(merged.strategy, defaults.strategy);
+    EXPECT_EQ(merged.memory_budget_bytes, std::uint64_t{1} << 12);
+    EXPECT_EQ(merged.spill_dir, defaults.spill_dir);
+    EXPECT_EQ(merged.merge_fan_in, defaults.merge_fan_in);
+  }
+  {
+    ShuffleConfig round;
+    round.spill_dir = "/tmp/mrcost-round-spill";
+    const ShuffleConfig merged = round.MergedOver(defaults);
+    EXPECT_EQ(merged.strategy, defaults.strategy);
+    EXPECT_EQ(merged.memory_budget_bytes, defaults.memory_budget_bytes);
+    EXPECT_EQ(merged.spill_dir, "/tmp/mrcost-round-spill");
+    EXPECT_EQ(merged.merge_fan_in, defaults.merge_fan_in);
+  }
+  {
+    ShuffleConfig round;
+    round.merge_fan_in = 2;
+    const ShuffleConfig merged = round.MergedOver(defaults);
+    EXPECT_EQ(merged.strategy, defaults.strategy);
+    EXPECT_EQ(merged.memory_budget_bytes, defaults.memory_budget_bytes);
+    EXPECT_EQ(merged.spill_dir, defaults.spill_dir);
+    EXPECT_EQ(merged.merge_fan_in, 2u);
+  }
+}
+
+TEST(ShuffleConfigResolution, UnsetInheritsEverythingAndZeroStaysZero) {
+  const ShuffleConfig defaults = FullShuffleDefaults();
+  const ShuffleConfig inherited = ShuffleConfig{}.MergedOver(defaults);
+  EXPECT_EQ(inherited.strategy, defaults.strategy);
+  EXPECT_EQ(inherited.memory_budget_bytes, defaults.memory_budget_bytes);
+  EXPECT_EQ(inherited.spill_dir, defaults.spill_dir);
+  EXPECT_EQ(inherited.merge_fan_in, defaults.merge_fan_in);
+  EXPECT_TRUE(inherited.configured());
+
+  const ShuffleConfig untouched = ShuffleConfig{}.MergedOver(ShuffleConfig{});
+  EXPECT_EQ(untouched.strategy, ShuffleStrategy::kAuto);
+  EXPECT_EQ(untouched.memory_budget_bytes, 0u);
+  EXPECT_TRUE(untouched.spill_dir.empty());
+  EXPECT_EQ(untouched.merge_fan_in, 0u);
+  EXPECT_FALSE(untouched.configured());
+}
+
+TEST(ShuffleConfigResolution, ThreeLayerOrderRoundBeatsDefaultsBeatsBackstop) {
+  // The full chain Pipeline::Resolve / the plan executor apply: per-round
+  // fields win, then the round defaults, then the pipeline-wide backstop
+  // — field by field, not wholesale.
+  ShuffleConfig backstop;
+  backstop.strategy = ShuffleStrategy::kSerial;
+  backstop.memory_budget_bytes = 1 << 22;
+  backstop.spill_dir = "/tmp/mrcost-backstop-spill";
+  backstop.merge_fan_in = 64;
+
+  ShuffleConfig defaults;  // sets two of four fields
+  defaults.memory_budget_bytes = 1 << 16;
+  defaults.merge_fan_in = 8;
+
+  ShuffleConfig round;  // sets one field the defaults also set, one not
+  round.merge_fan_in = 3;
+  round.strategy = ShuffleStrategy::kExternal;
+
+  const ShuffleConfig merged =
+      round.MergedOver(defaults).MergedOver(backstop);
+  EXPECT_EQ(merged.strategy, ShuffleStrategy::kExternal);  // round
+  EXPECT_EQ(merged.memory_budget_bytes,
+            std::uint64_t{1} << 16);                       // defaults
+  EXPECT_EQ(merged.spill_dir, backstop.spill_dir);         // backstop
+  EXPECT_EQ(merged.merge_fan_in, 3u);                      // round
+}
+
+TEST(ShuffleConfigResolution, ResolvedStrategyFollowsBudget) {
+  ShuffleConfig config;
+  EXPECT_EQ(config.Resolved(), ShuffleStrategy::kSharded);
+  config.memory_budget_bytes = 1;
+  EXPECT_EQ(config.Resolved(), ShuffleStrategy::kExternal);
+  config.strategy = ShuffleStrategy::kSerial;  // explicit beats the rule
+  EXPECT_EQ(config.Resolved(), ShuffleStrategy::kSerial);
 }
 
 TEST(Pipeline, CombinedRound) {

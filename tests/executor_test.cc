@@ -1,0 +1,237 @@
+// The stage-graph execution core (src/engine/executor.h): dependency
+// scheduling on the shared ThreadPool, the staged round's determinism
+// across strategies/threads/shards (byte-identical to the serial
+// reference), the per-stage timing metrics, and the bounded AsyncRunner
+// behind ExecuteAsync.
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/engine/executor.h"
+#include "src/engine/job.h"
+
+namespace mrcost::engine {
+namespace {
+
+// ------------------------------------------------------- task scheduling
+
+TEST(StageGraphExecutor, RunsTasksInDependencyOrder) {
+  common::ThreadPool pool(4);
+  StageGraphExecutor exec(pool);
+  std::atomic<int> stage{0};
+  std::vector<int> observed(3, -1);
+
+  const auto a = exec.AddTask(StageKind::kMap, 0, {}, [&] {
+    observed[0] = stage.fetch_add(1);
+  });
+  const auto b = exec.AddTask(StageKind::kShuffle, 0, {a}, [&] {
+    observed[1] = stage.fetch_add(1);
+  });
+  exec.AddTask(StageKind::kReduce, 0, {b}, [&] {
+    observed[2] = stage.fetch_add(1);
+  });
+  exec.Wait();
+  EXPECT_EQ(observed[0], 0);
+  EXPECT_EQ(observed[1], 1);
+  EXPECT_EQ(observed[2], 2);
+}
+
+TEST(StageGraphExecutor, DiamondJoinWaitsForAllDependencies) {
+  common::ThreadPool pool(4);
+  StageGraphExecutor exec(pool);
+  std::atomic<int> sources_done{0};
+  bool join_saw_both = false;
+
+  const auto a = exec.AddTask(StageKind::kMap, 0, {}, [&] {
+    ++sources_done;
+  });
+  const auto b = exec.AddTask(StageKind::kMap, 0, {}, [&] {
+    ++sources_done;
+  });
+  exec.AddTask(StageKind::kShuffle, 0, {a, b}, [&] {
+    join_saw_both = sources_done.load() == 2;
+  });
+  exec.Wait();
+  EXPECT_TRUE(join_saw_both);
+}
+
+TEST(StageGraphExecutor, TasksAddedAgainstCompletedDepsStillRun) {
+  // The plan driver stages round k+1 after round k's tasks may already
+  // have drained; deps on finished tasks must count as satisfied.
+  common::ThreadPool pool(2);
+  StageGraphExecutor exec(pool);
+  const auto a = exec.AddTask(StageKind::kMap, 0, {}, [] {});
+  exec.Wait();
+  bool ran = false;
+  exec.AddTask(StageKind::kReduce, 1, {a, StageGraphExecutor::kNoTask},
+               [&] { ran = true; });
+  exec.Wait();
+  EXPECT_TRUE(ran);
+}
+
+TEST(StageGraphExecutor, RecordsSpansForEveryTask) {
+  common::ThreadPool pool(2);
+  StageGraphExecutor exec(pool);
+  const auto a = exec.AddTask(StageKind::kMap, 7, {}, [] {
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  });
+  exec.Wait();
+  const TaskSpan span = exec.SpanOf(a);
+  EXPECT_GE(span.end_ms, span.begin_ms);
+  const auto records = exec.SnapshotRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].round_tag, 7u);
+  EXPECT_EQ(records[0].kind, StageKind::kMap);
+}
+
+// ------------------------------------------------ staged-round semantics
+
+/// Order-sensitive fold so any grouping or ordering deviation from the
+/// serial reference changes the output bytes.
+struct FoldJob {
+  static void Map(const std::uint64_t& x,
+                  Emitter<std::uint64_t, std::uint64_t>& emitter) {
+    emitter.Emit(x % 193, x);
+    emitter.Emit(x % 677, x * 3 + 1);
+  }
+  static void Reduce(const std::uint64_t& key,
+                     const std::vector<std::uint64_t>& values,
+                     std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+                         out) {
+    std::uint64_t acc = key;
+    for (std::uint64_t v : values) acc = acc * 1099511628211ULL + v;
+    out.emplace_back(key, acc);
+  }
+};
+
+TEST(StagedRound, ByteIdenticalAcrossStrategiesThreadsAndShards) {
+  std::vector<std::uint64_t> inputs(20000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+
+  JobOptions serial;
+  serial.num_threads = 1;
+  serial.shuffle.strategy = ShuffleStrategy::kSerial;
+  const auto reference =
+      RunMapReduce<std::uint64_t, std::uint64_t, std::uint64_t,
+                   std::pair<std::uint64_t, std::uint64_t>>(
+          inputs, FoldJob::Map, FoldJob::Reduce, serial);
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    for (std::size_t shards : {0u, 1u, 3u, 8u}) {
+      for (ShuffleStrategy strategy :
+           {ShuffleStrategy::kSerial, ShuffleStrategy::kSharded,
+            ShuffleStrategy::kExternal}) {
+        JobOptions options;
+        options.num_threads = threads;
+        options.num_shards = shards;
+        options.shuffle.strategy = strategy;
+        if (strategy == ShuffleStrategy::kExternal) {
+          options.shuffle.memory_budget_bytes = 1 << 12;
+        }
+        const auto run =
+            RunMapReduce<std::uint64_t, std::uint64_t, std::uint64_t,
+                         std::pair<std::uint64_t, std::uint64_t>>(
+                inputs, FoldJob::Map, FoldJob::Reduce, options);
+        EXPECT_EQ(run.outputs, reference.outputs)
+            << "threads=" << threads << " shards=" << shards
+            << " strategy=" << ToString(strategy);
+        EXPECT_EQ(run.metrics.pairs_shuffled,
+                  reference.metrics.pairs_shuffled);
+        EXPECT_EQ(run.metrics.num_reducers, reference.metrics.num_reducers);
+        EXPECT_EQ(run.metrics.max_reducer_input,
+                  reference.metrics.max_reducer_input);
+      }
+    }
+  }
+}
+
+TEST(StagedRound, ReportsStageTimings) {
+  std::vector<std::uint64_t> inputs(30000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  JobOptions options;
+  options.num_threads = 4;
+  options.num_shards = 4;
+  options.shuffle.strategy = ShuffleStrategy::kSharded;
+  const auto run =
+      RunMapReduce<std::uint64_t, std::uint64_t, std::uint64_t,
+                   std::pair<std::uint64_t, std::uint64_t>>(
+          inputs, FoldJob::Map, FoldJob::Reduce, options);
+  const JobMetrics& m = run.metrics;
+  EXPECT_TRUE(m.timed());
+  EXPECT_GT(m.span_ms, 0.0);
+  EXPECT_GT(m.map_ms, 0.0);
+  EXPECT_GT(m.shuffle_ms, 0.0);
+  EXPECT_GT(m.reduce_ms, 0.0);
+  EXPECT_GE(m.barrier_wait_ms, 0.0);
+  EXPECT_GE(m.overlap_fraction(), 0.0);
+  EXPECT_LE(m.overlap_fraction(), 2.0);  // two adjacent-stage pairs
+}
+
+TEST(StagedRound, EmptyInputProducesEmptyTimedRound) {
+  std::vector<std::uint64_t> inputs;
+  const auto run =
+      RunMapReduce<std::uint64_t, std::uint64_t, std::uint64_t,
+                   std::pair<std::uint64_t, std::uint64_t>>(
+          inputs, FoldJob::Map, FoldJob::Reduce, {});
+  EXPECT_TRUE(run.outputs.empty());
+  EXPECT_EQ(run.metrics.num_inputs, 0u);
+  EXPECT_EQ(run.metrics.num_reducers, 0u);
+}
+
+TEST(StagedRound, SimulationIdenticalAcrossSchedules) {
+  // Simulation reports are a pure function of the (deterministic) shuffle
+  // result, so the staged executor must reproduce them for every thread
+  // count even though task completion order varies.
+  std::vector<std::uint64_t> inputs(5000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto run_with_threads = [&](std::size_t threads) {
+    JobOptions options;
+    options.num_threads = threads;
+    options.simulation.num_workers = 6;
+    options.simulation.straggler_fraction = 0.3;
+    options.simulation.straggler_slowdown = 3.0;
+    options.simulation.seed = 11;
+    return RunMapReduce<std::uint64_t, std::uint64_t, std::uint64_t,
+                        std::pair<std::uint64_t, std::uint64_t>>(
+        inputs, FoldJob::Map, FoldJob::Reduce, options);
+  };
+  const auto one = run_with_threads(1);
+  const auto four = run_with_threads(4);
+  EXPECT_EQ(one.outputs, four.outputs);
+  EXPECT_DOUBLE_EQ(one.metrics.makespan, four.metrics.makespan);
+  EXPECT_DOUBLE_EQ(one.metrics.load_imbalance, four.metrics.load_imbalance);
+  EXPECT_DOUBLE_EQ(one.metrics.worker_loads.sum(),
+                   four.metrics.worker_loads.sum());
+}
+
+// ------------------------------------------------------------ AsyncRunner
+
+TEST(AsyncRunner, RunsQueuedWorkToCompletion) {
+  auto f1 = AsyncRunner::Global().Run([] { return 1 + 1; });
+  auto f2 = AsyncRunner::Global().Run([] { return std::string("done"); });
+  EXPECT_EQ(f1.get(), 2);
+  EXPECT_EQ(f2.get(), "done");
+}
+
+TEST(AsyncRunner, ManyConcurrentSubmissionsAllResolve) {
+  // The point of the runner: dozens of outstanding futures share a fixed
+  // pool instead of spawning a thread each — and all of them resolve.
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(AsyncRunner::Global().Run([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+}  // namespace
+}  // namespace mrcost::engine

@@ -598,6 +598,36 @@ TEST(Plan, PlannedStrategyMatchesExecuteChooser) {
   EXPECT_EQ(run.round_strategies[0], ShuffleStrategy::kSharded);
 }
 
+TEST(Plan, PipelineWideSimulationReachesEveryRound) {
+  // ExecutionOptions::pipeline.simulation must simulate every round the
+  // plan executes (the backstop Pipeline::Resolve applies), not just be
+  // narrated by Explain — executed and explained plans have to agree.
+  SyntheticJob job;
+  Plan plan;
+  auto ds = plan.Source(job.inputs)
+                .Map<int, std::uint64_t>(SyntheticJob::MapFn)
+                .ReduceByKey<std::pair<int, std::uint64_t>>(
+                    SyntheticJob::ReduceFn);
+  ExecutionOptions options;
+  options.pipeline.simulation.num_workers = 8;
+  auto run = ds.Execute(options);
+  ASSERT_EQ(run.metrics.rounds.size(), 1u);
+  EXPECT_TRUE(run.metrics.rounds[0].simulated());
+  EXPECT_EQ(run.metrics.rounds[0].worker_loads.count(), 8);
+  EXPECT_GT(run.metrics.rounds[0].makespan, 0.0);
+  // A round's own simulation still wins whole over the backstop.
+  Plan own;
+  JobOptions round_options;
+  round_options.simulation.num_workers = 3;
+  auto own_run = own.Source(job.inputs)
+                     .Map<int, std::uint64_t>(SyntheticJob::MapFn)
+                     .WithOptions(round_options)
+                     .ReduceByKey<std::pair<int, std::uint64_t>>(
+                         SyntheticJob::ReduceFn)
+                     .Execute(options);
+  EXPECT_EQ(own_run.metrics.rounds[0].worker_loads.count(), 3);
+}
+
 TEST(Plan, ExplainNarratesThePhysicalPlan) {
   const int n = 12;
   matmul::Matrix r(n, n), s(n, n);
@@ -722,6 +752,261 @@ TEST(PlanFamilies, MatmulTwoPhaseAcrossStrategies) {
     EXPECT_EQ(run->product.MaxAbsDiff(reference->product), 0.0);
     EXPECT_EQ(run->metrics.total_pairs(), reference->metrics.total_pairs());
     EXPECT_EQ(run->metrics.total_bytes(), reference->metrics.total_bytes());
+  }
+}
+
+// ---------------------------------------------- streaming vs barrier
+
+/// Execution options for the streaming comparisons: explicit strategy
+/// (tight budget when external) and the streaming switch.
+ExecutionOptions StreamingOptions(ShuffleStrategy strategy, bool streaming) {
+  ExecutionOptions options(StrategyOptions(strategy));
+  options.streaming = streaming;
+  return options;
+}
+
+TEST(PlanStreaming, StreamedRoundOverlapsProducerReduce) {
+  // Round 1: many keys with a deliberately heavy reduce, spread over
+  // several shards; round 2: a cheap per-key regroup. With streaming on,
+  // round 2's map for shard s starts the moment shard s finishes
+  // reducing, while later shards still reduce — so the streamed edge has
+  // wall-clock overlap, and outputs stay byte-identical to the barrier
+  // schedule.
+  std::vector<int> inputs(60000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto build = [&](Plan& plan) {
+    auto round1 =
+        plan.Source(inputs)
+            .Map<std::uint64_t, std::uint64_t>(
+                [](const int& x, Emitter<std::uint64_t, std::uint64_t>& e) {
+                  const auto v = static_cast<std::uint64_t>(x);
+                  e.Emit(v % 1024, v);
+                },
+                "fan-in")
+            .ReduceByKey<std::pair<std::uint64_t, std::uint64_t>>(
+                [](const std::uint64_t& key,
+                   const std::vector<std::uint64_t>& values,
+                   std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+                       out) {
+                  std::uint64_t acc = key;
+                  for (int pass = 0; pass < 200; ++pass) {
+                    for (std::uint64_t v : values) acc = acc * 31 + v;
+                  }
+                  out.emplace_back(key, acc);
+                });
+    return round1
+        .Map<std::uint64_t, std::uint64_t>(
+            [](const std::pair<std::uint64_t, std::uint64_t>& p,
+               Emitter<std::uint64_t, std::uint64_t>& e) {
+              e.Emit(p.first % 16, p.second);
+            },
+            "regroup")
+        .WithPerKeyInput()
+        .ReduceByKey<std::pair<std::uint64_t, std::uint64_t>>(
+            [](const std::uint64_t& key,
+               const std::vector<std::uint64_t>& values,
+               std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) {
+              std::uint64_t acc = key;
+              for (std::uint64_t v : values) acc = acc * 131 + v;
+              out.emplace_back(key, acc);
+            });
+  };
+  Plan plan;
+  auto target = build(plan);
+  ExecutionOptions streaming;
+  streaming.pipeline.num_threads = 4;
+  streaming.pipeline.round_defaults.num_shards = 8;
+  ExecutionOptions barrier = streaming;
+  barrier.streaming = false;
+
+  auto streamed_run = target.Execute(streaming);
+  auto barrier_run = target.Execute(barrier);
+
+  EXPECT_EQ(streamed_run.outputs, barrier_run.outputs);
+  ASSERT_EQ(streamed_run.metrics.rounds.size(), 2u);
+  EXPECT_EQ(streamed_run.metrics.streamed_rounds, 1u);
+  EXPECT_EQ(barrier_run.metrics.streamed_rounds, 0u);
+  EXPECT_GT(streamed_run.metrics.exec_span_ms, 0.0);
+  // The acceptance bar: the streamed edge overlapped in wall clock.
+  EXPECT_GT(streamed_run.metrics.streamed_overlap_ms, 0.0);
+  EXPECT_GT(streamed_run.metrics.overlap_fraction(), 0.0);
+  // Non-timing metrics are schedule-independent.
+  for (std::size_t i = 0; i < 2; ++i) {
+    ExpectSameMetrics(streamed_run.metrics.rounds[i],
+                      barrier_run.metrics.rounds[i]);
+  }
+}
+
+TEST(PlanStreaming, FallsBackWhenStreamingDoesNotApply) {
+  std::vector<int> inputs(3000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto map1 = [](const int& x, Emitter<int, std::int64_t>& e) {
+    e.Emit(x % 100, x);
+  };
+  auto sum_reduce = [](const int& key,
+                       const std::vector<std::int64_t>& values,
+                       std::vector<std::pair<int, std::int64_t>>& out) {
+    std::int64_t total = 0;
+    for (std::int64_t v : values) total += v;
+    out.emplace_back(key, total);
+  };
+  auto map2 = [](const std::pair<int, std::int64_t>& p,
+                 Emitter<int, std::int64_t>& e) {
+    e.Emit(p.first % 10, p.second);
+  };
+
+  // External consumer strategy: spilling wants the whole input on hand,
+  // so the per-key hint is ignored and the rounds run with a barrier.
+  {
+    Plan plan;
+    auto target = plan.Source(inputs)
+                      .Map<int, std::int64_t>(map1)
+                      .ReduceByKey<std::pair<int, std::int64_t>>(sum_reduce)
+                      .Map<int, std::int64_t>(map2)
+                      .WithPerKeyInput()
+                      .ReduceByKey<std::pair<int, std::int64_t>>(sum_reduce);
+    auto run = target.Execute(
+        StreamingOptions(ShuffleStrategy::kExternal, /*streaming=*/true));
+    EXPECT_EQ(run.metrics.streamed_rounds, 0u);
+    EXPECT_EQ(run.outputs.size(), 10u);
+  }
+
+  // Combined consumer: the chunk-local combine is chunking-dependent, so
+  // a combined round never streams its input.
+  {
+    Plan plan;
+    auto target = plan.Source(inputs)
+                      .Map<int, std::int64_t>(map1)
+                      .ReduceByKey<std::pair<int, std::int64_t>>(sum_reduce)
+                      .Map<int, std::int64_t>(map2)
+                      .CombineByKey([](std::int64_t a, std::int64_t b) {
+                        return a + b;
+                      })
+                      .WithPerKeyInput()
+                      .ReduceByKey<std::pair<int, std::int64_t>>(sum_reduce);
+    auto run = target.Execute();
+    EXPECT_EQ(run.metrics.streamed_rounds, 0u);
+    EXPECT_EQ(run.outputs.size(), 10u);
+  }
+
+  // Branched consumers: finalize may only chase one streamed reader, so
+  // a producer with two needed consumers runs with a barrier.
+  {
+    Plan plan;
+    auto round1 = plan.Source(inputs)
+                      .Map<int, std::int64_t>(map1)
+                      .ReduceByKey<std::pair<int, std::int64_t>>(sum_reduce);
+    auto left = round1.Map<int, std::int64_t>(map2)
+                    .WithPerKeyInput()
+                    .ReduceByKey<std::pair<int, std::int64_t>>(sum_reduce);
+    auto right = round1.Map<int, std::int64_t>(map2)
+                     .WithPerKeyInput()
+                     .ReduceByKey<std::pair<int, std::int64_t>>(sum_reduce);
+    (void)left;
+    auto metrics = plan.Execute();
+    EXPECT_EQ(metrics.streamed_rounds, 0u);
+    auto run = right.Execute();
+    EXPECT_EQ(run.outputs.size(), 10u);
+  }
+}
+
+TEST(PlanStreaming, FamiliesByteIdenticalToBarrierAcrossStrategiesAndSeeds) {
+  // The acceptance matrix: streaming == barrier, byte for byte, for all
+  // four families x {serial, sharded, external} x seeds. The multi-round
+  // families (matmul two-phase, join-aggregate) actually stream; the
+  // one-round families pin the degenerate case.
+  const std::vector<ShuffleStrategy> strategies = {
+      ShuffleStrategy::kSerial, ShuffleStrategy::kSharded,
+      ShuffleStrategy::kExternal};
+
+  // Two-phase matmul: round 2 declares the per-key hint.
+  for (std::uint64_t seed : {31u, 32u}) {
+    const int n = 16;
+    matmul::Matrix r(n, n), s(n, n);
+    common::SplitMix64 rng(seed);
+    r.FillRandom(rng);
+    s.FillRandom(rng);
+    auto plan = matmul::BuildMultiplyTwoPhasePlan(r, s, 4, 2);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    for (ShuffleStrategy strategy : strategies) {
+      SCOPED_TRACE(std::string("matmul ") + ToString(strategy) +
+                   " seed=" + std::to_string(seed));
+      auto streamed = plan->sums.Execute(StreamingOptions(strategy, true));
+      auto barrier = plan->sums.Execute(StreamingOptions(strategy, false));
+      EXPECT_EQ(streamed.outputs, barrier.outputs);
+      ASSERT_EQ(streamed.metrics.rounds.size(), 2u);
+      for (std::size_t i = 0; i < 2; ++i) {
+        ExpectSameMetrics(streamed.metrics.rounds[i],
+                          barrier.metrics.rounds[i]);
+      }
+      EXPECT_EQ(barrier.metrics.streamed_rounds, 0u);
+      if (strategy != ShuffleStrategy::kExternal) {
+        EXPECT_EQ(streamed.metrics.streamed_rounds, 1u);
+      }
+    }
+  }
+
+  // HyperCube join + aggregate: round 2 declares the per-key hint.
+  {
+    const join::Query query = join::ChainQuery(2);
+    for (std::uint64_t seed : {41u, 42u}) {
+      const auto relations = join::ZipfRelationsForQuery(
+          query, /*size=*/500, /*domain=*/30, /*exponent=*/0.7, seed);
+      std::vector<const join::Relation*> ptrs;
+      for (const auto& rel : relations) ptrs.push_back(&rel);
+      const std::vector<int> shares{1, 4, 1};
+      auto plan = join::BuildHyperCubeJoinAggregatePlan(
+          query, ptrs, shares, /*group_attr=*/0, /*sum_attr=*/2,
+          /*pre_aggregate=*/false, /*seed=*/3);
+      ASSERT_TRUE(plan.ok()) << plan.status();
+      for (ShuffleStrategy strategy : strategies) {
+        SCOPED_TRACE(std::string("join ") + ToString(strategy) +
+                     " seed=" + std::to_string(seed));
+        auto streamed = plan->sums.Execute(StreamingOptions(strategy, true));
+        auto barrier = plan->sums.Execute(StreamingOptions(strategy, false));
+        EXPECT_EQ(streamed.outputs, barrier.outputs);
+        ASSERT_EQ(streamed.metrics.rounds.size(), 2u);
+        for (std::size_t i = 0; i < 2; ++i) {
+          ExpectSameMetrics(streamed.metrics.rounds[i],
+                            barrier.metrics.rounds[i]);
+        }
+      }
+    }
+  }
+
+  // Hamming splitting join (one round: the degenerate streaming case).
+  for (std::uint64_t seed : {51u, 52u}) {
+    const auto strings = hamming::SkewedStrings(
+        /*b=*/12, /*n=*/400, /*num_hubs=*/8, /*exponent=*/0.8, seed);
+    auto plan = hamming::BuildSplittingSimilarityJoinPlan(strings, 12, 3, 1);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    for (ShuffleStrategy strategy : strategies) {
+      SCOPED_TRACE(std::string("hamming ") + ToString(strategy) +
+                   " seed=" + std::to_string(seed));
+      auto streamed = plan->pairs.Execute(StreamingOptions(strategy, true));
+      auto barrier = plan->pairs.Execute(StreamingOptions(strategy, false));
+      EXPECT_EQ(streamed.outputs, barrier.outputs);
+      ExpectSameMetrics(streamed.metrics.rounds[0],
+                        barrier.metrics.rounds[0]);
+    }
+  }
+
+  // Sample-graph enumeration (one round).
+  for (std::uint64_t seed : {61u, 62u}) {
+    const graph::Graph data =
+        graph::ZipfGraph(/*n=*/150, /*m=*/600, /*exponent=*/0.6, seed);
+    const graph::Graph pattern(3, {{0, 1}, {1, 2}, {0, 2}});
+    auto plan = graph::BuildSampleGraphPlan(data, pattern, /*k=*/5,
+                                            /*seed=*/7);
+    for (ShuffleStrategy strategy : strategies) {
+      SCOPED_TRACE(std::string("graph ") + ToString(strategy) +
+                   " seed=" + std::to_string(seed));
+      auto streamed = plan.counts.Execute(StreamingOptions(strategy, true));
+      auto barrier = plan.counts.Execute(StreamingOptions(strategy, false));
+      EXPECT_EQ(streamed.outputs, barrier.outputs);
+      ExpectSameMetrics(streamed.metrics.rounds[0],
+                        barrier.metrics.rounds[0]);
+    }
   }
 }
 
