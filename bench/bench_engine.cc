@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <utility>
@@ -27,31 +28,84 @@
 
 namespace {
 
+// Pairs-vs-blocks shuffle comparison on string keys (where the columnar
+// layout pays: one serialize+hash per key at emit time, zero key copies
+// afterwards). mode 0 runs the pair-based ShardedShuffle the engine used
+// before the block representation; mode 1 fills columnar KVBlocks through
+// the Emitter and runs BlockShardedShuffle. Both produce identical
+// first-seen-ordered results; the delta is pure representation cost.
+// Arguments: {n, mode}.
 void BM_ShuffleThroughput(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint64_t> inputs(n);
-  std::iota(inputs.begin(), inputs.end(), 0);
-  auto map_fn = [](const std::uint64_t& x,
-                   mrcost::engine::Emitter<std::uint64_t, std::uint64_t>&
-                       emitter) {
-    emitter.Emit(mrcost::common::Mix64(x) % 1024, x);
+  const bool blocks_mode = state.range(1) == 1;
+  const std::size_t num_chunks = 8;
+  const std::size_t num_shards = 8;
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  mrcost::common::ThreadPool pool(4);
+
+  auto key_of = [](std::uint64_t x) {
+    return "user:" + std::to_string(mrcost::common::Mix64(x) % (1 << 16)) +
+           ":metric";
   };
-  auto reduce_fn = [](const std::uint64_t&,
-                      const std::vector<std::uint64_t>& values,
-                      std::vector<std::uint64_t>& out) {
-    std::uint64_t sum = 0;
-    for (std::uint64_t v : values) sum += v;
-    out.push_back(sum);
-  };
+
+  std::size_t keys_seen = 0;
+  double last_ms = 0;
   for (auto _ : state) {
-    auto result = mrcost::engine::RunMapReduce<std::uint64_t, std::uint64_t,
-                                               std::uint64_t, std::uint64_t>(
-        inputs, map_fn, reduce_fn, {});
-    benchmark::DoNotOptimize(result.outputs);
+    const auto start = std::chrono::steady_clock::now();
+    if (blocks_mode) {
+      std::vector<std::unique_ptr<
+          mrcost::storage::KVBlock<std::string, std::uint64_t>>>
+          blocks;
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        mrcost::engine::Emitter<std::string, std::uint64_t> emitter;
+        const std::size_t lo = std::min(n, c * chunk);
+        const std::size_t hi = std::min(n, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) emitter.Emit(key_of(i), i);
+        blocks.push_back(
+            std::make_unique<
+                mrcost::storage::KVBlock<std::string, std::uint64_t>>(
+                std::move(emitter.block())));
+      }
+      auto result =
+          mrcost::engine::BlockShardedShuffle(blocks, pool, num_shards);
+      keys_seen = result.keys.size();
+      benchmark::DoNotOptimize(result.groups);
+    } else {
+      std::vector<std::vector<std::pair<std::string, std::uint64_t>>> chunks(
+          num_chunks);
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t lo = std::min(n, c * chunk);
+        const std::size_t hi = std::min(n, lo + chunk);
+        chunks[c].reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          chunks[c].emplace_back(key_of(i), i);
+        }
+      }
+      auto result = mrcost::engine::ShardedShuffle(chunks, pool, num_shards);
+      keys_seen = result.keys.size();
+      benchmark::DoNotOptimize(result.groups);
+    }
+    last_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+  state.counters["keys"] = static_cast<double>(keys_seen);
+  // Wall time includes building the chunk/block inputs, so the line
+  // compares the full pair path (materialize pairs, shuffle them) with
+  // the full block path (emit into blocks, shuffle row indices).
+  std::printf(
+      "BENCH_JSON {\"bench\":\"shuffle_throughput\",\"mode\":\"%s\","
+      "\"n\":%zu,\"keys\":%zu,\"wall_ms\":%.3f,\"mpairs_per_s\":%.3f}\n",
+      blocks_mode ? "blocks" : "pairs", n, keys_seen, last_ms,
+      last_ms > 0 ? static_cast<double>(n) / last_ms / 1e3 : 0.0);
 }
-BENCHMARK(BM_ShuffleThroughput)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_ShuffleThroughput)
+    ->ArgNames({"n", "blocks"})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
 
 void BM_ReplicationFanout(benchmark::State& state) {
   // Each input emitted to `fanout` keys: stresses the replication path the

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -47,6 +48,7 @@ std::size_t ByteSizeOf(const std::pair<A, B>& p);
 template <typename... Ts>
 std::size_t ByteSizeOf(const std::tuple<Ts...>& t);
 inline std::size_t ByteSizeOf(const std::string& s);
+inline std::size_t ByteSizeOf(std::string_view sv);
 template <typename T>
 std::size_t ByteSizeOf(const std::vector<T>& v);
 
@@ -85,6 +87,14 @@ std::size_t ByteSizeOf(const std::tuple<Ts...>& t) {
 inline std::size_t ByteSizeOf(const std::string& s) {
   return sizeof(std::string) +
          (s.size() > kStringSsoCapacity ? s.size() : 0);
+}
+
+/// A view is priced as the view object plus the full viewed payload: the
+/// bytes live in someone's arena, and the budget checks that price blocks
+/// by (src/storage/block.h) must count them. There is no SSO discount —
+/// a view never stores characters inline.
+inline std::size_t ByteSizeOf(std::string_view sv) {
+  return sizeof(std::string_view) + sv.size();
 }
 
 template <typename T>

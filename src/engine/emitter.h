@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <iterator>
 #include <utility>
 #include <vector>
 
 #include "src/common/byte_size.h"
+#include "src/storage/block.h"
 
 namespace mrcost::engine {
 
@@ -18,83 +18,104 @@ namespace mrcost::engine {
 /// num_emitted() count every pair ever emitted even after the buffer has
 /// been drained.
 ///
+/// Emissions land in a columnar KVBlock (src/storage/block.h) rather than
+/// a vector of pairs: the key serializes once into the block's arena (and
+/// is hashed there, once), the value moves into a typed column, and every
+/// downstream stage — routing, grouping, spilling — works on row indices
+/// into the block instead of copying pairs.
+///
 /// Under the external shuffle the engine binds an overflow sink: once the
-/// buffered batch's ByteSizeOf footprint reaches the budget, the sink
-/// consumes pairs() (spilling them to a sorted run) and the buffer
-/// restarts empty. The engine gives this buffer and the sink's own
-/// serialized batch half the chunk's budget share each, so the chunk's
-/// peak working set — both stages live while a flush drains — stays at
-/// its share (plus one batch of slack).
+/// buffered block's ByteSizeOf footprint reaches the budget, the sink
+/// consumes block() (spilling it as a sorted columnar run) and the block
+/// restarts empty. Blocks spill straight from the emitter buffer — there
+/// is no second serialization stage — so the chunk's full budget share
+/// backs this one buffer.
 template <typename Key, typename Value>
 class Emitter {
  public:
   using Batch = std::vector<std::pair<Key, Value>>;
+  using Block = storage::KVBlock<Key, Value>;
 
   void Emit(Key key, Value value) {
     const std::uint64_t size =
         common::ByteSizeOf(key) + common::ByteSizeOf(value);
     bytes_ += size;
-    batch_bytes_ += size;
+    block_bytes_ += size;
     ++num_emitted_;
-    pairs_.emplace_back(std::move(key), std::move(value));
-    if (sink_ && batch_bytes_ >= budget_) Flush();
+    block_.Append(key, std::move(value));
+    if (sink_ && block_bytes_ >= budget_) Flush();
   }
 
-  /// Appends a whole batch with one accounting sweep and one bulk move —
-  /// the batched fast path for map functions that emit many pairs per
-  /// input. Consumes `batch`, returning it empty but with usable capacity
-  /// (buffers are swapped, not freed), so callers can reuse one
-  /// (e.g. thread_local) buffer across inputs without reallocating.
+  /// Appends a whole batch with one accounting sweep — the batched fast
+  /// path for map functions that emit many pairs per input. Consumes
+  /// `batch`, returning it empty but with usable capacity (elements move
+  /// into the block; the vector keeps its buffer), so callers can reuse
+  /// one (e.g. thread_local) buffer across inputs without reallocating.
+  /// An empty batch is a no-op — it neither counts emissions nor
+  /// triggers a flush.
   void EmitBatch(Batch& batch) {
+    if (batch.empty()) return;
     std::uint64_t size = 0;
     for (const auto& [key, value] : batch) {
       size += common::ByteSizeOf(key) + common::ByteSizeOf(value);
     }
     bytes_ += size;
-    batch_bytes_ += size;
+    block_bytes_ += size;
     num_emitted_ += batch.size();
-    if (pairs_.empty()) {
-      pairs_.swap(batch);
-    } else {
-      pairs_.insert(pairs_.end(), std::make_move_iterator(batch.begin()),
-                    std::make_move_iterator(batch.end()));
+    for (auto& [key, value] : batch) {
+      block_.Append(key, std::move(value));
     }
     batch.clear();
-    if (sink_ && batch_bytes_ >= budget_) Flush();
+    if (sink_ && block_bytes_ >= budget_) Flush();
   }
 
-  /// Binds the overflow sink (the external shuffle's run writer). The sink
-  /// receives the buffered pairs by reference and may leave them in any
-  /// state; the emitter clears the buffer afterwards.
+  /// Binds the overflow sink (the external shuffle's spill path). The sink
+  /// receives the buffered block by reference and may leave it in any
+  /// state; the emitter clears the block afterwards.
   void SetOverflow(std::uint64_t budget_bytes,
-                   std::function<void(Batch&)> sink) {
+                   std::function<void(Block&)> sink) {
     budget_ = budget_bytes;
     sink_ = std::move(sink);
   }
 
-  /// Hands any buffered pairs to the overflow sink now (no-op without a
+  /// Hands any buffered rows to the overflow sink now (no-op without a
   /// sink); the engine calls this after the last map call of a chunk.
   void Flush() {
-    if (!sink_ || pairs_.empty()) return;
-    sink_(pairs_);
-    pairs_.clear();
-    batch_bytes_ = 0;
+    if (!sink_ || block_.empty()) return;
+    copied_ += block_.CopiedBytes();
+    ++blocks_flushed_;
+    sink_(block_);
+    block_.Clear();
+    block_bytes_ = 0;
   }
 
-  Batch& pairs() { return pairs_; }
+  Block& block() { return block_; }
+  const Block& block() const { return block_; }
   /// Cumulative ByteSizeOf of every pair ever emitted.
   std::uint64_t bytes() const { return bytes_; }
-  /// Cumulative count of every pair ever emitted (pairs().size() only
+  /// Cumulative count of every pair ever emitted (block().rows() only
   /// until an overflow sink drains the buffer).
   std::uint64_t num_emitted() const { return num_emitted_; }
+  /// Blocks handed downstream: sink flushes plus the live block if it
+  /// holds rows.
+  std::uint64_t blocks_emitted() const {
+    return blocks_flushed_ + (block_.empty() ? 0 : 1);
+  }
+  /// Bytes physically copied into blocks (key arena bytes + moved value
+  /// objects) — the numerator of the copy-efficiency metrics.
+  std::uint64_t bytes_copied() const {
+    return copied_ + block_.CopiedBytes();
+  }
 
  private:
-  Batch pairs_;
+  Block block_;
   std::uint64_t bytes_ = 0;
-  std::uint64_t batch_bytes_ = 0;
+  std::uint64_t block_bytes_ = 0;
   std::uint64_t num_emitted_ = 0;
+  std::uint64_t blocks_flushed_ = 0;
+  std::uint64_t copied_ = 0;
   std::uint64_t budget_ = 0;
-  std::function<void(Batch&)> sink_;
+  std::function<void(Block&)> sink_;
 };
 
 }  // namespace mrcost::engine

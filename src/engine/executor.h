@@ -28,6 +28,7 @@
 #include "src/engine/metrics.h"
 #include "src/engine/shuffle.h"
 #include "src/engine/simulator.h"
+#include "src/storage/block.h"
 #include "src/storage/external_merge.h"
 #include "src/storage/run_writer.h"
 
@@ -476,10 +477,7 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
   }
 
  private:
-  struct RoutedPair {
-    PairPos pos;
-    std::pair<K, V> kv;
-  };
+  using Block = storage::KVBlock<K, V>;
 
   /// One in-memory shard's grouped state, filled by its ShardGroup task
   /// and consumed by its ReduceShard task.
@@ -511,10 +509,9 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
 
   void MapChunk(std::size_t c, std::size_t lo, std::size_t hi);
   void MapStreamBlock(std::size_t b);
-  void RoutePairs(std::size_t task, std::vector<std::pair<K, V>>& pairs);
-  std::vector<std::pair<K, V>> CombineEmitted(Emitter<K, V>& emitter,
-                                              std::uint64_t& bytes);
-  void SpillPairs(std::size_t c, std::vector<std::pair<K, V>>& pairs);
+  void RouteBlock(std::size_t task);
+  std::unique_ptr<Block> CombineBlock(Block& in, std::uint64_t& bytes,
+                                      std::vector<std::uint64_t>* row_bytes);
   void GroupShard(std::size_t p);
   void MergeSpills();
   template <typename Keys, typename Groups>
@@ -570,18 +567,25 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
   std::size_t num_map_tasks_ = 0;
   std::size_t num_shards_ = 1;
 
-  // Per-map-task partials (indexed by task).
-  std::vector<std::vector<std::vector<RoutedPair>>> buckets_;  // [task][shard]
+  // Per-map-task partials (indexed by task). Each map task owns one
+  // columnar block; shard_rows_[task][shard] holds the row indices the
+  // radix pass routed to that shard, so ShardGroup tasks consume index
+  // ranges instead of copied pairs.
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> shard_rows_;
+  // Streamed only: scan-order tag per block row (parallel column).
+  std::vector<std::vector<PairPos>> tag_pos_;
   std::vector<std::uint64_t> task_pairs_;      // routed (post-combine)
   std::vector<std::uint64_t> task_raw_pairs_;  // pre-combine
   std::vector<std::uint64_t> task_bytes_;      // shuffled bytes
   std::vector<std::uint64_t> task_inputs_;     // streamed: inputs consumed
+  std::vector<std::uint64_t> task_blocks_;     // blocks handed downstream
+  std::vector<std::uint64_t> task_copied_;     // bytes physically copied
 
   // External-shuffle state.
   std::unique_ptr<storage::RunSpiller> spiller_;
-  std::vector<std::unique_ptr<storage::RunWriter<K, V>>> writers_;
   std::vector<common::Status> spill_status_;
-  std::vector<std::vector<storage::SpillRecord>> tails_;
+  std::vector<storage::ColumnarRun> tails_;
   storage::SpillStats spill_stats_;
   ShuffleResult<K, V> merged_;
   std::vector<std::size_t> range_begin_;  // ReduceRange key boundaries
@@ -627,15 +631,17 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::
   task_pairs_.assign(num_map_tasks_, 0);
   task_raw_pairs_.assign(num_map_tasks_, 0);
   task_bytes_.assign(num_map_tasks_, 0);
+  task_blocks_.assign(num_map_tasks_, 0);
+  task_copied_.assign(num_map_tasks_, 0);
   if (strategy_ == ShuffleStrategy::kExternal) {
     spiller_ =
         std::make_unique<storage::RunSpiller>(options_.shuffle.spill_dir);
-    writers_.resize(num_map_tasks_);
     spill_status_.assign(num_map_tasks_, common::Status::Ok());
     tails_.resize(num_map_tasks_);
   } else {
-    buckets_.resize(num_map_tasks_);
-    for (auto& b : buckets_) b.resize(num_shards_);
+    blocks_.resize(num_map_tasks_);
+    shard_rows_.resize(num_map_tasks_);
+    for (auto& rows : shard_rows_) rows.resize(num_shards_);
   }
 
   const std::size_t chunk_size =
@@ -669,8 +675,12 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::BuildStreamed(
   task_raw_pairs_.assign(num_map_tasks_, 0);
   task_bytes_.assign(num_map_tasks_, 0);
   task_inputs_.assign(num_map_tasks_, 0);
-  buckets_.resize(num_map_tasks_);
-  for (auto& b : buckets_) b.resize(num_shards_);
+  task_blocks_.assign(num_map_tasks_, 0);
+  task_copied_.assign(num_map_tasks_, 0);
+  blocks_.resize(num_map_tasks_);
+  shard_rows_.resize(num_map_tasks_);
+  for (auto& rows : shard_rows_) rows.resize(num_shards_);
+  tag_pos_.resize(num_map_tasks_);
 
   const TaskId ranks = upstream->stream_ranks_task();
   map_tasks_.reserve(num_map_tasks_);
@@ -728,27 +738,37 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn,
 
 template <typename In, typename K, typename V, typename Out, typename MapFn,
           typename CombineFn, typename ReduceFn>
-std::vector<std::pair<K, V>>
-StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::CombineEmitted(
-    Emitter<K, V>& emitter, std::uint64_t& bytes) {
+auto StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::CombineBlock(
+    Block& in, std::uint64_t& bytes, std::vector<std::uint64_t>* row_bytes)
+    -> std::unique_ptr<Block> {
   // Map-side combine, first-seen key order within the chunk — the same
-  // fold the barrier engine ran, so post-combine pairs (and their bytes,
-  // re-measured on what actually crosses the shuffle) are identical.
-  std::vector<std::pair<K, V>> out;
+  // fold the barrier engine ran, so post-combine rows (and their bytes,
+  // re-measured on what actually crosses the shuffle) are identical. Keys
+  // dedup on serialized bytes (serde is injective), so no key object is
+  // ever rebuilt: inserts re-append the raw key slab bytes and duplicates
+  // fold into the already-typed value column.
+  auto out = std::make_unique<Block>();
   if constexpr (kCombined) {
-    std::unordered_map<K, std::size_t, KeyHash> local_index;
-    for (auto& [key, value] : emitter.pairs()) {
-      auto [it, inserted] = local_index.try_emplace(key, out.size());
+    storage::KeyIndex index;
+    index.Reserve(in.rows());
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+      bool inserted = false;
+      const std::size_t g =
+          index.FindOrInsert(in.hash(r), in.key_bytes(r), inserted);
       if (inserted) {
-        out.emplace_back(key, std::move(value));
+        out->AppendRaw(in.key_bytes(r), in.hash(r), std::move(in.value(r)));
       } else {
-        out[it->second].second =
-            combine_(std::move(out[it->second].second), std::move(value));
+        out->value(g) = combine_(std::move(out->value(g)),
+                                 std::move(in.value(r)));
       }
     }
     bytes = 0;
-    for (const auto& [key, value] : out) {
-      bytes += common::ByteSizeOf(key) + common::ByteSizeOf(value);
+    if (row_bytes != nullptr) row_bytes->reserve(out->rows());
+    for (std::size_t r = 0; r < out->rows(); ++r) {
+      const std::uint64_t b =
+          common::ByteSizeOf(out->KeyAt(r)) + common::ByteSizeOf(out->value(r));
+      bytes += b;
+      if (row_bytes != nullptr) row_bytes->push_back(b);
     }
   }
   return out;
@@ -756,95 +776,115 @@ StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::CombineEmitted(
 
 template <typename In, typename K, typename V, typename Out, typename MapFn,
           typename CombineFn, typename ReduceFn>
-void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::SpillPairs(
-    std::size_t c, std::vector<std::pair<K, V>>& pairs) {
-  common::Status& status = spill_status_[c];
-  for (const auto& [key, value] : pairs) {
-    if (!status.ok()) return;
-    status = writers_[c]->Add(HashValue(key), key, value);
-  }
-  pairs.clear();
-  pairs.shrink_to_fit();
-}
-
-template <typename In, typename K, typename V, typename Out, typename MapFn,
-          typename CombineFn, typename ReduceFn>
 void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::MapChunk(
     std::size_t c, std::size_t lo, std::size_t hi) {
   Emitter<K, V> emitter;
+  const auto cc = static_cast<std::uint32_t>(c);
   if (strategy_ == ShuffleStrategy::kExternal) {
+    common::Status& status = spill_status_[c];
     if constexpr (kCombined) {
-      // Post-combine pairs are what cross the shuffle: feed them through
-      // this chunk's RunWriter, budget split as the chunk-level
-      // ExternalShuffle splits it.
+      // Post-combine rows are what cross the shuffle. The combined block
+      // is sliced by accumulated ByteSizeOf at the chunk's budget share;
+      // each slice sorts and spills as one columnar run. Spill positions
+      // are the post-combine emission order, matching the RunWriter path.
       const std::uint64_t budget =
           options_.shuffle.memory_budget_bytes / num_map_tasks_;
-      writers_[c] = std::make_unique<storage::RunWriter<K, V>>(
-          spiller_.get(), budget, static_cast<std::uint32_t>(c));
       for (std::size_t i = lo; i < hi; ++i) map_((*inputs_)[i], emitter);
-      task_raw_pairs_[c] = emitter.pairs().size();
+      task_raw_pairs_[c] = emitter.block().rows();
       std::uint64_t bytes = 0;
-      auto combined = CombineEmitted(emitter, bytes);
+      std::vector<std::uint64_t> row_bytes;
+      auto combined = CombineBlock(emitter.block(), bytes, &row_bytes);
       task_bytes_[c] = bytes;
-      task_pairs_[c] = combined.size();
-      SpillPairs(c, combined);
+      task_pairs_[c] = combined->rows();
+      task_blocks_[c] = emitter.blocks_emitted();
+      task_copied_[c] = emitter.bytes_copied() + combined->CopiedBytes();
+      std::size_t lo_row = 0;
+      std::uint64_t acc = 0;
+      for (std::size_t r = 0; r < combined->rows() && status.ok(); ++r) {
+        acc += row_bytes[r];
+        if (acc > budget) {
+          auto run = storage::SortedRunFromBlock(
+              *combined, lo_row, r + 1, [&](std::uint32_t j) {
+                return storage::MakeSpillPos(cc, lo_row + j);
+              });
+          status = spiller_->SpillBlockRun(run);
+          lo_row = r + 1;
+          acc = 0;
+        }
+      }
+      if (status.ok() && lo_row < combined->rows()) {
+        tails_[c] = storage::SortedRunFromBlock(
+            *combined, lo_row, combined->rows(), [&](std::uint32_t j) {
+              return storage::MakeSpillPos(cc, lo_row + j);
+            });
+      }
     } else {
-      // The budget's chunk share is split between the emitter's pair
-      // buffer and the RunWriter's serialized batch, which briefly
-      // coexist while a flush drains — so the chunk's peak working set
-      // stays at its share rather than twice it.
-      const std::uint64_t per_stage_budget =
-          options_.shuffle.memory_budget_bytes / num_map_tasks_ / 2;
-      writers_[c] = std::make_unique<storage::RunWriter<K, V>>(
-          spiller_.get(), per_stage_budget, static_cast<std::uint32_t>(c));
-      storage::RunWriter<K, V>* writer = writers_[c].get();
-      common::Status* status = &spill_status_[c];
-      emitter.SetOverflow(
-          per_stage_budget,
-          [writer, status](std::vector<std::pair<K, V>>& pairs) {
-            if (!status->ok()) return;
-            for (const auto& [key, value] : pairs) {
-              *status = writer->Add(HashValue(key), key, value);
-              if (!status->ok()) return;
-            }
-          });
+      // One block buffer at the chunk's full budget share (the old path
+      // halved the share between the pair buffer and the RunWriter's
+      // serialized batch; blocks spill straight from the emitter, so
+      // there is no second stage to reserve for). Each overflowed block
+      // sorts and spills as one columnar run.
+      const std::uint64_t share =
+          options_.shuffle.memory_budget_bytes / num_map_tasks_;
+      std::uint64_t next_local = 0;
+      emitter.SetOverflow(share, [this, &status, &next_local, cc](
+                                     Block& block) {
+        if (!status.ok()) return;
+        auto run = storage::SortedRunFromBlock(
+            block, 0, block.rows(), [&](std::uint32_t j) {
+              return storage::MakeSpillPos(cc, next_local + j);
+            });
+        next_local += block.rows();
+        status = spiller_->SpillBlockRun(run);
+      });
       for (std::size_t i = lo; i < hi; ++i) map_((*inputs_)[i], emitter);
-      emitter.Flush();
       task_bytes_[c] = emitter.bytes();
       task_raw_pairs_[c] = task_pairs_[c] = emitter.num_emitted();
+      task_blocks_[c] = emitter.blocks_emitted();
+      task_copied_[c] = emitter.bytes_copied();
+      if (status.ok() && !emitter.block().empty()) {
+        Block& block = emitter.block();
+        tails_[c] = storage::SortedRunFromBlock(
+            block, 0, block.rows(), [&](std::uint32_t j) {
+              return storage::MakeSpillPos(cc, next_local + j);
+            });
+      }
     }
-    if (spill_status_[c].ok()) tails_[c] = writers_[c]->TakeTail();
     return;
   }
 
   for (std::size_t i = lo; i < hi; ++i) map_((*inputs_)[i], emitter);
   if constexpr (kCombined) {
-    task_raw_pairs_[c] = emitter.pairs().size();
+    task_raw_pairs_[c] = emitter.block().rows();
     std::uint64_t bytes = 0;
-    auto combined = CombineEmitted(emitter, bytes);
+    blocks_[c] = CombineBlock(emitter.block(), bytes, nullptr);
     task_bytes_[c] = bytes;
-    task_pairs_[c] = combined.size();
-    RoutePairs(c, combined);
+    task_pairs_[c] = blocks_[c]->rows();
+    task_blocks_[c] = emitter.blocks_emitted();
+    task_copied_[c] = emitter.bytes_copied() + blocks_[c]->CopiedBytes();
   } else {
     task_raw_pairs_[c] = task_pairs_[c] = emitter.num_emitted();
     task_bytes_[c] = emitter.bytes();
-    RoutePairs(c, emitter.pairs());
+    task_blocks_[c] = emitter.blocks_emitted();
+    task_copied_[c] = emitter.bytes_copied();
+    blocks_[c] = std::make_unique<Block>(std::move(emitter.block()));
   }
+  RouteBlock(c);
 }
 
 template <typename In, typename K, typename V, typename Out, typename MapFn,
           typename CombineFn, typename ReduceFn>
-void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::RoutePairs(
-    std::size_t task, std::vector<std::pair<K, V>>& pairs) {
-  auto& buckets = buckets_[task];
-  std::uint64_t local = 0;
-  for (auto& kv : pairs) {
+void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::RouteBlock(
+    std::size_t task) {
+  // Radix pass: shards receive row-index ranges into the task's block,
+  // not copies — the block's hash column already holds the routing hash.
+  auto& rows = shard_rows_[task];
+  const Block& block = *blocks_[task];
+  for (std::size_t r = 0; r < block.rows(); ++r) {
     const std::size_t p =
-        num_shards_ == 1 ? 0 : IndexOfHash(HashValue(kv.first), num_shards_);
-    buckets[p].push_back(RoutedPair{PairPos{local++, 0}, std::move(kv)});
+        num_shards_ == 1 ? 0 : IndexOfHash(block.hash(r), num_shards_);
+    rows[p].push_back(static_cast<std::uint32_t>(r));
   }
-  pairs.clear();
-  pairs.shrink_to_fit();
 }
 
 template <typename In, typename K, typename V, typename Out, typename MapFn,
@@ -852,30 +892,29 @@ template <typename In, typename K, typename V, typename Out, typename MapFn,
 void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::MapStreamBlock(
     std::size_t b) {
   Emitter<K, V> emitter;
-  auto& buckets = buckets_[b];
+  std::vector<PairPos>& tags = tag_pos_[b];
   std::uint64_t inputs_seen = 0;
-  std::uint64_t routed = 0;
   upstream_->VisitStreamBlock(
       b, [&](std::uint64_t rank, const std::vector<In>& outs) {
+        const std::size_t mark = emitter.block().rows();
         for (const In& o : outs) {
           ++inputs_seen;
           map_(o, emitter);
         }
+        // Rows emitted for this upstream key carry its final (rank, seq)
+        // tag in a parallel column — the block itself stays append-only.
         std::uint64_t seq = 0;
-        for (auto& kv : emitter.pairs()) {
-          const std::size_t p =
-              num_shards_ == 1 ? 0
-                               : IndexOfHash(HashValue(kv.first),
-                                             num_shards_);
-          buckets[p].push_back(
-              RoutedPair{PairPos{rank, seq++}, std::move(kv)});
-          ++routed;
+        for (std::size_t r = mark; r < emitter.block().rows(); ++r) {
+          tags.push_back(PairPos{rank, seq++});
         }
-        emitter.pairs().clear();
       });
   task_inputs_[b] = inputs_seen;
-  task_raw_pairs_[b] = task_pairs_[b] = routed;
+  task_raw_pairs_[b] = task_pairs_[b] = emitter.block().rows();
   task_bytes_[b] = emitter.bytes();
+  task_blocks_[b] = emitter.blocks_emitted();
+  task_copied_[b] = emitter.bytes_copied();
+  blocks_[b] = std::make_unique<Block>(std::move(emitter.block()));
+  RouteBlock(b);
 }
 
 template <typename In, typename K, typename V, typename Out, typename MapFn,
@@ -885,58 +924,71 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::GroupShard(
   Shard& shard = shards_[p];
   std::size_t owned = 0;
   for (std::size_t t = 0; t < num_map_tasks_; ++t) {
-    owned += buckets_[t][p].size();
+    owned += shard_rows_[t][p].size();
   }
-  std::unordered_map<K, std::size_t, KeyHash> index;
-  index.reserve(owned);
+  // Grouping dedups on the blocks' serialized key bytes (serde is
+  // injective): one open-addressing probe per row, no typed hashing or
+  // key copies until a group's first row deserializes its key once.
+  storage::KeyIndex index;
+  index.Reserve(owned);
 
   if (!streamed_input_) {
-    // Scanning buckets in task order visits pairs in global scan order
-    // (tasks are contiguous input ranges), so append order is already
-    // deterministic; only the tag's task base needs applying.
+    // Scanning each task's routed rows in row order visits pairs in
+    // global scan order (tasks are contiguous input ranges), so append
+    // order is already deterministic; only the tag's task base needs
+    // applying.
     std::uint64_t base = 0;
     for (std::size_t t = 0; t < num_map_tasks_; ++t) {
-      auto& bucket = buckets_[t][p];
-      for (RoutedPair& routed : bucket) {
-        const PairPos pos{routed.pos.major + base, 0};
-        auto [it, inserted] =
-            index.try_emplace(routed.kv.first, shard.keys.size());
-        if (inserted) {
-          shard.keys.push_back(routed.kv.first);
-          shard.groups.emplace_back();
-          shard.first.push_back(pos);
+      auto& rows = shard_rows_[t][p];
+      if (blocks_[t] != nullptr) {
+        Block& block = *blocks_[t];
+        for (const std::uint32_t r : rows) {
+          bool inserted = false;
+          const std::size_t g =
+              index.FindOrInsert(block.hash(r), block.key_bytes(r), inserted);
+          if (inserted) {
+            shard.keys.push_back(block.KeyAt(r));
+            shard.groups.emplace_back();
+            shard.first.push_back(PairPos{base + r, 0});
+          }
+          shard.groups[g].push_back(std::move(block.value(r)));
         }
-        shard.groups[it->second].push_back(std::move(routed.kv.second));
       }
-      bucket.clear();
-      bucket.shrink_to_fit();
+      rows.clear();
+      rows.shrink_to_fit();
       base += task_pairs_[t];
     }
     return;
   }
 
-  // Streamed input: blocks carry final (rank, seq) tags but arrive
+  // Streamed input: rows carry final (rank, seq) tags but arrive
   // interleaved across upstream shards, so value order inside a group (and
   // each key's first-seen tag) must be restored by tag.
   std::vector<std::vector<PairPos>> vpos;
   for (std::size_t t = 0; t < num_map_tasks_; ++t) {
-    auto& bucket = buckets_[t][p];
-    for (RoutedPair& routed : bucket) {
-      auto [it, inserted] =
-          index.try_emplace(routed.kv.first, shard.keys.size());
-      if (inserted) {
-        shard.keys.push_back(routed.kv.first);
-        shard.groups.emplace_back();
-        vpos.emplace_back();
-        shard.first.push_back(routed.pos);
-      } else if (routed.pos < shard.first[it->second]) {
-        shard.first[it->second] = routed.pos;
+    auto& rows = shard_rows_[t][p];
+    if (blocks_[t] != nullptr) {
+      Block& block = *blocks_[t];
+      const auto& tags = tag_pos_[t];
+      for (const std::uint32_t r : rows) {
+        const PairPos pos = tags[r];
+        bool inserted = false;
+        const std::size_t g =
+            index.FindOrInsert(block.hash(r), block.key_bytes(r), inserted);
+        if (inserted) {
+          shard.keys.push_back(block.KeyAt(r));
+          shard.groups.emplace_back();
+          vpos.emplace_back();
+          shard.first.push_back(pos);
+        } else if (pos < shard.first[g]) {
+          shard.first[g] = pos;
+        }
+        shard.groups[g].push_back(std::move(block.value(r)));
+        vpos[g].push_back(pos);
       }
-      shard.groups[it->second].push_back(std::move(routed.kv.second));
-      vpos[it->second].push_back(routed.pos);
     }
-    bucket.clear();
-    bucket.shrink_to_fit();
+    rows.clear();
+    rows.shrink_to_fit();
   }
   for (std::size_t g = 0; g < shard.groups.size(); ++g) {
     auto& tags = vpos[g];
@@ -963,12 +1015,11 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::MergeSpills() {
     MRCOST_CHECK_OK(status);
   }
   storage::SpillStats stats;
-  auto merged = MergeSpilledRuns<K, V>(
+  auto merged = internal::MergeSpilledBlockRuns<K, V>(
       *spiller_, tails_, options_.shuffle.merge_fan_in, stats);
   MRCOST_CHECK_OK(merged.status());
   spill_stats_ = stats;
   merged_ = std::move(merged.value());
-  writers_.clear();
   spiller_.reset();  // run files removed as soon as the merge is done
   tails_.clear();
 
@@ -1091,6 +1142,8 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
     m.pairs_before_combine += task_raw_pairs_[t];
     m.pairs_shuffled += task_pairs_[t];
     m.bytes_shuffled += task_bytes_[t];
+    m.blocks_emitted += task_blocks_[t];
+    m.bytes_copied += task_copied_[t];
   }
   if (streamed_input_) {
     m.num_inputs = 0;
@@ -1105,6 +1158,7 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
     m.spill_runs = spill_stats_.spill_runs;
     m.spill_bytes_written = spill_stats_.spill_bytes_written;
     m.merge_passes = spill_stats_.merge_passes;
+    m.compression_ratio = spill_stats_.encode.CompressionRatio();
     const std::size_t nkeys = merged_.keys.size();
     m.num_reducers = nkeys;
     std::size_t total_outputs = 0;
@@ -1170,7 +1224,9 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
   merged_ = ShuffleResult<K, V>{};
   flat_outputs_.clear();
   flat_sizes_.clear();
-  buckets_.clear();
+  blocks_.clear();
+  shard_rows_.clear();
+  tag_pos_.clear();
 }
 
 }  // namespace internal

@@ -18,6 +18,11 @@ std::string JobMetrics::ToString() const {
     os << " | spill: runs=" << spill_runs
        << " bytes=" << spill_bytes_written
        << " merge_passes=" << merge_passes;
+    if (compression_ratio > 0) os << " compression=" << compression_ratio;
+  }
+  if (blocks_emitted > 0) {
+    os << " | blocks: emitted=" << blocks_emitted
+       << " copied_bytes=" << bytes_copied;
   }
   if (simulated()) {
     os << " | sim: workers=" << worker_loads.count()

@@ -78,6 +78,18 @@ struct JobMetrics {
   /// the run count exceeded the merge fan-in).
   std::uint64_t merge_passes = 0;
 
+  /// Columnar-block accounting (src/storage/block.h):
+  /// blocks map tasks handed downstream (emitter flushes plus live
+  /// tail blocks),
+  std::uint64_t blocks_emitted = 0;
+  /// bytes physically copied into blocks (key arena bytes + moved value
+  /// objects) — compare against bytes_shuffled to see the copy saving,
+  std::uint64_t bytes_copied = 0;
+  /// and raw/encoded ratio over every block the spill path encoded
+  /// (>1 means the codec + dictionary shrank the spill; 0 when the round
+  /// spilled nothing).
+  double compression_ratio = 0;
+
   /// True iff this round ran the external (spill-to-disk) shuffle.
   bool external_shuffle() const { return merge_passes > 0; }
 

@@ -68,6 +68,9 @@ std::vector<RoundCostReport> CompareToLowerBound(
     report.spill_runs = round.spill_runs;
     report.spill_bytes_written = round.spill_bytes_written;
     report.merge_passes = round.merge_passes;
+    report.compression_ratio = round.compression_ratio;
+    report.blocks_emitted = round.blocks_emitted;
+    report.bytes_copied = round.bytes_copied;
     report.timed = round.timed();
     report.map_ms = round.map_ms;
     report.shuffle_ms = round.shuffle_ms;
@@ -97,6 +100,13 @@ std::string ToString(const std::vector<RoundCostReport>& reports) {
       os << " spill_runs=" << report.spill_runs
          << " spill_bytes=" << report.spill_bytes_written
          << " merge_passes=" << report.merge_passes;
+      if (report.compression_ratio > 0) {
+        os << " compression=" << report.compression_ratio;
+      }
+    }
+    if (report.blocks_emitted > 0) {
+      os << " blocks=" << report.blocks_emitted
+         << " copied_bytes=" << report.bytes_copied;
     }
     if (report.simulated) {
       os << " makespan=" << report.makespan

@@ -148,6 +148,14 @@ struct RoundCostReport {
   std::uint64_t spill_runs = 0;
   std::uint64_t spill_bytes_written = 0;
   std::uint64_t merge_passes = 0;
+  /// Raw/encoded ratio over the round's spilled blocks (0 = no spill).
+  double compression_ratio = 0;
+
+  /// Columnar-block counters for the round, copied from JobMetrics:
+  /// blocks the map stage handed downstream, and the bytes physically
+  /// copied into them (vs bytes_shuffled crossing the shuffle).
+  std::uint64_t blocks_emitted = 0;
+  std::uint64_t bytes_copied = 0;
 
   /// Stage-graph timings for the round, copied from JobMetrics when the
   /// round ran timed (see src/engine/executor.h): where the round's wall

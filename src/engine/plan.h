@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -274,8 +275,11 @@ MapSample SampleMapFanout(
       static_cast<double>(scratch.num_emitted()) / static_cast<double>(take);
   sample.bytes_per_input =
       static_cast<double>(scratch.bytes()) / static_cast<double>(take);
-  std::unordered_map<K, std::uint64_t, KeyHash> groups;
-  for (const auto& [key, value] : scratch.pairs()) ++groups[key];
+  // Multiplicity over the scratch block's serialized key bytes (serde is
+  // injective, so byte equality is key equality — no typed rebuild).
+  std::unordered_map<std::string_view, std::uint64_t> groups;
+  const auto& block = scratch.block();
+  for (std::size_t r = 0; r < block.rows(); ++r) ++groups[block.key_bytes(r)];
   sample.distinct_keys = groups.size();
   for (const auto& [key, count] : groups) {
     sample.max_group = std::max(sample.max_group, count);

@@ -14,6 +14,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/engine/hashing.h"
+#include "src/storage/block.h"
 #include "src/storage/external_merge.h"
 #include "src/storage/run_writer.h"
 
@@ -249,6 +250,106 @@ ShuffleResult<Key, Value> ShardedShuffle(
   return result;
 }
 
+/// Columnar counterpart of ShardedShuffle, and the form the staged
+/// executor uses internally: inputs arrive as KVBlocks (one per map
+/// chunk), the radix pass routes *row indices* into per-(block, shard)
+/// index lists — no pair is copied — and each shard groups its rows
+/// through a storage::KeyIndex probe over the blocks' precomputed hashes
+/// and key-byte views. Values move exactly once, block column to group.
+/// Consumes the blocks' values (blocks stay allocated until return).
+template <typename Key, typename Value>
+ShuffleResult<Key, Value> BlockShardedShuffle(
+    std::vector<std::unique_ptr<storage::KVBlock<Key, Value>>>& blocks,
+    common::ThreadPool& pool, std::size_t num_shards) {
+  const std::size_t num_blocks = blocks.size();
+  num_shards = std::max<std::size_t>(1, num_shards);
+
+  std::vector<std::uint64_t> block_offset(num_blocks + 1, 0);
+  for (std::size_t c = 0; c < num_blocks; ++c) {
+    block_offset[c + 1] =
+        block_offset[c] + (blocks[c] ? blocks[c]->rows() : 0);
+  }
+
+  // Pass 1 (radix partition): route row indices, never rows.
+  std::vector<std::vector<std::uint32_t>> rows(num_blocks * num_shards);
+  common::ParallelFor(pool, 0, num_blocks, [&](std::size_t c) {
+    if (!blocks[c]) return;
+    const auto& block = *blocks[c];
+    std::vector<std::uint32_t>* out = &rows[c * num_shards];
+    for (std::size_t r = 0; r < block.rows(); ++r) {
+      const std::size_t p =
+          num_shards == 1 ? 0 : IndexOfHash(block.hash(r), num_shards);
+      out[p].push_back(static_cast<std::uint32_t>(r));
+    }
+  });
+
+  // Pass 2: group each shard's rows. Scanning blocks in order visits rows
+  // in global scan order, so per-shard first_pos is increasing.
+  struct Shard {
+    std::vector<Key> keys;
+    std::vector<std::vector<Value>> groups;
+    std::vector<std::uint64_t> first_pos;
+  };
+  std::vector<Shard> shards(num_shards);
+  common::ParallelFor(pool, 0, num_shards, [&](std::size_t p) {
+    Shard& shard = shards[p];
+    std::size_t owned = 0;
+    for (std::size_t c = 0; c < num_blocks; ++c) {
+      owned += rows[c * num_shards + p].size();
+    }
+    storage::KeyIndex index;
+    index.Reserve(owned);
+    for (std::size_t c = 0; c < num_blocks; ++c) {
+      auto& bucket = rows[c * num_shards + p];
+      if (!blocks[c]) continue;
+      auto& block = *blocks[c];
+      for (const std::uint32_t r : bucket) {
+        bool inserted = false;
+        const std::size_t g =
+            index.FindOrInsert(block.hash(r), block.key_bytes(r), inserted);
+        if (inserted) {
+          shard.keys.push_back(block.KeyAt(r));
+          shard.groups.emplace_back();
+          shard.first_pos.push_back(block_offset[c] + r);
+        }
+        shard.groups[g].push_back(std::move(block.value(r)));
+      }
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+  });
+
+  std::size_t total_keys = 0;
+  for (const Shard& shard : shards) total_keys += shard.keys.size();
+  struct MergeEntry {
+    std::uint64_t first_pos;
+    std::uint32_t shard;
+    std::uint32_t index;
+  };
+  std::vector<MergeEntry> order;
+  order.reserve(total_keys);
+  for (std::size_t p = 0; p < num_shards; ++p) {
+    for (std::size_t i = 0; i < shards[p].keys.size(); ++i) {
+      order.push_back(MergeEntry{shards[p].first_pos[i],
+                                 static_cast<std::uint32_t>(p),
+                                 static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const MergeEntry& a, const MergeEntry& b) {
+              return a.first_pos < b.first_pos;
+            });
+
+  ShuffleResult<Key, Value> result;
+  result.keys.reserve(total_keys);
+  result.groups.reserve(total_keys);
+  for (const MergeEntry& e : order) {
+    result.keys.push_back(std::move(shards[e.shard].keys[e.index]));
+    result.groups.push_back(std::move(shards[e.shard].groups[e.index]));
+  }
+  return result;
+}
+
 namespace internal {
 
 /// Restores the engine's first-seen-key-order contract on a key-ordered
@@ -296,6 +397,34 @@ common::Result<ShuffleResult<Key, Value>> MergeSpilledRuns(
   if (!merged.ok()) return merged.status();
   stats.spill_runs = spiller.spill_runs();
   stats.spill_bytes_written = spiller.bytes_written();
+  return ReorderByFirstSeen(*merged);
+}
+
+/// Block-format counterpart of MergeSpilledRuns: tails are columnar runs,
+/// disk runs are version-2 block files, and the merge walks block cursors
+/// (storage::BlockLoserTree). Fills `stats.encode` with the spiller's
+/// raw-vs-encoded counters on top of the run/byte counts.
+template <typename Key, typename Value>
+common::Result<ShuffleResult<Key, Value>> MergeSpilledBlockRuns(
+    storage::RunSpiller& spiller,
+    std::vector<storage::ColumnarRun>& tails, std::size_t merge_fan_in,
+    storage::SpillStats& stats) {
+  std::vector<std::unique_ptr<storage::BlockRunSource>> sources;
+  for (auto& tail : tails) {
+    if (!tail.empty()) {
+      sources.push_back(
+          std::make_unique<storage::MemoryBlockRunSource>(std::move(tail)));
+    }
+  }
+  for (const std::string& path : spiller.spill_run_paths()) {
+    sources.push_back(std::make_unique<storage::DiskBlockRunSource>(path));
+  }
+  auto merged = storage::MergeBlockRunsToGroups<Key, Value>(
+      std::move(sources), spiller, merge_fan_in, stats);
+  if (!merged.ok()) return merged.status();
+  stats.spill_runs = spiller.spill_runs();
+  stats.spill_bytes_written = spiller.bytes_written();
+  stats.encode = spiller.encode_stats();
   return ReorderByFirstSeen(*merged);
 }
 

@@ -12,6 +12,7 @@
 
 #include "src/common/byte_size.h"
 #include "src/common/status.h"
+#include "src/storage/block.h"
 #include "src/storage/serde.h"
 #include "src/storage/spill_file.h"
 
@@ -78,6 +79,10 @@ struct SpillStats {
   /// k-way merge passes, the final grouping pass included; more than one
   /// means the run count exceeded the merge fan-in.
   std::uint64_t merge_passes = 0;
+  /// Block-format runs only: raw-vs-encoded byte counters for every block
+  /// written (spills and merge rewrites), the source of
+  /// JobMetrics::compression_ratio.
+  BlockEncodeStats encode;
 };
 
 /// Streams pre-sorted records into one spill file, packing them into
@@ -105,6 +110,43 @@ class RunFileWriter {
   std::string block_;
 };
 
+/// Streams pre-sorted records into one version-2 spill file, buffering a
+/// ColumnarRun and encoding it (dictionary + codec, src/storage/block.h)
+/// as one CRC frame whenever the raw columnar bytes reach `block_bytes`.
+class BlockRunFileWriter {
+ public:
+  static common::Result<BlockRunFileWriter> Create(
+      const std::string& path, const Codec* codec = nullptr,
+      std::size_t block_bytes = kDefaultBlockBytes);
+
+  BlockRunFileWriter(BlockRunFileWriter&&) = default;
+  BlockRunFileWriter& operator=(BlockRunFileWriter&&) = default;
+
+  common::Status Append(const RecordView& rec);
+  /// Appends rows [lo, hi) of an already-sorted run.
+  common::Status AppendRun(const ColumnarRun& run, std::size_t lo,
+                           std::size_t hi);
+  common::Status Finish();
+
+  std::uint64_t bytes_written() const { return file_.bytes_written(); }
+  const std::string& path() const { return file_.path(); }
+  const BlockEncodeStats& stats() const { return stats_; }
+
+ private:
+  BlockRunFileWriter(SpillFileWriter file, const Codec* codec,
+                     std::size_t block_bytes)
+      : file_(std::move(file)), codec_(codec), block_bytes_(block_bytes) {}
+
+  common::Status FlushPending();
+
+  SpillFileWriter file_;
+  const Codec* codec_ = nullptr;
+  std::size_t block_bytes_ = kDefaultBlockBytes;
+  ColumnarRun pending_;
+  std::string payload_;
+  BlockEncodeStats stats_;
+};
+
 /// Owns the run files of one shuffle: names them uniquely, counts runs and
 /// bytes, and removes every file it created on destruction. Thread-safe —
 /// the map chunks of one round spill through a shared spiller
@@ -122,6 +164,20 @@ class RunSpiller {
   /// consuming them. Counts toward spill_runs().
   common::Status SpillRun(std::vector<SpillRecord>& records);
 
+  /// Writes an already-sorted columnar run as one version-2 run file,
+  /// consuming it. Counts toward spill_runs(); encode stats accumulate in
+  /// encode_stats().
+  common::Status SpillBlockRun(ColumnarRun& run,
+                               const Codec* codec = nullptr);
+
+  /// Block-format counterpart of NewRun/CloseRun for merge rewrites.
+  common::Result<BlockRunFileWriter> NewBlockRun(
+      const Codec* codec = nullptr);
+  common::Status CloseBlockRun(BlockRunFileWriter& writer);
+
+  /// Raw-vs-encoded byte counters over every block run written.
+  BlockEncodeStats encode_stats() const;
+
   /// Opens a new (registered, auto-cleaned) run file for an already-sorted
   /// stream — the merge uses this to rewrite intermediate runs. Close with
   /// CloseRun so the bytes are counted. Does not count toward
@@ -131,7 +187,10 @@ class RunSpiller {
 
   /// Paths of every run file created so far (spills and merge rewrites).
   std::vector<std::string> run_paths() const;
-  /// Paths created by SpillRun only, in creation order.
+  /// Paths created by SpillRun/SpillBlockRun only, in a deterministic
+  /// order: block runs sort by their smallest emission position, so the
+  /// merge consumes them in scan order no matter which thread registered
+  /// its spill first (record runs keep creation order).
   std::vector<std::string> spill_run_paths() const;
 
   std::uint64_t spill_runs() const;
@@ -142,8 +201,11 @@ class RunSpiller {
 
   std::string dir_;
   mutable std::mutex mu_;
-  std::vector<std::string> spill_paths_;
+  /// (order key, path): block runs key on their smallest emission
+  /// position, record runs on registration order.
+  std::vector<std::pair<std::uint64_t, std::string>> spill_paths_;
   std::vector<std::string> merge_paths_;
+  BlockEncodeStats encode_stats_;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t next_run_id_ = 0;
   std::uint64_t spiller_id_ = 0;

@@ -37,14 +37,14 @@ std::uint32_t Crc32(const void* data, std::size_t n) {
 }
 
 common::Result<SpillFileWriter> SpillFileWriter::Create(
-    const std::string& path) {
+    const std::string& path, std::uint32_t version) {
   SpillFileWriter writer;
   writer.path_ = path;
   writer.out_.open(path, std::ios::binary | std::ios::trunc);
   if (!writer.out_) {
     return common::Status::NotFound("spill file: cannot create " + path);
   }
-  const std::uint32_t header[2] = {kSpillMagic, kSpillFormatVersion};
+  const std::uint32_t header[2] = {kSpillMagic, version};
   writer.out_.write(reinterpret_cast<const char*>(header), sizeof(header));
   writer.bytes_written_ = sizeof(header);
   if (!writer.out_) {
@@ -95,11 +95,13 @@ common::Result<SpillFileReader> SpillFileReader::Open(
     return common::Status::InvalidArgument("spill file: bad magic in " +
                                            path);
   }
-  if (header[1] != kSpillFormatVersion) {
+  if (header[1] != kSpillFormatVersion &&
+      header[1] != kSpillFormatVersionBlocks) {
     return common::Status::InvalidArgument(
         "spill file: unsupported version " + std::to_string(header[1]) +
         " in " + path);
   }
+  reader.version_ = header[1];
   return reader;
 }
 

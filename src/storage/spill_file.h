@@ -30,6 +30,12 @@ std::uint32_t Crc32(const void* data, std::size_t n);
 inline constexpr std::uint32_t kSpillMagic = 0x5053524Du;  // "MRSP"
 inline constexpr std::uint32_t kSpillFormatVersion = 1;
 
+/// Version 2: each payload is one encoded columnar block
+/// (src/storage/block.h — codec id, varint raw size, compressed body)
+/// instead of a pack of fixed-header records. The frame layer is
+/// unchanged; readers accept both versions and expose which one they got.
+inline constexpr std::uint32_t kSpillFormatVersionBlocks = 2;
+
 /// Blocks are flushed once their payload reaches this size (a single
 /// oversized record still forms one valid, larger block).
 inline constexpr std::size_t kDefaultBlockBytes = 256 * 1024;
@@ -43,7 +49,9 @@ inline constexpr std::uint32_t kMaxBlockBytes = 1u << 30;
 /// normally a RunSpiller).
 class SpillFileWriter {
  public:
-  static common::Result<SpillFileWriter> Create(const std::string& path);
+  static common::Result<SpillFileWriter> Create(
+      const std::string& path,
+      std::uint32_t version = kSpillFormatVersion);
 
   SpillFileWriter(SpillFileWriter&&) = default;
   SpillFileWriter& operator=(SpillFileWriter&&) = default;
@@ -79,11 +87,16 @@ class SpillFileReader {
 
   const std::string& path() const { return path_; }
 
+  /// Format version from the file header (1 = record payloads, 2 = block
+  /// payloads).
+  std::uint32_t version() const { return version_; }
+
  private:
   SpillFileReader() = default;
 
   std::ifstream in_;
   std::string path_;
+  std::uint32_t version_ = kSpillFormatVersion;
 };
 
 }  // namespace mrcost::storage

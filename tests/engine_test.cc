@@ -1,6 +1,7 @@
 #include <cstdint>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -10,12 +11,14 @@
 #include "src/common/random.h"
 #include "src/common/thread_pool.h"
 #include "src/core/lower_bound.h"
+#include "src/engine/emitter.h"
 #include "src/engine/hashing.h"
 #include "src/engine/job.h"
 #include "src/engine/metrics.h"
 #include "src/engine/pipeline.h"
 #include "src/engine/shuffle.h"
 #include "src/engine/simulator.h"
+#include "src/storage/block.h"
 
 namespace mrcost::engine {
 namespace {
@@ -79,6 +82,105 @@ TEST(ByteSize, StringSmallBufferConvention) {
   const std::vector<std::string> v{heap, heap};
   EXPECT_EQ(common::ByteSizeOf(v),
             sizeof(std::vector<std::string>) + 2 * common::ByteSizeOf(heap));
+}
+
+TEST(ByteSize, StringViewConvention) {
+  // A view prices the view object plus the full viewed payload — no SSO
+  // discount, because the viewed bytes always live somewhere else (a
+  // block's key arena, typically) regardless of their length.
+  EXPECT_EQ(common::ByteSizeOf(std::string_view{}), sizeof(std::string_view));
+  EXPECT_EQ(common::ByteSizeOf(std::string_view{"abc"}),
+            sizeof(std::string_view) + 3);
+  const std::string heap(100, 'x');
+  EXPECT_EQ(common::ByteSizeOf(std::string_view{heap}),
+            sizeof(std::string_view) + 100);
+}
+
+TEST(ByteSize, BlockTypesConvention) {
+  // Blocks and runs follow the same convention: object plus every owned
+  // payload. An empty block is just the object plus its slab's offset
+  // sentinel.
+  storage::KVBlock<std::string, std::uint64_t> block;
+  EXPECT_EQ(common::ByteSizeOf(block),
+            sizeof(block) + sizeof(std::uint64_t));  // offset sentinel
+  block.Append(std::string("hello block"), 7);
+  const std::size_t key_arena = block.keys().bytes().size();
+  EXPECT_EQ(common::ByteSizeOf(block),
+            sizeof(block) + key_arena + 2 * sizeof(std::uint64_t)  // offsets
+                + sizeof(std::uint64_t)                            // hash
+                + sizeof(std::uint64_t));                          // value
+
+  storage::ColumnarRun run;
+  EXPECT_EQ(common::ByteSizeOf(run),
+            sizeof(run) + 2 * sizeof(std::uint64_t));  // two slab sentinels
+}
+
+// ------------------------------------------------------------- emitter
+
+TEST(Emitter, EmitBatchEmptyBatchIsNoOp) {
+  Emitter<int, int> emitter;
+  std::uint64_t flushes = 0;
+  // Budget 0: any flush-eligible call would trigger the sink at once.
+  emitter.SetOverflow(0, [&flushes](Emitter<int, int>::Block&) { ++flushes; });
+  Emitter<int, int>::Batch batch;
+  emitter.EmitBatch(batch);
+  EXPECT_EQ(emitter.num_emitted(), 0u);
+  EXPECT_EQ(emitter.bytes(), 0u);
+  EXPECT_EQ(emitter.blocks_emitted(), 0u);
+  EXPECT_EQ(flushes, 0u);  // empty batch must not trigger a flush
+}
+
+TEST(Emitter, EmitBatchExactlyAtFlushBoundary) {
+  // Budget equal to the batch's exact ByteSizeOf: the batch lands and the
+  // block flushes once, leaving the buffer empty (>= boundary, not >).
+  Emitter<int, int> emitter;
+  Emitter<int, int>::Batch batch{{1, 10}, {2, 20}};
+  std::uint64_t batch_bytes = 0;
+  for (const auto& [k, v] : batch) {
+    batch_bytes += common::ByteSizeOf(k) + common::ByteSizeOf(v);
+  }
+  std::uint64_t flushes = 0;
+  std::uint64_t flushed_rows = 0;
+  emitter.SetOverflow(batch_bytes,
+                      [&](Emitter<int, int>::Block& block) {
+                        ++flushes;
+                        flushed_rows += block.rows();
+                      });
+  emitter.EmitBatch(batch);
+  EXPECT_EQ(flushes, 1u);
+  EXPECT_EQ(flushed_rows, 2u);
+  EXPECT_TRUE(emitter.block().empty());
+  EXPECT_EQ(emitter.num_emitted(), 2u);
+  EXPECT_EQ(emitter.bytes(), batch_bytes);
+  EXPECT_EQ(emitter.blocks_emitted(), 1u);
+}
+
+TEST(Emitter, EmitBatchReusesMovedFromBatch) {
+  // EmitBatch consumes the batch but keeps its capacity, so one buffer
+  // can be refilled across inputs (the thread_local pattern the graph
+  // and join mappers use).
+  Emitter<std::string, int> emitter;
+  Emitter<std::string, int>::Batch batch;
+  batch.emplace_back(std::string(64, 'a'), 1);
+  batch.emplace_back(std::string(64, 'b'), 2);
+  emitter.EmitBatch(batch);
+  EXPECT_TRUE(batch.empty());
+  const std::size_t kept_capacity = batch.capacity();
+  EXPECT_GE(kept_capacity, 2u);
+
+  // Refill the moved-from slots and emit again: the second round must be
+  // fully counted and must not disturb the first round's rows.
+  batch.emplace_back(std::string(64, 'c'), 3);
+  batch.emplace_back(std::string(64, 'd'), 4);
+  emitter.EmitBatch(batch);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), kept_capacity);
+  EXPECT_EQ(emitter.num_emitted(), 4u);
+  ASSERT_EQ(emitter.block().rows(), 4u);
+  EXPECT_EQ(emitter.block().value(0), 1);
+  EXPECT_EQ(emitter.block().value(3), 4);
+  EXPECT_EQ(emitter.block().KeyAt(0), std::string(64, 'a'));
+  EXPECT_EQ(emitter.block().KeyAt(3), std::string(64, 'd'));
 }
 
 // ---------------------------------------------------------------- job
