@@ -1,6 +1,7 @@
 #ifndef MRCOST_CORE_COST_MODEL_H_
 #define MRCOST_CORE_COST_MODEL_H_
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -23,6 +24,48 @@ struct CostModel {
     return communication_weight * r + processing_weight * q +
            wallclock_weight * q * q;
   }
+};
+
+/// Feedback loop from realized rounds into the cost model. The static
+/// model above prices a round assuming reducers spread evenly over
+/// workers; a skewed cluster violates that by a measurable factor — the
+/// simulated makespan exceeds the perfect-balance floor by
+/// load_imbalance x straggler_impact. Executed rounds Observe() those two
+/// ratios and an exponential moving average remembers them, so the next
+/// Plan::Estimate can scale its wall-clock terms by skew_factor() instead
+/// of assuming a balanced cluster. Plain state, no locking: share one
+/// instance per planning thread.
+class RuntimeCalibration {
+ public:
+  /// `smoothing` in (0, 1]: weight of the newest observation (1 = only
+  /// the latest round counts).
+  explicit RuntimeCalibration(double smoothing = 0.3)
+      : smoothing_(smoothing) {}
+
+  /// Feeds one executed round's realized skew. Ratios < 1 are clamped to
+  /// 1 (a round cannot beat perfect balance).
+  void Observe(double load_imbalance, double straggler_impact) {
+    const double factor = ClampAtOne(load_imbalance) *
+                          ClampAtOne(straggler_impact);
+    skew_factor_ = observations_ == 0
+                       ? factor
+                       : (1.0 - smoothing_) * skew_factor_ +
+                             smoothing_ * factor;
+    ++observations_;
+  }
+
+  /// Multiplier (>= 1) for wall-clock cost estimates: how much slower
+  /// than perfect balance the observed cluster has been running. 1.0
+  /// until the first observation.
+  double skew_factor() const { return skew_factor_; }
+  std::size_t observations() const { return observations_; }
+
+ private:
+  static double ClampAtOne(double x) { return x > 1.0 ? x : 1.0; }
+
+  double smoothing_;
+  double skew_factor_ = 1.0;
+  std::size_t observations_ = 0;
 };
 
 /// One point on a tradeoff curve: an algorithm (or bound) achieving

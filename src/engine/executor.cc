@@ -1,6 +1,14 @@
 #include "src/engine/executor.h"
 
 namespace mrcost::engine {
+namespace {
+
+std::uint64_t StageBucket(std::uint32_t round_tag, StageKind kind) {
+  return (static_cast<std::uint64_t>(round_tag) << 3) |
+         static_cast<std::uint64_t>(kind);
+}
+
+}  // namespace
 
 StageGraphExecutor::StageGraphExecutor(common::ThreadPool& pool)
     : pool_(pool), epoch_(std::chrono::steady_clock::now()) {}
@@ -13,9 +21,28 @@ double StageGraphExecutor::NowMs() const {
       .count();
 }
 
+void StageGraphExecutor::ConfigureSpeculation(
+    const SpeculationConfig& config) {
+  MRCOST_CHECK(!config.enabled || config.slowdown_factor >= 1.0);
+  std::unique_lock<std::mutex> lock(mu_);
+  spec_ = config;
+}
+
+StageGraphExecutor::SpeculationStats StageGraphExecutor::speculation_stats(
+    std::uint32_t round_tag) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = spec_stats_.find(round_tag);
+  return it == spec_stats_.end() ? SpeculationStats{} : it->second;
+}
+
+void StageGraphExecutor::SetClockForTest(std::function<double()> clock) {
+  std::unique_lock<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
 StageGraphExecutor::TaskId StageGraphExecutor::AddTask(
     StageKind kind, std::uint32_t round_tag, std::vector<TaskId> deps,
-    std::function<void()> fn) {
+    std::function<void()> fn, bool speculatable) {
   TaskId id;
   bool ready;
   {
@@ -26,6 +53,7 @@ StageGraphExecutor::TaskId StageGraphExecutor::AddTask(
     task.fn = std::move(fn);
     task.kind = kind;
     task.round_tag = round_tag;
+    task.speculatable = speculatable;
     for (TaskId dep : deps) {
       if (dep == kNoTask) continue;
       if (!tasks_[dep].done) {
@@ -35,42 +63,142 @@ StageGraphExecutor::TaskId StageGraphExecutor::AddTask(
     }
     ready = task.unmet == 0;
     ++pending_;
+    if (ready) ++attempts_outstanding_;
   }
-  if (ready) {
-    pool_.Submit([this, id] { RunTask(id); });
-  }
+  if (ready) SubmitAttempt(id, /*is_backup=*/false);
   return id;
 }
 
-void StageGraphExecutor::RunTask(TaskId id) {
+void StageGraphExecutor::SubmitAttempt(TaskId id, bool is_backup) {
+  // attempts_outstanding_ was incremented by the caller under mu_, so Wait
+  // cannot return between the decision to run this attempt and its start.
+  pool_.Submit([this, id, is_backup] { RunAttempt(id, is_backup); });
+}
+
+void StageGraphExecutor::RunAttempt(TaskId id, bool is_backup) {
   std::function<void()> fn;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_[id].span.begin_ms = NowMs();
-    fn = std::move(tasks_[id].fn);
-    tasks_[id].fn = nullptr;
+    Task& task = tasks_[id];
+    if (task.done) {
+      // The task finished before this attempt even started (a backup that
+      // lost the race to the scheduler): nothing to run.
+      ++spec_stats_[task.round_tag].discarded;
+      if (--attempts_outstanding_ == 0 && pending_ == 0) {
+        all_done_.notify_all();
+      }
+      return;
+    }
+    if (!task.started) {
+      task.started = true;
+      task.start_clock_ms = SpecClockLocked();
+      task.span.begin_ms = NowMs();
+    }
+    if (task.speculatable) {
+      fn = task.fn;  // keep the original alive for a (second) attempt
+    } else {
+      fn = std::move(task.fn);
+      task.fn = nullptr;
+    }
   }
+
   fn();
+
   std::vector<TaskId> ready;
+  bool won = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     Task& task = tasks_[id];
-    task.span.end_ms = NowMs();
-    task.done = true;
-    for (TaskId dependent : task.dependents) {
-      if (--tasks_[dependent].unmet == 0) ready.push_back(dependent);
+    if (task.done) {
+      // The other attempt committed first; this copy's work is discarded
+      // (its data never left attempt-local buffers).
+      ++spec_stats_[task.round_tag].discarded;
+    } else {
+      won = true;
+      task.done = true;
+      task.fn = nullptr;
+      task.span.end_ms = NowMs();
+      if (task.speculatable) {
+        completed_ms_[StageBucket(task.round_tag, task.kind)].push_back(
+            SpecClockLocked() - task.start_clock_ms);
+      }
+      if (is_backup) ++spec_stats_[task.round_tag].won;
+      for (TaskId dependent : task.dependents) {
+        if (--tasks_[dependent].unmet == 0) ready.push_back(dependent);
+      }
+      task.dependents.clear();
+      --pending_;
     }
-    task.dependents.clear();
-    if (--pending_ == 0) all_done_.notify_all();
+    attempts_outstanding_ += ready.size();
+    std::vector<TaskId> backups;
+    if (won && spec_.enabled) {
+      backups = MaybeSpeculateLocked();
+    }
+    if (--attempts_outstanding_ == 0 && pending_ == 0) {
+      all_done_.notify_all();
+    }
+    lock.unlock();
+    for (TaskId backup : backups) SubmitAttempt(backup, /*is_backup=*/true);
   }
-  for (TaskId next : ready) {
-    pool_.Submit([this, next] { RunTask(next); });
+  for (TaskId next : ready) SubmitAttempt(next, /*is_backup=*/false);
+}
+
+std::vector<StageGraphExecutor::TaskId>
+StageGraphExecutor::MaybeSpeculateLocked() {
+  std::vector<TaskId> backups;
+  if (!spec_.enabled) return backups;
+  const double now = SpecClockLocked();
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    Task& task = tasks_[id];
+    if (!task.speculatable || !task.started || task.done ||
+        task.backup_launched) {
+      continue;
+    }
+    const auto it = completed_ms_.find(StageBucket(task.round_tag,
+                                                   task.kind));
+    if (it == completed_ms_.end() || it->second.size() < spec_.min_completed) {
+      continue;
+    }
+    // Median of completed same-stage peers (copy: the stored order is
+    // completion order and must stay stable for determinism of spans).
+    std::vector<double> durations = it->second;
+    std::nth_element(durations.begin(),
+                     durations.begin() + durations.size() / 2,
+                     durations.end());
+    const double median = durations[durations.size() / 2];
+    const double threshold =
+        spec_.slowdown_factor * std::max(median, spec_.min_task_ms);
+    if (now - task.start_clock_ms <= threshold) continue;
+    task.backup_launched = true;
+    ++spec_stats_[task.round_tag].launched;
+    ++attempts_outstanding_;
+    backups.push_back(id);
   }
+  return backups;
 }
 
 void StageGraphExecutor::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  std::vector<TaskId> backups;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (pending_ == 0 && attempts_outstanding_ == 0) break;
+      if (!spec_.enabled) {
+        all_done_.wait(lock, [this] {
+          return pending_ == 0 && attempts_outstanding_ == 0;
+        });
+        break;
+      }
+      // Speculation needs a heartbeat: a straggling task wakes nobody, so
+      // poll the scan while blocked. 20ms keeps the check cheap relative
+      // to any task worth backing up.
+      all_done_.wait_for(lock, std::chrono::milliseconds(20));
+      backups = MaybeSpeculateLocked();
+      if (!backups.empty()) break;
+    }
+  }
+  for (TaskId backup : backups) SubmitAttempt(backup, /*is_backup=*/true);
+  if (!backups.empty()) Wait();
 }
 
 TaskSpan StageGraphExecutor::SpanOf(TaskId id) const {

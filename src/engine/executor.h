@@ -26,6 +26,7 @@
 #include "src/engine/emitter.h"
 #include "src/engine/hashing.h"
 #include "src/engine/metrics.h"
+#include "src/engine/partitioner.h"
 #include "src/engine/shuffle.h"
 #include "src/engine/simulator.h"
 #include "src/storage/block.h"
@@ -46,6 +47,27 @@ namespace mrcost::engine {
 // Outputs stay byte-identical to the barrier engine for every strategy:
 // every emitted pair carries a scan-order tag (internal::PairPos) and the
 // deterministic first-seen merge runs on tags instead of arrival order.
+
+/// Speculative-backup knobs: the executor re-issues a slow shard task
+/// (ShardGroup / ReduceShard) on another pool thread once its elapsed time
+/// exceeds slowdown_factor x the median duration of completed tasks of the
+/// same stage, and the first finisher's result wins. Backups never change
+/// outputs — both attempts compute the same deterministic result and the
+/// loser's copy is discarded — they only cut the makespan a straggling
+/// thread (or a skew-overloaded shard) would impose on the round barrier.
+struct SpeculationConfig {
+  bool enabled = false;
+  /// A task is "slow" once it runs this many times longer than the median
+  /// completed task of its stage. Must be >= 1.
+  double slowdown_factor = 3.0;
+  /// Completed same-stage tasks required before the median is trusted —
+  /// below this no backup launches (a lone task has no peers to compare
+  /// against).
+  std::size_t min_completed = 3;
+  /// Floor on the median (ms) so micro-tasks never trigger backups: the
+  /// effective threshold is slowdown_factor * max(median, min_task_ms).
+  double min_task_ms = 1.0;
+};
 
 /// Execution knobs for one round.
 struct JobOptions {
@@ -75,6 +97,10 @@ struct JobOptions {
   /// makespan, load_imbalance, straggler_impact, and capacity_violations.
   /// Simulation never changes reduce outputs — only the metrics.
   SimulationOptions simulation;
+  /// Speculative backup tasks for slow in-memory shard tasks (first
+  /// finisher wins, outputs unchanged). Requires copyable value types;
+  /// rounds whose values are move-only silently run without backups.
+  SpeculationConfig speculation;
 
   /// The simulation that actually runs. Skew/capacity knobs with
   /// num_workers left 0 are a misconfiguration (the run would silently
@@ -113,6 +139,9 @@ inline JobOptions MergedJobOptions(JobOptions overrides,
   // round's explicit simulation always wins whole.
   if (!overrides.simulation.enabled() && !overrides.simulation.customized()) {
     overrides.simulation = defaults.simulation;
+  }
+  if (!overrides.speculation.enabled) {
+    overrides.speculation = defaults.speculation;
   }
   return overrides;
 }
@@ -157,10 +186,40 @@ class StageGraphExecutor {
   /// already-finished deps are fine). Runs on the pool as soon as every
   /// dep is done. `fn` must never block on another task — all waiting is
   /// the caller's (Wait), so pool threads always make progress.
+  ///
+  /// A `speculatable` task may be run twice concurrently (original +
+  /// backup) once speculation is configured: its fn must be idempotent,
+  /// race-free against a concurrent copy of itself, and commit its result
+  /// first-wins (StagedRound's shard tasks compute into attempt-local
+  /// buffers and publish under a commit lock). The executor keeps a
+  /// speculatable task's fn alive after the first attempt starts so a
+  /// backup can re-run it.
   TaskId AddTask(StageKind kind, std::uint32_t round_tag,
-                 std::vector<TaskId> deps, std::function<void()> fn);
+                 std::vector<TaskId> deps, std::function<void()> fn,
+                 bool speculatable = false);
 
-  /// Blocks until every task added so far has finished.
+  /// Arms speculative backups for subsequently running speculatable tasks.
+  /// Latest call wins; a disabled config turns backups off again.
+  void ConfigureSpeculation(const SpeculationConfig& config);
+
+  /// Speculation accounting, per round tag. Stable once the round's tasks
+  /// have drained (no further backups can launch for finished tasks).
+  struct SpeculationStats {
+    std::uint64_t launched = 0;   // backup attempts submitted
+    std::uint64_t won = 0;        // backups that finished first
+    std::uint64_t discarded = 0;  // losing attempts (original or backup)
+  };
+  SpeculationStats speculation_stats(std::uint32_t round_tag) const;
+
+  /// Replaces the clock used to measure task elapsed time for speculation
+  /// decisions (ms, monotone). Tests inject a manual clock to make backup
+  /// triggering deterministic; timing spans keep using the real clock.
+  void SetClockForTest(std::function<double()> clock);
+
+  /// Blocks until every task added so far has finished — including losing
+  /// speculative attempts, so no attempt can touch round state after Wait
+  /// returns. Polls the speculation check while blocked (backups launch
+  /// even when every pool thread is busy running stragglers).
   void Wait();
 
   /// The task's recorded span (zeros until it ran). Thread-safe.
@@ -189,9 +248,22 @@ class StageGraphExecutor {
     StageKind kind = StageKind::kOther;
     std::uint32_t round_tag = 0;
     TaskSpan span;
+    // Speculation bookkeeping.
+    bool speculatable = false;
+    bool started = false;          // first attempt picked the task up
+    bool backup_launched = false;  // at most one backup per task
+    double start_clock_ms = 0;     // speculation clock at first start
   };
 
-  void RunTask(TaskId id);
+  void RunAttempt(TaskId id, bool is_backup);
+  void SubmitAttempt(TaskId id, bool is_backup);
+  /// Scans running speculatable tasks against the median completed
+  /// duration of their (round, stage) peers; launches backups for the
+  /// slow ones. Caller holds mu_; returns the backups to submit.
+  std::vector<TaskId> MaybeSpeculateLocked();
+  double SpecClockLocked() const {
+    return clock_ ? clock_() : NowMs();
+  }
 
   common::ThreadPool& pool_;
   std::chrono::steady_clock::time_point epoch_;
@@ -199,6 +271,16 @@ class StageGraphExecutor {
   std::condition_variable all_done_;
   std::deque<Task> tasks_;
   std::size_t pending_ = 0;
+  /// Attempts submitted to the pool but not yet returned — includes
+  /// losing attempts of already-done tasks, which Wait must drain before
+  /// the round's state can be torn down.
+  std::size_t attempts_outstanding_ = 0;
+  SpeculationConfig spec_;
+  std::function<double()> clock_;  // test override for speculation timing
+  /// Completed durations of speculatable tasks, keyed by
+  /// (round_tag, stage): the population the median is drawn from.
+  std::unordered_map<std::uint64_t, std::vector<double>> completed_ms_;
+  std::unordered_map<std::uint32_t, SpeculationStats> spec_stats_;
 };
 
 /// Bounded replacement for the std::async-thread-per-call ExecuteAsync:
@@ -489,6 +571,7 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
     std::vector<std::uint64_t> sizes;       // group sizes (groups freed)
     std::vector<std::vector<Out>> outputs;  // filled by ReduceShard
     std::vector<ReducerLoad> loads;         // when simulating
+    std::uint64_t routed_rows = 0;          // rows routed to this shard
   };
 
   StagedRound(StageGraphExecutor& exec, std::uint32_t round_tag, MapFn map_fn,
@@ -501,7 +584,16 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
         reduce_(std::move(reduce_fn)),
         options_(options),
         strategy_(options.ResolvedShuffleStrategy()),
-        simulation_(options.ResolvedSimulation()) {}
+        simulation_(options.ResolvedSimulation()) {
+    // Speculation covers the in-memory shard tasks only (spill/merge is
+    // I/O-bound and externally ordered) and needs copyable values: both
+    // attempts read the same routed blocks, so neither may move from
+    // them. Move-only rounds silently run undefended.
+    speculative_ = options_.speculation.enabled &&
+                   strategy_ != ShuffleStrategy::kExternal &&
+                   std::is_copy_constructible_v<V>;
+    if (speculative_) exec_.ConfigureSpeculation(options_.speculation);
+  }
 
   void BuildMaterialized(std::size_t pairs_hint);
   void BuildStreamed(StreamSource<In>* upstream);
@@ -509,6 +601,7 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
 
   void MapChunk(std::size_t c, std::size_t lo, std::size_t hi);
   void MapStreamBlock(std::size_t b);
+  void PlanPartition();
   void RouteBlock(std::size_t task);
   std::unique_ptr<Block> CombineBlock(Block& in, std::uint64_t& bytes,
                                       std::vector<std::uint64_t>* row_bytes);
@@ -599,7 +692,19 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
   /// no streamed consumer forced the rank task).
   std::vector<std::tuple<PairPos, std::uint32_t, std::uint32_t>> key_order_;
 
+  // Skew defenses (see src/engine/partitioner.h). use_range_ defers the
+  // radix routing behind a sampling task; speculative_ lets shard tasks
+  // run twice, computing into attempt-local buffers committed first-wins
+  // under commit_mu_.
+  bool use_range_ = false;
+  bool speculative_ = false;
+  std::unique_ptr<RangePartitioner> range_partitioner_;
+  std::mutex commit_mu_;
+  std::vector<char> group_committed_;
+  std::vector<char> reduce_committed_;
+
   std::vector<TaskId> map_tasks_;
+  std::vector<TaskId> route_tasks_;   // sampled-range only: deferred radix
   std::vector<TaskId> group_tasks_;   // in-memory: per shard; external: merge
   std::vector<TaskId> reduce_tasks_;  // per shard / per key range
   TaskId ranks_task_ = StageGraphExecutor::kNoTask;
@@ -627,6 +732,9 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::
                                           exec_.pool().num_threads(),
                                           std::max<std::size_t>(pairs_hint,
                                                                 1));
+    use_range_ =
+        options_.shuffle.partitioner == PartitionerKind::kSampledRange &&
+        num_shards_ > 1;
   }
   task_pairs_.assign(num_map_tasks_, 0);
   task_raw_pairs_.assign(num_map_tasks_, 0);
@@ -671,6 +779,9 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::BuildStreamed(
                     : ResolveShardCount(options_.num_shards,
                                         exec_.pool().num_threads(),
                                         static_cast<std::size_t>(-1));
+  use_range_ =
+      options_.shuffle.partitioner == PartitionerKind::kSampledRange &&
+      num_shards_ > 1;
   task_pairs_.assign(num_map_tasks_, 0);
   task_raw_pairs_.assign(num_map_tasks_, 0);
   task_bytes_.assign(num_map_tasks_, 0);
@@ -722,17 +833,38 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn,
     return;
   }
   shards_.resize(num_shards_);
+  if (speculative_) {
+    group_committed_.assign(num_shards_, 0);
+    reduce_committed_.assign(num_shards_, 0);
+  }
+  // Sampled-range placement defers routing: one plan task samples the
+  // mapped hash distribution once every map finished, then per-map route
+  // tasks run the radix pass against the planned ranges. Under hash
+  // placement the maps route inline and groups depend on them directly.
+  const std::vector<TaskId>* group_deps = &map_tasks_;
+  if (use_range_) {
+    const TaskId plan =
+        exec_.AddTask(StageKind::kShuffle, round_tag_, map_tasks_,
+                      [self] { self->PlanPartition(); });
+    route_tasks_.reserve(num_map_tasks_);
+    for (std::size_t t = 0; t < num_map_tasks_; ++t) {
+      route_tasks_.push_back(
+          exec_.AddTask(StageKind::kShuffle, round_tag_, {plan},
+                        [self, t] { self->RouteBlock(t); }));
+    }
+    group_deps = &route_tasks_;
+  }
   group_tasks_.reserve(num_shards_);
   for (std::size_t p = 0; p < num_shards_; ++p) {
     group_tasks_.push_back(
-        exec_.AddTask(StageKind::kShuffle, round_tag_, map_tasks_,
-                      [self, p] { self->GroupShard(p); }));
+        exec_.AddTask(StageKind::kShuffle, round_tag_, *group_deps,
+                      [self, p] { self->GroupShard(p); }, speculative_));
   }
   reduce_tasks_.reserve(num_shards_);
   for (std::size_t p = 0; p < num_shards_; ++p) {
     reduce_tasks_.push_back(
         exec_.AddTask(StageKind::kReduce, round_tag_, {group_tasks_[p]},
-                      [self, p] { self->ReduceShard(p); }));
+                      [self, p] { self->ReduceShard(p); }, speculative_));
   }
 }
 
@@ -869,7 +1001,34 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::MapChunk(
     task_copied_[c] = emitter.bytes_copied();
     blocks_[c] = std::make_unique<Block>(std::move(emitter.block()));
   }
-  RouteBlock(c);
+  if (!use_range_) RouteBlock(c);
+}
+
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+void StagedRound<In, K, V, Out, MapFn, CombineFn,
+                 ReduceFn>::PlanPartition() {
+  // Samples the mapped hash distribution (strided over every block's hash
+  // column, capped so huge rounds pay a bounded sort) and cuts it into
+  // ranges of near-equal pair weight. One entry per sampled *pair*, so a
+  // hot key's weight counts once per occurrence — exactly the skew the
+  // equal-width hash placement is blind to.
+  constexpr std::size_t kMaxSample = std::size_t{64} * 1024;
+  std::size_t total = 0;
+  for (const auto& block : blocks_) {
+    if (block != nullptr) total += block->rows();
+  }
+  const std::size_t stride = std::max<std::size_t>(1, total / kMaxSample);
+  std::vector<std::uint64_t> sample;
+  sample.reserve(total / stride + num_map_tasks_);
+  for (const auto& block : blocks_) {
+    if (block == nullptr) continue;
+    for (std::size_t r = 0; r < block->rows(); r += stride) {
+      sample.push_back(block->hash(r));
+    }
+  }
+  range_partitioner_ = std::make_unique<RangePartitioner>(
+      BuildRangePartitioner(std::move(sample), num_shards_));
 }
 
 template <typename In, typename K, typename V, typename Out, typename MapFn,
@@ -878,11 +1037,19 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::RouteBlock(
     std::size_t task) {
   // Radix pass: shards receive row-index ranges into the task's block,
   // not copies — the block's hash column already holds the routing hash.
+  // Under sampled-range placement this runs as its own task (after
+  // PlanPartition); equal hashes land on equal shards either way, which
+  // is all grouping correctness needs.
+  if (blocks_[task] == nullptr) return;
   auto& rows = shard_rows_[task];
   const Block& block = *blocks_[task];
+  const RangePartitioner* range = range_partitioner_.get();
   for (std::size_t r = 0; r < block.rows(); ++r) {
     const std::size_t p =
-        num_shards_ == 1 ? 0 : IndexOfHash(block.hash(r), num_shards_);
+        num_shards_ == 1
+            ? 0
+            : (range != nullptr ? range->ShardOf(block.hash(r))
+                                : IndexOfHash(block.hash(r), num_shards_));
     rows[p].push_back(static_cast<std::uint32_t>(r));
   }
 }
@@ -914,23 +1081,36 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::MapStreamBlock(
   task_blocks_[b] = emitter.blocks_emitted();
   task_copied_[b] = emitter.bytes_copied();
   blocks_[b] = std::make_unique<Block>(std::move(emitter.block()));
-  RouteBlock(b);
+  if (!use_range_) RouteBlock(b);
 }
 
 template <typename In, typename K, typename V, typename Out, typename MapFn,
           typename CombineFn, typename ReduceFn>
 void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::GroupShard(
     std::size_t p) {
-  Shard& shard = shards_[p];
+  // Grouping builds into an attempt-local Shard: non-speculative rounds
+  // move it straight into place; speculative attempts race to commit it
+  // first-wins (the loser's copy is dropped, so duplicated work never
+  // changes the round's state). Under speculation values are *copied* out
+  // of the routed blocks and the row indices are kept — the concurrent
+  // twin attempt reads the same blocks.
+  Shard sh;
   std::size_t owned = 0;
   for (std::size_t t = 0; t < num_map_tasks_; ++t) {
     owned += shard_rows_[t][p].size();
   }
+  sh.routed_rows = owned;
   // Grouping dedups on the blocks' serialized key bytes (serde is
   // injective): one open-addressing probe per row, no typed hashing or
   // key copies until a group's first row deserializes its key once.
   storage::KeyIndex index;
   index.Reserve(owned);
+  const auto take = [this](Block& block, std::uint32_t r) -> V {
+    if constexpr (std::is_copy_constructible_v<V>) {
+      if (speculative_) return block.value(r);
+    }
+    return std::move(block.value(r));
+  };
 
   if (!streamed_input_) {
     // Scanning each task's routed rows in row order visits pairs in
@@ -947,64 +1127,77 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::GroupShard(
           const std::size_t g =
               index.FindOrInsert(block.hash(r), block.key_bytes(r), inserted);
           if (inserted) {
-            shard.keys.push_back(block.KeyAt(r));
-            shard.groups.emplace_back();
-            shard.first.push_back(PairPos{base + r, 0});
+            sh.keys.push_back(block.KeyAt(r));
+            sh.groups.emplace_back();
+            sh.first.push_back(PairPos{base + r, 0});
           }
-          shard.groups[g].push_back(std::move(block.value(r)));
+          sh.groups[g].push_back(take(block, r));
         }
       }
-      rows.clear();
-      rows.shrink_to_fit();
+      if (!speculative_) {
+        rows.clear();
+        rows.shrink_to_fit();
+      }
       base += task_pairs_[t];
     }
-    return;
-  }
-
-  // Streamed input: rows carry final (rank, seq) tags but arrive
-  // interleaved across upstream shards, so value order inside a group (and
-  // each key's first-seen tag) must be restored by tag.
-  std::vector<std::vector<PairPos>> vpos;
-  for (std::size_t t = 0; t < num_map_tasks_; ++t) {
-    auto& rows = shard_rows_[t][p];
-    if (blocks_[t] != nullptr) {
-      Block& block = *blocks_[t];
-      const auto& tags = tag_pos_[t];
-      for (const std::uint32_t r : rows) {
-        const PairPos pos = tags[r];
-        bool inserted = false;
-        const std::size_t g =
-            index.FindOrInsert(block.hash(r), block.key_bytes(r), inserted);
-        if (inserted) {
-          shard.keys.push_back(block.KeyAt(r));
-          shard.groups.emplace_back();
-          vpos.emplace_back();
-          shard.first.push_back(pos);
-        } else if (pos < shard.first[g]) {
-          shard.first[g] = pos;
+  } else {
+    // Streamed input: rows carry final (rank, seq) tags but arrive
+    // interleaved across upstream shards, so value order inside a group
+    // (and each key's first-seen tag) must be restored by tag.
+    std::vector<std::vector<PairPos>> vpos;
+    for (std::size_t t = 0; t < num_map_tasks_; ++t) {
+      auto& rows = shard_rows_[t][p];
+      if (blocks_[t] != nullptr) {
+        Block& block = *blocks_[t];
+        const auto& tags = tag_pos_[t];
+        for (const std::uint32_t r : rows) {
+          const PairPos pos = tags[r];
+          bool inserted = false;
+          const std::size_t g =
+              index.FindOrInsert(block.hash(r), block.key_bytes(r), inserted);
+          if (inserted) {
+            sh.keys.push_back(block.KeyAt(r));
+            sh.groups.emplace_back();
+            vpos.emplace_back();
+            sh.first.push_back(pos);
+          } else if (pos < sh.first[g]) {
+            sh.first[g] = pos;
+          }
+          sh.groups[g].push_back(take(block, r));
+          vpos[g].push_back(pos);
         }
-        shard.groups[g].push_back(std::move(block.value(r)));
-        vpos[g].push_back(pos);
+      }
+      if (!speculative_) {
+        rows.clear();
+        rows.shrink_to_fit();
       }
     }
-    rows.clear();
-    rows.shrink_to_fit();
-  }
-  for (std::size_t g = 0; g < shard.groups.size(); ++g) {
-    auto& tags = vpos[g];
-    if (std::is_sorted(tags.begin(), tags.end())) continue;
-    std::vector<std::uint32_t> order(tags.size());
-    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&tags](std::uint32_t a, std::uint32_t b) {
-                return tags[a] < tags[b];
-              });
-    std::vector<V> sorted;
-    sorted.reserve(order.size());
-    for (std::uint32_t i : order) {
-      sorted.push_back(std::move(shard.groups[g][i]));
+    for (std::size_t g = 0; g < sh.groups.size(); ++g) {
+      auto& tags = vpos[g];
+      if (std::is_sorted(tags.begin(), tags.end())) continue;
+      std::vector<std::uint32_t> order(tags.size());
+      for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&tags](std::uint32_t a, std::uint32_t b) {
+                  return tags[a] < tags[b];
+                });
+      std::vector<V> sorted;
+      sorted.reserve(order.size());
+      for (std::uint32_t i : order) {
+        sorted.push_back(std::move(sh.groups[g][i]));
+      }
+      sh.groups[g] = std::move(sorted);
     }
-    shard.groups[g] = std::move(sorted);
+  }
+
+  if (!speculative_) {
+    shards_[p] = std::move(sh);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!group_committed_[p]) {
+    group_committed_[p] = 1;
+    shards_[p] = std::move(sh);
   }
 }
 
@@ -1045,6 +1238,26 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::ReduceKeyRange(
       loads != nullptr && (simulation_.cost_per_byte > 0 ||
                            simulation_.reducer_capacity_bytes > 0);
   for (std::size_t i = lo; i < hi; ++i) {
+    if constexpr (std::is_copy_constructible_v<V>) {
+      if (speculative_) {
+        // Twin attempts may reduce this shard concurrently and a reduce
+        // fn takes its group by mutable reference, so each attempt works
+        // on its own copy and the shared group is neither mutated nor
+        // freed (it dies with the round object instead).
+        std::vector<V> group = groups[i];
+        sizes[i] = group.size();
+        if (loads != nullptr) {
+          std::uint64_t bytes = 0;
+          if (need_bytes) {
+            bytes = common::ByteSizeOf(keys[i]);
+            for (const V& v : group) bytes += common::ByteSizeOf(v);
+          }
+          (*loads)[i] = ReducerLoad{HashValue(keys[i]), group.size(), bytes};
+        }
+        reduce_(keys[i], group, outputs[i]);
+        continue;
+      }
+    }
     auto& group = groups[i];
     sizes[i] = group.size();
     if (loads != nullptr) {
@@ -1066,11 +1279,31 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::ReduceShard(
     std::size_t p) {
   Shard& shard = shards_[p];
   const std::size_t n = shard.keys.size();
-  shard.outputs.resize(n);
-  shard.sizes.resize(n);
-  if (simulation_.enabled()) shard.loads.resize(n);
-  ReduceKeyRange(shard.keys, shard.groups, 0, n, shard.sizes, shard.outputs,
-                 simulation_.enabled() ? &shard.loads : nullptr);
+  if (!speculative_) {
+    shard.outputs.resize(n);
+    shard.sizes.resize(n);
+    if (simulation_.enabled()) shard.loads.resize(n);
+    ReduceKeyRange(shard.keys, shard.groups, 0, n, shard.sizes,
+                   shard.outputs,
+                   simulation_.enabled() ? &shard.loads : nullptr);
+    return;
+  }
+  // Speculative attempt: reduce into attempt-local buffers (reading the
+  // committed keys/groups, which no attempt mutates) and publish
+  // first-wins.
+  std::vector<std::vector<Out>> outputs(n);
+  std::vector<std::uint64_t> sizes(n);
+  std::vector<ReducerLoad> loads;
+  if (simulation_.enabled()) loads.resize(n);
+  ReduceKeyRange(shard.keys, shard.groups, 0, n, sizes, outputs,
+                 simulation_.enabled() ? &loads : nullptr);
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!reduce_committed_[p]) {
+    reduce_committed_[p] = 1;
+    shard.outputs = std::move(outputs);
+    shard.sizes = std::move(sizes);
+    shard.loads = std::move(loads);
+  }
 }
 
 template <typename In, typename K, typename V, typename Out, typename MapFn,
@@ -1197,8 +1430,31 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
       }
       if (sim) loads.push_back(shards_[p].loads[i]);
     }
+    // How evenly the partitioner spread the routed pairs: max over mean
+    // per-shard routed rows. 1.0 = perfectly balanced shards; the gap to
+    // 1.0 is what sampled-range placement exists to close.
+    if (num_shards_ > 1) {
+      std::uint64_t total_routed = 0;
+      std::uint64_t max_routed = 0;
+      for (const Shard& shard : shards_) {
+        total_routed += shard.routed_rows;
+        max_routed = std::max(max_routed, shard.routed_rows);
+      }
+      if (total_routed > 0) {
+        m.partition_skew_ratio =
+            static_cast<double>(max_routed) /
+            (static_cast<double>(total_routed) /
+             static_cast<double>(num_shards_));
+      }
+    }
   }
   m.num_outputs = outputs.size();
+
+  if (speculative_) {
+    const auto stats = exec_.speculation_stats(round_tag_);
+    m.speculative_launched = stats.launched;
+    m.speculative_won = stats.won;
+  }
 
   if (sim) {
     // Loads arrive in global first-seen key order — the exact order the
@@ -1209,6 +1465,11 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
     m.load_imbalance = report.load_imbalance;
     m.straggler_impact = report.straggler_impact;
     m.capacity_violations = report.capacity_violations;
+    // Simulated-defense accounting folds into the same counters the
+    // executor's real backups use: both measure the round's defenses.
+    m.hot_keys_split = report.hot_keys_split;
+    m.speculative_launched += report.speculative_launched;
+    m.speculative_won += report.speculative_won;
   }
 
   FillTimings(m);
@@ -1219,14 +1480,19 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
     result_.outputs = std::move(outputs);
   }
   // Release the bulky intermediate state; nothing reads it after finalize
-  // (streamed consumers are finalize dependencies).
-  shards_.clear();
-  merged_ = ShuffleResult<K, V>{};
-  flat_outputs_.clear();
-  flat_sizes_.clear();
-  blocks_.clear();
-  shard_rows_.clear();
-  tag_pos_.clear();
+  // (streamed consumers are finalize dependencies). A speculative round
+  // keeps it: a losing attempt may still be draining against the blocks
+  // and groups, so the state dies with the round object instead (Wait
+  // drains every attempt before results are consumed).
+  if (!speculative_) {
+    shards_.clear();
+    merged_ = ShuffleResult<K, V>{};
+    flat_outputs_.clear();
+    flat_sizes_.clear();
+    blocks_.clear();
+    shard_rows_.clear();
+    tag_pos_.clear();
+  }
 }
 
 }  // namespace internal

@@ -30,6 +30,17 @@ std::string JobMetrics::ToString() const {
        << " straggler_impact=" << straggler_impact
        << " capacity_violations=" << capacity_violations;
   }
+  if (speculative_launched > 0 || hot_keys_split > 0 ||
+      partition_skew_ratio > 0) {
+    os << " | defense:";
+    if (partition_skew_ratio > 0) {
+      os << " partition_skew=" << partition_skew_ratio;
+    }
+    if (speculative_launched > 0) {
+      os << " speculative=" << speculative_won << "/" << speculative_launched;
+    }
+    if (hot_keys_split > 0) os << " hot_keys_split=" << hot_keys_split;
+  }
   if (timed()) {
     os << " | stages: map=" << map_ms << "ms shuffle=" << shuffle_ms
        << "ms reduce=" << reduce_ms << "ms barrier_wait=" << barrier_wait_ms
@@ -98,6 +109,30 @@ std::uint64_t PipelineMetrics::total_merge_passes() const {
   return total;
 }
 
+std::uint64_t PipelineMetrics::total_speculative_launched() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.speculative_launched;
+  return total;
+}
+
+std::uint64_t PipelineMetrics::total_speculative_won() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.speculative_won;
+  return total;
+}
+
+std::uint64_t PipelineMetrics::total_hot_keys_split() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds) total += m.hot_keys_split;
+  return total;
+}
+
+double PipelineMetrics::max_partition_skew_ratio() const {
+  double worst = 0;
+  for (const auto& m : rounds) worst = std::max(worst, m.partition_skew_ratio);
+  return worst;
+}
+
 double PipelineMetrics::total_barrier_wait_ms() const {
   double total = 0;
   for (const auto& m : rounds) total += m.barrier_wait_ms;
@@ -141,6 +176,11 @@ std::string PipelineMetrics::ToString() const {
     os << ", sim makespan=" << total_makespan()
        << ", worst imbalance=" << max_load_imbalance()
        << ", capacity violations=" << total_capacity_violations();
+  }
+  if (total_speculative_launched() > 0 || total_hot_keys_split() > 0) {
+    os << ", speculative=" << total_speculative_won() << "/"
+       << total_speculative_launched()
+       << ", hot keys split=" << total_hot_keys_split();
   }
   if (total_overlap_ms() > 0 || streamed_rounds > 0) {
     os << ", overlap=" << overlap_fraction()

@@ -49,6 +49,18 @@ struct JobMetrics {
   /// and reducers whose input exceeded the configured capacity q.
   std::uint64_t capacity_violations = 0;
 
+  /// Skew-defense accounting (all zero when no defense ran; see
+  /// src/engine/partitioner.h and SpeculationConfig in executor.h):
+  /// speculative backup tasks the executor launched for slow shards,
+  std::uint64_t speculative_launched = 0;
+  /// backups that finished before the original (first finisher wins),
+  std::uint64_t speculative_won = 0;
+  /// hot keys the simulated defense split across sub-reducers,
+  std::uint64_t hot_keys_split = 0;
+  /// and max/mean routed rows per shard after partitioning (1.0 =
+  /// perfectly even shards; 0 when the round did not route shards).
+  double partition_skew_ratio = 0;
+
   /// Stage-graph timing (all zero when the round ran untimed — see
   /// src/engine/executor.h). Wall-clock spans of the map, shuffle
   /// (group/merge), and reduce stages:
@@ -154,6 +166,13 @@ struct PipelineMetrics {
   double total_barrier_wait_ms() const;
   double total_overlap_ms() const;
   double overlap_fraction() const;
+  /// Skew-defense aggregates (0 when no round ran a defense): speculative
+  /// backups launched/won across rounds, hot keys split, and the worst
+  /// per-round partition skew.
+  std::uint64_t total_speculative_launched() const;
+  std::uint64_t total_speculative_won() const;
+  std::uint64_t total_hot_keys_split() const;
+  double max_partition_skew_ratio() const;
 
   /// Replication rate of round `i` (0-based): rounds[i].replication_rate().
   double replication_rate(std::size_t i) const;

@@ -64,6 +64,10 @@ std::vector<RoundCostReport> CompareToLowerBound(
     report.load_imbalance = round.load_imbalance;
     report.straggler_impact = round.straggler_impact;
     report.capacity_violations = round.capacity_violations;
+    report.speculative_launched = round.speculative_launched;
+    report.speculative_won = round.speculative_won;
+    report.hot_keys_split = round.hot_keys_split;
+    report.partition_skew_ratio = round.partition_skew_ratio;
     report.external_shuffle = round.external_shuffle();
     report.spill_runs = round.spill_runs;
     report.spill_bytes_written = round.spill_bytes_written;
@@ -113,6 +117,13 @@ std::string ToString(const std::vector<RoundCostReport>& reports) {
          << " imbalance=" << report.load_imbalance
          << " straggler_impact=" << report.straggler_impact
          << " capacity_violations=" << report.capacity_violations;
+    }
+    if (report.speculative_launched > 0 || report.hot_keys_split > 0 ||
+        report.partition_skew_ratio > 0) {
+      os << " partition_skew=" << report.partition_skew_ratio
+         << " speculative=" << report.speculative_won << "/"
+         << report.speculative_launched
+         << " hot_keys_split=" << report.hot_keys_split;
     }
     if (report.timed) {
       os << " map_ms=" << report.map_ms << " shuffle_ms=" << report.shuffle_ms

@@ -140,6 +140,14 @@ struct RoundCostReport {
   double straggler_impact = 0;
   std::uint64_t capacity_violations = 0;
 
+  /// Skew-defense counters for the round, copied from JobMetrics (all
+  /// zero when no defense ran): speculative backups launched/won, hot
+  /// keys split, and the shard-placement skew the partitioner realized.
+  std::uint64_t speculative_launched = 0;
+  std::uint64_t speculative_won = 0;
+  std::uint64_t hot_keys_split = 0;
+  double partition_skew_ratio = 0;
+
   /// External-shuffle spill counters for the round, copied from JobMetrics
   /// when the round shuffled externally (see src/storage/): how much of
   /// the round's communication had to move through disk to fit the memory

@@ -95,6 +95,30 @@ ShuffleStrategy ChooseStrategy(const ShuffleConfig& config,
                              /*bytes_known=*/true);
 }
 
+/// A key whose sampled group is this many times the mean group marks the
+/// distribution as skewed enough that equal-width hash placement will
+/// overload whichever shard owns it — sampled-range placement pays one
+/// extra routing pass to rebalance.
+constexpr double kSkewTriggerRatio = 4.0;
+
+PartitionerKind ChoosePartitioner(const ShuffleConfig& config,
+                                  const MapSample& sample) {
+  if (config.partitioner != PartitionerKind::kAuto) {
+    return config.partitioner;
+  }
+  if (!sample.valid || sample.distinct_keys == 0) {
+    return PartitionerKind::kHash;
+  }
+  const double sampled_pairs =
+      sample.pairs_per_input * static_cast<double>(sample.sampled_inputs);
+  const double mean_group =
+      sampled_pairs / static_cast<double>(sample.distinct_keys);
+  return static_cast<double>(sample.max_group) >
+                 kSkewTriggerRatio * std::max(mean_group, 1.0)
+             ? PartitionerKind::kSampledRange
+             : PartitionerKind::kHash;
+}
+
 PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
                                  const ExecutionOptions& options,
                                  std::size_t target) {
@@ -198,6 +222,18 @@ PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
           resolved.shuffle.strategy = ShuffleStrategy::kSharded;
         }
       }
+      if (options.choose_strategy_per_round &&
+          resolved.shuffle.partitioner == PartitionerKind::kAuto) {
+        // Same sample feeds the placement decision: a skewed key
+        // distribution flips the round to sampled-range partitioning
+        // (outputs unchanged — the deterministic merge runs on scan
+        // tags, not shard ownership).
+        if (!sample.valid) {
+          sample = node.sample(graph, options.strategy_sample_inputs);
+        }
+        resolved.shuffle.partitioner =
+            ChoosePartitioner(resolved.shuffle, sample);
+      }
       // Shard sizing from whatever estimate is on hand: the declared
       // schema replication, else the chooser's sample (0 = unknown).
       std::uint64_t pairs_hint = 0;
@@ -241,6 +277,15 @@ PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
           WindowOf(exec, handles[edge.consumer]->map_task_ids());
       metrics.streamed_overlap_ms += IntervalOverlap(
           reduce.begin, reduce.end, map.begin, map.end);
+    }
+  }
+  // Feed realized per-round skew back into the caller's calibration so
+  // later estimates price the cluster that actually ran.
+  if (options.calibration != nullptr) {
+    for (const JobMetrics& m : metrics.rounds) {
+      if (m.simulated()) {
+        options.calibration->Observe(m.load_imbalance, m.straggler_impact);
+      }
     }
   }
   return metrics;
@@ -328,6 +373,19 @@ PlanEstimate EstimatePlanGraph(const PlanGraph& graph,
                                  : 0;
     round.cost =
         options.cost_model.Cost(round.predicted_r, round.predicted_q);
+    if (options.calibration != nullptr &&
+        options.calibration->observations() > 0) {
+      // Realized-skew correction: the processing/wall-clock terms assume
+      // reducers spread evenly over workers; scale them by the makespan
+      // inflation executed rounds actually observed. Communication (r) is
+      // placement-independent and stays unscaled.
+      const double skew = options.calibration->skew_factor();
+      const core::CostModel& cm = options.cost_model;
+      round.cost = cm.communication_weight * round.predicted_r +
+                   skew * (cm.processing_weight * round.predicted_q +
+                           cm.wallclock_weight * round.predicted_q *
+                               round.predicted_q);
+    }
     // The same decision rule the Execute-time chooser applies, fed by the
     // round's (declared or sampled) predictions.
     round.planned_strategy = ChooseFromEstimates(
@@ -397,6 +455,25 @@ std::string ExplainPlanGraph(const PlanGraph& graph,
                        resolved.shuffle.memory_budget_bytes)) + " budget"
                  : std::string("no budget"))
          << ")";
+      const PartitionerKind partitioner =
+          ChoosePartitioner(resolved.shuffle, sample);
+      os << "\n  partitioner: " << ToString(partitioner);
+      if (resolved.shuffle.partitioner != PartitionerKind::kAuto) {
+        os << " (explicit)";
+      } else if (partitioner == PartitionerKind::kSampledRange) {
+        os << " (chooser: hottest sampled key x"
+           << (sample.distinct_keys > 0
+                   ? static_cast<double>(sample.max_group) /
+                         std::max(1.0, sample.pairs_per_input *
+                                           static_cast<double>(
+                                               sample.sampled_inputs) /
+                                           static_cast<double>(
+                                               sample.distinct_keys))
+                   : 0.0)
+           << " the mean group)";
+      } else {
+        os << " (chooser: keys spread evenly)";
+      }
     }
     os << "\n  shards: ";
     if (resolved.num_shards > 0) {

@@ -130,6 +130,12 @@ struct EstimateOptions {
   std::size_t max_sample_inputs = 1024;
   /// Shuffle config the planned_strategy annotation is computed against.
   ShuffleConfig shuffle;
+  /// Optional feedback from executed rounds: when set, each round's
+  /// wall-clock cost terms are scaled by calibration->skew_factor() — the
+  /// realized makespan inflation previous executions observed — so the
+  /// estimate prices the cluster that actually ran, not the perfectly
+  /// balanced one. Not owned; may be null.
+  const core::RuntimeCalibration* calibration = nullptr;
 };
 
 /// Knobs for Plan::Execute / ExecuteAsync.
@@ -158,6 +164,13 @@ struct ExecutionOptions {
   /// consumer; anything else falls back to the barrier path. Set false to
   /// force the sequential round-by-round schedule (the bench's baseline).
   bool streaming = true;
+  /// Optional feedback sink: after each simulated round, the executor
+  /// calls calibration->Observe(load_imbalance, straggler_impact) so later
+  /// Plan::Estimate calls (passing the same object in EstimateOptions)
+  /// price the cluster's realized skew. Not owned; may be null. The
+  /// object is mutated from the execution thread — share one per planning
+  /// thread.
+  core::RuntimeCalibration* calibration = nullptr;
 
   ExecutionOptions() = default;
   explicit ExecutionOptions(PipelineOptions options)
@@ -298,6 +311,13 @@ JobOptions ResolveRoundOptions(const PlanNode& node,
 ShuffleStrategy ChooseStrategy(const ShuffleConfig& config,
                                const MapSample& sample,
                                std::size_t num_inputs);
+
+/// The per-round partitioner chooser: kAuto resolves to kSampledRange
+/// when the sample shows a skewed key distribution (the hottest key's
+/// group is several times the mean group), and to plain hash placement
+/// otherwise. An explicit configuration always wins.
+PartitionerKind ChoosePartitioner(const ShuffleConfig& config,
+                                  const MapSample& sample);
 
 /// Runs every round node that `target` depends on (all rounds when
 /// target == kNoNode) in node order on one StageGraphExecutor,

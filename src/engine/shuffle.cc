@@ -12,6 +12,15 @@ const char* ToString(ShuffleStrategy strategy) {
   return "?";
 }
 
+const char* ToString(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kAuto: return "auto";
+    case PartitionerKind::kHash: return "hash";
+    case PartitionerKind::kSampledRange: return "sampled-range";
+  }
+  return "?";
+}
+
 std::size_t ResolveShardCount(std::size_t requested, std::size_t num_threads,
                               std::size_t num_pairs) {
   if (requested > 0) return requested;

@@ -33,6 +33,22 @@ enum class ShuffleStrategy { kAuto = 0, kSerial, kSharded, kExternal };
 
 const char* ToString(ShuffleStrategy strategy);
 
+/// How pairs are placed onto shuffle shards (and, in the simulator, how
+/// reducers are placed onto workers).
+///   kAuto         — kHash unless the plan chooser's map-fn sample detects
+///                   key skew (max group far above the mean), in which case
+///                   kSampledRange.
+///   kHash         — blind IndexOfHash placement (the PR-1 radix path).
+///   kSampledRange — sample the mapped key-hash distribution, then cut it
+///                   into contiguous hash ranges holding equal pair counts,
+///                   so a skewed key distribution still spreads its weight
+///                   evenly (see src/engine/partitioner.h). Placement only:
+///                   outputs stay byte-identical to kHash via the
+///                   scan-order-tag merge.
+enum class PartitionerKind { kAuto = 0, kHash, kSampledRange };
+
+const char* ToString(PartitionerKind kind);
+
 /// The one shuffle-configuration struct, shared by every layer that used
 /// to duplicate these knobs (JobOptions, PipelineOptions, and the external
 /// shuffle's own options). Resolution order, applied field-wise — each
@@ -62,11 +78,17 @@ struct ShuffleConfig {
   /// excess are first merged down in extra passes (merge_passes counts
   /// them).
   std::size_t merge_fan_in = 0;
+  /// How pairs are placed onto shards. kAuto lets the plan chooser pick
+  /// from its map-fn sample (skewed keys => kSampledRange) and otherwise
+  /// behaves as kHash. Ignored by the external shuffle (its placement is
+  /// the sorted merge order) and by the one-shard serial path.
+  PartitionerKind partitioner = PartitionerKind::kAuto;
 
   /// True when any field was moved off its unset value.
   bool configured() const {
     return strategy != ShuffleStrategy::kAuto || memory_budget_bytes > 0 ||
-           !spill_dir.empty() || merge_fan_in > 0;
+           !spill_dir.empty() || merge_fan_in > 0 ||
+           partitioner != PartitionerKind::kAuto;
   }
 
   /// Step 2 of the resolution order: fields still unset here inherit
@@ -81,6 +103,9 @@ struct ShuffleConfig {
     }
     if (merged.spill_dir.empty()) merged.spill_dir = fallback.spill_dir;
     if (merged.merge_fan_in == 0) merged.merge_fan_in = fallback.merge_fan_in;
+    if (merged.partitioner == PartitionerKind::kAuto) {
+      merged.partitioner = fallback.partitioner;
+    }
     return merged;
   }
 

@@ -7,8 +7,41 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/engine/shuffle.h"
 
 namespace mrcost::engine {
+
+/// The simulator's runtime skew defenses — the counterpart of the engine's
+/// own speculative tasks and sampled-range shuffle placement, applied in
+/// the simulated cost domain where makespan is defined. All three knobs
+/// change only how reducer load is placed and re-executed across simulated
+/// workers; the reduce outputs a defended round produces stay byte-
+/// identical to the undefended run (defenses never touch data).
+struct SkewDefense {
+  /// How reducers are assigned to workers. kAuto/kHash = the blind
+  /// IndexOfHash placement; kSampledRange = sort reducers by key hash and
+  /// cut contiguous ranges of near-equal *cost* (pairs/bytes-weighted), so
+  /// a hot key stops dragging a full hash range's worth of neighbours onto
+  /// its worker.
+  PartitionerKind partitioner = PartitionerKind::kAuto;
+  /// Speculative backup tasks: a worker whose finish time exceeds
+  /// speculation_slowdown_factor x the median worker finish gets its queue
+  /// re-issued on the fastest worker at the trigger time; the earlier
+  /// finisher wins. Models the executor's first-finisher-wins backups.
+  bool speculation = false;
+  double speculation_slowdown_factor = 3.0;
+  /// A reducer whose input exceeds this many pairs is split into
+  /// ceil(pairs / threshold) sub-reducers (scattered by sub-hash) plus one
+  /// merge reducer combining the partial results — the paper's q-vs-r
+  /// tradeoff applied adaptively. 0 = off.
+  double hot_key_split_threshold = 0;
+
+  bool configured() const {
+    return partitioner != PartitionerKind::kAuto || speculation ||
+           speculation_slowdown_factor != 3.0 ||
+           hot_key_split_threshold != 0;
+  }
+};
 
 /// Knobs for the cluster-simulation layer. The paper's cost model charges a
 /// computation a replication rate r against a reducer capacity q; this layer
@@ -39,8 +72,16 @@ struct SimulationOptions {
   double speed_jitter = 0;
   /// Seeds the speed jitter and the straggler choice. The simulation is a
   /// pure function of (reducer loads, options), so a fixed seed gives
-  /// identical reports for every thread/shard count.
+  /// identical reports for every thread/shard count. Jitter and straggler
+  /// selection draw from independent streams derived from this seed, so
+  /// each axis is reproducible on its own: changing the jitter knob never
+  /// changes *which* workers straggle, and vice versa.
   std::uint64_t seed = 0;
+
+  /// Runtime skew defenses (range placement, speculative backups, hot-key
+  /// splitting); see SkewDefense. Defaults leave every defense off — the
+  /// undefended cluster the defenses are measured against.
+  SkewDefense defense;
 
   /// Simulated time units charged per input pair and per input byte of a
   /// reducer's value list. Defaults model the paper's pair-count cost;
@@ -56,7 +97,8 @@ struct SimulationOptions {
   bool customized() const {
     return reducer_capacity_q != 0 || reducer_capacity_bytes != 0 ||
            straggler_fraction != 0 || straggler_slowdown != 1.0 ||
-           speed_jitter != 0 || cost_per_pair != 1.0 || cost_per_byte != 0;
+           speed_jitter != 0 || cost_per_pair != 1.0 || cost_per_byte != 0 ||
+           defense.configured();
   }
 };
 
@@ -78,7 +120,10 @@ struct WorkerQueue {
   std::uint64_t bytes = 0;
   double cost = 0;         // cost_per_pair * pairs + cost_per_byte * bytes
   double speed = 1.0;      // jitter and straggler slowdown applied
-  double finish_time = 0;  // cost / speed
+  double finish_time = 0;  // cost / speed, before any speculative rescue
+  /// Finish after a speculative backup (if one fired and won); equals
+  /// finish_time when speculation is off or did not help this worker.
+  double effective_finish_time = 0;
 };
 
 /// Everything the simulation measures for one round.
@@ -98,8 +143,18 @@ struct SimulationReport {
   double straggler_impact = 0;
   /// Reducers whose input list exceeds reducer_capacity_q pairs or
   /// reducer_capacity_bytes bytes — the schema promised q and broke it.
+  /// Counted after hot-key splitting: a split that brings every sub-group
+  /// under q removes the violation (that is the point of the defense).
   std::uint64_t capacity_violations = 0;
   std::uint64_t max_worker_pairs = 0;
+
+  /// Skew-defense accounting (all zero when SkewDefense is off):
+  /// hot keys split into sub-reducers,
+  std::uint64_t hot_keys_split = 0;
+  /// speculative backups launched for slow workers,
+  std::uint64_t speculative_launched = 0;
+  /// and backups that actually finished before their straggler.
+  std::uint64_t speculative_won = 0;
 
   /// Per-worker distributions (count == num_workers, zero-load workers
   /// included).
@@ -117,8 +172,16 @@ struct SimulationReport {
 
 /// Deterministic per-worker speeds for `options`: jitter applied from the
 /// seed, then the straggler subset (floor(fraction * workers) workers,
-/// sampled without replacement) divided by straggler_slowdown.
+/// sampled without replacement) divided by straggler_slowdown. Jitter and
+/// straggler selection use independent streams derived from the seed
+/// (seed ^ per-purpose constants), so the straggler set is a function of
+/// (seed, num_workers, fraction) alone — sweeping the jitter axis keeps
+/// the same workers straggling.
 std::vector<double> WorkerSpeeds(const SimulationOptions& options);
+
+/// The straggler subset on its own (sorted worker indices) — the second
+/// of WorkerSpeeds' two streams, exposed so tests can pin it per-axis.
+std::vector<std::uint64_t> StragglerWorkers(const SimulationOptions& options);
 
 /// Runs the simulation: every reducer is enqueued on worker
 /// IndexOfHash(key_hash, num_workers), per-worker cost accumulates, and the

@@ -748,6 +748,41 @@ TEST(Simulator, WorkerSpeedsDeterministic) {
   EXPECT_NE(WorkerSpeeds(options), a);
 }
 
+TEST(Simulator, StragglerSetIndependentOfJitterStream) {
+  // Regression for the shared-RNG bug: straggler selection used to draw
+  // from the same stream as the speed jitter, so toggling the jitter knob
+  // silently reshuffled which workers straggled (and any sweep varying
+  // jitter swept the straggler set with it). The straggler set must be a
+  // function of (seed, num_workers, fraction) alone.
+  SimulationOptions options;
+  options.num_workers = 16;
+  options.straggler_fraction = 0.25;
+  options.straggler_slowdown = 4.0;
+  options.seed = 13;
+  const auto without_jitter = StragglerWorkers(options);
+  options.speed_jitter = 0.2;
+  const auto with_jitter = StragglerWorkers(options);
+  EXPECT_EQ(without_jitter, with_jitter);
+
+  // Pinned values for seed 13: any change to the straggler stream (its
+  // constant, the sampler, or the ordering) must show up here.
+  const std::vector<std::uint64_t> expected = {1, 4, 10, 15};
+  EXPECT_EQ(without_jitter, expected);
+
+  // The slowed speeds land exactly on the pinned set.
+  const auto speeds = WorkerSpeeds(options);
+  for (std::uint64_t w = 0; w < speeds.size(); ++w) {
+    const bool slowed = speeds[w] < 0.5;  // jittered >= 0.8, slowed <= 0.3
+    const bool pinned =
+        std::find(expected.begin(), expected.end(), w) != expected.end();
+    EXPECT_EQ(slowed, pinned) << "worker " << w;
+  }
+
+  // A different seed picks a different set.
+  options.seed = 14;
+  EXPECT_NE(StragglerWorkers(options), expected);
+}
+
 TEST(Simulator, DirectQueuesCapacityAndMakespan) {
   // Hand-placed reducers: with 2 workers, IndexOfHash takes the hash's top
   // bit, so hash 0 and 1<<62 land on worker 0 and ~0 lands on worker 1.

@@ -5,8 +5,11 @@
 // behind ExecuteAsync.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <string>
 #include <utility>
 #include <vector>
@@ -210,6 +213,197 @@ TEST(StagedRound, SimulationIdenticalAcrossSchedules) {
   EXPECT_DOUBLE_EQ(one.metrics.load_imbalance, four.metrics.load_imbalance);
   EXPECT_DOUBLE_EQ(one.metrics.worker_loads.sum(),
                    four.metrics.worker_loads.sum());
+}
+
+// ------------------------------------------------------- speculation
+
+// Speculation tests drive the executor with a manual clock
+// (SetClockForTest) and tasks gated on atomics, so backup triggering is a
+// deterministic function of the test script, not of scheduler timing.
+
+TEST(StageGraphExecutor, SpeculationBackupWinsAgainstStraggler) {
+  common::ThreadPool pool(4);
+  StageGraphExecutor exec(pool);
+  std::atomic<double> clock_ms{0.0};
+  exec.SetClockForTest([&] { return clock_ms.load(); });
+  SpeculationConfig spec;
+  spec.enabled = true;
+  spec.slowdown_factor = 2.0;
+  spec.min_completed = 3;
+  spec.min_task_ms = 0.0;
+  exec.ConfigureSpeculation(spec);
+
+  // Three fast peers establish the median duration for (round 5, reduce).
+  for (int i = 0; i < 3; ++i) {
+    exec.AddTask(StageKind::kReduce, 5, {}, [] {}, /*speculatable=*/true);
+  }
+  exec.Wait();
+
+  // The straggler: the first attempt spins until the backup (second
+  // attempt of the same fn) releases it, so the backup always finishes
+  // first and the original's result is the duplicate to discard.
+  std::atomic<int> entries{0};
+  std::atomic<bool> release{false};
+  exec.AddTask(
+      StageKind::kReduce, 5, {},
+      [&] {
+        if (entries.fetch_add(1) == 0) {
+          while (!release.load()) std::this_thread::yield();
+        } else {
+          release.store(true);
+        }
+      },
+      /*speculatable=*/true);
+  while (entries.load() == 0) std::this_thread::yield();
+  clock_ms.store(1000.0);  // straggler is now far past the threshold
+  exec.Wait();
+
+  EXPECT_EQ(entries.load(), 2);  // the task genuinely ran twice
+  const auto stats = exec.speculation_stats(5);
+  EXPECT_EQ(stats.launched, 1u);
+  EXPECT_EQ(stats.won, 1u);
+  EXPECT_EQ(stats.discarded, 1u);
+  // Other rounds are untouched.
+  EXPECT_EQ(exec.speculation_stats(0).launched, 0u);
+}
+
+TEST(StageGraphExecutor, SpeculationNeverFiresOnUniformTasks) {
+  // Regression: with every task the same speed there is no straggler, so
+  // no backup may launch no matter how many tasks complete.
+  common::ThreadPool pool(4);
+  StageGraphExecutor exec(pool);
+  std::atomic<double> clock_ms{0.0};
+  exec.SetClockForTest([&] { return clock_ms.load(); });
+  SpeculationConfig spec;
+  spec.enabled = true;
+  spec.slowdown_factor = 2.0;
+  spec.min_completed = 3;
+  exec.ConfigureSpeculation(spec);
+
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 16; ++i) {
+    exec.AddTask(StageKind::kReduce, 3, {}, [&] { ++runs; },
+                 /*speculatable=*/true);
+  }
+  exec.Wait();
+  EXPECT_EQ(runs.load(), 16);  // every task ran exactly once
+  const auto stats = exec.speculation_stats(3);
+  EXPECT_EQ(stats.launched, 0u);
+  EXPECT_EQ(stats.won, 0u);
+  EXPECT_EQ(stats.discarded, 0u);
+}
+
+TEST(StageGraphExecutor, SpeculationWaitsForMinCompletedPeers) {
+  // With fewer completed peers than min_completed the median is not
+  // trusted and no backup launches, even for an arbitrarily slow task.
+  common::ThreadPool pool(4);
+  StageGraphExecutor exec(pool);
+  std::atomic<double> clock_ms{0.0};
+  exec.SetClockForTest([&] { return clock_ms.load(); });
+  SpeculationConfig spec;
+  spec.enabled = true;
+  spec.slowdown_factor = 2.0;
+  spec.min_completed = 3;
+  spec.min_task_ms = 0.0;
+  exec.ConfigureSpeculation(spec);
+
+  for (int i = 0; i < 2; ++i) {  // one short of min_completed
+    exec.AddTask(StageKind::kReduce, 7, {}, [] {}, /*speculatable=*/true);
+  }
+  exec.Wait();
+
+  std::atomic<bool> entered{false};
+  exec.AddTask(
+      StageKind::kReduce, 7, {},
+      [&] {
+        entered.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      },
+      /*speculatable=*/true);
+  while (!entered.load()) std::this_thread::yield();
+  clock_ms.store(1000.0);
+  exec.Wait();
+  EXPECT_EQ(exec.speculation_stats(7).launched, 0u);
+}
+
+TEST(StageGraphExecutor, DuplicateResultCommitsExactlyOnce) {
+  // Both attempts race to finish; whichever wins, exactly one result may
+  // commit (the StagedRound first-wins pattern) and exactly one attempt
+  // is discarded.
+  common::ThreadPool pool(4);
+  StageGraphExecutor exec(pool);
+  std::atomic<double> clock_ms{0.0};
+  exec.SetClockForTest([&] { return clock_ms.load(); });
+  SpeculationConfig spec;
+  spec.enabled = true;
+  spec.slowdown_factor = 2.0;
+  spec.min_completed = 3;
+  spec.min_task_ms = 0.0;
+  exec.ConfigureSpeculation(spec);
+
+  for (int i = 0; i < 3; ++i) {
+    exec.AddTask(StageKind::kReduce, 9, {}, [] {}, /*speculatable=*/true);
+  }
+  exec.Wait();
+
+  std::atomic<int> entries{0};
+  std::atomic<bool> both_running{false};
+  std::mutex commit_mu;
+  int commits = 0;
+  exec.AddTask(
+      StageKind::kReduce, 9, {},
+      [&] {
+        if (entries.fetch_add(1) == 0) {
+          // Original: hold until the backup is also inside the fn, then
+          // both race to the commit.
+          while (!both_running.load()) std::this_thread::yield();
+        } else {
+          both_running.store(true);
+        }
+        std::unique_lock<std::mutex> lock(commit_mu);
+        if (commits == 0) ++commits;  // first-wins commit
+      },
+      /*speculatable=*/true);
+  while (entries.load() == 0) std::this_thread::yield();
+  clock_ms.store(1000.0);
+  exec.Wait();
+
+  EXPECT_EQ(entries.load(), 2);
+  EXPECT_EQ(commits, 1);
+  const auto stats = exec.speculation_stats(9);
+  EXPECT_EQ(stats.launched, 1u);
+  EXPECT_EQ(stats.discarded, 1u);
+  EXPECT_LE(stats.won, 1u);  // ties go to whichever attempt finished first
+}
+
+TEST(StagedRound, SpeculationPreservesOutputsAndReportsStats) {
+  // End-to-end: an aggressive speculation config on a real round may
+  // launch backups freely, but outputs stay byte-identical to the serial
+  // reference and the stats stay consistent.
+  std::vector<std::uint64_t> inputs(20000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  JobOptions serial;
+  serial.num_threads = 1;
+  serial.shuffle.strategy = ShuffleStrategy::kSerial;
+  const auto reference =
+      RunMapReduce<std::uint64_t, std::uint64_t, std::uint64_t,
+                   std::pair<std::uint64_t, std::uint64_t>>(
+          inputs, FoldJob::Map, FoldJob::Reduce, serial);
+
+  JobOptions options;
+  options.num_threads = 4;
+  options.num_shards = 8;
+  options.shuffle.strategy = ShuffleStrategy::kSharded;
+  options.speculation.enabled = true;
+  options.speculation.slowdown_factor = 1.0;  // hair trigger
+  options.speculation.min_completed = 1;
+  options.speculation.min_task_ms = 0.0;
+  const auto run =
+      RunMapReduce<std::uint64_t, std::uint64_t, std::uint64_t,
+                   std::pair<std::uint64_t, std::uint64_t>>(
+          inputs, FoldJob::Map, FoldJob::Reduce, options);
+  EXPECT_EQ(run.outputs, reference.outputs);
+  EXPECT_GE(run.metrics.speculative_launched, run.metrics.speculative_won);
 }
 
 // ------------------------------------------------------------ AsyncRunner

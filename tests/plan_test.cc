@@ -17,6 +17,7 @@
 
 #include "src/common/random.h"
 #include "src/engine/job.h"
+#include "src/engine/partitioner.h"
 #include "src/engine/plan.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
@@ -1030,6 +1031,215 @@ TEST(PlanFamilies, SampleGraphAcrossStrategiesAndSeeds) {
       EXPECT_EQ(run.metrics.num_reducers, reference.metrics.num_reducers);
     }
   }
+}
+
+// ------------------------------------- skew defense: hot-key splitting
+
+using U64Shuffle = ShuffleResult<std::uint64_t, std::uint64_t>;
+
+U64Shuffle CopyShuffle(const U64Shuffle& result) {
+  return result;
+}
+
+TEST(HotKeySplit, SingleKeyHoldingEveryPairSplitsToCapacity) {
+  // The degenerate extreme: one key owns 100% of the pairs. The split
+  // must produce ceil(size / q) sub-groups, every one within q, all under
+  // the replicated key, and the merge must restore the original exactly.
+  U64Shuffle result;
+  result.keys.push_back(7);
+  result.groups.emplace_back(1000);
+  std::iota(result.groups[0].begin(), result.groups[0].end(), 0ull);
+  const U64Shuffle original = CopyShuffle(result);
+
+  auto split = SplitHotGroups(std::move(result), /*threshold=*/100);
+  EXPECT_EQ(split.stats.hot_keys_split, 1u);
+  EXPECT_EQ(split.stats.sub_groups, 10u);
+  EXPECT_EQ(split.stats.extra_replicas(), 9u);
+  ASSERT_EQ(split.shuffled.keys.size(), 10u);
+  for (std::size_t i = 0; i < split.shuffled.keys.size(); ++i) {
+    EXPECT_EQ(split.shuffled.keys[i], 7u);       // key replicated
+    EXPECT_LE(split.shuffled.groups[i].size(), 100u);  // within q
+    EXPECT_EQ(split.origin[i], 0u);
+  }
+  const auto merged = MergeSplitGroups(std::move(split));
+  EXPECT_EQ(merged.keys, original.keys);
+  EXPECT_EQ(merged.groups, original.groups);
+}
+
+TEST(HotKeySplit, GroupExactlyAtCapacityIsNotSplit) {
+  // The boundary case: a group of exactly q pairs already fits and must
+  // not pay any replication; q + 1 pairs must split (into two parts).
+  U64Shuffle result;
+  result.keys = {1, 2};
+  result.groups.emplace_back(64);   // exactly at threshold
+  result.groups.emplace_back(65);   // one over
+  std::iota(result.groups[0].begin(), result.groups[0].end(), 0ull);
+  std::iota(result.groups[1].begin(), result.groups[1].end(), 100ull);
+  const U64Shuffle original = CopyShuffle(result);
+
+  auto split = SplitHotGroups(std::move(result), /*threshold=*/64);
+  EXPECT_EQ(split.stats.hot_keys_split, 1u);  // only the 65-pair group
+  EXPECT_EQ(split.stats.sub_groups, 2u);
+  ASSERT_EQ(split.shuffled.keys.size(), 3u);
+  EXPECT_EQ(split.shuffled.groups[0].size(), 64u);  // untouched
+  EXPECT_EQ(split.shuffled.groups[1].size(), 33u);  // 65 -> 33 + 32
+  EXPECT_EQ(split.shuffled.groups[2].size(), 32u);
+  const auto merged = MergeSplitGroups(std::move(split));
+  EXPECT_EQ(merged.keys, original.keys);
+  EXPECT_EQ(merged.groups, original.groups);
+}
+
+TEST(HotKeySplit, ZeroThresholdDisablesSplitting) {
+  U64Shuffle result;
+  result.keys = {1};
+  result.groups.emplace_back(5000, 9ull);
+  const U64Shuffle original = CopyShuffle(result);
+  auto split = SplitHotGroups(std::move(result), /*threshold=*/0);
+  EXPECT_EQ(split.stats.hot_keys_split, 0u);
+  EXPECT_EQ(split.stats.sub_groups, 0u);
+  EXPECT_EQ(split.shuffled.keys, original.keys);
+  EXPECT_EQ(split.shuffled.groups, original.groups);
+}
+
+TEST(HotKeySplit, SplitThenMergeIsIdentityAcrossKeyDistributions) {
+  // Split-then-merge must be the identity on the SerialShuffle result of
+  // every PR-2 key distribution — uniform, zipf, all-same, all-distinct —
+  // which is the invariant that keeps defended outputs byte-identical.
+  enum class Dist { kUniform, kZipf, kAllSame, kAllDistinct };
+  for (Dist dist :
+       {Dist::kUniform, Dist::kZipf, Dist::kAllSame, Dist::kAllDistinct}) {
+    SCOPED_TRACE(static_cast<int>(dist));
+    common::SplitMix64 rng(17 + static_cast<std::uint64_t>(dist));
+    common::ZipfDistribution zipf(400, 1.3);
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> chunks(
+        3);
+    std::uint64_t serial = 0;
+    for (auto& chunk : chunks) {
+      for (int i = 0; i < 2000; ++i, ++serial) {
+        std::uint64_t key = 0;
+        switch (dist) {
+          case Dist::kUniform: key = rng.UniformBelow(300); break;
+          case Dist::kZipf: key = zipf.Sample(rng); break;
+          case Dist::kAllSame: key = 42; break;
+          case Dist::kAllDistinct: key = serial; break;
+        }
+        chunk.emplace_back(key, serial);
+      }
+    }
+    U64Shuffle reference = SerialShuffle(chunks);
+    const U64Shuffle original = CopyShuffle(reference);
+    for (std::uint64_t threshold : {1u, 16u, 1000u, 100000u}) {
+      auto split = SplitHotGroups(CopyShuffle(original), threshold);
+      for (const auto& group : split.shuffled.groups) {
+        EXPECT_LE(group.size(), threshold);
+      }
+      const auto merged = MergeSplitGroups(std::move(split));
+      EXPECT_EQ(merged.keys, original.keys) << "threshold=" << threshold;
+      EXPECT_EQ(merged.groups, original.groups) << "threshold=" << threshold;
+    }
+  }
+}
+
+// --------------------------------- skew defense: chooser and calibration
+
+TEST(PlanChooser, PartitionerFollowsSampledSkew) {
+  ShuffleConfig config;  // partitioner left kAuto
+  internal::MapSample sample;
+  sample.valid = true;
+  sample.sampled_inputs = 100;
+  sample.pairs_per_input = 10.0;  // 1000 sampled pairs
+  sample.distinct_keys = 100;     // mean group = 10
+
+  sample.max_group = 100;  // hottest key 10x the mean: skewed
+  EXPECT_EQ(internal::ChoosePartitioner(config, sample),
+            PartitionerKind::kSampledRange);
+  sample.max_group = 20;  // 2x the mean: even enough for hashing
+  EXPECT_EQ(internal::ChoosePartitioner(config, sample), PartitionerKind::kHash);
+
+  // An explicit partitioner always wins over the sample.
+  config.partitioner = PartitionerKind::kHash;
+  sample.max_group = 100;
+  EXPECT_EQ(internal::ChoosePartitioner(config, sample), PartitionerKind::kHash);
+  config.partitioner = PartitionerKind::kSampledRange;
+  sample.max_group = 20;
+  EXPECT_EQ(internal::ChoosePartitioner(config, sample),
+            PartitionerKind::kSampledRange);
+
+  // No sample to read: fall back to hashing.
+  config.partitioner = PartitionerKind::kAuto;
+  sample.valid = false;
+  EXPECT_EQ(internal::ChoosePartitioner(config, sample), PartitionerKind::kHash);
+}
+
+TEST(PlanChooser, SampledRangeExecutionStaysByteIdentical) {
+  SyntheticJob job;
+  JobOptions serial;
+  serial.num_threads = 1;
+  serial.shuffle.strategy = ShuffleStrategy::kSerial;
+  const auto reference =
+      RunMapReduce<int, int, std::uint64_t, std::pair<int, std::uint64_t>>(
+          job.inputs, SyntheticJob::MapFn, SyntheticJob::ReduceFn, serial);
+
+  JobOptions options;
+  options.num_threads = 4;
+  options.num_shards = 8;
+  options.shuffle.strategy = ShuffleStrategy::kSharded;
+  options.shuffle.partitioner = PartitionerKind::kSampledRange;
+  const auto run =
+      RunMapReduce<int, int, std::uint64_t, std::pair<int, std::uint64_t>>(
+          job.inputs, SyntheticJob::MapFn, SyntheticJob::ReduceFn, options);
+  EXPECT_EQ(run.outputs, reference.outputs);
+  ExpectSameMetrics(run.metrics, reference.metrics);
+  EXPECT_GT(run.metrics.partition_skew_ratio, 0.0);  // placement reported
+}
+
+TEST(RuntimeCalibration, LearnsSkewByEwmaAndClampsAtOne) {
+  core::RuntimeCalibration calibration;
+  EXPECT_EQ(calibration.observations(), 0u);
+  EXPECT_DOUBLE_EQ(calibration.skew_factor(), 1.0);  // neutral until fed
+  calibration.Observe(/*load_imbalance=*/2.0, /*straggler_impact=*/1.5);
+  EXPECT_DOUBLE_EQ(calibration.skew_factor(), 3.0);  // first obs taken whole
+  calibration.Observe(1.0, 1.0);  // a perfectly balanced round
+  EXPECT_NEAR(calibration.skew_factor(), 0.7 * 3.0 + 0.3 * 1.0, 1e-12);
+
+  // Ratios below 1 clamp to 1: a lucky round cannot promise speedups.
+  core::RuntimeCalibration clamped;
+  clamped.Observe(0.5, 0.0);
+  EXPECT_DOUBLE_EQ(clamped.skew_factor(), 1.0);
+}
+
+TEST(RuntimeCalibration, ExecutionFeedbackInflatesEstimate) {
+  // A skewed simulated execution observes its realized imbalance into the
+  // calibration; a later Estimate holding the same object prices the
+  // wall-clock terms higher than the uncalibrated estimate.
+  SyntheticJob job;
+  Plan plan;
+  auto ds = plan.Source(job.inputs)
+                .Map<int, std::uint64_t>(SyntheticJob::MapFn)
+                .ReduceByKey<std::pair<int, std::uint64_t>>(
+                    SyntheticJob::ReduceFn);
+  core::RuntimeCalibration calibration;
+  ExecutionOptions options;
+  options.pipeline.simulation.num_workers = 8;
+  options.pipeline.simulation.straggler_fraction = 0.25;
+  options.pipeline.simulation.straggler_slowdown = 4.0;
+  options.pipeline.simulation.seed = 11;
+  options.calibration = &calibration;
+  ds.Execute(options);
+  ASSERT_GE(calibration.observations(), 1u);
+  EXPECT_GT(calibration.skew_factor(), 1.0);
+
+  EstimateOptions estimate_options;
+  estimate_options.cost_model.communication_weight = 1.0;
+  estimate_options.cost_model.processing_weight = 1.0;
+  estimate_options.cost_model.wallclock_weight = 0.1;
+  const auto recipe = SyntheticRecipe(job.inputs.size(), 251);
+  const double baseline =
+      plan.Estimate(recipe, estimate_options).total_cost();
+  estimate_options.calibration = &calibration;
+  const double calibrated =
+      plan.Estimate(recipe, estimate_options).total_cost();
+  EXPECT_GT(calibrated, baseline);
 }
 
 }  // namespace
