@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_JSON lines into one BENCH_RESULTS.json document.
+
+Usage: aggregate_bench.py OUT.json INPUT [INPUT...]
+
+Each INPUT is a file of benchmark output: lines starting with
+`BENCH_JSON` (the repo's machine-readable bench convention) are parsed,
+everything else is ignored, so raw bench stdout and .jsonl files both
+work. The output document groups records by source file:
+
+    {"generated_by": "bench/aggregate_bench.py",
+     "sources": {"shuffle.jsonl": [{...}, ...], ...},
+     "total_records": N}
+
+CI runs this over every bench log it produced and uploads the result as
+one artifact, so a workflow run's numbers live in a single file instead
+of scattered step logs. Exit is nonzero when an input is unreadable or
+no records were found at all.
+"""
+
+import json
+import os
+import sys
+
+
+def parse_lines(path):
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if line.startswith("BENCH_JSON"):
+                line = line[len("BENCH_JSON"):].strip()
+            elif not (line.startswith("{") and line.endswith("}")):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # non-bench JSON-ish log noise
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    out_path, inputs = argv[1], argv[2:]
+    sources = {}
+    total = 0
+    for path in inputs:
+        try:
+            records = parse_lines(path)
+        except OSError as err:
+            print(f"aggregate_bench: {err}", file=sys.stderr)
+            return 1
+        sources[os.path.basename(path)] = records
+        total += len(records)
+    if total == 0:
+        print("aggregate_bench: no BENCH_JSON records found in any input",
+              file=sys.stderr)
+        return 1
+    doc = {
+        "generated_by": "bench/aggregate_bench.py",
+        "sources": sources,
+        "total_records": total,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"aggregate_bench: {total} records from {len(inputs)} files "
+          f"-> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

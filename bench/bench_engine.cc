@@ -10,6 +10,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "src/matmul/matrix.h"
 #include "src/matmul/mr_multiply.h"
 #include "src/matmul/problem.h"
+#include "src/obs/export.h"
 
 namespace {
 
@@ -448,4 +450,34 @@ BENCHMARK(BM_MatMulTwoPhase)->Arg(32)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the bench accepts the shared
+// --trace_out=/--metrics_out= capture flags (same convention as the
+// examples): when set, every iteration records into one capture scope
+// written at exit. Leave them unset when measuring — the perf guard's
+// baseline runs with tracing disabled.
+int main(int argc, char** argv) {
+  const mrcost::obs::CaptureFlags capture =
+      mrcost::obs::ParseCaptureFlags(argc, argv);
+  // Strip the capture flags before handing argv to google-benchmark, which
+  // treats anything it does not know as an error.
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace_out=", 0) == 0 ||
+        arg.rfind("--metrics_out=", 0) == 0) {
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(passthrough.size());
+  mrcost::obs::ScopedCapture trace_scope(capture.trace_out,
+                                         capture.metrics_out);
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

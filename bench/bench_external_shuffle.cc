@@ -22,6 +22,7 @@
 #include "src/common/table.h"
 #include "src/engine/job.h"
 #include "src/engine/shuffle.h"
+#include "src/obs/export.h"
 
 namespace {
 
@@ -81,7 +82,15 @@ void PrintJson(const std::string& strategy, std::size_t shards,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional --trace_out=/--metrics_out= capture over the whole sweep:
+  // the spill/merge spans make the external strategy's disk passes
+  // visible. Leave unset when measuring.
+  const mrcost::obs::CaptureFlags capture =
+      mrcost::obs::ParseCaptureFlags(argc, argv);
+  mrcost::obs::ScopedCapture trace_scope(capture.trace_out,
+                                         capture.metrics_out);
+
   // Dataset sized so the intermediate data is ~4x the largest swept
   // budget: n inputs x fanout 2 x 16 bytes/pair = 32n bytes of
   // ByteSizeOf-intermediate.

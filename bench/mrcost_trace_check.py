@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by mrcost tracing.
+
+Usage: mrcost_trace_check.py TRACE.json [--require-prediction]
+                                        [--require-categories map,shuffle,...]
+
+Checks, in order:
+  1. The file parses as JSON and holds a {"traceEvents": [...]} document.
+  2. Every event has the mandatory Chrome trace_event fields for its
+     phase; complete ('X') spans have dur >= 0 and numeric ts.
+  3. Attempt accounting: grouping 'X' events that carry an args.attempt
+     annotation by args.task, every task has 1 or 2 attempts and exactly
+     one with args.outcome == "win" (the speculative first-wins
+     invariant: a backup either rescued the task or lost, never both).
+  4. Round accounting: every cat == "round" summary span carries
+     realized_q and realized_r; with --require-prediction it must also
+     carry predicted_q and predicted_r (plan-driven runs annotate rounds
+     with the StageEstimate they were priced at).
+  5. Category coverage: with --require-categories, every named category
+     appears at least once (CI smokes assert map,shuffle,reduce).
+
+Exit 0 with a one-line summary on success; exit 1 with the list of
+violations otherwise. Metadata ('M') records are tolerated and skipped.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(errors):
+    for err in errors[:50]:
+        print(f"trace_check: {err}", file=sys.stderr)
+    if len(errors) > 50:
+        print(f"trace_check: ... {len(errors) - 50} more", file=sys.stderr)
+    return 1
+
+
+def check_event_shape(i, event, errors):
+    """Structural checks on one event; returns False to skip it entirely."""
+    if not isinstance(event, dict):
+        errors.append(f"event {i}: not an object")
+        return False
+    phase = event.get("ph")
+    if phase == "M":  # metadata (process_name etc.): no timing fields
+        return False
+    for field in ("name", "ph", "pid", "tid", "ts"):
+        if field not in event:
+            errors.append(f"event {i} ({event.get('name')}): missing {field!r}")
+            return False
+    if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+        errors.append(f"event {i} ({event['name']}): bad ts {event['ts']!r}")
+        return False
+    if phase == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(
+                f"event {i} ({event['name']}): 'X' span with bad dur {dur!r}")
+            return False
+    elif phase == "i":
+        if event.get("s") not in ("t", "p", "g"):
+            errors.append(
+                f"event {i} ({event['name']}): instant without scope 's'")
+            return False
+    else:
+        errors.append(f"event {i} ({event['name']}): unknown phase {phase!r}")
+        return False
+    return True
+
+
+def check_attempts(events, errors):
+    """First-wins invariant over speculative task attempts."""
+    attempts = {}
+    for event in events:
+        args = event.get("args", {})
+        if event.get("ph") != "X" or "attempt" not in args:
+            continue
+        task = args.get("task")
+        if task is None:
+            errors.append(
+                f"span {event['name']!r}: attempt annotation without a task id")
+            continue
+        attempts.setdefault(task, []).append(args)
+    for task, group in sorted(attempts.items()):
+        if not 1 <= len(group) <= 2:
+            errors.append(
+                f"task {task}: {len(group)} attempts recorded (expected 1-2)")
+        wins = sum(1 for args in group if args.get("outcome") == "win")
+        if wins != 1:
+            errors.append(
+                f"task {task}: {wins} winning attempts (expected exactly 1)")
+        kinds = [args.get("attempt") for args in group]
+        if len(group) == 2 and sorted(kinds) != ["backup", "primary"]:
+            errors.append(f"task {task}: attempt kinds {kinds} (expected one "
+                          "primary and one backup)")
+    return len(attempts)
+
+
+def check_rounds(events, require_prediction, errors):
+    rounds = [e for e in events if e.get("cat") == "round"]
+    for event in rounds:
+        args = event.get("args", {})
+        for field in ("realized_q", "realized_r"):
+            if not isinstance(args.get(field), (int, float)):
+                errors.append(f"round span at ts={event['ts']}: missing "
+                              f"numeric {field}")
+        if require_prediction:
+            for field in ("predicted_q", "predicted_r"):
+                if not isinstance(args.get(field), (int, float)):
+                    errors.append(f"round span at ts={event['ts']}: missing "
+                                  f"{field} (--require-prediction)")
+    return len(rounds)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--require-prediction", action="store_true",
+                        help="round spans must carry predicted_q/predicted_r")
+    parser.add_argument("--require-categories", default="",
+                        help="comma-separated categories that must appear")
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.trace, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail([f"{opts.trace}: {err}"])
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"),
+                                                   list):
+        return fail([f"{opts.trace}: no traceEvents array"])
+    raw = doc["traceEvents"]
+    if not raw:
+        return fail([f"{opts.trace}: traceEvents is empty"])
+
+    errors = []
+    events = [e for i, e in enumerate(raw) if check_event_shape(i, e, errors)]
+
+    tasks = check_attempts(events, errors)
+    rounds = check_rounds(events, opts.require_prediction, errors)
+
+    seen_categories = {e.get("cat") for e in events}
+    for cat in filter(None, opts.require_categories.split(",")):
+        if cat not in seen_categories:
+            errors.append(f"required category {cat!r} never appears")
+
+    if errors:
+        return fail(errors)
+    print(f"trace_check: OK — {len(events)} events, {tasks} task attempt "
+          f"groups, {rounds} round spans, categories: "
+          f"{','.join(sorted(c for c in seen_categories if c))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

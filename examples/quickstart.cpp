@@ -10,6 +10,8 @@
 //
 // Build: cmake -B build -G Ninja && cmake --build build
 // Run:   ./build/examples/quickstart
+//        ./build/examples/quickstart --trace_out=trace.json \
+//            --metrics_out=metrics.json   # Perfetto trace + registry dump
 
 #include <cmath>
 #include <cstdint>
@@ -24,9 +26,11 @@
 #include "src/hamming/problem.h"
 #include "src/hamming/schemas.h"
 #include "src/hamming/similarity_join.h"
+#include "src/obs/export.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcost;  // NOLINT: example brevity
+  const obs::CaptureFlags capture = obs::ParseCaptureFlags(argc, argv);
 
   // 1. The problem: all 2^12 bit strings; outputs are pairs at distance 1.
   const int b = 12;
@@ -79,6 +83,9 @@ int main() {
 
   //    Explain: the physical plan Execute would run.
   engine::ExecutionOptions exec_options;
+  exec_options.trace_out = capture.trace_out;
+  exec_options.metrics_out = capture.metrics_out;
+  exec_options.recipe = &recipe;  // annotates rounds with the bound ratio
   std::cout << "Explain:\n" << plan->plan.Explain(exec_options) << "\n\n";
 
   //    Execute: lowers onto the eager engine, byte-identical to it.

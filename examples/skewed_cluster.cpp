@@ -12,7 +12,7 @@
 //      stretch even under perfectly uniform keys.
 //
 // Build: cmake -B build && cmake --build build
-// Run:   ./build/example_skewed_cluster
+// Run:   ./build/example_skewed_cluster [--trace_out=trace.json]
 
 #include <cstdint>
 #include <iostream>
@@ -22,6 +22,7 @@
 #include "src/common/random.h"
 #include "src/engine/job.h"
 #include "src/engine/simulator.h"
+#include "src/obs/export.h"
 
 namespace {
 
@@ -54,7 +55,12 @@ void Report(const char* label, const engine::JobMetrics& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional capture: every eager round below records into one trace, the
+  // simulated workers appearing as virtual-time lanes on their own pid.
+  const obs::CaptureFlags flags = obs::ParseCaptureFlags(argc, argv);
+  obs::ScopedCapture trace_scope(flags.trace_out, flags.metrics_out);
+
   // 1. Uniform keys on a 16-worker simulated cluster. The simulation never
   //    changes reduce outputs — it only measures what the placement costs.
   engine::JobOptions options;

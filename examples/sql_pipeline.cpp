@@ -13,7 +13,7 @@
 // partial-sum idea that makes two-phase matrix multiplication win in
 // Section 6.3 — and verifies both against a serial baseline.
 //
-// Run: ./build/examples/sql_pipeline
+// Run: ./build/examples/sql_pipeline [--trace_out=trace.json]
 
 #include <algorithm>
 #include <cstdint>
@@ -26,10 +26,12 @@
 #include "src/join/query.h"
 #include "src/join/relation.h"
 #include "src/join/two_round.h"
+#include "src/obs/export.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcost;        // NOLINT: example brevity
   using namespace mrcost::join;  // NOLINT
+  const obs::CaptureFlags capture = obs::ParseCaptureFlags(argc, argv);
 
   // Schema: orders(cust, amount) JOIN customers(cust, region).
   // As a chain query: R1(A0=amount', A1=cust) |x| R2(A1=cust, A2=region);
@@ -79,6 +81,10 @@ int main() {
               << "Explain:\n"
               << plan->plan.Explain({}) << "\n\n";
   }
+
+  // One capture scope over both pipeline variants: a single trace file
+  // shows the naive and pre-aggregated rounds side by side.
+  obs::ScopedCapture trace_scope(capture.trace_out, capture.metrics_out);
 
   common::Table t({"pipeline", "round1 pairs", "round2 pairs",
                    "total pairs", "round2 max q", "correct"});

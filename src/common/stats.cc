@@ -23,6 +23,25 @@ void RunningStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  // Chan/Golub/LeVeque pairwise update: the combined M2 is the two parts'
+  // M2 plus the between-parts term delta^2 * na*nb/(na+nb).
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  mean_ += delta * nb / (na + nb);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
 double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
 
@@ -56,6 +75,17 @@ void Log2Histogram::Add(std::uint64_t x) {
     buckets_.resize(bucket + 1, 0);
   }
   ++buckets_[bucket];
+}
+
+void Log2Histogram::Merge(const Log2Histogram& other) {
+  total_ += other.total_;
+  zeros_ += other.zeros_;
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
 }
 
 std::string Log2Histogram::ToString() const {

@@ -14,6 +14,14 @@ class RunningStats {
  public:
   void Add(double x);
 
+  /// Folds `other` in as if every observation it saw had been Add()ed here
+  /// (parallel Welford / Chan et al. combine: exact counts and sums, the
+  /// same mean and M2 a serial accumulation computes up to floating-point
+  /// association). Per-thread stats shards — the obs registry's, or
+  /// per-shard reducer-size stats — combine through this instead of
+  /// funneling every observation through one locked accumulator.
+  void Merge(const RunningStats& other);
+
   std::int64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
@@ -42,9 +50,20 @@ class RunningStats {
 class Log2Histogram {
  public:
   void Add(std::uint64_t x);
+  /// Bucket-wise sum of `other` into this histogram — order-independent
+  /// and exact, so per-thread histogram shards combine without locks.
+  void Merge(const Log2Histogram& other);
   /// Multi-line ASCII rendering; empty string when no observations.
   std::string ToString() const;
   std::int64_t total() const { return total_; }
+  /// Observations equal to zero (below the first power-of-two bucket).
+  std::int64_t zeros() const { return zeros_; }
+  /// Number of allocated power-of-two buckets (highest observed log2 + 1).
+  std::size_t num_buckets() const { return buckets_.size(); }
+  /// Count in bucket i, i.e. observations in [2^i, 2^{i+1}).
+  std::int64_t bucket(std::size_t i) const {
+    return i < buckets_.size() ? buckets_[i] : 0;
+  }
 
  private:
   std::vector<std::int64_t> buckets_;

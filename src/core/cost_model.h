@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mrcost::core {
@@ -60,12 +62,44 @@ class RuntimeCalibration {
   double skew_factor() const { return skew_factor_; }
   std::size_t observations() const { return observations_; }
 
+  /// Feeds a per-stage residual: realized/predicted for one quantity of
+  /// one stage ("map" → replication rate r, "reduce" → max reducer input
+  /// q). Unlike Observe(), residuals are not clamped at 1 — a stage the
+  /// model consistently over-prices should pull its factor below 1, not
+  /// just above. Non-positive ratios (missing predictions) are ignored.
+  void ObserveStage(std::string_view stage, double residual_ratio) {
+    if (!(residual_ratio > 0.0)) return;
+    StageState& state = stages_[std::string(stage)];
+    state.factor = state.observations == 0
+                       ? residual_ratio
+                       : (1.0 - smoothing_) * state.factor +
+                             smoothing_ * residual_ratio;
+    ++state.observations;
+  }
+
+  /// EWMA of realized/predicted for `stage`; 1.0 until observed, so an
+  /// uncalibrated stage leaves estimates untouched.
+  double stage_factor(std::string_view stage) const {
+    const auto it = stages_.find(stage);
+    return it == stages_.end() ? 1.0 : it->second.factor;
+  }
+  std::size_t stage_observations(std::string_view stage) const {
+    const auto it = stages_.find(stage);
+    return it == stages_.end() ? 0 : it->second.observations;
+  }
+
  private:
   static double ClampAtOne(double x) { return x > 1.0 ? x : 1.0; }
+
+  struct StageState {
+    double factor = 1.0;
+    std::size_t observations = 0;
+  };
 
   double smoothing_;
   double skew_factor_ = 1.0;
   std::size_t observations_ = 0;
+  std::map<std::string, StageState, std::less<>> stages_;
 };
 
 /// One point on a tradeoff curve: an algorithm (or bound) achieving

@@ -1,11 +1,73 @@
 #include "src/engine/executor.h"
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
 namespace mrcost::engine {
 namespace {
 
 std::uint64_t StageBucket(std::uint32_t round_tag, StageKind kind) {
   return (static_cast<std::uint64_t>(round_tag) << 3) |
          static_cast<std::uint64_t>(kind);
+}
+
+const char* StageCategory(StageKind kind) {
+  switch (kind) {
+    case StageKind::kMap:
+      return "map";
+    case StageKind::kShuffle:
+      return "shuffle";
+    case StageKind::kReduce:
+      return "reduce";
+    case StageKind::kFinalize:
+      return "finalize";
+    case StageKind::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+const char* DefaultTaskName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kMap:
+      return "MapTask";
+    case StageKind::kShuffle:
+      return "ShuffleTask";
+    case StageKind::kReduce:
+      return "ReduceTask";
+    case StageKind::kFinalize:
+      return "Finalize";
+    case StageKind::kOther:
+      return "Task";
+  }
+  return "Task";
+}
+
+/// Everything a trace span needs about a task, copied out under mu_ so the
+/// event can be composed and appended lock-free.
+struct AttemptLabel {
+  const char* name = nullptr;
+  StageKind kind = StageKind::kOther;
+  std::uint32_t round = 0;
+  std::uint32_t shard = 0;
+  std::uint64_t trace_id = 0;
+};
+
+void EmitAttemptSpan(const AttemptLabel& label, std::uint64_t t_start_us,
+                     std::uint64_t t_end_us, bool is_backup, bool won) {
+  if (!obs::TraceRecorder::enabled() || label.trace_id == 0) return;
+  obs::TraceEvent event;
+  event.name = label.name != nullptr ? label.name
+                                     : DefaultTaskName(label.kind);
+  event.category = StageCategory(label.kind);
+  event.round = label.round;
+  event.shard = label.shard;
+  event.task_id = label.trace_id;
+  event.t_start_us = t_start_us;
+  event.t_end_us = t_end_us;
+  event.args.push_back(obs::Arg("attempt", is_backup ? "backup" : "primary"));
+  event.args.push_back(obs::Arg("outcome", won ? "win" : "loss"));
+  obs::TraceRecorder::Global().Append(std::move(event));
 }
 
 }  // namespace
@@ -42,7 +104,8 @@ void StageGraphExecutor::SetClockForTest(std::function<double()> clock) {
 
 StageGraphExecutor::TaskId StageGraphExecutor::AddTask(
     StageKind kind, std::uint32_t round_tag, std::vector<TaskId> deps,
-    std::function<void()> fn, bool speculatable) {
+    std::function<void()> fn, bool speculatable, const char* trace_name,
+    std::uint32_t shard) {
   TaskId id;
   bool ready;
   {
@@ -54,6 +117,11 @@ StageGraphExecutor::TaskId StageGraphExecutor::AddTask(
     task.kind = kind;
     task.round_tag = round_tag;
     task.speculatable = speculatable;
+    task.trace_name = trace_name;
+    task.shard = shard;
+    if (obs::TraceRecorder::enabled()) {
+      task.trace_id = obs::TraceRecorder::Global().NextTaskId();
+    }
     for (TaskId dep : deps) {
       if (dep == kNoTask) continue;
       if (!tasks_[dep].done) {
@@ -77,13 +145,21 @@ void StageGraphExecutor::SubmitAttempt(TaskId id, bool is_backup) {
 
 void StageGraphExecutor::RunAttempt(TaskId id, bool is_backup) {
   std::function<void()> fn;
+  AttemptLabel label;
   {
     std::unique_lock<std::mutex> lock(mu_);
     Task& task = tasks_[id];
+    label = AttemptLabel{task.trace_name, task.kind, task.round_tag,
+                         task.shard, task.trace_id};
     if (task.done) {
       // The task finished before this attempt even started (a backup that
-      // lost the race to the scheduler): nothing to run.
+      // lost the race to the scheduler): nothing to run. A zero-length
+      // loss span keeps the trace's attempt accounting complete.
       ++spec_stats_[task.round_tag].discarded;
+      // Emit before the outstanding-count decrement: once Wait() can
+      // return, every attempt span must already be recorded.
+      const std::uint64_t now_us = obs::TraceRecorder::NowUs();
+      EmitAttemptSpan(label, now_us, now_us, is_backup, /*won=*/false);
       if (--attempts_outstanding_ == 0 && pending_ == 0) {
         all_done_.notify_all();
       }
@@ -102,7 +178,9 @@ void StageGraphExecutor::RunAttempt(TaskId id, bool is_backup) {
     }
   }
 
+  const std::uint64_t attempt_start_us = obs::TraceRecorder::NowUs();
   fn();
+  const std::uint64_t attempt_end_us = obs::TraceRecorder::NowUs();
 
   std::vector<TaskId> ready;
   bool won = false;
@@ -133,6 +211,20 @@ void StageGraphExecutor::RunAttempt(TaskId id, bool is_backup) {
     std::vector<TaskId> backups;
     if (won && spec_.enabled) {
       backups = MaybeSpeculateLocked();
+    }
+    // Record before the outstanding-count decrement: once Wait() can
+    // return, every attempt's span and counters must already be visible.
+    // The recorder/registry only take their own uncontended per-thread
+    // locks, never mu_, so there is no ordering cycle.
+    EmitAttemptSpan(label, attempt_start_us, attempt_end_us, is_backup, won);
+    if (obs::MetricsEnabled()) {
+      obs::Registry& registry = obs::Registry::Global();
+      registry.ObserveHistogram("exec.task_duration_us",
+                                attempt_end_us - attempt_start_us);
+      registry.AddCounter(std::string("exec.tasks.") +
+                          StageCategory(label.kind));
+      if (is_backup && won) registry.AddCounter("exec.speculative_won");
+      if (!won) registry.AddCounter("exec.attempts_discarded");
     }
     if (--attempts_outstanding_ == 0 && pending_ == 0) {
       all_done_.notify_all();
@@ -173,6 +265,21 @@ StageGraphExecutor::MaybeSpeculateLocked() {
     ++spec_stats_[task.round_tag].launched;
     ++attempts_outstanding_;
     backups.push_back(id);
+    if (obs::MetricsEnabled()) {
+      obs::Registry::Global().AddCounter("exec.speculative_launched");
+    }
+    if (obs::TraceRecorder::enabled()) {
+      obs::TraceEvent event;
+      event.name = "SpeculativeBackup";
+      event.category = "speculation";
+      event.phase = 'i';
+      event.round = task.round_tag;
+      event.shard = task.shard;
+      event.task_id = task.trace_id;
+      event.t_start_us = obs::TraceRecorder::NowUs();
+      event.t_end_us = event.t_start_us;
+      obs::TraceRecorder::Global().Append(std::move(event));
+    }
   }
   return backups;
 }

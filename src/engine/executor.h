@@ -29,6 +29,8 @@
 #include "src/engine/partitioner.h"
 #include "src/engine/shuffle.h"
 #include "src/engine/simulator.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/storage/block.h"
 #include "src/storage/external_merge.h"
 #include "src/storage/run_writer.h"
@@ -194,9 +196,13 @@ class StageGraphExecutor {
   /// buffers and publish under a commit lock). The executor keeps a
   /// speculatable task's fn alive after the first attempt starts so a
   /// backup can re-run it.
+  /// `trace_name` (a string literal; the executor keeps only the pointer)
+  /// and `shard` label the task's span in the obs trace; a null name falls
+  /// back to the stage kind's generic name.
   TaskId AddTask(StageKind kind, std::uint32_t round_tag,
                  std::vector<TaskId> deps, std::function<void()> fn,
-                 bool speculatable = false);
+                 bool speculatable = false, const char* trace_name = nullptr,
+                 std::uint32_t shard = 0);
 
   /// Arms speculative backups for subsequently running speculatable tasks.
   /// Latest call wins; a disabled config turns backups off again.
@@ -253,6 +259,10 @@ class StageGraphExecutor {
     bool started = false;          // first attempt picked the task up
     bool backup_launched = false;  // at most one backup per task
     double start_clock_ms = 0;     // speculation clock at first start
+    // Trace labeling (trace_id == 0 when tracing was off at AddTask).
+    const char* trace_name = nullptr;
+    std::uint32_t shard = 0;
+    std::uint64_t trace_id = 0;
   };
 
   void RunAttempt(TaskId id, bool is_backup);
@@ -357,11 +367,27 @@ struct PairPos {
 /// Sentinel combiner type marking a plain (uncombined) round.
 struct NoCombine {};
 
+/// What the planner predicted for a round before running it, attached to
+/// the round's trace so predicted-vs-realized q/r can be read off a single
+/// span ("which stage blew its bound"). All zeros / !valid when the round
+/// was staged without an estimate.
+struct RoundPrediction {
+  bool valid = false;
+  double q = 0;            // predicted max reducer input
+  double r = 0;            // predicted replication rate
+  double bound_ratio = 0;  // predicted r / lower-bound r(q); 0 = unknown
+};
+
 /// Type-erased face of a staged round — all the plan driver needs: stage
 /// the finalize task, read metrics, and wire streamed consumers.
 class StagedHandleBase {
  public:
   virtual ~StagedHandleBase() = default;
+
+  /// Attaches the planner's prediction for trace attribution. Call before
+  /// the round's finalize task can run (i.e. before executor Wait).
+  virtual void SetPrediction(const RoundPrediction& prediction) = 0;
+  virtual const RoundPrediction& prediction() const = 0;
 
   /// Stages the finalize task (deterministic merge + metrics). Streaming
   /// consumers pass their map-task ids as `extra_deps` so finalize does
@@ -508,11 +534,16 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
     auto self = self_.lock();
     finalize_task_ = exec_.AddTask(StageKind::kFinalize, round_tag_,
                                    std::move(deps),
-                                   [self] { self->Finalize(); });
+                                   [self] { self->Finalize(); },
+                                   /*speculatable=*/false, "Finalize");
   }
   bool finalize_staged() const override { return finalize_staged_; }
   const JobMetrics& metrics() const override { return result_.metrics; }
   ShuffleStrategy strategy() const override { return strategy_; }
+  void SetPrediction(const RoundPrediction& prediction) override {
+    prediction_ = prediction;
+  }
+  const RoundPrediction& prediction() const override { return prediction_; }
   const std::vector<TaskId>& map_task_ids() const override {
     return map_tasks_;
   }
@@ -536,7 +567,8 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
       auto self = self_.lock();
       ranks_task_ =
           exec_.AddTask(StageKind::kOther, round_tag_, group_tasks_,
-                        [self] { self->AssignKeyRanks(); });
+                        [self] { self->AssignKeyRanks(); },
+                        /*speculatable=*/false, "AssignKeyRanks");
     }
     return ranks_task_;
   }
@@ -593,6 +625,10 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
                    strategy_ != ShuffleStrategy::kExternal &&
                    std::is_copy_constructible_v<V>;
     if (speculative_) exec_.ConfigureSpeculation(options_.speculation);
+    // Paired clock samples so executor-relative task times (ms) convert
+    // into the trace timebase (us) when Finalize emits the round span.
+    trace_base_us_ = obs::TraceRecorder::NowUs();
+    exec_base_ms_ = exec_.NowMs();
   }
 
   void BuildMaterialized(std::size_t pairs_hint);
@@ -648,6 +684,9 @@ class StagedRound final : public StagedHandleBase, public StreamSource<Out> {
   JobOptions options_;
   ShuffleStrategy strategy_;
   SimulationOptions simulation_;
+  RoundPrediction prediction_;
+  std::uint64_t trace_base_us_ = 0;
+  double exec_base_ms_ = 0;
   std::weak_ptr<StagedRound> self_;
 
   // Input: exactly one of (inputs_, upstream_) is set.
@@ -759,9 +798,12 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::
   for (std::size_t c = 0; c < num_map_tasks_; ++c) {
     const std::size_t lo = std::min(n, c * chunk_size);
     const std::size_t hi = std::min(n, lo + chunk_size);
-    map_tasks_.push_back(
-        exec_.AddTask(StageKind::kMap, round_tag_, {},
-                      [self, c, lo, hi] { self->MapChunk(c, lo, hi); }));
+    map_tasks_.push_back(exec_.AddTask(
+        StageKind::kMap, round_tag_, {},
+        [self, c, lo, hi] { self->MapChunk(c, lo, hi); },
+        /*speculatable=*/false,
+        strategy_ == ShuffleStrategy::kExternal ? "MapSpill" : "MapPartition",
+        static_cast<std::uint32_t>(c)));
   }
   StageGroupAndReduce();
 }
@@ -800,13 +842,16 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::BuildStreamed(
     map_tasks_.push_back(exec_.AddTask(
         StageKind::kMap, round_tag_,
         {upstream->stream_block_task(b), ranks},
-        [self, b] { self->MapStreamBlock(b); }));
+        [self, b] { self->MapStreamBlock(b); },
+        /*speculatable=*/false, "MapPartition",
+        static_cast<std::uint32_t>(b)));
   }
   if (map_tasks_.empty()) {
     // Degenerate upstream with zero blocks: a single empty map task keeps
     // the stage graph (and its timing windows) well-formed.
     map_tasks_.push_back(exec_.AddTask(StageKind::kMap, round_tag_, {},
-                                       [] {}));
+                                       [] {}, /*speculatable=*/false,
+                                       "MapPartition"));
   }
   StageGroupAndReduce();
 }
@@ -819,7 +864,8 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn,
   if (strategy_ == ShuffleStrategy::kExternal) {
     const TaskId merge = exec_.AddTask(StageKind::kShuffle, round_tag_,
                                        map_tasks_,
-                                       [self] { self->MergeSpills(); });
+                                       [self] { self->MergeSpills(); },
+                                       /*speculatable=*/false, "Merge");
     group_tasks_ = {merge};
     const std::size_t ranges =
         std::max<std::size_t>(1, exec_.pool().num_threads() * 2);
@@ -828,7 +874,9 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn,
     for (std::size_t t = 0; t < ranges; ++t) {
       reduce_tasks_.push_back(
           exec_.AddTask(StageKind::kReduce, round_tag_, {merge},
-                        [self, t] { self->ReduceRange(t); }));
+                        [self, t] { self->ReduceRange(t); },
+                        /*speculatable=*/false, "ReduceRange",
+                        static_cast<std::uint32_t>(t)));
     }
     return;
   }
@@ -845,12 +893,15 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn,
   if (use_range_) {
     const TaskId plan =
         exec_.AddTask(StageKind::kShuffle, round_tag_, map_tasks_,
-                      [self] { self->PlanPartition(); });
+                      [self] { self->PlanPartition(); },
+                      /*speculatable=*/false, "PlanPartition");
     route_tasks_.reserve(num_map_tasks_);
     for (std::size_t t = 0; t < num_map_tasks_; ++t) {
       route_tasks_.push_back(
           exec_.AddTask(StageKind::kShuffle, round_tag_, {plan},
-                        [self, t] { self->RouteBlock(t); }));
+                        [self, t] { self->RouteBlock(t); },
+                        /*speculatable=*/false, "RouteBlock",
+                        static_cast<std::uint32_t>(t)));
     }
     group_deps = &route_tasks_;
   }
@@ -858,13 +909,15 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn,
   for (std::size_t p = 0; p < num_shards_; ++p) {
     group_tasks_.push_back(
         exec_.AddTask(StageKind::kShuffle, round_tag_, *group_deps,
-                      [self, p] { self->GroupShard(p); }, speculative_));
+                      [self, p] { self->GroupShard(p); }, speculative_,
+                      "ShardGroup", static_cast<std::uint32_t>(p)));
   }
   reduce_tasks_.reserve(num_shards_);
   for (std::size_t p = 0; p < num_shards_; ++p) {
     reduce_tasks_.push_back(
         exec_.AddTask(StageKind::kReduce, round_tag_, {group_tasks_[p]},
-                      [self, p] { self->ReduceShard(p); }, speculative_));
+                      [self, p] { self->ReduceShard(p); }, speculative_,
+                      "ReduceShard", static_cast<std::uint32_t>(p)));
   }
 }
 
@@ -1371,12 +1424,16 @@ template <typename In, typename K, typename V, typename Out, typename MapFn,
           typename CombineFn, typename ReduceFn>
 void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
   JobMetrics& m = result_.metrics;
+  const bool obs_metrics = obs::MetricsEnabled();
+  common::Log2Histogram reducer_q_hist;
+  common::Log2Histogram map_bytes_hist;
   for (std::size_t t = 0; t < num_map_tasks_; ++t) {
     m.pairs_before_combine += task_raw_pairs_[t];
     m.pairs_shuffled += task_pairs_[t];
     m.bytes_shuffled += task_bytes_[t];
     m.blocks_emitted += task_blocks_[t];
     m.bytes_copied += task_copied_[t];
+    if (obs_metrics) map_bytes_hist.Add(task_bytes_[t]);
   }
   if (streamed_input_) {
     m.num_inputs = 0;
@@ -1400,6 +1457,7 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
       m.max_reducer_input =
           std::max<std::uint64_t>(m.max_reducer_input, flat_sizes_[i]);
       total_outputs += flat_outputs_[i].size();
+      if (obs_metrics) reducer_q_hist.Add(flat_sizes_[i]);
     }
     outputs.reserve(total_outputs);
     for (auto& v : flat_outputs_) {
@@ -1421,6 +1479,7 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
       m.max_reducer_input = std::max<std::uint64_t>(m.max_reducer_input,
                                                     size);
       total_outputs += shards_[p].outputs[i].size();
+      if (obs_metrics) reducer_q_hist.Add(size);
     }
     outputs.reserve(total_outputs);
     if (sim) loads.reserve(order.size());
@@ -1473,6 +1532,60 @@ void StagedRound<In, K, V, Out, MapFn, CombineFn, ReduceFn>::Finalize() {
   }
 
   FillTimings(m);
+
+  if (obs_metrics) {
+    obs::Registry& registry = obs::Registry::Global();
+    m.PublishTo(registry);
+    registry.MergeHistogram("engine.reducer_q", reducer_q_hist);
+    registry.MergeHistogram("engine.map_task_bytes", map_bytes_hist);
+  }
+  if (obs::TraceRecorder::enabled()) {
+    // One summary span covering the round from its first map task to now
+    // (finalize is the round's last task), carrying the planner's
+    // predicted q/r next to the realized values so a trace answers
+    // "which stage blew its bound" without cross-referencing logs.
+    const StageWindow window = WindowOf(exec_, map_tasks_);
+    const double begin_ms = window.valid ? window.begin : exec_base_ms_;
+    auto to_trace_us = [&](double ms) {
+      const double us =
+          static_cast<double>(trace_base_us_) + (ms - exec_base_ms_) * 1000.0;
+      return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+    };
+    obs::TraceEvent event;
+    event.name = "Round";
+    event.category = "round";
+    event.round = round_tag_;
+    event.t_start_us = to_trace_us(begin_ms);
+    event.t_end_us = to_trace_us(exec_.NowMs());
+    event.args.push_back(obs::Arg(
+        "strategy", strategy_ == ShuffleStrategy::kExternal ? "external"
+                    : strategy_ == ShuffleStrategy::kSerial ? "serial"
+                                                            : "sharded"));
+    event.args.push_back(
+        obs::Arg("shards", static_cast<std::uint64_t>(num_shards_)));
+    event.args.push_back(obs::Arg("pairs", m.pairs_shuffled));
+    event.args.push_back(obs::Arg("reducers", m.num_reducers));
+    event.args.push_back(obs::Arg("realized_q", m.max_reducer_input));
+    event.args.push_back(obs::Arg("realized_r", m.replication_rate()));
+    if (prediction_.valid) {
+      event.args.push_back(obs::Arg("predicted_q", prediction_.q));
+      event.args.push_back(obs::Arg("predicted_r", prediction_.r));
+      if (prediction_.q > 0) {
+        event.args.push_back(obs::Arg(
+            "q_residual",
+            static_cast<double>(m.max_reducer_input) / prediction_.q));
+      }
+      if (prediction_.r > 0) {
+        event.args.push_back(
+            obs::Arg("r_residual", m.replication_rate() / prediction_.r));
+      }
+      if (prediction_.bound_ratio > 0) {
+        event.args.push_back(
+            obs::Arg("predicted_bound_ratio", prediction_.bound_ratio));
+      }
+    }
+    obs::TraceRecorder::Global().Append(std::move(event));
+  }
 
   if (output_slot_ != nullptr) {
     *output_slot_ = std::make_shared<std::vector<Out>>(std::move(outputs));

@@ -3,7 +3,55 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/obs/registry.h"
+
 namespace mrcost::engine {
+
+void JobMetrics::PublishTo(obs::Registry& registry) const {
+  registry.AddCounter("engine.rounds");
+  registry.AddCounter("engine.inputs", num_inputs);
+  registry.AddCounter("engine.pairs_shuffled", pairs_shuffled);
+  registry.AddCounter("engine.pairs_before_combine", pairs_before_combine);
+  registry.AddCounter("engine.bytes_shuffled", bytes_shuffled);
+  registry.AddCounter("engine.reducers", num_reducers);
+  registry.AddCounter("engine.outputs", num_outputs);
+  registry.AddCounter("engine.blocks_emitted", blocks_emitted);
+  registry.AddCounter("engine.bytes_copied", bytes_copied);
+  if (external_shuffle()) {
+    registry.AddCounter("engine.spill_runs", spill_runs);
+    registry.AddCounter("engine.spill_bytes_written", spill_bytes_written);
+    registry.AddCounter("engine.merge_passes", merge_passes);
+  }
+  if (speculative_launched > 0) {
+    registry.AddCounter("engine.speculative_launched", speculative_launched);
+    registry.AddCounter("engine.speculative_won", speculative_won);
+  }
+  if (hot_keys_split > 0) {
+    registry.AddCounter("engine.hot_keys_split", hot_keys_split);
+  }
+  if (capacity_violations > 0) {
+    registry.AddCounter("engine.capacity_violations", capacity_violations);
+  }
+  registry.MergeStats("engine.reducer_sizes", reducer_sizes);
+  if (simulated()) {
+    registry.MergeStats("engine.worker_loads", worker_loads);
+    registry.SetGauge("engine.last_makespan", makespan);
+    registry.SetGauge("engine.last_load_imbalance", load_imbalance);
+    registry.SetGauge("engine.last_straggler_impact", straggler_impact);
+  }
+  if (partition_skew_ratio > 0) {
+    registry.SetGauge("engine.last_partition_skew_ratio",
+                      partition_skew_ratio);
+  }
+  if (compression_ratio > 0) {
+    registry.SetGauge("engine.last_compression_ratio", compression_ratio);
+  }
+  if (timed()) {
+    registry.ObserveStats("engine.round_span_ms", span_ms);
+    registry.ObserveStats("engine.barrier_wait_ms", barrier_wait_ms);
+    registry.ObserveStats("engine.overlap_ms", overlap_ms);
+  }
+}
 
 std::string JobMetrics::ToString() const {
   std::ostringstream os;

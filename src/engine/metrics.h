@@ -8,6 +8,10 @@
 
 #include "src/common/stats.h"
 
+namespace mrcost::obs {
+class Registry;
+}  // namespace mrcost::obs
+
 namespace mrcost::engine {
 
 /// Exact cost accounting for one map-reduce round, in the units the paper
@@ -123,6 +127,12 @@ struct JobMetrics {
                            : static_cast<double>(pairs_shuffled) /
                                  static_cast<double>(num_inputs);
   }
+
+  /// Accumulates this round into the obs registry under "engine.*" names
+  /// (counters for pair/byte/spill totals, stats for reducer sizes,
+  /// gauges for ratios). The struct stays the source of truth for a
+  /// single round; the registry aggregates across rounds and jobs.
+  void PublishTo(obs::Registry& registry) const;
 
   std::string ToString() const;
 };

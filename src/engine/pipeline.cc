@@ -12,7 +12,11 @@ JobOptions Pipeline::PoolSizing(const PipelineOptions& options) {
 }
 
 Pipeline::Pipeline(PipelineOptions options)
-    : options_(std::move(options)), pool_ref_(PoolSizing(options_)) {}
+    : options_(std::move(options)), pool_ref_(PoolSizing(options_)) {
+  if (!options_.trace_out.empty() || !options_.metrics_out.empty()) {
+    capture_.emplace(options_.trace_out, options_.metrics_out);
+  }
+}
 
 Pipeline::Pipeline(const JobOptions& round_defaults)
     : Pipeline([&] {

@@ -12,6 +12,7 @@
 #include "src/core/lower_bound.h"
 #include "src/engine/job.h"
 #include "src/engine/metrics.h"
+#include "src/obs/export.h"
 
 namespace mrcost::engine {
 
@@ -38,6 +39,11 @@ struct PipelineOptions {
   /// computation under the same external-shuffle budget. See
   /// ShuffleConfig's comment for the full resolution order.
   ShuffleConfig shuffle;
+  /// When non-empty, the pipeline's whole lifetime runs inside an obs
+  /// capture scope (same semantics as ExecutionOptions::trace_out /
+  /// metrics_out); files are written when the pipeline is destroyed.
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 /// Multi-round map-reduce driver: one thread pool shared by every round
@@ -108,6 +114,9 @@ class Pipeline {
   JobOptions Resolve(const std::optional<JobOptions>& round_options);
 
   PipelineOptions options_;
+  /// Declared before pool_ref_ so capture outlives the rounds' tasks and
+  /// is written only after the pool has drained at destruction.
+  std::optional<obs::ScopedCapture> capture_;
   internal::PoolRef pool_ref_;
   PipelineMetrics metrics_;
 };

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <utility>
+
+#include "src/obs/export.h"
 
 namespace mrcost::engine {
 namespace internal {
@@ -119,9 +122,50 @@ PartitionerKind ChoosePartitioner(const ShuffleConfig& config,
              : PartitionerKind::kHash;
 }
 
+/// What the planner would tell the cost model about this round, mirroring
+/// EstimatePlanGraph's pricing inputs: declared hints first, the chooser's
+/// map sample as fallback. Attached to the round's trace span and used for
+/// per-stage calibration residuals after the round runs.
+RoundPrediction PredictRound(const PlanNode& node, const MapSample& sample,
+                             std::size_t input_size,
+                             const core::Recipe* recipe) {
+  RoundPrediction pred;
+  const double n =
+      input_size != kUnknownSize ? static_cast<double>(input_size) : 0.0;
+  const StageEstimate& hint = node.hint;
+  const double r = hint.replication > 0
+                       ? hint.replication
+                       : (sample.valid ? sample.pairs_per_input : 0.0);
+  if (r <= 0) return pred;  // nothing declared or sampled
+  pred.r = r;
+  pred.valid = true;
+  const double reducers =
+      hint.num_reducers > 0
+          ? hint.num_reducers
+          : (sample.valid && n > 0 ? ExtrapolateDistinct(sample, n) : 0.0);
+  if (hint.num_reducers <= 0 && sample.valid && sample.exhaustive) {
+    // An exhaustive sample knows the exact max input-list length.
+    pred.q = static_cast<double>(sample.max_group);
+  } else if (reducers > 0 && n > 0) {
+    pred.q = r * n / reducers;
+  }
+  if (recipe != nullptr && pred.q >= 1) {
+    const double lower_bound =
+        core::ClampedReplicationLowerBound(*recipe, pred.q);
+    if (lower_bound > 0) pred.bound_ratio = pred.r / lower_bound;
+  }
+  return pred;
+}
+
 PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
                                  const ExecutionOptions& options,
                                  std::size_t target) {
+  // Tracing/metrics capture spans the whole execution; files are written
+  // when the scope closes, after metrics (and calibration) are final.
+  std::optional<obs::ScopedCapture> capture;
+  if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+    capture.emplace(options.trace_out, options.metrics_out);
+  }
   // Only the target's ancestry runs (everything when target == kNoNode):
   // node order is creation order, so producers precede consumers.
   std::vector<bool> needed(graph.nodes.size(), target == kNoNode);
@@ -196,6 +240,7 @@ PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
       }
     }
 
+    MapSample sample;
     std::shared_ptr<StagedHandleBase> handle;
     if (stream) {
       handle = node.stage(graph, exec, resolved, handles[producer], 0);
@@ -208,7 +253,6 @@ PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
     }
     if (handle == nullptr) {
       close_chain();  // materialize this round's input
-      MapSample sample;
       if (options.choose_strategy_per_round &&
           resolved.shuffle.strategy == ShuffleStrategy::kAuto) {
         sample = node.sample(graph, options.strategy_sample_inputs);
@@ -251,6 +295,8 @@ PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
       handle = node.stage(graph, exec, resolved, nullptr, pairs_hint);
     }
     handles[id] = handle;
+    handle->SetPrediction(
+        PredictRound(node, sample, node.input_size(graph), options.recipe));
     open.push_back(id);
     graph.last_strategies.push_back(handle->strategy());
   }
@@ -279,12 +325,27 @@ PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
           reduce.begin, reduce.end, map.begin, map.end);
     }
   }
-  // Feed realized per-round skew back into the caller's calibration so
-  // later estimates price the cluster that actually ran.
+  // Feed realized skew and per-stage residuals back into the caller's
+  // calibration so later estimates price the cluster — and the stages —
+  // that actually ran: "map" carries the replication (communication)
+  // residual, "reduce" the max-reducer-input residual.
   if (options.calibration != nullptr) {
-    for (const JobMetrics& m : metrics.rounds) {
+    for (std::size_t id : executed) {
+      const JobMetrics& m = handles[id]->metrics();
       if (m.simulated()) {
         options.calibration->Observe(m.load_imbalance, m.straggler_impact);
+      }
+      const RoundPrediction& pred = handles[id]->prediction();
+      if (pred.valid) {
+        if (pred.r > 0 && m.replication_rate() > 0) {
+          options.calibration->ObserveStage(
+              "map", m.replication_rate() / pred.r);
+        }
+        if (pred.q > 0 && m.max_reducer_input > 0) {
+          options.calibration->ObserveStage(
+              "reduce",
+              static_cast<double>(m.max_reducer_input) / pred.q);
+        }
       }
     }
   }
@@ -374,17 +435,26 @@ PlanEstimate EstimatePlanGraph(const PlanGraph& graph,
     round.cost =
         options.cost_model.Cost(round.predicted_r, round.predicted_q);
     if (options.calibration != nullptr &&
-        options.calibration->observations() > 0) {
-      // Realized-skew correction: the processing/wall-clock terms assume
-      // reducers spread evenly over workers; scale them by the makespan
-      // inflation executed rounds actually observed. Communication (r) is
-      // placement-independent and stays unscaled.
+        (options.calibration->observations() > 0 ||
+         options.calibration->stage_observations("map") > 0 ||
+         options.calibration->stage_observations("reduce") > 0)) {
+      // Calibrated correction, two independent knobs: per-stage residuals
+      // scale the predictions themselves (executed rounds reported how far
+      // realized r and q landed from the model's), then the realized-skew
+      // factor inflates the processing/wall-clock terms for uneven
+      // placement. Both default to 1.0 when unobserved, so an uncalibrated
+      // estimate is unchanged. Communication (r) is placement-independent
+      // and skips the skew factor.
       const double skew = options.calibration->skew_factor();
+      const double calibrated_r =
+          round.predicted_r * options.calibration->stage_factor("map");
+      const double calibrated_q =
+          round.predicted_q * options.calibration->stage_factor("reduce");
       const core::CostModel& cm = options.cost_model;
-      round.cost = cm.communication_weight * round.predicted_r +
-                   skew * (cm.processing_weight * round.predicted_q +
-                           cm.wallclock_weight * round.predicted_q *
-                               round.predicted_q);
+      round.cost = cm.communication_weight * calibrated_r +
+                   skew * (cm.processing_weight * calibrated_q +
+                           cm.wallclock_weight * calibrated_q *
+                               calibrated_q);
     }
     // The same decision rule the Execute-time chooser applies, fed by the
     // round's (declared or sampled) predictions.

@@ -171,6 +171,19 @@ struct ExecutionOptions {
   /// object is mutated from the execution thread — share one per planning
   /// thread.
   core::RuntimeCalibration* calibration = nullptr;
+  /// When non-empty, the execution runs inside an obs capture scope:
+  /// trace_out receives a Chrome trace_event JSON timeline (Perfetto /
+  /// chrome://tracing loadable) of every stage-graph task plus one
+  /// "Round" summary span per round carrying predicted-vs-realized q/r;
+  /// metrics_out receives the obs::Registry snapshot as one JSON
+  /// document. Files are written when execution finishes.
+  std::string trace_out;
+  std::string metrics_out;
+  /// Optional problem recipe for trace attribution: when set, each
+  /// round's predicted bound ratio (predicted r over the recipe's
+  /// lower-bound r(q) at the predicted q) rides on the round span.
+  /// Not owned; may be null.
+  const core::Recipe* recipe = nullptr;
 
   ExecutionOptions() = default;
   explicit ExecutionOptions(PipelineOptions options)

@@ -14,6 +14,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/engine/hashing.h"
+#include "src/obs/trace.h"
 #include "src/storage/block.h"
 #include "src/storage/external_merge.h"
 #include "src/storage/run_writer.h"
@@ -289,6 +290,14 @@ ShuffleResult<Key, Value> BlockShardedShuffle(
   const std::size_t num_blocks = blocks.size();
   num_shards = std::max<std::size_t>(1, num_shards);
 
+  obs::TraceSpan shuffle_span("BlockShardedShuffle", "shuffle");
+  if (shuffle_span.active()) {
+    shuffle_span.AddArg(
+        obs::Arg("blocks", static_cast<std::uint64_t>(num_blocks)));
+    shuffle_span.AddArg(
+        obs::Arg("shards", static_cast<std::uint64_t>(num_shards)));
+  }
+
   std::vector<std::uint64_t> block_offset(num_blocks + 1, 0);
   for (std::size_t c = 0; c < num_blocks; ++c) {
     block_offset[c + 1] =
@@ -296,6 +305,7 @@ ShuffleResult<Key, Value> BlockShardedShuffle(
   }
 
   // Pass 1 (radix partition): route row indices, never rows.
+  obs::TraceSpan radix_span("RadixPartition", "shuffle");
   std::vector<std::vector<std::uint32_t>> rows(num_blocks * num_shards);
   common::ParallelFor(pool, 0, num_blocks, [&](std::size_t c) {
     if (!blocks[c]) return;
@@ -307,9 +317,11 @@ ShuffleResult<Key, Value> BlockShardedShuffle(
       out[p].push_back(static_cast<std::uint32_t>(r));
     }
   });
+  radix_span.End();
 
   // Pass 2: group each shard's rows. Scanning blocks in order visits rows
   // in global scan order, so per-shard first_pos is increasing.
+  obs::TraceSpan group_span("ShardGroup", "shuffle");
   struct Shard {
     std::vector<Key> keys;
     std::vector<std::vector<Value>> groups;
@@ -343,9 +355,14 @@ ShuffleResult<Key, Value> BlockShardedShuffle(
       bucket.shrink_to_fit();
     }
   });
+  group_span.End();
 
   std::size_t total_keys = 0;
   for (const Shard& shard : shards) total_keys += shard.keys.size();
+  if (shuffle_span.active()) {
+    shuffle_span.AddArg(
+        obs::Arg("keys", static_cast<std::uint64_t>(total_keys)));
+  }
   struct MergeEntry {
     std::uint64_t first_pos;
     std::uint32_t shard;

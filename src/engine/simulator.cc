@@ -1,6 +1,8 @@
 #include "src/engine/simulator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <utility>
 
@@ -8,6 +10,7 @@
 #include "src/common/status.h"
 #include "src/engine/partitioner.h"
 #include "src/engine/shuffle.h"
+#include "src/obs/trace.h"
 
 namespace mrcost::engine {
 namespace {
@@ -231,6 +234,45 @@ SimulationReport SimulateCluster(const std::vector<ReducerLoad>& reducers,
   report.load_imbalance = report.worker_pairs.skew();
   report.straggler_impact =
       homogeneous_makespan > 0 ? report.makespan / homogeneous_makespan : 0;
+
+  if (obs::TraceRecorder::enabled()) {
+    // Virtual-time lanes: one span per simulated worker on the simulated
+    // pid, scaled cost-units -> us. Concurrent simulated rounds each
+    // claim a disjoint window from a shared virtual clock so their worker
+    // lanes stack side by side instead of overlapping at t=0.
+    constexpr double kUsPerCostUnit = 1000.0;
+    static std::atomic<std::uint64_t> virtual_clock{0};
+    const std::uint64_t span_us = static_cast<std::uint64_t>(
+        report.makespan * kUsPerCostUnit) + 1;
+    const std::uint64_t base_us = virtual_clock.fetch_add(
+        span_us, std::memory_order_relaxed);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    for (std::size_t w = 0; w < report.queues.size(); ++w) {
+      const WorkerQueue& queue = report.queues[w];
+      obs::TraceEvent event;
+      event.name = "SimWorker";
+      event.category = "sim";
+      event.pid = obs::kSimulatedPid;
+      event.tid = static_cast<std::uint32_t>(w);
+      event.t_start_us = base_us;
+      event.t_end_us =
+          base_us + static_cast<std::uint64_t>(
+                        queue.effective_finish_time * kUsPerCostUnit);
+      event.args.push_back(obs::Arg("pairs", queue.pairs));
+      event.args.push_back(obs::Arg("bytes", queue.bytes));
+      event.args.push_back(
+          obs::Arg("reducers", static_cast<std::uint64_t>(queue.reducers.size())));
+      event.args.push_back(obs::Arg("speed", queue.speed));
+      if (queue.effective_finish_time < queue.finish_time) {
+        event.args.push_back(obs::Arg("rescued_by", "speculation"));
+      }
+      recorder.Append(std::move(event));
+    }
+    if (report.hot_keys_split > 0) {
+      obs::TraceInstant("HotKeysSplit", "sim", 0,
+                        {obs::Arg("count", report.hot_keys_split)});
+    }
+  }
   return report;
 }
 

@@ -1,0 +1,94 @@
+#ifndef MRCOST_OBS_REGISTRY_H_
+#define MRCOST_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace mrcost::obs {
+
+/// Named counters, gauges, running stats, and log2 histograms. Counters,
+/// stats, and histograms accumulate into per-thread shards (one short
+/// uncontended lock each) and are combined with `RunningStats::Merge` /
+/// `Log2Histogram::Merge` only at snapshot time, so concurrent recording
+/// threads never contend; gauges are last-write-wins under one mutex.
+///
+/// `Global()` is the engine-wide instance; whether engine code publishes to
+/// it is gated by the refcounted Enable/Disable pair (a capture scope turns
+/// it on). Freestanding instances always record — tests use those.
+class Registry {
+ public:
+  Registry() = default;
+  ~Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global();
+
+  /// Refcounted publication gate for the global instance. Engine call
+  /// sites check `enabled()` before touching `Global()`; the transition
+  /// to the first enable clears previously accumulated values.
+  void Enable();
+  void Disable();
+  bool enabled() const {
+    return enabled_flag_.load(std::memory_order_relaxed);
+  }
+
+  void AddCounter(std::string_view name, std::uint64_t delta = 1);
+  void SetGauge(std::string_view name, double value);
+  void ObserveStats(std::string_view name, double value);
+  void MergeStats(std::string_view name, const common::RunningStats& stats);
+  void ObserveHistogram(std::string_view name, std::uint64_t value);
+  void MergeHistogram(std::string_view name,
+                      const common::Log2Histogram& histogram);
+
+  /// A point-in-time merge of all shards. std::map keys make iteration
+  /// order — and therefore ToJson output — deterministic.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, common::RunningStats> stats;
+    std::map<std::string, common::Log2Histogram> histograms;
+
+    /// One JSON document: {"counters":{...},"gauges":{...},
+    /// "stats":{name:{count,mean,min,max,stddev}},
+    /// "histograms":{name:{zeros,total,buckets:[...]}}}.
+    std::string ToJson() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  void Clear();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::uint64_t> counters;
+    std::unordered_map<std::string, common::RunningStats> stats;
+    std::unordered_map<std::string, common::Log2Histogram> histograms;
+  };
+
+  Shard& LocalShard();
+  void ClearLocked();
+
+  std::atomic<bool> enabled_flag_{false};
+  std::atomic<std::uint64_t> instance_id_{0};
+  mutable std::mutex mu_;
+  int sessions_ = 0;
+  std::map<std::string, double> gauges_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+/// True when engine code should publish metrics to Registry::Global().
+inline bool MetricsEnabled() { return Registry::Global().enabled(); }
+
+}  // namespace mrcost::obs
+
+#endif  // MRCOST_OBS_REGISTRY_H_

@@ -1,0 +1,215 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mrcost::obs {
+
+namespace {
+
+std::string RenderDouble(double value) {
+  // Integers render without a fractional part so args like shard counts
+  // stay readable; everything else gets shortest-ish round-trip precision.
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      value > -1e15 && value < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Touch the epoch at static-init time so NowUs is monotone from startup.
+const bool kEpochInitialized = (ProcessEpoch(), true);
+
+}  // namespace
+
+TraceArg Arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), false};
+}
+TraceArg Arg(std::string key, const char* value) {
+  return TraceArg{std::move(key), value, false};
+}
+TraceArg Arg(std::string key, double value) {
+  return TraceArg{std::move(key), RenderDouble(value), true};
+}
+TraceArg Arg(std::string key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return TraceArg{std::move(key), buf, true};
+}
+TraceArg Arg(std::string key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return TraceArg{std::move(key), buf, true};
+}
+TraceArg Arg(std::string key, std::uint32_t value) {
+  return Arg(std::move(key), static_cast<std::uint64_t>(value));
+}
+TraceArg Arg(std::string key, int value) {
+  return Arg(std::move(key), static_cast<std::int64_t>(value));
+}
+
+std::atomic<bool> TraceRecorder::enabled_flag_{false};
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+std::uint64_t TraceRecorder::NowUs() {
+  (void)kEpochInitialized;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ProcessEpoch())
+          .count());
+}
+
+void TraceRecorder::Enable(std::size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (sessions_ == 0) {
+    events_per_thread_ = events_per_thread == 0 ? kDefaultEventsPerThread
+                                                : events_per_thread;
+    for (auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->events.clear();
+      buffer->next = 0;
+      buffer->dropped = 0;
+      buffer->capacity = events_per_thread_;
+    }
+    enabled_flag_.store(true, std::memory_order_relaxed);
+  }
+  ++sessions_;
+}
+
+void TraceRecorder::Disable() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (sessions_ > 0 && --sessions_ == 0) {
+    enabled_flag_.store(false, std::memory_order_relaxed);
+  }
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  if (!local) {
+    local = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    local->tid = next_tid_++;
+    local->capacity = events_per_thread_;
+    buffers_.push_back(local);
+  }
+  return *local;
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (event.pid == kRealTimePid && event.tid == 0) {
+    event.tid = buffer.tid;
+  }
+  if (buffer.events.size() < buffer.capacity) {
+    buffer.events.push_back(std::move(event));
+  } else if (buffer.capacity > 0) {
+    buffer.events[buffer.next] = std::move(event);
+    buffer.next = (buffer.next + 1) % buffer.capacity;
+    ++buffer.dropped;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    // The ring's oldest retained event sits at `next` once wrapped.
+    for (std::size_t i = 0; i < buffer->events.size(); ++i) {
+      events.push_back(
+          buffer->events[(buffer->next + i) % buffer->events.size()]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.t_start_us != b.t_start_us) {
+                       return a.t_start_us < b.t_start_us;
+                     }
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+std::uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category,
+                     std::uint32_t round, std::uint32_t shard,
+                     std::uint64_t task_id) {
+  if (!TraceRecorder::enabled()) return;
+  active_ = true;
+  event_.name = name;
+  event_.category = category;
+  event_.round = round;
+  event_.shard = shard;
+  event_.task_id = task_id;
+  event_.t_start_us = TraceRecorder::NowUs();
+}
+
+void TraceSpan::AddArg(TraceArg arg) {
+  if (active_) event_.args.push_back(std::move(arg));
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  event_.t_end_us = TraceRecorder::NowUs();
+  TraceRecorder::Global().Append(std::move(event_));
+}
+
+void TraceInstant(const char* name, const char* category, std::uint32_t round,
+                  std::vector<TraceArg> args) {
+  if (!TraceRecorder::enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.round = round;
+  event.t_start_us = TraceRecorder::NowUs();
+  event.t_end_us = event.t_start_us;
+  event.args = std::move(args);
+  TraceRecorder::Global().Append(std::move(event));
+}
+
+}  // namespace mrcost::obs

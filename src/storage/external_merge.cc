@@ -1,5 +1,8 @@
 #include "src/storage/external_merge.h"
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
 namespace mrcost::storage {
 
 bool DiskRunSource::Next(SpillRecord& out) {
@@ -96,6 +99,16 @@ common::Status ReduceFanIn(std::vector<std::unique_ptr<RunSource>>& sources,
   if (max_fan_in < 2) max_fan_in = 2;
   while (sources.size() > max_fan_in) {
     stats.merge_passes += 1;
+    obs::TraceSpan pass_span("MergePass", "spill");
+    if (pass_span.active()) {
+      pass_span.AddArg(
+          obs::Arg("runs_in", static_cast<std::uint64_t>(sources.size())));
+      pass_span.AddArg(
+          obs::Arg("fan_in", static_cast<std::uint64_t>(max_fan_in)));
+    }
+    if (obs::MetricsEnabled()) {
+      obs::Registry::Global().AddCounter("storage.merge_passes", 1);
+    }
     std::vector<std::unique_ptr<RunSource>> next;
     next.reserve((sources.size() + max_fan_in - 1) / max_fan_in);
     for (std::size_t lo = 0; lo < sources.size(); lo += max_fan_in) {
@@ -227,6 +240,16 @@ common::Status ReduceBlockFanIn(
   if (max_fan_in < 2) max_fan_in = 2;
   while (sources.size() > max_fan_in) {
     stats.merge_passes += 1;
+    obs::TraceSpan pass_span("MergePass", "spill");
+    if (pass_span.active()) {
+      pass_span.AddArg(
+          obs::Arg("runs_in", static_cast<std::uint64_t>(sources.size())));
+      pass_span.AddArg(
+          obs::Arg("fan_in", static_cast<std::uint64_t>(max_fan_in)));
+    }
+    if (obs::MetricsEnabled()) {
+      obs::Registry::Global().AddCounter("storage.merge_passes", 1);
+    }
     std::vector<std::unique_ptr<BlockRunSource>> next;
     next.reserve((sources.size() + max_fan_in - 1) / max_fan_in);
     for (std::size_t lo = 0; lo < sources.size(); lo += max_fan_in) {

@@ -5,6 +5,9 @@
 #include <atomic>
 #include <filesystem>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
 namespace mrcost::storage {
 namespace {
 
@@ -168,6 +171,10 @@ std::string RunSpiller::NextPath() {
 }
 
 common::Status RunSpiller::SpillRun(std::vector<SpillRecord>& records) {
+  obs::TraceSpan span("SpillRun", "spill");
+  if (span.active()) {
+    span.AddArg(obs::Arg("rows", static_cast<std::uint64_t>(records.size())));
+  }
   std::sort(records.begin(), records.end(),
             [](const SpillRecord& a, const SpillRecord& b) {
               return SpillRecordLess(a, b);
@@ -189,11 +196,23 @@ common::Status RunSpiller::SpillRun(std::vector<SpillRecord>& records) {
     std::lock_guard<std::mutex> lock(mu_);
     bytes_written_ += writer->bytes_written();
   }
+  if (span.active()) {
+    span.AddArg(obs::Arg("bytes", writer->bytes_written()));
+  }
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.AddCounter("storage.spill_runs", 1);
+    registry.AddCounter("storage.spill_bytes", writer->bytes_written());
+  }
   return common::Status::Ok();
 }
 
 common::Status RunSpiller::SpillBlockRun(ColumnarRun& run,
                                          const Codec* codec) {
+  obs::TraceSpan span("SpillBlockRun", "spill");
+  if (span.active()) {
+    span.AddArg(obs::Arg("rows", static_cast<std::uint64_t>(run.rows())));
+  }
   // Emission positions are globally unique and assigned in scan order, so
   // a run's smallest position is a deterministic merge-order key — unlike
   // registration order, which depends on which map thread spilled first.
@@ -219,6 +238,14 @@ common::Status RunSpiller::SpillBlockRun(ColumnarRun& run,
     std::lock_guard<std::mutex> lock(mu_);
     bytes_written_ += writer->bytes_written();
     encode_stats_.Add(writer->stats());
+  }
+  if (span.active()) {
+    span.AddArg(obs::Arg("bytes", writer->bytes_written()));
+  }
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.AddCounter("storage.spill_runs", 1);
+    registry.AddCounter("storage.spill_bytes", writer->bytes_written());
   }
   return common::Status::Ok();
 }

@@ -301,6 +301,75 @@ TEST(Stats, HistogramBuckets) {
   EXPECT_NE(render.find("[2^10, 2^11)"), std::string::npos);
 }
 
+TEST(Stats, RunningStatsMergeMatchesSerial) {
+  // Merging two partials must equal accumulating the concatenation —
+  // count, sum, extremes, and the Welford m2 (through stddev).
+  const std::vector<double> left{2.0, 4.0, 4.0, 4.0};
+  const std::vector<double> right{5.0, 5.0, 7.0, 9.0};
+  RunningStats a, b, serial;
+  for (double x : left) {
+    a.Add(x);
+    serial.Add(x);
+  }
+  for (double x : right) {
+    b.Add(x);
+    serial.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), serial.count());
+  EXPECT_DOUBLE_EQ(a.sum(), serial.sum());
+  EXPECT_DOUBLE_EQ(a.mean(), serial.mean());
+  EXPECT_DOUBLE_EQ(a.min(), serial.min());
+  EXPECT_DOUBLE_EQ(a.max(), serial.max());
+  EXPECT_NEAR(a.stddev(), serial.stddev(), 1e-12);
+  EXPECT_NEAR(a.skew(), serial.skew(), 1e-12);
+}
+
+TEST(Stats, RunningStatsMergeEmptySides) {
+  RunningStats filled;
+  for (double x : {1.0, 3.0, 8.0}) filled.Add(x);
+  const double mean = filled.mean();
+  const double stddev = filled.stddev();
+
+  RunningStats empty;
+  filled.Merge(empty);  // merging in empty is a no-op
+  EXPECT_EQ(filled.count(), 3);
+  EXPECT_DOUBLE_EQ(filled.mean(), mean);
+  EXPECT_DOUBLE_EQ(filled.stddev(), stddev);
+
+  RunningStats target;  // merging into empty copies the other side
+  target.Merge(filled);
+  EXPECT_EQ(target.count(), 3);
+  EXPECT_DOUBLE_EQ(target.mean(), mean);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 8.0);
+  EXPECT_NEAR(target.stddev(), stddev, 1e-12);
+}
+
+TEST(Stats, HistogramMerge) {
+  Log2Histogram a, b, serial;
+  for (std::uint64_t x : {0ull, 1ull, 2ull, 1024ull}) {
+    a.Add(x);
+    serial.Add(x);
+  }
+  for (std::uint64_t x : {0ull, 3ull, 1ull << 20}) {
+    b.Add(x);
+    serial.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), serial.total());
+  EXPECT_EQ(a.zeros(), serial.zeros());
+  EXPECT_EQ(a.num_buckets(), serial.num_buckets());
+  for (std::size_t i = 0; i < serial.num_buckets(); ++i) {
+    EXPECT_EQ(a.bucket(i), serial.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.ToString(), serial.ToString());
+
+  Log2Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.ToString(), serial.ToString());
+}
+
 // -------------------------------------------------------------- table
 
 TEST(Table, AlignmentAndContent) {
