@@ -1,0 +1,141 @@
+// Multi-process backend scaling sweep: one shuffle round (the
+// "shuffle_sweep" recipe, default 1M pairs into 4096 keys) executed by
+// the coordinator/worker runtime at 1, 2, 4, and 8 worker processes,
+// against the in-process executor as baseline. Prints a human table plus
+// one machine-readable JSON line per configuration (prefix BENCH_JSON)
+// for BENCH_*.json trajectory tracking.
+//
+// What to expect: on a multi-core host, makespan should fall from 1 to
+// 4 workers (map chunks and reduce shards genuinely run in separate
+// processes), then flatten once worker count passes the round's
+// chunk/shard parallelism. The round is pinned to num_threads=8 (32
+// chunks, 8 shards) so the task graph is host-independent and the sweep
+// measures worker scaling, not chunking; the emitted "cores" field says
+// how much hardware parallelism was actually available — on a 1-core
+// host every row is the same serialized work plus per-worker overhead,
+// and no speedup is possible. The fixed costs the sweep makes visible
+// are the paper's communication cost made literal: every map output
+// crosses a process boundary through a spill-format run file, so the
+// multi-process rows pay serialization + disk + merge that the
+// in-process baseline skips.
+//
+// Flags: --pairs=N overrides the dataset size; --spill_dir=/
+// --keep_spills place and preserve the shuffle transport files;
+// --trace_out=/--metrics_out= capture the coordinator's merged
+// worker-lane trace. Leave capture unset when measuring.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/common/table.h"
+#include "src/dist/registry.h"
+#include "src/engine/metrics.h"
+#include "src/engine/plan.h"
+#include "src/obs/export.h"
+
+namespace {
+
+using mrcost::engine::ExecutionOptions;
+using mrcost::engine::PipelineMetrics;
+
+struct RunResult {
+  double seconds = 0;
+  PipelineMetrics metrics;
+};
+
+RunResult RunOnce(const std::string& args, const ExecutionOptions& options) {
+  auto plan = mrcost::dist::PlanRegistry::Global().Build("shuffle_sweep", args);
+  MRCOST_CHECK_OK(plan.status());
+  const auto start = std::chrono::steady_clock::now();
+  RunResult run;
+  run.metrics = plan->Execute(options);
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+void PrintJson(const std::string& backend, std::size_t workers, std::size_t n,
+               const RunResult& run) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"distd_scaling\",\"backend\":\"%s\","
+      "\"workers\":%zu,\"cores\":%u,\"pairs\":%llu,\"inputs\":%zu,"
+      "\"seconds\":%.6f,"
+      "\"mpairs_per_sec\":%.3f,\"spill_bytes_written\":%llu,"
+      "\"merge_passes\":%llu}\n",
+      backend.c_str(), workers, std::thread::hardware_concurrency(),
+      static_cast<unsigned long long>(run.metrics.total_pairs()), n,
+      run.seconds,
+      static_cast<double>(run.metrics.total_pairs()) / 1e6 / run.seconds,
+      static_cast<unsigned long long>(run.metrics.total_spill_bytes()),
+      static_cast<unsigned long long>(
+          run.metrics.rounds.empty() ? 0
+                                     : run.metrics.rounds[0].merge_passes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mrcost::obs::CaptureFlags capture =
+      mrcost::obs::ParseCaptureFlags(argc, argv);
+  mrcost::obs::ScopedCapture trace_scope(capture.trace_out,
+                                         capture.metrics_out);
+
+  std::size_t pairs = 1'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--pairs=", 0) == 0) {
+      pairs = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 8, nullptr, 10));
+    }
+  }
+  const std::string args =
+      "pairs=" + std::to_string(pairs) + ",keys=4096,seed=1";
+
+  mrcost::common::Table table(
+      {"backend", "workers", "sec", "Mpairs/s", "spill_MB"});
+
+  // Pin the round's task graph (32 chunks, 8 shards) independent of the
+  // host's core count: the sweep varies worker processes, nothing else.
+  ExecutionOptions in_process;
+  in_process.pipeline.round_defaults.num_threads = 8;
+  const RunResult baseline = RunOnce(args, in_process);
+  table.AddRow()
+      .Add("in_process")
+      .Add("-")
+      .Add(baseline.seconds)
+      .Add(static_cast<double>(baseline.metrics.total_pairs()) / 1e6 /
+           baseline.seconds)
+      .Add(static_cast<double>(baseline.metrics.total_spill_bytes()) / 1e6);
+  PrintJson("in_process", 0, pairs, baseline);
+
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ExecutionOptions options;
+    options.pipeline.round_defaults.num_threads = 8;
+    options.backend = mrcost::engine::ExecutionBackend::kMultiProcess;
+    options.dist.num_workers = workers;
+    options.dist.spill_dir = capture.spill_dir;
+    options.dist.keep_spills = capture.keep_spills;
+    const RunResult run = RunOnce(args, options);
+    table.AddRow()
+        .Add("multi_process")
+        .Add(static_cast<std::uint64_t>(workers))
+        .Add(run.seconds)
+        .Add(static_cast<double>(run.metrics.total_pairs()) / 1e6 /
+             run.seconds)
+        .Add(static_cast<double>(run.metrics.total_spill_bytes()) / 1e6);
+    PrintJson("multi_process", workers, pairs, run);
+  }
+
+  table.Print(std::cout, "multi-process shuffle scaling, " +
+                             std::to_string(pairs) +
+                             " pairs (spill-file transport; baseline = "
+                             "in-process executor)");
+  return 0;
+}

@@ -464,7 +464,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--trace_out=", 0) == 0 ||
-        arg.rfind("--metrics_out=", 0) == 0) {
+        arg.rfind("--metrics_out=", 0) == 0 ||
+        arg.rfind("--spill_dir=", 0) == 0 || arg == "--keep_spills") {
       continue;
     }
     passthrough.push_back(argv[i]);

@@ -127,6 +127,7 @@ int main(int argc, char** argv) {
     engine::JobOptions options;
     options.shuffle.strategy = engine::ShuffleStrategy::kExternal;
     options.shuffle.memory_budget_bytes = budget;
+    options.shuffle.spill_dir = capture.spill_dir;
     const RunResult run = RunConfig(inputs, options);
     table.AddRow()
         .Add("external")

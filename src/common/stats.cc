@@ -77,6 +77,18 @@ void Log2Histogram::Add(std::uint64_t x) {
   ++buckets_[bucket];
 }
 
+void Log2Histogram::AddBucketCount(std::size_t i, std::int64_t count) {
+  if (count == 0) return;
+  if (buckets_.size() <= i) buckets_.resize(i + 1, 0);
+  buckets_[i] += count;
+  total_ += count;
+}
+
+void Log2Histogram::AddZeros(std::int64_t count) {
+  zeros_ += count;
+  total_ += count;
+}
+
 void Log2Histogram::Merge(const Log2Histogram& other) {
   total_ += other.total_;
   zeros_ += other.zeros_;

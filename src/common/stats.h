@@ -53,6 +53,11 @@ class Log2Histogram {
   /// Bucket-wise sum of `other` into this histogram — order-independent
   /// and exact, so per-thread histogram shards combine without locks.
   void Merge(const Log2Histogram& other);
+  /// Folds `count` observations directly into bucket `i` (resp. the zero
+  /// bucket) — how a histogram serialized in another process (bucket
+  /// counts only) is reconstructed exactly on this side of an RPC.
+  void AddBucketCount(std::size_t i, std::int64_t count);
+  void AddZeros(std::int64_t count);
   /// Multi-line ASCII rendering; empty string when no observations.
   std::string ToString() const;
   std::int64_t total() const { return total_; }

@@ -1,0 +1,83 @@
+#include "src/common/temp_dir.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace mrcost::common {
+
+namespace fs = std::filesystem;
+
+Result<TempDir> TempDir::Create(const std::string& base,
+                                const std::string& prefix) {
+  static std::atomic<std::uint64_t> next_seq{0};
+
+  std::error_code ec;
+  fs::path root;
+  if (base.empty()) {
+    root = fs::temp_directory_path(ec);
+    if (ec) root = ".";
+  } else {
+    root = base;
+    fs::create_directories(root, ec);  // ok if it already exists
+    if (ec) {
+      return Status::Internal("TempDir: cannot create base directory '" +
+                              base + "': " + ec.message());
+    }
+  }
+
+  // pid + per-process sequence make the name unique across processes and
+  // threads; the create_directory false-return covers leftover collisions.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t seq =
+        next_seq.fetch_add(1, std::memory_order_relaxed);
+    fs::path candidate =
+        root / (prefix + std::to_string(::getpid()) + "-" +
+                std::to_string(seq));
+    ec.clear();
+    if (fs::create_directory(candidate, ec) && !ec) {
+      return TempDir(candidate.string());
+    }
+    if (ec && ec != std::errc::file_exists) {
+      return Status::Internal("TempDir: cannot create '" +
+                              candidate.string() + "': " + ec.message());
+    }
+  }
+  return Status::Internal("TempDir: exhausted name attempts under '" +
+                          root.string() + "'");
+}
+
+TempDir::~TempDir() {
+  if (!keep_) (void)Remove();
+}
+
+TempDir::TempDir(TempDir&& other) noexcept
+    : path_(std::move(other.path_)), keep_(other.keep_) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (!keep_) (void)Remove();
+    path_ = std::move(other.path_);
+    keep_ = other.keep_;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Status TempDir::Remove() {
+  if (path_.empty()) return Status::Ok();
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+  path_.clear();
+  if (ec) {
+    return Status::Internal("TempDir: remove_all failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace mrcost::common

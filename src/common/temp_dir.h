@@ -1,0 +1,52 @@
+#ifndef MRCOST_COMMON_TEMP_DIR_H_
+#define MRCOST_COMMON_TEMP_DIR_H_
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace mrcost::common {
+
+/// RAII owner of one unique scratch directory. Create() makes a fresh
+/// directory named `<prefix><pid>-<seq>` under `base` (empty = the system
+/// temp directory) — the pid + process-wide sequence number make
+/// concurrent creations race-free across processes sharing one base, which
+/// is exactly the situation of a coordinator and N worker processes
+/// sharing a spill directory. The destructor removes the directory and
+/// everything inside it unless Keep() disarmed cleanup.
+class TempDir {
+ public:
+  static Result<TempDir> Create(const std::string& base = "",
+                                const std::string& prefix = "mrcost-");
+
+  /// An empty handle: path() is "" and the destructor does nothing.
+  TempDir() = default;
+  ~TempDir();
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// Absolute path of the owned directory; empty for a default-constructed
+  /// or moved-from handle.
+  const std::string& path() const { return path_; }
+
+  /// Disarms destructor cleanup; the directory outlives this handle.
+  void Keep() { keep_ = true; }
+  bool kept() const { return keep_; }
+
+  /// Removes the directory tree now (idempotent; the destructor then does
+  /// nothing). Errors from the filesystem surface as kInternal.
+  Status Remove();
+
+ private:
+  explicit TempDir(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  bool keep_ = false;
+};
+
+}  // namespace mrcost::common
+
+#endif  // MRCOST_COMMON_TEMP_DIR_H_

@@ -1,0 +1,301 @@
+// The multi-process lowering of ExecutePlanGraph: the same round loop as
+// src/engine/plan.cc's in-process path, but each round's map and reduce
+// tasks run in mrcost-worker processes via dist::Coordinator, with spill
+// v2 run files in a shared job directory as the shuffle. Declared in
+// plan.h (engine::internal::ExecutePlanGraphMulti), defined here so the
+// engine library does not depend on the dist layer's headers from its own.
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/temp_dir.h"
+#include "src/dist/coordinator.h"
+#include "src/dist/scheduler.h"
+#include "src/engine/executor.h"
+#include "src/engine/plan.h"
+#include "src/obs/export.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace mrcost::engine::internal {
+
+PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
+                                      const ExecutionOptions& options,
+                                      std::size_t target) {
+  // Only the target's ancestry runs, as in-process.
+  std::vector<bool> needed(graph.nodes.size(), target == kNoNode);
+  for (std::size_t id = target; id != kNoNode && id < graph.nodes.size();
+       id = graph.nodes[id].input) {
+    needed[id] = true;
+  }
+
+  // A plan can only cross process boundaries when workers can rebuild it
+  // (a registered recipe) and every needed round's types crossed the
+  // serde gate at plan-build time. Anything else runs in-process with a
+  // warning — per plan, not per round, so one job never splits across
+  // runtimes.
+  bool can_distribute = !graph.dist_recipe.empty();
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    if (needed[id] && !graph.nodes[id].is_source &&
+        graph.nodes[id].dist == nullptr) {
+      can_distribute = false;
+    }
+  }
+  if (!can_distribute) {
+    std::fprintf(stderr,
+                 "mrcost: plan cannot run multi-process (%s); falling back "
+                 "to in-process (%s)\n",
+                 graph.dist_recipe.empty() ? "not a registered dist recipe"
+                                           : "non-serializable rounds",
+                 graph.dist_recipe.empty() ? "stamp it via dist::PlanRegistry"
+                                           : "types must pass IsSerdeSerializable");
+    ExecutionOptions fallback = options;
+    fallback.backend = ExecutionBackend::kInProcess;
+    return ExecutePlanGraph(graph, fallback, target);
+  }
+
+  std::optional<obs::ScopedCapture> capture;
+  if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+    capture.emplace(options.trace_out, options.metrics_out);
+  }
+  const bool trace_on = obs::TraceRecorder::enabled();
+  const bool metrics_on = obs::MetricsEnabled();
+
+  // The shared shuffle directory. Always a fresh unique dir (under the
+  // requested base when given) so concurrent jobs never collide;
+  // keep_spills pins it for post-mortems.
+  auto job_dir_result =
+      common::TempDir::Create(options.dist.spill_dir, "mrcost-distd-");
+  MRCOST_CHECK_OK(job_dir_result.status());
+  common::TempDir job_dir = std::move(*job_dir_result);
+  if (options.dist.keep_spills) job_dir.Keep();
+
+  dist::Coordinator coordinator;
+  {
+    dist::Coordinator::Options copts;
+    copts.num_workers = std::max(1, options.dist.num_workers);
+    copts.recipe = graph.dist_recipe;
+    copts.args = graph.dist_args;
+    copts.spill_dir = job_dir.path();
+    copts.worker_binary = options.dist.worker_binary;
+    copts.trace_enabled = trace_on;
+    copts.metrics_enabled = metrics_on;
+    copts.heartbeat_interval_ms = options.dist.heartbeat_interval_ms;
+    copts.heartbeat_timeout_ms = options.dist.heartbeat_timeout_ms;
+    copts.kill_worker_index = options.dist.kill_worker_index;
+    copts.kill_after_tasks = options.dist.kill_after_tasks;
+    // A backend the caller asked for that cannot start is fatal, not a
+    // silent fallback: CI byte-identity smokes must never "pass" by
+    // quietly running in-process.
+    MRCOST_CHECK_OK(coordinator.Start(copts));
+  }
+
+  const int num_workers = std::max(1, options.dist.num_workers);
+  dist::DistTaskScheduler scheduler(num_workers);
+  graph.last_strategies.clear();
+
+  PipelineMetrics pipeline_metrics;
+  double exec_begin = std::numeric_limits<double>::infinity();
+  double exec_end = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    PlanNode& node = graph.nodes[id];
+    if (node.is_source || !needed[id]) continue;
+
+    const JobOptions resolved = ResolveRoundOptions(node, options);
+    // Chunking must mirror what the in-process backend would do on this
+    // machine: combined rounds fold per chunk, so per-chunk partials —
+    // and therefore reduce inputs — depend on the chunk count. Keying it
+    // to the resolved thread count (not the worker count) keeps outputs
+    // byte-identical to the in-process run and invariant across worker
+    // counts.
+    const std::size_t threads = resolved.ResolvedThreads();
+    const std::size_t n = node.input_size(graph);
+    MRCOST_CHECK(n != kUnknownSize);
+    const std::size_t num_chunks = NumChunks(n, threads);
+    std::uint64_t pairs_hint = 0;
+    if (node.hint.replication > 0) {
+      pairs_hint = static_cast<std::uint64_t>(node.hint.replication *
+                                              static_cast<double>(n));
+    }
+    const std::size_t num_shards =
+        ResolveShardCount(resolved.num_shards, threads, pairs_hint);
+    const std::size_t merge_fan_in = resolved.shuffle.merge_fan_in;
+
+    const std::string round_prefix =
+        job_dir.path() + "/r" + std::to_string(id);
+    const std::uint64_t round_t0_us = obs::TraceRecorder::NowUs();
+
+    // Chunk files: the coordinator slices the materialized input slot.
+    std::vector<std::string> chunk_paths(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      chunk_paths[c] = round_prefix + "-c" + std::to_string(c) + ".chunk";
+      const std::size_t lo = c * n / num_chunks;
+      const std::size_t hi = (c + 1) * n / num_chunks;
+      MRCOST_CHECK_OK(node.dist->write_chunk(graph.slots[node.input], lo,
+                                             hi, chunk_paths[c]));
+    }
+
+    // Map tasks fan out over chunks, reduce tasks over shards behind a
+    // dependency barrier (a reduce needs every chunk's run for its
+    // shard). Each task blocks inside the coordinator while a worker
+    // executes it; worker death re-issues below this seam.
+    std::vector<engine::internal::DistMapOutcome> map_outcomes(num_chunks);
+    std::vector<engine::internal::DistReduceOutcome> reduce_outcomes(
+        num_shards);
+    std::vector<std::string> result_paths(num_shards);
+    std::vector<TaskScheduler::TaskId> map_ids(num_chunks);
+    std::vector<TaskScheduler::TaskId> reduce_ids(num_shards);
+
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      map_ids[c] = scheduler.AddTask(
+          StageKind::kMap, static_cast<std::uint32_t>(id), {},
+          [&, c, id, num_shards] {
+            auto outcome = coordinator.RunMap(
+                static_cast<std::uint32_t>(id),
+                [&, c](int attempt) {
+                  engine::internal::DistMapSpec spec;
+                  spec.chunk_path = chunk_paths[c];
+                  spec.chunk_index = static_cast<std::uint32_t>(c);
+                  spec.num_shards = static_cast<std::uint32_t>(num_shards);
+                  spec.run_prefix = round_prefix + "-c" +
+                                    std::to_string(c) + "-a" +
+                                    std::to_string(attempt);
+                  return spec;
+                },
+                static_cast<std::uint32_t>(c),
+                static_cast<std::uint32_t>(num_shards));
+            MRCOST_CHECK_OK(outcome.status());
+            map_outcomes[c] = std::move(*outcome);
+          });
+    }
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      reduce_ids[s] = scheduler.AddTask(
+          StageKind::kReduce, static_cast<std::uint32_t>(id), map_ids,
+          [&, s, id, merge_fan_in] {
+            // Runs after every map outcome for this round landed.
+            std::vector<std::string> run_paths;
+            for (const auto& outcome : map_outcomes) {
+              for (const auto& run : outcome.runs) {
+                if (run.shard == s) run_paths.push_back(run.path);
+              }
+            }
+            auto outcome = coordinator.RunReduce(
+                static_cast<std::uint32_t>(id), [&, s](int attempt) {
+                  engine::internal::DistReduceSpec spec;
+                  spec.shard = static_cast<std::uint32_t>(s);
+                  spec.run_paths = run_paths;
+                  spec.result_path = round_prefix + "-s" +
+                                     std::to_string(s) + "-a" +
+                                     std::to_string(attempt) + ".res";
+                  spec.scratch_dir = job_dir.path();
+                  if (merge_fan_in > 0) spec.merge_fan_in = merge_fan_in;
+                  // One attempt is in flight at a time and only the
+                  // latest can commit (dead workers' sockets are cut),
+                  // so the last spec built is the winning attempt's.
+                  result_paths[s] = spec.result_path;
+                  return spec;
+                });
+            MRCOST_CHECK_OK(outcome.status());
+            reduce_outcomes[s] = std::move(*outcome);
+          });
+    }
+    scheduler.Wait();
+
+    JobMetrics metrics;
+    metrics.num_inputs = n;
+    auto collected = node.dist->collect(result_paths, metrics);
+    MRCOST_CHECK_OK(collected.status());
+    graph.slots[id] = std::move(*collected);
+
+    std::uint64_t encode_raw = 0;
+    std::uint64_t encode_encoded = 0;
+    for (const auto& outcome : map_outcomes) {
+      metrics.pairs_shuffled += outcome.pairs;
+      metrics.pairs_before_combine += outcome.raw_pairs;
+      metrics.bytes_shuffled += outcome.bytes;
+      metrics.blocks_emitted += outcome.blocks_emitted;
+      metrics.bytes_copied += outcome.bytes_copied;
+      metrics.spill_bytes_written += outcome.spill_bytes_written;
+      metrics.spill_runs += outcome.runs.size();
+      encode_raw += outcome.encode_raw_bytes;
+      encode_encoded += outcome.encode_encoded_bytes;
+    }
+    if (encode_encoded > 0) {
+      metrics.compression_ratio = static_cast<double>(encode_raw) /
+                                  static_cast<double>(encode_encoded);
+    }
+    for (const auto& outcome : reduce_outcomes) {
+      metrics.merge_passes += outcome.merge_passes;
+      metrics.spill_bytes_written += outcome.spill_bytes_written;
+    }
+
+    // Stage windows from the scheduler spans (each span wraps the remote
+    // execution it waited on).
+    double map_begin = std::numeric_limits<double>::infinity();
+    double map_end = -map_begin;
+    for (auto task_id : map_ids) {
+      const TaskSpan span = scheduler.SpanOf(task_id);
+      map_begin = std::min(map_begin, span.begin_ms);
+      map_end = std::max(map_end, span.end_ms);
+    }
+    double reduce_begin = std::numeric_limits<double>::infinity();
+    double reduce_end = -reduce_begin;
+    for (auto task_id : reduce_ids) {
+      const TaskSpan span = scheduler.SpanOf(task_id);
+      reduce_begin = std::min(reduce_begin, span.begin_ms);
+      reduce_end = std::max(reduce_end, span.end_ms);
+    }
+    metrics.map_ms = map_end - map_begin;
+    metrics.reduce_ms = reduce_end - reduce_begin;
+    metrics.span_ms = reduce_end - map_begin;
+    exec_begin = std::min(exec_begin, map_begin);
+    exec_end = std::max(exec_end, reduce_end);
+
+    if (trace_on) {
+      obs::TraceEvent event;
+      event.name = "Round";
+      event.category = "round";
+      event.round = static_cast<std::uint32_t>(id);
+      event.t_start_us = round_t0_us;
+      event.t_end_us = obs::TraceRecorder::NowUs();
+      event.args.push_back(obs::Arg("label", node.label));
+      event.args.push_back(obs::Arg("backend", "multi_process"));
+      event.args.push_back(
+          obs::Arg("chunks", static_cast<std::uint64_t>(num_chunks)));
+      event.args.push_back(
+          obs::Arg("shards", static_cast<std::uint64_t>(num_shards)));
+      obs::TraceRecorder::Global().Append(std::move(event));
+    }
+    if (metrics_on) metrics.PublishTo(obs::Registry::Global());
+
+    graph.last_strategies.push_back(ShuffleStrategy::kExternal);
+    pipeline_metrics.Add(metrics);
+  }
+
+  // Stop before the capture scope closes: the workers' Bye payloads merge
+  // into the global registry/trace here and must make the files.
+  coordinator.Stop();
+  if (metrics_on) {
+    const auto stats = coordinator.stats();
+    obs::Registry::Global().AddCounter("dist.workers",
+                                       static_cast<std::uint64_t>(num_workers));
+    obs::Registry::Global().AddCounter("dist.reissued_tasks",
+                                       stats.reissued_tasks);
+    obs::Registry::Global().AddCounter("dist.workers_died",
+                                       stats.workers_died);
+    obs::Registry::Global().AddCounter("dist.duplicate_commits",
+                                       stats.duplicate_commits);
+  }
+
+  if (exec_end > exec_begin) {
+    pipeline_metrics.exec_span_ms = exec_end - exec_begin;
+  }
+  return pipeline_metrics;
+}
+
+}  // namespace mrcost::engine::internal

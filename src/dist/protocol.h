@@ -1,0 +1,133 @@
+#ifndef MRCOST_DIST_PROTOCOL_H_
+#define MRCOST_DIST_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/dist_round.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace mrcost::dist {
+
+/// The coordinator/worker message set. Every message travels as one RPC
+/// frame (src/dist/rpc.h) whose payload is a u32 message type followed by
+/// the serde-encoded body (src/storage/serde.h conventions: trivially
+/// copyable fields byte-copied, strings and vectors u64-length-prefixed).
+///
+///   coordinator -> worker: Hello, MapTask, ReduceTask, Shutdown
+///   worker -> coordinator: Ready, TaskDone, Heartbeat, Bye
+enum class MsgType : std::uint32_t {
+  kHello = 1,
+  kMapTask = 2,
+  kReduceTask = 3,
+  kShutdown = 4,
+  kReady = 5,
+  kTaskDone = 6,
+  kHeartbeat = 7,
+  kBye = 8,
+};
+
+/// First message on the wire: identity, the recipe to rebuild, the shared
+/// spill dir, obs capture switches, and the fault-injection arming.
+struct HelloMsg {
+  std::uint32_t worker_index = 0;
+  std::string recipe;
+  std::string args;
+  std::string spill_dir;
+  std::uint8_t trace_enabled = 0;
+  std::uint8_t metrics_enabled = 0;
+  double heartbeat_interval_ms = 100;
+  /// > 0 arms fault injection: the worker raises SIGKILL upon receiving
+  /// its Nth map task (deterministic "die mid-map" for tests/CI).
+  std::uint32_t self_kill_after_tasks = 0;
+  /// Coordinator trace clock at send time; the worker offsets its trace
+  /// timestamps so both processes share one timeline.
+  std::uint64_t coord_now_us = 0;
+};
+
+struct MapTaskMsg {
+  std::uint64_t task_id = 0;
+  std::uint32_t node = 0;
+  std::uint32_t chunk = 0;
+  std::uint32_t num_shards = 1;
+  std::string chunk_path;
+  std::string run_prefix;
+};
+
+struct ReduceTaskMsg {
+  std::uint64_t task_id = 0;
+  std::uint32_t node = 0;
+  std::uint32_t shard = 0;
+  std::uint64_t merge_fan_in = 0;
+  std::string result_path;
+  std::string scratch_dir;
+  std::vector<std::string> run_paths;
+};
+
+struct TaskDoneMsg {
+  std::uint64_t task_id = 0;
+  std::uint8_t ok = 0;
+  std::string error;
+  /// EncodeMapOutcome / EncodeReduceOutcome bytes when ok.
+  std::string payload;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t seq = 0;
+};
+
+/// The worker's parting gift: its obs::Registry snapshot and trace events
+/// (already shifted onto the coordinator's clock), merged into the
+/// coordinator's registry/trace under a per-worker pid lane.
+struct ByeMsg {
+  std::string registry_payload;
+  std::string trace_payload;
+};
+
+std::string EncodeHello(const HelloMsg& msg);
+std::string EncodeMapTask(const MapTaskMsg& msg);
+std::string EncodeReduceTask(const ReduceTaskMsg& msg);
+std::string EncodeShutdown();
+std::string EncodeReady();
+std::string EncodeTaskDone(const TaskDoneMsg& msg);
+std::string EncodeHeartbeat(const HeartbeatMsg& msg);
+std::string EncodeBye(const ByeMsg& msg);
+
+/// The message type of an encoded payload; kInternal on a short payload.
+common::Result<MsgType> PeekType(const std::string& payload);
+
+common::Status DecodeHello(const std::string& payload, HelloMsg& msg);
+common::Status DecodeMapTask(const std::string& payload, MapTaskMsg& msg);
+common::Status DecodeReduceTask(const std::string& payload,
+                                ReduceTaskMsg& msg);
+common::Status DecodeTaskDone(const std::string& payload, TaskDoneMsg& msg);
+common::Status DecodeHeartbeat(const std::string& payload,
+                               HeartbeatMsg& msg);
+common::Status DecodeBye(const std::string& payload, ByeMsg& msg);
+
+/// Task-result payloads inside TaskDoneMsg.
+std::string EncodeMapOutcome(const engine::internal::DistMapOutcome& out);
+common::Status DecodeMapOutcome(const std::string& payload,
+                                engine::internal::DistMapOutcome& out);
+std::string EncodeReduceOutcome(
+    const engine::internal::DistReduceOutcome& out);
+common::Status DecodeReduceOutcome(
+    const std::string& payload, engine::internal::DistReduceOutcome& out);
+
+/// Obs payloads inside ByeMsg. Decoding merges rather than replaces:
+/// counters add, stats/histograms Merge, gauges land prefixed with
+/// "workerN." (last-write-wins would otherwise drop all but one worker).
+std::string EncodeRegistrySnapshot(const obs::Registry::Snapshot& snapshot);
+common::Status MergeRegistryPayload(const std::string& payload,
+                                    std::uint32_t worker_index,
+                                    obs::Registry& registry);
+std::string EncodeTraceEvents(const std::vector<obs::TraceEvent>& events);
+common::Status DecodeTraceEvents(const std::string& payload,
+                                 std::vector<obs::TraceEvent>& events);
+
+}  // namespace mrcost::dist
+
+#endif  // MRCOST_DIST_PROTOCOL_H_

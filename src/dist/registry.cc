@@ -1,0 +1,50 @@
+#include "src/dist/registry.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/dist/recipes.h"
+
+namespace mrcost::dist {
+
+PlanRegistry& PlanRegistry::Global() {
+  // Builtin registration runs here (not from static initializers, which a
+  // static library would drop) exactly once, before any lookup.
+  static PlanRegistry* registry = [] {
+    auto* r = new PlanRegistry();
+    RegisterBuiltinRecipes(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PlanRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+common::Result<engine::Plan> PlanRegistry::Build(
+    const std::string& name, const std::string& args) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return common::Status::NotFound("dist: unregistered recipe '" + name +
+                                      "'");
+    }
+    factory = it->second;
+  }
+  return factory(args);
+}
+
+std::vector<std::string> PlanRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace mrcost::dist

@@ -1,0 +1,51 @@
+#ifndef MRCOST_DIST_REGISTRY_H_
+#define MRCOST_DIST_REGISTRY_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/plan.h"
+
+namespace mrcost::dist {
+
+/// Plans carry typed closures, and closures cannot cross a process
+/// boundary — but a deterministic *recipe* for rebuilding the plan can.
+/// The registry maps a recipe name + argument string to a factory linked
+/// into both the coordinator and the mrcost-worker binary; both sides
+/// build the identical PlanGraph (same nodes, same closures, same
+/// indices), and tasks then reference rounds by node index. Factories
+/// stamp graph->dist_recipe/dist_args so an executing plan knows its own
+/// rebuild instructions.
+class PlanRegistry {
+ public:
+  using Factory =
+      std::function<common::Result<engine::Plan>(const std::string& args)>;
+
+  /// The process-wide registry, with the built-in family recipes
+  /// (src/dist/recipes.h) registered on first use.
+  static PlanRegistry& Global();
+
+  void Register(const std::string& name, Factory factory);
+
+  /// Rebuilds the plan `name` with `args`; kNotFound for an unregistered
+  /// name. Deterministic: equal (name, args) build equal graphs in every
+  /// process.
+  common::Result<engine::Plan> Build(const std::string& name,
+                                     const std::string& args) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  PlanRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+}  // namespace mrcost::dist
+
+#endif  // MRCOST_DIST_REGISTRY_H_

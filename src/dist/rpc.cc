@@ -1,0 +1,102 @@
+#include "src/dist/rpc.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/storage/spill_file.h"
+
+namespace mrcost::dist {
+
+namespace {
+
+common::Status WriteAll(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return common::Status::Internal(
+          std::string("rpc: write failed: ") + std::strerror(errno));
+    }
+    data += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return common::Status::Ok();
+}
+
+/// Reads exactly `n` bytes. `got` reports the bytes read when the stream
+/// ends early (0 at the very start = clean EOF).
+common::Status ReadAll(int fd, char* data, std::size_t n,
+                       std::size_t& got) {
+  got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return common::Status::Internal(
+          std::string("rpc: read failed: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return common::Status::OutOfRange("rpc: truncated frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return common::Status::InvalidArgument(
+        "rpc: frame of " + std::to_string(payload.size()) +
+        " bytes exceeds the frame limit");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = storage::Crc32(payload.data(), payload.size());
+  char header[8];
+  std::memcpy(header, &len, 4);
+  std::memcpy(header + 4, &crc, 4);
+  if (auto status = WriteAll(fd, header, sizeof(header)); !status.ok()) {
+    return status;
+  }
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+common::Status ReadFrame(int fd, std::string& payload) {
+  char header[8];
+  std::size_t got = 0;
+  if (auto status = ReadAll(fd, header, sizeof(header), got);
+      !status.ok()) {
+    if (got == 0 && status.code() == common::StatusCode::kOutOfRange) {
+      return common::Status::NotFound("rpc: eof");
+    }
+    return status;
+  }
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&len, header, 4);
+  std::memcpy(&crc, header + 4, 4);
+  if (len > kMaxFrameBytes) {
+    return common::Status::InvalidArgument(
+        "rpc: frame length " + std::to_string(len) +
+        " exceeds the frame limit");
+  }
+  payload.resize(len);
+  if (len > 0) {
+    if (auto status = ReadAll(fd, payload.data(), len, got); !status.ok()) {
+      return status;
+    }
+  }
+  if (storage::Crc32(payload.data(), payload.size()) != crc) {
+    return common::Status::Internal("rpc: frame crc mismatch");
+  }
+  return common::Status::Ok();
+}
+
+bool IsEof(const common::Status& status) {
+  return status.code() == common::StatusCode::kNotFound;
+}
+
+}  // namespace mrcost::dist

@@ -1,0 +1,36 @@
+#ifndef MRCOST_DIST_RPC_H_
+#define MRCOST_DIST_RPC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace mrcost::dist {
+
+/// Length-prefixed CRC-framed message transport over a byte-stream fd
+/// (the coordinator/worker socketpair; tests use pipes). Wire format per
+/// frame, little-endian, matching the spill files' framing conventions:
+///
+///   [u32 payload_len][u32 crc32(payload)][payload bytes]
+///
+/// ReadFrame's Status contract mirrors SpillFileReader::Next: a clean EOF
+/// at a frame boundary returns kNotFound ("eof" — the peer closed its
+/// end), a partial frame kOutOfRange ("truncated"), a CRC mismatch
+/// kInternal, and an over-limit length kInvalidArgument. Both calls
+/// retry EINTR and handle short reads/writes.
+
+/// Frames larger than this are rejected on both sides (a corrupt length
+/// prefix must not trigger a giant allocation).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+common::Status WriteFrame(int fd, std::string_view payload);
+common::Status ReadFrame(int fd, std::string& payload);
+
+/// True iff `status` is ReadFrame's clean-EOF result.
+bool IsEof(const common::Status& status);
+
+}  // namespace mrcost::dist
+
+#endif  // MRCOST_DIST_RPC_H_

@@ -1,0 +1,102 @@
+#include "src/dist/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mrcost::dist {
+
+DistTaskScheduler::DistTaskScheduler(int num_workers)
+    : epoch_(std::chrono::steady_clock::now()) {
+  // Every thread may block in a coordinator RPC; num_workers of them keep
+  // all workers busy, the extra two cover dependency-edge latency.
+  const int threads = std::max(1, num_workers) + 2;
+  threads_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DistTaskScheduler::~DistTaskScheduler() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+DistTaskScheduler::TaskId DistTaskScheduler::AddTask(
+    engine::StageKind kind, std::uint32_t round_tag,
+    std::vector<TaskId> deps, std::function<void()> fn, bool /*speculatable*/,
+    const char* /*trace_name*/, std::uint32_t /*shard*/) {
+  TaskId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = tasks_.size();
+    Task task;
+    task.kind = kind;
+    task.round_tag = round_tag;
+    task.deps = std::move(deps);
+    task.fn = std::move(fn);
+    tasks_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  cv_.notify_all();
+  return id;
+}
+
+bool DistTaskScheduler::DepsDone(const Task& task) const {
+  for (TaskId dep : task.deps) {
+    if (dep != kNoTask && !tasks_[dep].done) return false;
+  }
+  return true;
+}
+
+DistTaskScheduler::TaskId DistTaskScheduler::PickRunnable() {
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (!tasks_[id].started && DepsDone(tasks_[id])) return id;
+  }
+  return kNoTask;
+}
+
+void DistTaskScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    const TaskId id = PickRunnable();
+    if (id == kNoTask) {
+      if (shutdown_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    Task& task = tasks_[id];
+    task.started = true;
+    task.span.begin_ms = NowMs();
+    std::function<void()> fn = std::move(task.fn);
+    lock.unlock();
+    fn();
+    lock.lock();
+    tasks_[id].span.end_ms = NowMs();
+    tasks_[id].done = true;
+    --unfinished_;
+    cv_.notify_all();
+  }
+}
+
+void DistTaskScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+engine::TaskSpan DistTaskScheduler::SpanOf(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_[id].span;
+}
+
+double DistTaskScheduler::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+}  // namespace mrcost::dist

@@ -1,0 +1,66 @@
+#ifndef MRCOST_DIST_SCHEDULER_H_
+#define MRCOST_DIST_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/engine/task_scheduler.h"
+
+namespace mrcost::dist {
+
+/// The multi-process implementation of the engine::TaskScheduler seam.
+/// Tasks here are thin RPC drivers — each one blocks inside
+/// Coordinator::RunMap/RunReduce while a worker process does the real
+/// work — so the pool is sized to keep every worker fed plus slack for
+/// dependency bookkeeping, and a "running" span measures the remote
+/// execution it is waiting on.
+///
+/// Dependency semantics match StageGraphExecutor: a task runs once every
+/// dependency has finished; Wait() returns when all added tasks have run.
+/// No speculation — re-execution on worker death happens below this seam,
+/// inside the coordinator's re-issue loop, where worker liveness lives.
+class DistTaskScheduler : public engine::TaskScheduler {
+ public:
+  explicit DistTaskScheduler(int num_workers);
+  ~DistTaskScheduler() override;
+
+  TaskId AddTask(engine::StageKind kind, std::uint32_t round_tag,
+                 std::vector<TaskId> deps, std::function<void()> fn,
+                 bool speculatable = false, const char* trace_name = nullptr,
+                 std::uint32_t shard = 0) override;
+  void Wait() override;
+  engine::TaskSpan SpanOf(TaskId id) const override;
+  double NowMs() const override;
+
+ private:
+  struct Task {
+    engine::StageKind kind = engine::StageKind::kOther;
+    std::uint32_t round_tag = 0;
+    std::vector<TaskId> deps;
+    std::function<void()> fn;
+    bool done = false;
+    bool started = false;
+    engine::TaskSpan span{0, 0};
+  };
+
+  void WorkerLoop();
+  bool DepsDone(const Task& task) const;  // mu_ held
+  TaskId PickRunnable();                  // mu_ held; kNoTask when none
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Task> tasks_;
+  std::size_t unfinished_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mrcost::dist
+
+#endif  // MRCOST_DIST_SCHEDULER_H_

@@ -1,0 +1,286 @@
+#include "src/dist/worker.h"
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dist/protocol.h"
+#include "src/dist/registry.h"
+#include "src/dist/rpc.h"
+#include "src/engine/dist_round.h"
+#include "src/engine/plan.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace mrcost::dist {
+
+namespace {
+
+/// All writes to the coordinator (task replies from the main loop,
+/// heartbeats from the timer thread) interleave on one fd — serialize
+/// them so frames never shear.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  common::Status Send(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return WriteFrame(fd_, payload);
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+/// Heartbeat timer: one Heartbeat{seq} per interval until stopped. A
+/// failed send means the coordinator is gone; the thread just stops (the
+/// main loop will hit EOF on its own).
+class Heartbeater {
+ public:
+  Heartbeater(FrameWriter& writer, double interval_ms)
+      : writer_(writer), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~Heartbeater() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::uint64_t seq = 0;
+    while (!stop_) {
+      if (cv_.wait_for(lock,
+                       std::chrono::duration<double, std::milli>(
+                           interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lock.unlock();
+      const bool ok = writer_.Send(EncodeHeartbeat({++seq})).ok();
+      lock.lock();
+      if (!ok) return;
+    }
+  }
+
+  FrameWriter& writer_;
+  double interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+TaskDoneMsg FailTask(std::uint64_t task_id, const common::Status& status) {
+  TaskDoneMsg done;
+  done.task_id = task_id;
+  done.ok = 0;
+  done.error = status.ToString();
+  return done;
+}
+
+}  // namespace
+
+int RunWorker(int fd) {
+  std::string payload;
+  if (auto status = ReadFrame(fd, payload); !status.ok()) {
+    std::fprintf(stderr, "mrcost-worker: reading Hello: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  HelloMsg hello;
+  if (auto type = PeekType(payload);
+      !type.ok() || *type != MsgType::kHello) {
+    std::fprintf(stderr, "mrcost-worker: expected Hello first\n");
+    return 1;
+  }
+  if (auto status = DecodeHello(payload, hello); !status.ok()) {
+    std::fprintf(stderr, "mrcost-worker: bad Hello: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  // Trace clock sync: the delta between the coordinator's clock at Hello
+  // send time and ours at receipt shifts every local timestamp onto the
+  // coordinator timeline (socketpair latency is microseconds — well under
+  // the span widths the merged trace is read at).
+  const std::int64_t clock_offset_us =
+      static_cast<std::int64_t>(hello.coord_now_us) -
+      static_cast<std::int64_t>(obs::TraceRecorder::NowUs());
+  if (hello.trace_enabled) obs::TraceRecorder::Global().Enable();
+  if (hello.metrics_enabled) obs::Registry::Global().Enable();
+
+  auto plan = PlanRegistry::Global().Build(hello.recipe, hello.args);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "mrcost-worker: rebuilding plan: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  const auto& graph = plan->graph();
+
+  FrameWriter writer(fd);
+  if (auto status = writer.Send(EncodeReady()); !status.ok()) {
+    std::fprintf(stderr, "mrcost-worker: sending Ready: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  Heartbeater heartbeater(writer, hello.heartbeat_interval_ms);
+
+  std::uint32_t map_tasks_received = 0;
+  while (true) {
+    if (auto status = ReadFrame(fd, payload); !status.ok()) {
+      // Coordinator EOF (it died or closed early) ends the session.
+      std::fprintf(stderr, "mrcost-worker[%u]: read: %s\n",
+                   hello.worker_index, status.ToString().c_str());
+      return IsEof(status) ? 0 : 1;
+    }
+    auto type = PeekType(payload);
+    if (!type.ok()) return 1;
+
+    if (*type == MsgType::kShutdown) break;
+
+    if (*type == MsgType::kMapTask) {
+      MapTaskMsg task;
+      if (auto status = DecodeMapTask(payload, task); !status.ok()) {
+        return 1;
+      }
+      ++map_tasks_received;
+      if (hello.self_kill_after_tasks > 0 &&
+          map_tasks_received == hello.self_kill_after_tasks) {
+        // Fault injection: die the way a crashed worker dies — no reply,
+        // no cleanup, mid-task.
+        ::raise(SIGKILL);
+      }
+      const std::uint64_t t0 = obs::TraceRecorder::NowUs();
+      TaskDoneMsg done;
+      done.task_id = task.task_id;
+      if (task.node >= graph->nodes.size() || !graph->nodes[task.node].dist) {
+        done = FailTask(task.task_id,
+                        common::Status::InvalidArgument(
+                            "dist: node has no dist ops"));
+      } else {
+        engine::internal::DistMapSpec spec;
+        spec.chunk_path = task.chunk_path;
+        spec.chunk_index = task.chunk;
+        spec.num_shards = task.num_shards;
+        spec.run_prefix = task.run_prefix;
+        auto outcome = graph->nodes[task.node].dist->run_map(spec);
+        if (outcome.ok()) {
+          done.ok = 1;
+          done.payload = EncodeMapOutcome(*outcome);
+        } else {
+          done = FailTask(task.task_id, outcome.status());
+        }
+      }
+      if (obs::TraceRecorder::enabled()) {
+        obs::TraceEvent event;
+        event.name = "dist-map";
+        event.category = "dist";
+        event.round = task.node;
+        event.shard = task.chunk;
+        event.task_id = task.task_id;
+        event.t_start_us = t0;
+        event.t_end_us = obs::TraceRecorder::NowUs();
+        event.args.push_back(obs::Arg("chunk", task.chunk));
+        obs::TraceRecorder::Global().Append(std::move(event));
+      }
+      if (auto status = writer.Send(EncodeTaskDone(done)); !status.ok()) {
+        return 1;
+      }
+      continue;
+    }
+
+    if (*type == MsgType::kReduceTask) {
+      ReduceTaskMsg task;
+      if (auto status = DecodeReduceTask(payload, task); !status.ok()) {
+        return 1;
+      }
+      const std::uint64_t t0 = obs::TraceRecorder::NowUs();
+      TaskDoneMsg done;
+      done.task_id = task.task_id;
+      if (task.node >= graph->nodes.size() || !graph->nodes[task.node].dist) {
+        done = FailTask(task.task_id,
+                        common::Status::InvalidArgument(
+                            "dist: node has no dist ops"));
+      } else {
+        engine::internal::DistReduceSpec spec;
+        spec.shard = task.shard;
+        spec.run_paths = task.run_paths;
+        spec.result_path = task.result_path;
+        spec.scratch_dir = task.scratch_dir;
+        if (task.merge_fan_in > 0) {
+          spec.merge_fan_in = static_cast<std::size_t>(task.merge_fan_in);
+        }
+        auto outcome = graph->nodes[task.node].dist->run_reduce(spec);
+        if (outcome.ok()) {
+          done.ok = 1;
+          done.payload = EncodeReduceOutcome(*outcome);
+        } else {
+          done = FailTask(task.task_id, outcome.status());
+        }
+      }
+      if (obs::TraceRecorder::enabled()) {
+        obs::TraceEvent event;
+        event.name = "dist-reduce";
+        event.category = "dist";
+        event.round = task.node;
+        event.shard = task.shard;
+        event.task_id = task.task_id;
+        event.t_start_us = t0;
+        event.t_end_us = obs::TraceRecorder::NowUs();
+        event.args.push_back(obs::Arg("shard", task.shard));
+        obs::TraceRecorder::Global().Append(std::move(event));
+      }
+      if (auto status = writer.Send(EncodeTaskDone(done)); !status.ok()) {
+        return 1;
+      }
+      continue;
+    }
+
+    std::fprintf(stderr, "mrcost-worker[%u]: unexpected message type %u\n",
+                 hello.worker_index, static_cast<unsigned>(*type));
+    return 1;
+  }
+
+  ByeMsg bye;
+  if (hello.metrics_enabled) {
+    bye.registry_payload =
+        EncodeRegistrySnapshot(obs::Registry::Global().TakeSnapshot());
+    obs::Registry::Global().Disable();
+  }
+  if (hello.trace_enabled) {
+    std::vector<obs::TraceEvent> events =
+        obs::TraceRecorder::Global().Snapshot();
+    for (auto& event : events) {
+      event.t_start_us = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(event.t_start_us) + clock_offset_us);
+      event.t_end_us = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(event.t_end_us) + clock_offset_us);
+    }
+    bye.trace_payload = EncodeTraceEvents(events);
+    obs::TraceRecorder::Global().Disable();
+  }
+  if (auto status = writer.Send(EncodeBye(bye)); !status.ok()) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace mrcost::dist

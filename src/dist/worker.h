@@ -1,0 +1,21 @@
+#ifndef MRCOST_DIST_WORKER_H_
+#define MRCOST_DIST_WORKER_H_
+
+namespace mrcost::dist {
+
+/// The mrcost-worker process body: speaks the src/dist/protocol.h message
+/// set over `fd` (both directions) until Shutdown or coordinator EOF.
+///
+///   Hello  -> rebuild the plan from the recipe registry, arm obs capture
+///             and fault injection, reply Ready, start heartbeating
+///   MapTask / ReduceTask -> run the node's DistRoundOps, reply TaskDone
+///   Shutdown -> reply Bye (registry snapshot + trace events on the
+///             coordinator's clock), return
+///
+/// Returns a process exit code (0 on a clean Shutdown; non-zero when the
+/// session dies early, e.g. a malformed frame or coordinator EOF).
+int RunWorker(int fd);
+
+}  // namespace mrcost::dist
+
+#endif  // MRCOST_DIST_WORKER_H_

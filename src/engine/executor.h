@@ -29,6 +29,7 @@
 #include "src/engine/partitioner.h"
 #include "src/engine/shuffle.h"
 #include "src/engine/simulator.h"
+#include "src/engine/task_scheduler.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
 #include "src/storage/block.h"
@@ -156,14 +157,9 @@ struct JobResult {
   JobMetrics metrics;
 };
 
-/// Which stage of a round a task belongs to, for the timing breakdown.
-enum class StageKind { kMap, kShuffle, kReduce, kFinalize, kOther };
-
-/// Wall-clock span of one task, in ms since the executor's epoch.
-struct TaskSpan {
-  double begin_ms = 0;
-  double end_ms = 0;
-};
+// StageKind and TaskSpan moved to src/engine/task_scheduler.h with the
+// TaskScheduler interface; this header keeps the in-process
+// implementation.
 
 /// A dependency-graph task scheduler over the shared ThreadPool. Tasks are
 /// added with explicit dependency edges and submitted to the pool the
@@ -173,13 +169,13 @@ struct TaskSpan {
 /// round k's still-running tasks); Wait blocks until every task added so
 /// far has finished. Task completion is published under the executor's
 /// mutex, so a task's writes happen-before every dependent task's reads.
-class StageGraphExecutor {
+class StageGraphExecutor : public TaskScheduler {
  public:
-  using TaskId = std::size_t;
-  static constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+  using TaskId = TaskScheduler::TaskId;
+  static constexpr TaskId kNoTask = TaskScheduler::kNoTask;
 
   explicit StageGraphExecutor(common::ThreadPool& pool);
-  ~StageGraphExecutor();  // waits for every added task
+  ~StageGraphExecutor() override;  // waits for every added task
 
   StageGraphExecutor(const StageGraphExecutor&) = delete;
   StageGraphExecutor& operator=(const StageGraphExecutor&) = delete;
@@ -202,7 +198,7 @@ class StageGraphExecutor {
   TaskId AddTask(StageKind kind, std::uint32_t round_tag,
                  std::vector<TaskId> deps, std::function<void()> fn,
                  bool speculatable = false, const char* trace_name = nullptr,
-                 std::uint32_t shard = 0);
+                 std::uint32_t shard = 0) override;
 
   /// Arms speculative backups for subsequently running speculatable tasks.
   /// Latest call wins; a disabled config turns backups off again.
@@ -226,10 +222,10 @@ class StageGraphExecutor {
   /// speculative attempts, so no attempt can touch round state after Wait
   /// returns. Polls the speculation check while blocked (backups launch
   /// even when every pool thread is busy running stragglers).
-  void Wait();
+  void Wait() override;
 
   /// The task's recorded span (zeros until it ran). Thread-safe.
-  TaskSpan SpanOf(TaskId id) const;
+  TaskSpan SpanOf(TaskId id) const override;
 
   /// Every task's (kind, round tag, span), for cross-round overlap
   /// accounting. Call after Wait.
@@ -241,7 +237,7 @@ class StageGraphExecutor {
   std::vector<TaskRecord> SnapshotRecords() const;
 
   /// Milliseconds since this executor's construction.
-  double NowMs() const;
+  double NowMs() const override;
 
   common::ThreadPool& pool() { return pool_; }
 

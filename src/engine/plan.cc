@@ -160,6 +160,9 @@ RoundPrediction PredictRound(const PlanNode& node, const MapSample& sample,
 PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
                                  const ExecutionOptions& options,
                                  std::size_t target) {
+  if (options.backend == ExecutionBackend::kMultiProcess) {
+    return ExecutePlanGraphMulti(graph, options, target);
+  }
   // Tracing/metrics capture spans the whole execution; files are written
   // when the scope closes, after metrics (and calibration) are final.
   std::optional<obs::ScopedCapture> capture;

@@ -16,6 +16,7 @@
 
 #include "src/core/cost_model.h"
 #include "src/core/lower_bound.h"
+#include "src/engine/dist_round.h"
 #include "src/engine/emitter.h"
 #include "src/engine/executor.h"
 #include "src/engine/hashing.h"
@@ -138,6 +139,41 @@ struct EstimateOptions {
   const core::RuntimeCalibration* calibration = nullptr;
 };
 
+/// Which runtime executes the plan's rounds.
+enum class ExecutionBackend {
+  /// Stage-graph tasks on the in-process thread pool (the default).
+  kInProcess,
+  /// A coordinator process (this one) fork/execs N `mrcost-worker`
+  /// processes and dispatches map/reduce tasks over socket RPC; the
+  /// shuffle moves through spill-format-v2 run files in a shared
+  /// directory (see src/dist/). Outputs are byte-identical to
+  /// kInProcess. Requires the plan to be registered as a dist recipe
+  /// (src/dist/registry.h) so workers can rebuild it; unregistered plans
+  /// fall back to in-process execution with a warning. Simulation options
+  /// are ignored — real worker processes replace the simulated cluster.
+  kMultiProcess,
+};
+
+/// Knobs for the multi-process backend.
+struct DistOptions {
+  int num_workers = 2;
+  /// Shared shuffle directory; empty = a fresh TempDir under the system
+  /// temp dir, removed when the job finishes (unless keep_spills).
+  std::string spill_dir;
+  bool keep_spills = false;
+  /// Worker executable; empty = "mrcost-worker" next to this binary.
+  std::string worker_binary;
+  double heartbeat_interval_ms = 100;
+  /// A worker silent for this long is declared dead (SIGKILL + task
+  /// re-issue).
+  double heartbeat_timeout_ms = 2000;
+  /// Fault injection: worker `kill_worker_index` raises SIGKILL on
+  /// receiving its `kill_after_tasks`-th map task (-1 = disabled). The
+  /// coordinator re-issues its tasks; outputs stay byte-identical.
+  int kill_worker_index = -1;
+  int kill_after_tasks = 1;
+};
+
 /// Knobs for Plan::Execute / ExecuteAsync.
 struct ExecutionOptions {
   /// Thread sizing, round defaults, simulation, and the pipeline-wide
@@ -184,6 +220,9 @@ struct ExecutionOptions {
   /// lower-bound r(q) at the predicted q) rides on the round span.
   /// Not owned; may be null.
   const core::Recipe* recipe = nullptr;
+  /// Where the rounds run; see ExecutionBackend.
+  ExecutionBackend backend = ExecutionBackend::kInProcess;
+  DistOptions dist;
 
   ExecutionOptions() = default;
   explicit ExecutionOptions(PipelineOptions options)
@@ -257,6 +296,10 @@ struct PlanNode {
       stage;
   std::function<MapSample(const PlanGraph&, std::size_t)> sample;
   std::function<std::size_t(const PlanGraph&)> input_size;
+  /// The round's multi-process lowering (see src/engine/dist_round.h);
+  /// null when the round's types cannot cross a process boundary through
+  /// serde — such rounds run in-process even under kMultiProcess.
+  std::shared_ptr<DistRoundOps> dist;
 };
 
 /// Shared state behind Plan and every Dataset handle: the nodes in
@@ -269,6 +312,14 @@ struct PlanGraph {
   /// Per executed round (in execution order), the strategy it ran with —
   /// filled by the most recent Execute.
   std::vector<ShuffleStrategy> last_strategies;
+  /// Recipe identity for the multi-process backend: when non-empty, a
+  /// worker process rebuilds this exact graph via
+  /// dist::PlanRegistry::Build(dist_recipe, dist_args), so node indices
+  /// (and the typed closures behind them) line up across processes.
+  /// Stamped by the recipe builders in src/dist/recipes.h; empty for
+  /// ad-hoc plans, which then cannot run multi-process.
+  std::string dist_recipe;
+  std::string dist_args;
 };
 
 /// Deterministic stride sample of `map_fn` over `inputs`: runs the map on
@@ -342,6 +393,14 @@ PartitionerKind ChoosePartitioner(const ShuffleConfig& config,
 PipelineMetrics ExecutePlanGraph(PlanGraph& graph,
                                  const ExecutionOptions& options,
                                  std::size_t target);
+
+/// The multi-process counterpart (defined in src/dist/dist_exec.cc):
+/// rounds with dist ops run as chunked map tasks + per-shard reduce tasks
+/// on worker processes, everything else in-process. ExecutePlanGraph
+/// forwards here when options.backend == kMultiProcess.
+PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
+                                      const ExecutionOptions& options,
+                                      std::size_t target);
 
 PlanEstimate EstimatePlanGraph(const PlanGraph& graph,
                                const core::Recipe& recipe,
@@ -544,6 +603,13 @@ class Plan {
   /// Per executed round, the strategy the most recent Execute ran with.
   const std::vector<ShuffleStrategy>& last_round_strategies() const;
 
+  /// The shared node graph. Used by the dist layer: recipe builders stamp
+  /// the graph's recipe identity through it and the worker runtime walks
+  /// nodes to run their dist ops.
+  const std::shared_ptr<internal::PlanGraph>& graph() const {
+    return graph_;
+  }
+
  private:
   template <typename T>
   friend class Dataset;
@@ -630,6 +696,17 @@ Dataset<Out> KeyedDataset<In, K, V>::ReduceByKey(ReduceFn reduce,
         std::static_pointer_cast<const std::vector<In>>(graph.slots[in_id]);
     return input ? input->size() : internal::kUnknownSize;
   };
+  // The multi-process lowering exists exactly when every boundary type
+  // can cross a process through serde; other rounds keep dist null and
+  // run in-process under every backend.
+  if constexpr (storage::IsSerdeSerializableV<In> &&
+                storage::IsSerdeSerializableV<K> &&
+                storage::IsSerdeSerializableV<V> &&
+                storage::IsSerdeSerializableV<Out>) {
+    node.dist = std::make_shared<internal::DistRoundOps>(
+        internal::MakeDistRoundOps<In, K, V, Out>(map_fn, combine_fn,
+                                                  reduce_fn));
+  }
 
   auto graph = graph_;
   graph->nodes.push_back(std::move(node));

@@ -1,0 +1,61 @@
+#ifndef MRCOST_ENGINE_TASK_SCHEDULER_H_
+#define MRCOST_ENGINE_TASK_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mrcost::engine {
+
+/// Which stage of a round a task belongs to, for the timing breakdown.
+enum class StageKind { kMap, kShuffle, kReduce, kFinalize, kOther };
+
+/// Wall-clock span of one task, in ms since the scheduler's epoch.
+struct TaskSpan {
+  double begin_ms = 0;
+  double end_ms = 0;
+};
+
+/// The dependency-scheduling seam between a plan's task graph and where
+/// its tasks actually run. Two implementations stand behind it:
+/// StageGraphExecutor (src/engine/executor.h) runs tasks on the in-process
+/// thread pool; dist::DistTaskScheduler (src/dist/scheduler.h) runs each
+/// task body as a blocking RPC that a coordinator dispatches to worker
+/// processes. Tasks are added with explicit dependency edges and start the
+/// moment their last dependency completes; Wait blocks until every task
+/// added so far has finished. Task completion must be published such that
+/// a task's writes happen-before every dependent task's reads.
+class TaskScheduler {
+ public:
+  using TaskId = std::size_t;
+  static constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+
+  virtual ~TaskScheduler() = default;
+
+  /// Adds a task depending on `deps` (kNoTask entries are ignored;
+  /// already-finished deps are fine). `fn` must never block on another
+  /// task — all waiting is the caller's (Wait). `speculatable` marks fn as
+  /// safe to run twice concurrently (first finisher wins); schedulers
+  /// without speculation may ignore it. `trace_name` must be a string
+  /// literal (only the pointer is kept); `shard` labels the task's trace
+  /// span.
+  virtual TaskId AddTask(StageKind kind, std::uint32_t round_tag,
+                         std::vector<TaskId> deps, std::function<void()> fn,
+                         bool speculatable = false,
+                         const char* trace_name = nullptr,
+                         std::uint32_t shard = 0) = 0;
+
+  /// Blocks until every task added so far has finished.
+  virtual void Wait() = 0;
+
+  /// The task's recorded span (zeros until it ran). Thread-safe.
+  virtual TaskSpan SpanOf(TaskId id) const = 0;
+
+  /// Milliseconds since this scheduler's construction.
+  virtual double NowMs() const = 0;
+};
+
+}  // namespace mrcost::engine
+
+#endif  // MRCOST_ENGINE_TASK_SCHEDULER_H_

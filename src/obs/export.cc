@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -96,6 +97,18 @@ std::string ToChromeTraceJson(const std::vector<TraceEvent>& events) {
     os << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
        << kSimulatedPid
        << ",\"tid\":0,\"args\":{\"name\":\"simulated cluster\"}}";
+  }
+  // Worker processes of the multi-process backend occupy pids >= 2 (one
+  // lane per worker, merged from its Bye payload); name each one that
+  // appears.
+  std::set<std::uint32_t> worker_pids;
+  for (const TraceEvent& event : events) {
+    if (event.pid > kSimulatedPid) worker_pids.insert(event.pid);
+  }
+  for (std::uint32_t pid : worker_pids) {
+    os << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"mrcost worker "
+       << (pid - kSimulatedPid - 1) << "\"}}";
   }
   for (const TraceEvent& event : events) {
     os << ",\n";
@@ -483,10 +496,15 @@ CaptureFlags ParseCaptureFlags(int argc, char** argv) {
     const std::string_view arg = argv[i];
     constexpr std::string_view kTrace = "--trace_out=";
     constexpr std::string_view kMetrics = "--metrics_out=";
+    constexpr std::string_view kSpillDir = "--spill_dir=";
     if (arg.substr(0, kTrace.size()) == kTrace) {
       flags.trace_out = std::string(arg.substr(kTrace.size()));
     } else if (arg.substr(0, kMetrics.size()) == kMetrics) {
       flags.metrics_out = std::string(arg.substr(kMetrics.size()));
+    } else if (arg.substr(0, kSpillDir.size()) == kSpillDir) {
+      flags.spill_dir = std::string(arg.substr(kSpillDir.size()));
+    } else if (arg == "--keep_spills") {
+      flags.keep_spills = true;
     }
   }
   return flags;

@@ -55,11 +55,15 @@ class ScopedCapture {
   std::string metrics_path_;
 };
 
-/// Scans argv for --trace_out=PATH / --metrics_out=PATH without consuming
-/// them, so examples and benches can share one flag convention.
+/// Scans argv for --trace_out=PATH / --metrics_out=PATH (obs capture) and
+/// --spill_dir=PATH / --keep_spills (shuffle spill placement, shared by
+/// the external shuffle and the multi-process backend) without consuming
+/// them, so examples and benches share one flag convention.
 struct CaptureFlags {
   std::string trace_out;
   std::string metrics_out;
+  std::string spill_dir;
+  bool keep_spills = false;
 };
 CaptureFlags ParseCaptureFlags(int argc, char** argv);
 

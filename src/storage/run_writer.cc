@@ -145,9 +145,15 @@ common::Status BlockRunFileWriter::FlushPending() {
 RunSpiller::RunSpiller(std::string dir)
     : dir_(std::move(dir)), spiller_id_(NextSpillerId()) {
   if (dir_.empty()) {
-    std::error_code ec;
-    dir_ = std::filesystem::temp_directory_path(ec).string();
-    if (ec) dir_ = ".";
+    auto owned = common::TempDir::Create("", "mrcost-spill-dir-");
+    if (owned.ok()) {
+      owned_dir_ = std::move(owned.value());
+      dir_ = owned_dir_.path();
+    } else {
+      std::error_code ec;
+      dir_ = std::filesystem::temp_directory_path(ec).string();
+      if (ec) dir_ = ".";
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 
 #include "src/common/byte_size.h"
 #include "src/common/status.h"
+#include "src/common/temp_dir.h"
 #include "src/storage/block.h"
 #include "src/storage/serde.h"
 #include "src/storage/spill_file.h"
@@ -153,7 +154,11 @@ class BlockRunFileWriter {
 /// concurrently.
 class RunSpiller {
  public:
-  /// `dir` empty = std::filesystem::temp_directory_path().
+  /// `dir` empty = a fresh unique directory under the system temp dir
+  /// (a common::TempDir owned by this spiller and removed with it), so
+  /// concurrent spillers in separate processes never share a directory
+  /// unless a shared `dir` is passed explicitly — which is exactly what
+  /// the multi-process shuffle transport does.
   explicit RunSpiller(std::string dir = {});
   ~RunSpiller();
 
@@ -200,6 +205,9 @@ class RunSpiller {
   std::string NextPath();
 
   std::string dir_;
+  /// Owns the scratch directory when none was passed in; empty handle
+  /// (no cleanup) when the caller supplied a shared dir.
+  common::TempDir owned_dir_;
   mutable std::mutex mu_;
   /// (order key, path): block runs key on their smallest emission
   /// position, record runs on registration order.

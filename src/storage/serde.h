@@ -149,6 +149,35 @@ bool DeserializeValue(const char*& p, const char* end, T& out) {
   return internal::ReadRaw(p, end, &out, sizeof(T));
 }
 
+/// Compile-time "does SerializeValue/DeserializeValue accept T?". The
+/// generic overload accepts any type syntactically and only static_asserts
+/// inside its body, so SFINAE cannot answer this — the trait mirrors the
+/// overload set by hand: trivially copyable types plus std::string,
+/// std::vector, std::pair, and std::tuple of serializable types. The
+/// multi-process runtime uses it to decide, per round, whether the typed
+/// closures can be re-run in a worker process with inputs and outputs
+/// crossing the process boundary through serde.
+template <typename T>
+struct IsSerdeSerializable : std::is_trivially_copyable<T> {};
+
+template <>
+struct IsSerdeSerializable<std::string> : std::true_type {};
+
+template <typename T>
+struct IsSerdeSerializable<std::vector<T>> : IsSerdeSerializable<T> {};
+
+template <typename A, typename B>
+struct IsSerdeSerializable<std::pair<A, B>>
+    : std::bool_constant<IsSerdeSerializable<A>::value &&
+                         IsSerdeSerializable<B>::value> {};
+
+template <typename... Ts>
+struct IsSerdeSerializable<std::tuple<Ts...>>
+    : std::conjunction<IsSerdeSerializable<Ts>...> {};
+
+template <typename T>
+inline constexpr bool IsSerdeSerializableV = IsSerdeSerializable<T>::value;
+
 }  // namespace mrcost::storage
 
 #endif  // MRCOST_STORAGE_SERDE_H_

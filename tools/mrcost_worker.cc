@@ -1,0 +1,22 @@
+// The mrcost-worker binary: one process per distributed worker, spawned by
+// dist::Coordinator with its end of a socketpair on a fixed fd. All real
+// logic lives in src/dist/worker.cc so tests can drive RunWorker directly.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/dist/worker.h"
+
+int main(int argc, char** argv) {
+  int fd = 3;  // the coordinator dup2s the socket here before exec
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fd=", 5) == 0) {
+      fd = std::atoi(argv[i] + 5);
+    } else {
+      std::fprintf(stderr, "mrcost-worker: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return mrcost::dist::RunWorker(fd);
+}
