@@ -1,43 +1,54 @@
 // Multi-process backend scaling sweep: one shuffle round (the
 // "shuffle_sweep" recipe, default 1M pairs into 4096 keys) executed by
 // the coordinator/worker runtime at 1, 2, 4, and 8 worker processes,
-// against the in-process executor as baseline. Prints a human table plus
-// one machine-readable JSON line per configuration (prefix BENCH_JSON)
-// for BENCH_*.json trajectory tracking.
+// under both shuffle transports, against the in-process executor as
+// baseline. Prints a human table plus one machine-readable JSON line per
+// configuration (prefix BENCH_JSON) for BENCH_*.json trajectory tracking
+// and bench/compare_bench.py regression checks (baseline:
+// bench/baselines/bench_distd_wire.jsonl).
 //
 // What to expect: on a multi-core host, makespan should fall from 1 to
 // 4 workers (map chunks and reduce shards genuinely run in separate
 // processes), then flatten once worker count passes the round's
 // chunk/shard parallelism. The round is pinned to num_threads=8 (32
 // chunks, 8 shards) so the task graph is host-independent and the sweep
-// measures worker scaling, not chunking; the emitted "cores" field says
-// how much hardware parallelism was actually available — on a 1-core
-// host every row is the same serialized work plus per-worker overhead,
-// and no speedup is possible. The fixed costs the sweep makes visible
-// are the paper's communication cost made literal: every map output
-// crosses a process boundary through a spill-format run file, so the
-// multi-process rows pay serialization + disk + merge that the
-// in-process baseline skips.
+// measures worker scaling, not chunking. The transport dimension is the
+// point of comparison: transport=spill pays serialization + shared-dir
+// disk write + read-back for every map output, while transport=wire
+// keeps runs in worker memory and streams them socket-to-socket, so its
+// shuffle_mb_per_s should be a multiple of spill's at >= 4 workers
+// (outputs stay byte-identical either way).
 //
 // Flags: --pairs=N overrides the dataset size; --spill_dir=/
 // --keep_spills place and preserve the shuffle transport files;
 // --trace_out=/--metrics_out= capture the coordinator's merged
 // worker-lane trace. Leave capture unset when measuring.
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/table.h"
+#include "src/dist/protocol.h"
 #include "src/dist/registry.h"
+#include "src/dist/rpc.h"
 #include "src/engine/metrics.h"
 #include "src/engine/plan.h"
 #include "src/obs/export.h"
+#include "src/storage/block.h"
+#include "src/storage/external_merge.h"
+#include "src/storage/run_writer.h"
+#include "src/storage/wire_run.h"
 
 namespace {
 
@@ -61,18 +72,141 @@ RunResult RunOnce(const std::string& args, const ExecutionOptions& options) {
   return run;
 }
 
-void PrintJson(const std::string& backend, std::size_t workers, std::size_t n,
-               const RunResult& run) {
+double ShuffleMb(const RunResult& run) {
+  std::uint64_t bytes = 0;
+  for (const auto& round : run.metrics.rounds) bytes += round.bytes_shuffled;
+  return static_cast<double>(bytes) / 1e6;
+}
+
+// ----------------------------------------------------------------------
+// Transport microbench: the shuffle data path in isolation — encode one
+// sorted run, move it through the transport, decode every block on the
+// far side — with map/reduce compute excluded. This is the apples-to-
+// apples "shuffle throughput" number: the end-to-end sweep above dilutes
+// the transport difference with sort/merge/reduce work (entirely so on a
+// single-core host, where all processes timeshare one CPU).
+//
+//   spill: BlockRunFileWriter (default codec) -> run file ->
+//          DiskBlockRunSource cursor, exactly the per-run file path.
+//   wire:  EncodeRawRunFrames -> RunBlock/RunEnd frames over an AF_UNIX
+//          socket -> DecodeAnyBlock per frame, exactly the DataServer ->
+//          WireBlockRunSource stream (sans credit stalls: one writer, one
+//          reader, kernel socket buffer as the window).
+
+struct TransportResult {
+  double seconds = 0;
+  double raw_mb = 0;  // pre-codec columnar bytes, the shared numerator
+  std::uint64_t rows = 0;
+};
+
+mrcost::storage::ColumnarRun SyntheticRun(std::size_t pairs,
+                                          std::size_t keys) {
+  mrcost::storage::ColumnarRun run;
+  run.hashes.reserve(pairs);
+  run.positions.reserve(pairs);
+  std::string key;
+  std::string value;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    key.clear();
+    mrcost::storage::SerializeValue(
+        static_cast<std::uint64_t>(i % keys), key);
+    value.clear();
+    mrcost::storage::SerializeValue(static_cast<std::uint64_t>(i), value);
+    run.hashes.push_back(mrcost::storage::HashBytes(key));
+    run.positions.push_back(i);
+    run.keys.Append(key);
+    run.values.Append(value);
+  }
+  return run;
+}
+
+TransportResult SpillTransportOnce(const mrcost::storage::ColumnarRun& run,
+                                   const std::string& dir) {
+  TransportResult result;
+  result.raw_mb = static_cast<double>(run.RawBytes()) / 1e6;
+  const std::string path = dir + "/transport.run";
+  const auto start = std::chrono::steady_clock::now();
+  {
+    auto writer = mrcost::storage::BlockRunFileWriter::Create(path);
+    MRCOST_CHECK_OK(writer.status());
+    MRCOST_CHECK_OK(writer.value().AppendRun(run, 0, run.rows()));
+    MRCOST_CHECK_OK(writer.value().Finish());
+  }
+  mrcost::storage::DiskBlockRunSource source(path);
+  while (source.Peek() != nullptr) {
+    source.Advance();
+    ++result.rows;
+  }
+  MRCOST_CHECK_OK(source.status());
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  std::filesystem::remove(path);
+  return result;
+}
+
+TransportResult WireTransportOnce(const mrcost::storage::ColumnarRun& run) {
+  namespace storage = mrcost::storage;
+  namespace dist = mrcost::dist;
+  TransportResult result;
+  result.raw_mb = static_cast<double>(run.RawBytes()) / 1e6;
+
+  int sv[2];
+  MRCOST_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::thread owner([&run, fd = sv[1]] {
+    std::vector<std::string> frames;
+    storage::BlockEncodeStats stats;
+    storage::EncodeRawRunFrames(run, storage::kDefaultBlockBytes, frames,
+                                stats);
+    for (const std::string& frame : frames) {
+      MRCOST_CHECK_OK(dist::WriteRunBlock(fd, frame));
+    }
+    dist::RunEndMsg end;
+    end.blocks = frames.size();
+    end.rows = run.rows();
+    MRCOST_CHECK_OK(dist::WriteFrame(fd, dist::EncodeRunEnd(end)));
+  });
+
+  std::string payload;
+  storage::ColumnarRun block;
+  while (true) {
+    MRCOST_CHECK_OK(dist::ReadFrame(sv[0], payload));
+    const auto type = dist::PeekType(payload);
+    MRCOST_CHECK_OK(type.status());
+    if (*type == dist::MsgType::kRunEnd) break;
+    const auto view = dist::RunBlockView(payload);
+    MRCOST_CHECK_OK(view.status());
+    MRCOST_CHECK_OK(storage::DecodeAnyBlock(*view, block));
+    result.rows += block.rows();
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  owner.join();
+  ::close(sv[0]);
+  ::close(sv[1]);
+  return result;
+}
+
+void PrintJson(const std::string& backend, const std::string& transport,
+               std::size_t workers, std::size_t n, const RunResult& run) {
+  // Schema is shaped for bench/compare_bench.py: *_per_s fields are the
+  // compared metrics, *_ms fields are ignored, everything else keys the
+  // row — so only deterministic fields (and no host facts like core
+  // count) may sit outside those suffixes.
   std::printf(
       "BENCH_JSON {\"bench\":\"distd_scaling\",\"backend\":\"%s\","
-      "\"workers\":%zu,\"cores\":%u,\"pairs\":%llu,\"inputs\":%zu,"
-      "\"seconds\":%.6f,"
-      "\"mpairs_per_sec\":%.3f,\"spill_bytes_written\":%llu,"
-      "\"merge_passes\":%llu}\n",
-      backend.c_str(), workers, std::thread::hardware_concurrency(),
+      "\"transport\":\"%s\",\"workers\":%zu,\"pairs\":%llu,\"inputs\":%zu,"
+      "\"wall_ms\":%.3f,"
+      "\"mpairs_per_s\":%.3f,\"shuffle_mb_per_s\":%.3f,"
+      "\"spill_bytes_written\":%llu,\"merge_passes\":%llu}\n",
+      backend.c_str(), transport.c_str(), workers,
       static_cast<unsigned long long>(run.metrics.total_pairs()), n,
-      run.seconds,
+      run.seconds * 1e3,
       static_cast<double>(run.metrics.total_pairs()) / 1e6 / run.seconds,
+      ShuffleMb(run) / run.seconds,
       static_cast<unsigned long long>(run.metrics.total_spill_bytes()),
       static_cast<unsigned long long>(
           run.metrics.rounds.empty() ? 0
@@ -98,8 +232,8 @@ int main(int argc, char** argv) {
   const std::string args =
       "pairs=" + std::to_string(pairs) + ",keys=4096,seed=1";
 
-  mrcost::common::Table table(
-      {"backend", "workers", "sec", "Mpairs/s", "spill_MB"});
+  mrcost::common::Table table({"backend", "transport", "workers", "sec",
+                               "Mpairs/s", "shuffle_MB/s", "spill_MB"});
 
   // Pin the round's task graph (32 chunks, 8 shards) independent of the
   // host's core count: the sweep varies worker processes, nothing else.
@@ -109,33 +243,76 @@ int main(int argc, char** argv) {
   table.AddRow()
       .Add("in_process")
       .Add("-")
+      .Add("-")
       .Add(baseline.seconds)
       .Add(static_cast<double>(baseline.metrics.total_pairs()) / 1e6 /
            baseline.seconds)
+      .Add(ShuffleMb(baseline) / baseline.seconds)
       .Add(static_cast<double>(baseline.metrics.total_spill_bytes()) / 1e6);
-  PrintJson("in_process", 0, pairs, baseline);
+  PrintJson("in_process", "none", 0, pairs, baseline);
 
-  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
-    ExecutionOptions options;
-    options.pipeline.round_defaults.num_threads = 8;
-    options.backend = mrcost::engine::ExecutionBackend::kMultiProcess;
-    options.dist.num_workers = workers;
-    options.dist.spill_dir = capture.spill_dir;
-    options.dist.keep_spills = capture.keep_spills;
-    const RunResult run = RunOnce(args, options);
-    table.AddRow()
-        .Add("multi_process")
-        .Add(static_cast<std::uint64_t>(workers))
-        .Add(run.seconds)
-        .Add(static_cast<double>(run.metrics.total_pairs()) / 1e6 /
-             run.seconds)
-        .Add(static_cast<double>(run.metrics.total_spill_bytes()) / 1e6);
-    PrintJson("multi_process", workers, pairs, run);
+  for (const std::string transport : {"spill", "wire"}) {
+    for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+      ExecutionOptions options;
+      options.pipeline.round_defaults.num_threads = 8;
+      options.backend = mrcost::engine::ExecutionBackend::kMultiProcess;
+      options.dist.num_workers = workers;
+      options.dist.spill_dir = capture.spill_dir;
+      options.dist.keep_spills = capture.keep_spills;
+      if (transport == "wire") {
+        options.dist.shuffle_transport =
+            mrcost::engine::ShuffleTransport::kWireStream;
+      }
+      const RunResult run = RunOnce(args, options);
+      table.AddRow()
+          .Add("multi_process")
+          .Add(transport)
+          .Add(static_cast<std::uint64_t>(workers))
+          .Add(run.seconds)
+          .Add(static_cast<double>(run.metrics.total_pairs()) / 1e6 /
+               run.seconds)
+          .Add(ShuffleMb(run) / run.seconds)
+          .Add(static_cast<double>(run.metrics.total_spill_bytes()) / 1e6);
+      PrintJson("multi_process", transport, workers, pairs, run);
+    }
   }
 
-  table.Print(std::cout, "multi-process shuffle scaling, " +
-                             std::to_string(pairs) +
-                             " pairs (spill-file transport; baseline = "
-                             "in-process executor)");
+  table.Print(std::cout,
+              "multi-process shuffle scaling, " + std::to_string(pairs) +
+                  " pairs, " +
+                  std::to_string(std::thread::hardware_concurrency()) +
+                  " cores (transport spill = shared-dir run files, wire = "
+                  "streamed fetch; baseline = in-process executor)");
+
+  // Transport in isolation: encode -> move -> decode, no map/reduce work.
+  const mrcost::storage::ColumnarRun transport_run =
+      SyntheticRun(pairs, 4096);
+  const std::string scratch =
+      capture.spill_dir.empty() ? std::string("/tmp") : capture.spill_dir;
+  const TransportResult spill_t = SpillTransportOnce(transport_run, scratch);
+  const TransportResult wire_t = WireTransportOnce(transport_run);
+  MRCOST_CHECK(spill_t.rows == transport_run.rows());
+  MRCOST_CHECK(wire_t.rows == transport_run.rows());
+  mrcost::common::Table transport_table(
+      {"transport", "sec", "raw_MB", "shuffle_MB/s"});
+  for (const auto& [name, r] :
+       {std::pair<const char*, const TransportResult&>{"spill", spill_t},
+        {"wire", wire_t}}) {
+    transport_table.AddRow()
+        .Add(name)
+        .Add(r.seconds)
+        .Add(r.raw_mb)
+        .Add(r.raw_mb / r.seconds);
+    std::printf(
+        "BENCH_JSON {\"bench\":\"distd_transport\",\"transport\":\"%s\","
+        "\"pairs\":%zu,\"wall_ms\":%.3f,\"shuffle_mb_per_s\":%.3f}\n",
+        name, pairs, r.seconds * 1e3, r.raw_mb / r.seconds);
+  }
+  transport_table.Print(
+      std::cout,
+      "shuffle transport in isolation (encode -> move -> decode one " +
+          std::to_string(pairs) +
+          "-pair run; spill = codec + run file round-trip, wire = "
+          "identity frames over an AF_UNIX socket)");
   return 0;
 }

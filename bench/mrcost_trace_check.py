@@ -3,6 +3,7 @@
 
 Usage: mrcost_trace_check.py TRACE.json [--require-prediction]
                                         [--require-categories map,shuffle,...]
+                                        [--check-fetch-spans]
 
 Checks, in order:
   1. The file parses as JSON and holds a {"traceEvents": [...]} document.
@@ -18,6 +19,14 @@ Checks, in order:
      with the StageEstimate they were priced at).
   5. Category coverage: with --require-categories, every named category
      appears at least once (CI smokes assert map,shuffle,reduce).
+  6. Fetch accounting: with --check-fetch-spans, at least one cat ==
+     "fetch" span exists (the wire shuffle's per-(reducer, source-run)
+     FetchRun record), every one carries the flow-control args (run,
+     reducer, credits, blocks, bytes, stall_ms, credit_wait_ms), and no
+     (reducer, run) pair appears twice — a duplicate would mean a reducer
+     fetched the same run twice. Only meaningful on failure-free runs:
+     a worker death legitimately re-fetches surviving runs, so the kill
+     smokes must not pass this flag.
 
 Exit 0 with a one-line summary on success; exit 1 with the list of
 violations otherwise. Metadata ('M') records are tolerated and skipped.
@@ -112,6 +121,31 @@ def check_rounds(events, require_prediction, errors):
     return len(rounds)
 
 
+def check_fetch_spans(events, errors):
+    """Wire-shuffle FetchRun spans: args present, (reducer, run) unique."""
+    fetches = [e for e in events if e.get("cat") == "fetch"]
+    if not fetches:
+        errors.append("no 'fetch' spans found (--check-fetch-spans)")
+        return 0
+    required = ("run", "reducer", "credits", "blocks", "bytes",
+                "stall_ms", "credit_wait_ms")
+    seen = {}
+    for event in fetches:
+        args = event.get("args", {})
+        for field in required:
+            if field not in args:
+                errors.append(f"fetch span at ts={event['ts']}: missing "
+                              f"args.{field}")
+        pair = (args.get("reducer"), args.get("run"))
+        if None not in pair:
+            seen[pair] = seen.get(pair, 0) + 1
+    for (reducer, run), count in sorted(seen.items()):
+        if count != 1:
+            errors.append(f"reducer {reducer} fetched run {run!r} "
+                          f"{count} times (expected once)")
+    return len(fetches)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace_event JSON file")
@@ -119,6 +153,8 @@ def main():
                         help="round spans must carry predicted_q/predicted_r")
     parser.add_argument("--require-categories", default="",
                         help="comma-separated categories that must appear")
+    parser.add_argument("--check-fetch-spans", action="store_true",
+                        help="validate wire-shuffle FetchRun span accounting")
     opts = parser.parse_args()
 
     try:

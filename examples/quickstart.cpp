@@ -42,17 +42,23 @@ int main(int argc, char** argv) {
   using namespace mrcost;  // NOLINT: example brevity
   const obs::CaptureFlags capture = obs::ParseCaptureFlags(argc, argv);
   std::string backend = "in_process";
+  std::string transport = "spill";
   std::size_t workers = 2;
   int kill_worker = -1;
+  int kill_fetch = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--backend=", 0) == 0) {
       backend = arg.substr(10);
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      transport = arg.substr(12);  // spill | wire
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + 10, nullptr, 10));
     } else if (arg.rfind("--kill_worker=", 0) == 0) {
       kill_worker = std::atoi(arg.c_str() + 14);
+    } else if (arg.rfind("--kill_fetch=", 0) == 0) {
+      kill_fetch = std::atoi(arg.c_str() + 13);
     }
   }
 
@@ -129,10 +135,20 @@ int main(int argc, char** argv) {
     MRCOST_CHECK_OK(dist_plan.status());
     engine::ExecutionOptions dist_options;
     dist_options.backend = engine::ExecutionBackend::kMultiProcess;
+    // Re-point the capture at the distributed run: its trace (worker
+    // lanes, FetchRun spans) and registry supersede the in-process one
+    // written above.
+    dist_options.trace_out = capture.trace_out;
+    dist_options.metrics_out = capture.metrics_out;
     dist_options.dist.num_workers = workers;
     dist_options.dist.spill_dir = capture.spill_dir;
     dist_options.dist.keep_spills = capture.keep_spills;
     dist_options.dist.kill_worker_index = kill_worker;
+    dist_options.dist.kill_after_fetches = kill_fetch;
+    if (transport == "wire") {
+      dist_options.dist.shuffle_transport =
+          engine::ShuffleTransport::kWireStream;
+    }
     dist_plan->Execute(dist_options);
     const auto& slots = dist_plan->graph()->slots;
     const auto* dist_pairs =
@@ -141,7 +157,8 @@ int main(int argc, char** argv) {
             slots.back().get());
     MRCOST_CHECK(dist_pairs != nullptr);
     MRCOST_CHECK(*dist_pairs == run.outputs);
-    std::cout << "Multi-process run (" << workers << " workers"
+    std::cout << "Multi-process run (" << workers << " workers, "
+              << transport << " shuffle"
               << (kill_worker >= 0 ? ", one SIGKILLed mid-round" : "")
               << "): " << dist_pairs->size()
               << " pairs, byte-identical to the in-process engine\n\n";

@@ -19,6 +19,11 @@ enum class StatusCode {
   kNotFound,
   kUnimplemented,
   kInternal,
+  /// A dependency (peer process, remote run source) is gone or not yet
+  /// reachable; the operation may succeed if retried against a replacement
+  /// — the distributed runtime uses this to route fetch failures into its
+  /// re-fetch/re-execute path instead of failing the job.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -54,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

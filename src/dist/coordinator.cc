@@ -150,8 +150,11 @@ common::Status Coordinator::Start(const Options& options) {
 }
 
 common::Status Coordinator::SpawnWorker(int index) {
+  // Both ends close-on-exec from birth: the parent end must never leak
+  // into any child, and the child end is re-exposed as fd 3 by dup2
+  // (which clears CLOEXEC on the duplicate).
   int sv[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
     return common::Status::Internal(std::string("dist: socketpair: ") +
                                     std::strerror(errno));
   }
@@ -169,8 +172,11 @@ common::Status Coordinator::SpawnWorker(int index) {
     // CLOEXEC too, so siblings don't hold each other's sockets open).
     ::close(sv[0]);
     if (sv[1] != 3) {
-      ::dup2(sv[1], 3);
+      ::dup2(sv[1], 3);  // the duplicate is born without CLOEXEC
       ::close(sv[1]);
+    } else {
+      const int flags = ::fcntl(3, F_GETFD);
+      if (flags >= 0) ::fcntl(3, F_SETFD, flags & ~FD_CLOEXEC);
     }
     ::execl(options_.worker_binary.c_str(), "mrcost-worker",
             static_cast<char*>(nullptr));
@@ -181,8 +187,6 @@ common::Status Coordinator::SpawnWorker(int index) {
 
   // Parent.
   ::close(sv[1]);
-  int flags = ::fcntl(sv[0], F_GETFD);
-  if (flags >= 0) ::fcntl(sv[0], F_SETFD, flags | FD_CLOEXEC);
 
   Worker& worker = workers_[index];
   worker.fd = sv[0];
@@ -198,10 +202,16 @@ common::Status Coordinator::SpawnWorker(int index) {
   hello.trace_enabled = options_.trace_enabled ? 1 : 0;
   hello.metrics_enabled = options_.metrics_enabled ? 1 : 0;
   hello.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+  const bool victim = index == options_.kill_worker_index;
+  // kill_after_fetches supersedes the map-task kill: one victim, one mode.
   hello.self_kill_after_tasks =
-      index == options_.kill_worker_index
+      victim && options_.kill_after_fetches == 0
           ? static_cast<std::uint32_t>(options_.kill_after_tasks)
           : 0;
+  hello.self_kill_after_fetches =
+      victim ? static_cast<std::uint32_t>(options_.kill_after_fetches) : 0;
+  hello.shuffle_transport = options_.wire_shuffle ? 1 : 0;
+  hello.retain_budget_bytes = options_.retain_budget_bytes;
   hello.coord_now_us = obs::TraceRecorder::NowUs();
   if (auto status = WriteFrame(worker.fd, EncodeHello(hello));
       !status.ok()) {
@@ -250,6 +260,7 @@ void Coordinator::ReceiveLoop(int index) {
         if (state_machine_.Commit(msg.task_id)) {
           auto& result = pending_[msg.task_id];
           result.done = true;
+          result.worker = index;
           result.msg = std::move(msg);
         } else {
           ++stats_.duplicate_commits;
@@ -326,7 +337,8 @@ int Coordinator::AcquireWorker(std::unique_lock<std::mutex>& lock) {
 
 common::Result<std::string> Coordinator::RunTask(
     const std::function<std::string(int attempt, std::uint64_t task_id)>&
-        make_frame) {
+        make_frame,
+    int* winner) {
   std::unique_lock<std::mutex> lock(mu_);
   const std::uint64_t task_id = next_task_id_++;
   state_machine_.Add(task_id);
@@ -363,8 +375,16 @@ common::Result<std::string> Coordinator::RunTask(
     if (!pending_[task_id].done) continue;  // re-issue on a live worker
 
     TaskDoneMsg msg = std::move(pending_[task_id].msg);
+    if (winner != nullptr) *winner = pending_[task_id].worker;
     pending_.erase(task_id);
     if (!msg.ok) {
+      // A retryable failure (wire fetch lost its source worker) maps to
+      // kUnavailable so the executor can re-execute the inputs and retry;
+      // a deterministic task error stays terminal.
+      if (msg.retryable) {
+        return common::Status::Unavailable(
+            "dist: task failed retryably: " + msg.error);
+      }
       return common::Status::Internal("dist: task failed on worker: " +
                                       msg.error);
     }
@@ -376,18 +396,20 @@ common::Result<engine::internal::DistMapOutcome> Coordinator::RunMap(
     std::uint32_t node,
     const std::function<engine::internal::DistMapSpec(int attempt)>&
         make_spec,
-    std::uint32_t chunk, std::uint32_t num_shards) {
-  auto payload = RunTask([&](int attempt, std::uint64_t task_id) {
-    const auto spec = make_spec(attempt);
-    MapTaskMsg msg;
-    msg.task_id = task_id;
-    msg.node = node;
-    msg.chunk = chunk;
-    msg.num_shards = num_shards;
-    msg.chunk_path = spec.chunk_path;
-    msg.run_prefix = spec.run_prefix;
-    return EncodeMapTask(msg);
-  });
+    std::uint32_t chunk, std::uint32_t num_shards, int* winner) {
+  auto payload = RunTask(
+      [&](int attempt, std::uint64_t task_id) {
+        const auto spec = make_spec(attempt);
+        MapTaskMsg msg;
+        msg.task_id = task_id;
+        msg.node = node;
+        msg.chunk = chunk;
+        msg.num_shards = num_shards;
+        msg.chunk_path = spec.chunk_path;
+        msg.run_prefix = spec.run_prefix;
+        return EncodeMapTask(msg);
+      },
+      winner);
   if (!payload.ok()) return payload.status();
   engine::internal::DistMapOutcome outcome;
   if (auto status = DecodeMapOutcome(*payload, outcome); !status.ok()) {
@@ -410,6 +432,8 @@ common::Result<engine::internal::DistReduceOutcome> Coordinator::RunReduce(
     msg.result_path = spec.result_path;
     msg.scratch_dir = spec.scratch_dir;
     msg.run_paths = spec.run_paths;
+    msg.run_endpoints = spec.run_endpoints;
+    msg.fetch_credits = spec.fetch_credits;
     return EncodeReduceTask(msg);
   });
   if (!payload.ok()) return payload.status();
@@ -481,6 +505,12 @@ void Coordinator::Stop() {
       }
     }
   }
+}
+
+bool Coordinator::worker_live(int index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index >= 0 && index < static_cast<int>(workers_.size()) &&
+         workers_[index].live;
 }
 
 int Coordinator::num_live_workers() const {

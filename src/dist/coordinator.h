@@ -82,9 +82,17 @@ class Coordinator {
     double heartbeat_interval_ms = 100;
     double heartbeat_timeout_ms = 2000;
     /// Fault injection (tests/CI): worker `kill_worker_index` raises
-    /// SIGKILL on receiving its `kill_after_tasks`-th map task.
+    /// SIGKILL on receiving its `kill_after_tasks`-th map task — or, when
+    /// `kill_after_fetches` > 0 (wire transport), right after serving the
+    /// first block of its `kill_after_fetches`-th FetchRun instead.
     int kill_worker_index = -1;
     int kill_after_tasks = 1;
+    int kill_after_fetches = 0;
+    /// kWireStream when true: workers keep runs in their RunRegistry and
+    /// open data sockets; reduce tasks fetch runs over the wire.
+    bool wire_shuffle = false;
+    /// Per-worker cap on RunRegistry in-memory bytes (0 = unbounded).
+    std::uint64_t retain_budget_bytes = 0;
   };
 
   struct Stats {
@@ -105,17 +113,25 @@ class Coordinator {
   /// Runs one map / reduce task to successful completion, re-issuing
   /// across worker deaths. `make_spec` receives the attempt number so
   /// output paths can be attempt-distinct. Fails only when the task
-  /// itself fails on a live worker (a real error, not a death) or every
-  /// worker is dead.
+  /// itself fails on a live worker (a real error, not a death — a
+  /// retryable failure maps to kUnavailable so the executor can repair
+  /// inputs and retry) or every worker is dead. `winner`, when non-null,
+  /// receives the index of the worker whose commit won — for the wire
+  /// transport this is the worker now owning the task's runs.
   common::Result<engine::internal::DistMapOutcome> RunMap(
       std::uint32_t node,
       const std::function<engine::internal::DistMapSpec(int attempt)>&
           make_spec,
-      std::uint32_t chunk, std::uint32_t num_shards);
+      std::uint32_t chunk, std::uint32_t num_shards,
+      int* winner = nullptr);
   common::Result<engine::internal::DistReduceOutcome> RunReduce(
       std::uint32_t node,
       const std::function<engine::internal::DistReduceSpec(int attempt)>&
           make_spec);
+
+  /// Whether worker `index` is still live (wire transport: whether its
+  /// runs are still fetchable).
+  bool worker_live(int index) const;
 
   /// Graceful shutdown: Shutdown to every live worker, merge their Bye
   /// payloads (registry + trace, re-tagged pid = 2 + worker index) into
@@ -141,6 +157,7 @@ class Coordinator {
   struct PendingResult {
     bool done = false;
     bool worker_died = false;
+    int worker = -1;  // who committed (set with done)
     TaskDoneMsg msg;
   };
 
@@ -151,10 +168,11 @@ class Coordinator {
   /// Claims an idle live worker (blocks); -1 when all workers are dead.
   int AcquireWorker(std::unique_lock<std::mutex>& lock);
   /// One task to successful completion across re-issues; returns the
-  /// winning TaskDone payload.
+  /// winning TaskDone payload and (optionally) the committing worker.
   common::Result<std::string> RunTask(
       const std::function<std::string(int attempt, std::uint64_t task_id)>&
-          make_frame);
+          make_frame,
+      int* winner = nullptr);
 
   double NowMs() const;
 

@@ -6,10 +6,14 @@
 // engine library does not depend on the dist layer's headers from its own.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/temp_dir.h"
@@ -20,6 +24,7 @@
 #include "src/obs/export.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
+#include "src/storage/spill_file.h"
 
 namespace mrcost::engine::internal {
 
@@ -74,6 +79,9 @@ PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
   common::TempDir job_dir = std::move(*job_dir_result);
   if (options.dist.keep_spills) job_dir.Keep();
 
+  const bool wire =
+      options.dist.shuffle_transport == ShuffleTransport::kWireStream;
+
   dist::Coordinator coordinator;
   {
     dist::Coordinator::Options copts;
@@ -88,6 +96,9 @@ PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
     copts.heartbeat_timeout_ms = options.dist.heartbeat_timeout_ms;
     copts.kill_worker_index = options.dist.kill_worker_index;
     copts.kill_after_tasks = options.dist.kill_after_tasks;
+    copts.kill_after_fetches = options.dist.kill_after_fetches;
+    copts.wire_shuffle = wire;
+    copts.retain_budget_bytes = options.dist.retain_budget_bytes;
     // A backend the caller asked for that cannot start is fatal, not a
     // silent fallback: CI byte-identity smokes must never "pass" by
     // quietly running in-process.
@@ -101,6 +112,9 @@ PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
   PipelineMetrics pipeline_metrics;
   double exec_begin = std::numeric_limits<double>::infinity();
   double exec_end = -std::numeric_limits<double>::infinity();
+  // Wire transport: runs re-executed because their owner worker died
+  // while (or before) a reducer fetched them.
+  std::atomic<std::uint64_t> refetched_runs{0};
 
   for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
     PlanNode& node = graph.nodes[id];
@@ -126,6 +140,18 @@ PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
         ResolveShardCount(resolved.num_shards, threads, pairs_hint);
     const std::size_t merge_fan_in = resolved.shuffle.merge_fan_in;
 
+    // Wire transport: each reducer pulls one run per chunk, so its memory
+    // bound splits the round's budget across num_chunks sources, in
+    // blocks. No budget = a small default window.
+    std::uint32_t fetch_credits = 4;
+    if (resolved.shuffle.memory_budget_bytes > 0) {
+      const std::uint64_t per_source =
+          resolved.shuffle.memory_budget_bytes /
+          std::max<std::size_t>(1, num_chunks);
+      fetch_credits = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+          per_source / storage::kDefaultBlockBytes, 1, 64));
+    }
+
     const std::string round_prefix =
         job_dir.path() + "/r" + std::to_string(id);
     const std::uint64_t round_t0_us = obs::TraceRecorder::NowUs();
@@ -150,11 +176,19 @@ PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
     std::vector<std::string> result_paths(num_shards);
     std::vector<TaskScheduler::TaskId> map_ids(num_chunks);
     std::vector<TaskScheduler::TaskId> reduce_ids(num_shards);
+    // Wire transport: which worker holds each chunk's runs (its endpoint
+    // is where reducers fetch them) — repaired under remap_mu when an
+    // owner dies mid-shuffle. remap_epoch makes repair run ids distinct
+    // from every earlier attempt's.
+    std::vector<int> chunk_owner(num_chunks, -1);
+    std::mutex remap_mu;
+    int remap_epoch = 0;
 
     for (std::size_t c = 0; c < num_chunks; ++c) {
       map_ids[c] = scheduler.AddTask(
           StageKind::kMap, static_cast<std::uint32_t>(id), {},
           [&, c, id, num_shards] {
+            int winner = -1;
             auto outcome = coordinator.RunMap(
                 static_cast<std::uint32_t>(id),
                 [&, c](int attempt) {
@@ -168,40 +202,108 @@ PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
                   return spec;
                 },
                 static_cast<std::uint32_t>(c),
-                static_cast<std::uint32_t>(num_shards));
+                static_cast<std::uint32_t>(num_shards), &winner);
             MRCOST_CHECK_OK(outcome.status());
             map_outcomes[c] = std::move(*outcome);
+            chunk_owner[c] = winner;
           });
     }
     for (std::size_t s = 0; s < num_shards; ++s) {
       reduce_ids[s] = scheduler.AddTask(
           StageKind::kReduce, static_cast<std::uint32_t>(id), map_ids,
-          [&, s, id, merge_fan_in] {
-            // Runs after every map outcome for this round landed.
-            std::vector<std::string> run_paths;
-            for (const auto& outcome : map_outcomes) {
-              for (const auto& run : outcome.runs) {
-                if (run.shard == s) run_paths.push_back(run.path);
+          [&, s, id, merge_fan_in, fetch_credits, num_chunks] {
+            // Runs after every map outcome for this round landed. The
+            // retry loop only spins for the wire transport: a fetch that
+            // lost its source worker fails kUnavailable, we re-execute
+            // the dead owners' maps, and try again with fresh endpoints.
+            for (int tries = 1;; ++tries) {
+              std::vector<std::string> run_paths;
+              std::vector<std::string> run_endpoints;
+              {
+                std::lock_guard<std::mutex> lock(remap_mu);
+                for (std::size_t c = 0; c < num_chunks; ++c) {
+                  for (const auto& run : map_outcomes[c].runs) {
+                    if (run.shard != s) continue;
+                    run_paths.push_back(run.path);
+                    if (wire) {
+                      run_endpoints.push_back(dist::DataEndpointPath(
+                          job_dir.path(), chunk_owner[c]));
+                    }
+                  }
+                }
+              }
+              auto outcome = coordinator.RunReduce(
+                  static_cast<std::uint32_t>(id), [&, s](int attempt) {
+                    engine::internal::DistReduceSpec spec;
+                    spec.shard = static_cast<std::uint32_t>(s);
+                    spec.run_paths = run_paths;
+                    spec.run_endpoints = run_endpoints;
+                    spec.fetch_credits = wire ? fetch_credits : 0;
+                    spec.result_path = round_prefix + "-s" +
+                                       std::to_string(s) + "-t" +
+                                       std::to_string(tries) + "-a" +
+                                       std::to_string(attempt) + ".res";
+                    spec.scratch_dir = job_dir.path();
+                    if (merge_fan_in > 0) spec.merge_fan_in = merge_fan_in;
+                    // One attempt is in flight at a time and only the
+                    // latest can commit (dead workers' sockets are cut),
+                    // so the last spec built is the winning attempt's.
+                    result_paths[s] = spec.result_path;
+                    return spec;
+                  });
+              if (outcome.ok()) {
+                reduce_outcomes[s] = std::move(*outcome);
+                return;
+              }
+              const bool retryable =
+                  wire && outcome.status().code() ==
+                              common::StatusCode::kUnavailable;
+              if (!retryable || tries >= 120) {
+                MRCOST_CHECK_OK(outcome.status());
+              }
+              // Repair: re-execute the maps whose owner worker is gone,
+              // publishing their runs on a live worker. Serialized so
+              // concurrent reducers repair each chunk once.
+              bool remapped = false;
+              {
+                std::lock_guard<std::mutex> lock(remap_mu);
+                int epoch = 0;
+                for (std::size_t c = 0; c < num_chunks; ++c) {
+                  if (coordinator.worker_live(chunk_owner[c])) continue;
+                  if (!remapped) {
+                    remapped = true;
+                    epoch = ++remap_epoch;
+                  }
+                  int winner = -1;
+                  auto redo = coordinator.RunMap(
+                      static_cast<std::uint32_t>(id),
+                      [&, c, epoch](int attempt) {
+                        engine::internal::DistMapSpec spec;
+                        spec.chunk_path = chunk_paths[c];
+                        spec.chunk_index = static_cast<std::uint32_t>(c);
+                        spec.num_shards =
+                            static_cast<std::uint32_t>(num_shards);
+                        spec.run_prefix = round_prefix + "-c" +
+                                          std::to_string(c) + "-r" +
+                                          std::to_string(epoch) + "-a" +
+                                          std::to_string(attempt);
+                        return spec;
+                      },
+                      static_cast<std::uint32_t>(c),
+                      static_cast<std::uint32_t>(num_shards), &winner);
+                  MRCOST_CHECK_OK(redo.status());
+                  refetched_runs.fetch_add(redo->runs.size());
+                  map_outcomes[c] = std::move(*redo);
+                  chunk_owner[c] = winner;
+                }
+              }
+              if (!remapped) {
+                // The death may not be detected yet (the fetch saw the
+                // socket drop before the coordinator did) — give the
+                // receiver/monitor a beat, then rebuild and retry.
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
               }
             }
-            auto outcome = coordinator.RunReduce(
-                static_cast<std::uint32_t>(id), [&, s](int attempt) {
-                  engine::internal::DistReduceSpec spec;
-                  spec.shard = static_cast<std::uint32_t>(s);
-                  spec.run_paths = run_paths;
-                  spec.result_path = round_prefix + "-s" +
-                                     std::to_string(s) + "-a" +
-                                     std::to_string(attempt) + ".res";
-                  spec.scratch_dir = job_dir.path();
-                  if (merge_fan_in > 0) spec.merge_fan_in = merge_fan_in;
-                  // One attempt is in flight at a time and only the
-                  // latest can commit (dead workers' sockets are cut),
-                  // so the last spec built is the winning attempt's.
-                  result_paths[s] = spec.result_path;
-                  return spec;
-                });
-            MRCOST_CHECK_OK(outcome.status());
-            reduce_outcomes[s] = std::move(*outcome);
           });
     }
     scheduler.Wait();
@@ -269,6 +371,10 @@ PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
           obs::Arg("chunks", static_cast<std::uint64_t>(num_chunks)));
       event.args.push_back(
           obs::Arg("shards", static_cast<std::uint64_t>(num_shards)));
+      event.args.push_back(obs::Arg("pairs", metrics.pairs_shuffled));
+      event.args.push_back(obs::Arg("reducers", metrics.num_reducers));
+      event.args.push_back(obs::Arg("realized_q", metrics.max_reducer_input));
+      event.args.push_back(obs::Arg("realized_r", metrics.replication_rate()));
       obs::TraceRecorder::Global().Append(std::move(event));
     }
     if (metrics_on) metrics.PublishTo(obs::Registry::Global());
@@ -290,6 +396,8 @@ PipelineMetrics ExecutePlanGraphMulti(PlanGraph& graph,
                                        stats.workers_died);
     obs::Registry::Global().AddCounter("dist.duplicate_commits",
                                        stats.duplicate_commits);
+    obs::Registry::Global().AddCounter("dist.refetched_runs",
+                                       refetched_runs.load());
   }
 
   if (exec_end > exec_begin) {

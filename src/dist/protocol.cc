@@ -3,6 +3,7 @@
 #include <tuple>
 #include <utility>
 
+#include "src/dist/rpc.h"
 #include "src/storage/serde.h"
 
 namespace mrcost::dist {
@@ -32,6 +33,11 @@ common::Status OpenBody(const std::string& payload, const char*& p,
 
 }  // namespace
 
+std::string DataEndpointPath(const std::string& spill_dir,
+                             int worker_index) {
+  return spill_dir + "/w" + std::to_string(worker_index) + ".sock";
+}
+
 std::string EncodeHello(const HelloMsg& msg) {
   std::string out;
   AppendType(MsgType::kHello, out);
@@ -44,6 +50,9 @@ std::string EncodeHello(const HelloMsg& msg) {
   SerializeValue(msg.heartbeat_interval_ms, out);
   SerializeValue(msg.self_kill_after_tasks, out);
   SerializeValue(msg.coord_now_us, out);
+  SerializeValue(msg.shuffle_transport, out);
+  SerializeValue(msg.retain_budget_bytes, out);
+  SerializeValue(msg.self_kill_after_fetches, out);
   return out;
 }
 
@@ -59,7 +68,10 @@ common::Status DecodeHello(const std::string& payload, HelloMsg& msg) {
       !DeserializeValue(p, end, msg.metrics_enabled) ||
       !DeserializeValue(p, end, msg.heartbeat_interval_ms) ||
       !DeserializeValue(p, end, msg.self_kill_after_tasks) ||
-      !DeserializeValue(p, end, msg.coord_now_us)) {
+      !DeserializeValue(p, end, msg.coord_now_us) ||
+      !DeserializeValue(p, end, msg.shuffle_transport) ||
+      !DeserializeValue(p, end, msg.retain_budget_bytes) ||
+      !DeserializeValue(p, end, msg.self_kill_after_fetches)) {
     return Corrupt("hello");
   }
   return common::Status::Ok();
@@ -102,6 +114,8 @@ std::string EncodeReduceTask(const ReduceTaskMsg& msg) {
   SerializeValue(msg.result_path, out);
   SerializeValue(msg.scratch_dir, out);
   SerializeValue(msg.run_paths, out);
+  SerializeValue(msg.run_endpoints, out);
+  SerializeValue(msg.fetch_credits, out);
   return out;
 }
 
@@ -116,7 +130,9 @@ common::Status DecodeReduceTask(const std::string& payload,
       !DeserializeValue(p, end, msg.merge_fan_in) ||
       !DeserializeValue(p, end, msg.result_path) ||
       !DeserializeValue(p, end, msg.scratch_dir) ||
-      !DeserializeValue(p, end, msg.run_paths)) {
+      !DeserializeValue(p, end, msg.run_paths) ||
+      !DeserializeValue(p, end, msg.run_endpoints) ||
+      !DeserializeValue(p, end, msg.fetch_credits)) {
     return Corrupt("reduce task");
   }
   return common::Status::Ok();
@@ -140,6 +156,7 @@ std::string EncodeTaskDone(const TaskDoneMsg& msg) {
   SerializeValue(msg.task_id, out);
   SerializeValue(msg.ok, out);
   SerializeValue(msg.error, out);
+  SerializeValue(msg.retryable, out);
   SerializeValue(msg.payload, out);
   return out;
 }
@@ -152,6 +169,7 @@ common::Status DecodeTaskDone(const std::string& payload,
   if (!DeserializeValue(p, end, msg.task_id) ||
       !DeserializeValue(p, end, msg.ok) ||
       !DeserializeValue(p, end, msg.error) ||
+      !DeserializeValue(p, end, msg.retryable) ||
       !DeserializeValue(p, end, msg.payload)) {
     return Corrupt("task done");
   }
@@ -193,13 +211,105 @@ common::Status DecodeBye(const std::string& payload, ByeMsg& msg) {
   return common::Status::Ok();
 }
 
+std::string EncodeFetchRun(const FetchRunMsg& msg) {
+  std::string out;
+  AppendType(MsgType::kFetchRun, out);
+  SerializeValue(msg.run_id, out);
+  SerializeValue(msg.credits, out);
+  return out;
+}
+
+common::Status DecodeFetchRun(const std::string& payload,
+                              FetchRunMsg& msg) {
+  const char* p = nullptr;
+  const char* end = nullptr;
+  if (auto status = OpenBody(payload, p, end); !status.ok()) return status;
+  if (!DeserializeValue(p, end, msg.run_id) ||
+      !DeserializeValue(p, end, msg.credits)) {
+    return Corrupt("fetch run");
+  }
+  return common::Status::Ok();
+}
+
+std::string EncodeRunCredit(const RunCreditMsg& msg) {
+  std::string out;
+  AppendType(MsgType::kRunCredit, out);
+  SerializeValue(msg.credits, out);
+  return out;
+}
+
+common::Status DecodeRunCredit(const std::string& payload,
+                               RunCreditMsg& msg) {
+  const char* p = nullptr;
+  const char* end = nullptr;
+  if (auto status = OpenBody(payload, p, end); !status.ok()) return status;
+  if (!DeserializeValue(p, end, msg.credits)) return Corrupt("run credit");
+  return common::Status::Ok();
+}
+
+std::string EncodeRunEnd(const RunEndMsg& msg) {
+  std::string out;
+  AppendType(MsgType::kRunEnd, out);
+  SerializeValue(msg.blocks, out);
+  SerializeValue(msg.rows, out);
+  SerializeValue(msg.credit_wait_ms, out);
+  return out;
+}
+
+common::Status DecodeRunEnd(const std::string& payload, RunEndMsg& msg) {
+  const char* p = nullptr;
+  const char* end = nullptr;
+  if (auto status = OpenBody(payload, p, end); !status.ok()) return status;
+  if (!DeserializeValue(p, end, msg.blocks) ||
+      !DeserializeValue(p, end, msg.rows) ||
+      !DeserializeValue(p, end, msg.credit_wait_ms)) {
+    return Corrupt("run end");
+  }
+  return common::Status::Ok();
+}
+
+std::string EncodeRunError(const RunErrorMsg& msg) {
+  std::string out;
+  AppendType(MsgType::kRunError, out);
+  SerializeValue(msg.message, out);
+  return out;
+}
+
+common::Status DecodeRunError(const std::string& payload,
+                              RunErrorMsg& msg) {
+  const char* p = nullptr;
+  const char* end = nullptr;
+  if (auto status = OpenBody(payload, p, end); !status.ok()) return status;
+  if (!DeserializeValue(p, end, msg.message)) return Corrupt("run error");
+  return common::Status::Ok();
+}
+
+std::string EncodeRunBlock(std::string_view frame) {
+  std::string out;
+  out.reserve(sizeof(std::uint32_t) + frame.size());
+  AppendType(MsgType::kRunBlock, out);
+  out.append(frame.data(), frame.size());
+  return out;
+}
+
+common::Status WriteRunBlock(int fd, std::string_view frame) {
+  std::string head;
+  AppendType(MsgType::kRunBlock, head);
+  return WriteFrameParts(fd, head, frame, /*checksum=*/false);
+}
+
+common::Result<std::string_view> RunBlockView(const std::string& payload) {
+  if (payload.size() < sizeof(std::uint32_t)) return Corrupt("run block");
+  return std::string_view(payload).substr(sizeof(std::uint32_t));
+}
+
 common::Result<MsgType> PeekType(const std::string& payload) {
   const char* p = payload.data();
   const char* end = p + payload.size();
   std::uint32_t type = 0;
   if (!DeserializeValue(p, end, type)) return Corrupt("type");
   if (type < static_cast<std::uint32_t>(MsgType::kHello) ||
-      type > static_cast<std::uint32_t>(MsgType::kBye)) {
+      type > static_cast<std::uint32_t>(MsgType::kRunError)) {
     return common::Status::Internal("protocol: unknown message type " +
                                     std::to_string(type));
   }

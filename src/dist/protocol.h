@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -19,6 +20,14 @@ namespace mrcost::dist {
 ///
 ///   coordinator -> worker: Hello, MapTask, ReduceTask, Shutdown
 ///   worker -> coordinator: Ready, TaskDone, Heartbeat, Bye
+///
+/// The FetchRun family travels worker-to-worker on the per-worker data
+/// sockets (the kWireStream shuffle transport), framed identically:
+///
+///   fetcher -> owner: FetchRun (opens a run stream, grants credits),
+///                     RunCredit (returns one credit per consumed block)
+///   owner -> fetcher: RunBlock (one encoded spill-v2 block payload),
+///                     RunEnd (stream complete), RunError (unknown run)
 enum class MsgType : std::uint32_t {
   kHello = 1,
   kMapTask = 2,
@@ -28,6 +37,11 @@ enum class MsgType : std::uint32_t {
   kTaskDone = 6,
   kHeartbeat = 7,
   kBye = 8,
+  kFetchRun = 9,
+  kRunBlock = 10,
+  kRunEnd = 11,
+  kRunCredit = 12,
+  kRunError = 13,
 };
 
 /// First message on the wire: identity, the recipe to rebuild, the shared
@@ -46,7 +60,23 @@ struct HelloMsg {
   /// Coordinator trace clock at send time; the worker offsets its trace
   /// timestamps so both processes share one timeline.
   std::uint64_t coord_now_us = 0;
+  /// 1 = kWireStream: the worker opens its data socket before Ready,
+  /// keeps map runs in its RunRegistry, and reduce tasks pull runs from
+  /// owner workers instead of the shared directory.
+  std::uint8_t shuffle_transport = 0;
+  /// kWireStream cap on retained run bytes (0 = unbounded); past it new
+  /// runs overflow to worker-private files.
+  std::uint64_t retain_budget_bytes = 0;
+  /// > 0 arms mid-stream fault injection: the worker raises SIGKILL right
+  /// after serving the first block of the Nth FetchRun on its data socket
+  /// (deterministic "die mid-fetch" for tests/CI).
+  std::uint32_t self_kill_after_fetches = 0;
 };
+
+/// Where worker `worker_index` listens for FetchRun connections: an
+/// AF_UNIX socket inside the shared job directory. Both the worker (bind)
+/// and the executor (dial targets in ReduceTask) derive it from here.
+std::string DataEndpointPath(const std::string& spill_dir, int worker_index);
 
 struct MapTaskMsg {
   std::uint64_t task_id = 0;
@@ -65,18 +95,52 @@ struct ReduceTaskMsg {
   std::string result_path;
   std::string scratch_dir;
   std::vector<std::string> run_paths;
+  /// Parallel to run_paths: the owner worker's data endpoint for a wire
+  /// run, "" for a run that lives on disk at run_paths[i]. Empty vector =
+  /// all runs on disk (the spill-file transport).
+  std::vector<std::string> run_endpoints;
+  /// Per-source block credit window for wire fetches (0 = default).
+  std::uint32_t fetch_credits = 0;
 };
 
 struct TaskDoneMsg {
   std::uint64_t task_id = 0;
   std::uint8_t ok = 0;
   std::string error;
+  /// Failure is worth retrying against re-executed inputs (a wire fetch
+  /// hit a dead source worker), as opposed to a deterministic task error.
+  std::uint8_t retryable = 0;
   /// EncodeMapOutcome / EncodeReduceOutcome bytes when ok.
   std::string payload;
 };
 
 struct HeartbeatMsg {
   std::uint64_t seq = 0;
+};
+
+/// Opens one run stream on a data socket; `credits` is how many RunBlock
+/// frames the owner may have outstanding before waiting for RunCredit.
+struct FetchRunMsg {
+  std::string run_id;
+  std::uint32_t credits = 1;
+};
+
+/// Returns credits after the fetcher consumes (decodes) blocks.
+struct RunCreditMsg {
+  std::uint32_t credits = 1;
+};
+
+/// Terminates a run stream; carries the owner-side totals so the fetcher
+/// can cross-check and attach the authoritative credit-wait time to its
+/// FetchRun span.
+struct RunEndMsg {
+  std::uint64_t blocks = 0;
+  std::uint64_t rows = 0;
+  double credit_wait_ms = 0;
+};
+
+struct RunErrorMsg {
+  std::string message;
 };
 
 /// The worker's parting gift: its obs::Registry snapshot and trace events
@@ -95,6 +159,20 @@ std::string EncodeReady();
 std::string EncodeTaskDone(const TaskDoneMsg& msg);
 std::string EncodeHeartbeat(const HeartbeatMsg& msg);
 std::string EncodeBye(const ByeMsg& msg);
+std::string EncodeFetchRun(const FetchRunMsg& msg);
+std::string EncodeRunCredit(const RunCreditMsg& msg);
+std::string EncodeRunEnd(const RunEndMsg& msg);
+std::string EncodeRunError(const RunErrorMsg& msg);
+/// RunBlock is type + raw frame bytes — no length prefix beyond the RPC
+/// frame's own, so the fetcher decodes the block as a view into the
+/// received payload without another copy.
+std::string EncodeRunBlock(std::string_view frame);
+
+/// Streams one RunBlock directly from `frame`'s buffer: a scatter write
+/// of [frame header][u32 kRunBlock][frame bytes] with no concatenation
+/// copy, sent unchecked (rpc.h kUncheckedCrc) — the bulk data plane's
+/// fast path. The receiver still uses ReadFrame + RunBlockView.
+common::Status WriteRunBlock(int fd, std::string_view frame);
 
 /// The message type of an encoded payload; kInternal on a short payload.
 common::Result<MsgType> PeekType(const std::string& payload);
@@ -107,6 +185,14 @@ common::Status DecodeTaskDone(const std::string& payload, TaskDoneMsg& msg);
 common::Status DecodeHeartbeat(const std::string& payload,
                                HeartbeatMsg& msg);
 common::Status DecodeBye(const std::string& payload, ByeMsg& msg);
+common::Status DecodeFetchRun(const std::string& payload, FetchRunMsg& msg);
+common::Status DecodeRunCredit(const std::string& payload,
+                               RunCreditMsg& msg);
+common::Status DecodeRunEnd(const std::string& payload, RunEndMsg& msg);
+common::Status DecodeRunError(const std::string& payload, RunErrorMsg& msg);
+/// The block bytes of a RunBlock payload, viewing into `payload` — valid
+/// only while the payload string is alive and unmodified.
+common::Result<std::string_view> RunBlockView(const std::string& payload);
 
 /// Task-result payloads inside TaskDoneMsg.
 std::string EncodeMapOutcome(const engine::internal::DistMapOutcome& out);

@@ -1,8 +1,10 @@
 #include "src/dist/rpc.h"
 
 #include <errno.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/storage/spill_file.h"
@@ -11,16 +13,35 @@ namespace mrcost::dist {
 
 namespace {
 
-common::Status WriteAll(int fd, const char* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t written = ::write(fd, data, n);
+/// Gathered write of the whole iovec list, retrying EINTR and resuming
+/// after partial writes by advancing the iovecs in place. One writev puts
+/// header + payload into a single syscall on the fast path, so a frame is
+/// never split across a scheduling boundary unless the socket buffer
+/// forces it — both the RPC channel and the shuffle data channel frame
+/// through here.
+common::Status WriteAllV(int fd, struct iovec* iov, int iovcnt) {
+  std::size_t remaining = 0;
+  for (int i = 0; i < iovcnt; ++i) remaining += iov[i].iov_len;
+  while (remaining > 0) {
+    // Skip iovecs a previous partial write fully consumed.
+    while (iovcnt > 0 && iov[0].iov_len == 0) {
+      ++iov;
+      --iovcnt;
+    }
+    const ssize_t written = ::writev(fd, iov, iovcnt);
     if (written < 0) {
       if (errno == EINTR) continue;
       return common::Status::Internal(
           std::string("rpc: write failed: ") + std::strerror(errno));
     }
-    data += written;
-    n -= static_cast<std::size_t>(written);
+    remaining -= static_cast<std::size_t>(written);
+    std::size_t consumed = static_cast<std::size_t>(written);
+    for (int i = 0; i < iovcnt && consumed > 0; ++i) {
+      const std::size_t take = std::min(consumed, iov[i].iov_len);
+      iov[i].iov_base = static_cast<char*>(iov[i].iov_base) + take;
+      iov[i].iov_len -= take;
+      consumed -= take;
+    }
   }
   return common::Status::Ok();
 }
@@ -47,21 +68,42 @@ common::Status ReadAll(int fd, char* data, std::size_t n,
 
 }  // namespace
 
-common::Status WriteFrame(int fd, std::string_view payload) {
-  if (payload.size() > kMaxFrameBytes) {
+common::Status WriteFrame(int fd, std::string_view payload,
+                          bool checksum) {
+  return WriteFrameParts(fd, payload, std::string_view(), checksum);
+}
+
+common::Status WriteFrameParts(int fd, std::string_view head,
+                               std::string_view body, bool checksum) {
+  const std::size_t total = head.size() + body.size();
+  if (total > kMaxFrameBytes) {
     return common::Status::InvalidArgument(
-        "rpc: frame of " + std::to_string(payload.size()) +
+        "rpc: frame of " + std::to_string(total) +
         " bytes exceeds the frame limit");
   }
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  const std::uint32_t crc = storage::Crc32(payload.data(), payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(total);
+  std::uint32_t crc = kUncheckedCrc;
+  if (checksum) {
+    crc = storage::Crc32(head.data(), head.size());
+    if (!body.empty()) {
+      // CRC of the concatenation: resume the running value over `body`.
+      crc = storage::Crc32Resume(crc, body.data(), body.size());
+    }
+  }
   char header[8];
   std::memcpy(header, &len, 4);
   std::memcpy(header + 4, &crc, 4);
-  if (auto status = WriteAll(fd, header, sizeof(header)); !status.ok()) {
-    return status;
+  struct iovec iov[3];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  int iovcnt = 1;
+  for (std::string_view part : {head, body}) {
+    if (part.empty()) continue;
+    iov[iovcnt].iov_base = const_cast<char*>(part.data());
+    iov[iovcnt].iov_len = part.size();
+    ++iovcnt;
   }
-  return WriteAll(fd, payload.data(), payload.size());
+  return WriteAllV(fd, iov, iovcnt);
 }
 
 common::Status ReadFrame(int fd, std::string& payload) {
@@ -89,7 +131,8 @@ common::Status ReadFrame(int fd, std::string& payload) {
       return status;
     }
   }
-  if (storage::Crc32(payload.data(), payload.size()) != crc) {
+  if (crc != kUncheckedCrc &&
+      storage::Crc32(payload.data(), payload.size()) != crc) {
     return common::Status::Internal("rpc: frame crc mismatch");
   }
   return common::Status::Ok();

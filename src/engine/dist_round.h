@@ -21,6 +21,7 @@
 #include "src/storage/run_writer.h"
 #include "src/storage/serde.h"
 #include "src/storage/spill_file.h"
+#include "src/storage/wire_run.h"
 
 namespace mrcost::engine::internal {
 
@@ -83,11 +84,21 @@ struct DistMapSpec {
   /// bakes the attempt number into the prefix so a re-issued task never
   /// collides with a dead worker's partial files.
   std::string run_prefix;
+  /// kWireStream: runs are encoded into this worker-local registry under
+  /// the id `<run_prefix>-s<shard>.wire` (no shared-dir file) and served
+  /// to reducers over the data socket. nullptr = spill-file transport.
+  storage::RunRegistry* run_registry = nullptr;
 };
 
 struct DistReduceSpec {
   std::uint32_t shard = 0;
   std::vector<std::string> run_paths;
+  /// Parallel to run_paths: the owner worker's data endpoint for wire
+  /// runs, "" for a run read from disk. Shorter than run_paths (or empty)
+  /// = trailing runs are on disk.
+  std::vector<std::string> run_endpoints;
+  /// Per-source block credit window for wire fetches (0 = default 4).
+  std::uint32_t fetch_credits = 0;
   std::string result_path;
   /// Scratch dir for multi-pass merge rewrites (the shared job dir).
   std::string scratch_dir;
@@ -259,6 +270,29 @@ DistRoundOps MakeDistRoundOps(
         run.keys.Append(block.key_bytes(r));
         run.values.AppendSerialized(block.value(r));
       }
+      if (spec.run_registry != nullptr) {
+        // Wire transport: the same frame slicing the file writer would
+        // have used, but raw columnar frames kept local for reducers to
+        // pull — no shared-dir write, no read-back, no codec CPU, and no
+        // per-key hash recompute on decode (the hash column ships).
+        // Merge output depends only on the record sequence, which the
+        // frame encoding cannot change.
+        std::vector<std::string> frames;
+        storage::BlockEncodeStats stats;
+        storage::EncodeRawRunFrames(run, storage::kDefaultBlockBytes,
+                                    frames, stats);
+        const std::string run_id =
+            spec.run_prefix + "-s" + std::to_string(p) + ".wire";
+        if (auto status = spec.run_registry->Put(run_id, std::move(frames),
+                                                 rows.size());
+            !status.ok()) {
+          return status;
+        }
+        outcome.encode_raw_bytes += stats.raw_bytes;
+        outcome.encode_encoded_bytes += stats.encoded_bytes;
+        outcome.runs.push_back(DistRunInfo{p, rows.size(), run_id});
+        continue;
+      }
       const std::string path =
           spec.run_prefix + "-s" + std::to_string(p) + ".run";
       auto writer = storage::BlockRunFileWriter::Create(path);
@@ -283,8 +317,23 @@ DistRoundOps MakeDistRoundOps(
       -> common::Result<DistReduceOutcome> {
     std::vector<std::unique_ptr<storage::BlockRunSource>> sources;
     sources.reserve(spec.run_paths.size());
-    for (const std::string& path : spec.run_paths) {
-      sources.push_back(std::make_unique<storage::DiskBlockRunSource>(path));
+    for (std::size_t i = 0; i < spec.run_paths.size(); ++i) {
+      const bool wire = i < spec.run_endpoints.size() &&
+                        !spec.run_endpoints[i].empty();
+      if (!wire) {
+        sources.push_back(
+            std::make_unique<storage::DiskBlockRunSource>(
+                spec.run_paths[i]));
+        continue;
+      }
+      storage::WireBlockRunSource::Options wire_options;
+      wire_options.endpoint = spec.run_endpoints[i];
+      wire_options.run_id = spec.run_paths[i];
+      wire_options.credits =
+          spec.fetch_credits > 0 ? spec.fetch_credits : 4;
+      wire_options.reducer_shard = spec.shard;
+      sources.push_back(std::make_unique<storage::WireBlockRunSource>(
+          std::move(wire_options)));
     }
     storage::RunSpiller scratch(spec.scratch_dir);
     storage::SpillStats stats;

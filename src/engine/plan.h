@@ -154,9 +154,31 @@ enum class ExecutionBackend {
   kMultiProcess,
 };
 
+/// How shuffled bytes travel from map workers to reduce workers.
+enum class ShuffleTransport {
+  /// Map tasks write spill-format-v2 run files into the shared job
+  /// directory; reduce tasks read them back. Correct and observable, but
+  /// every shuffled byte pays a filesystem write + read and the runtime
+  /// is pinned to one machine.
+  kSpillFiles,
+  /// Map tasks retain their encoded runs in a worker-local registry and
+  /// reduce tasks pull them over per-worker data sockets with
+  /// credit-based flow control (reducers never buffer more than their
+  /// share of memory_budget_bytes). Outputs are byte-identical to
+  /// kSpillFiles; a source worker dying mid-stream triggers map
+  /// re-execution and a re-fetch (dist.refetched_runs).
+  kWireStream,
+};
+
 /// Knobs for the multi-process backend.
 struct DistOptions {
   int num_workers = 2;
+  /// Shuffle data path; see ShuffleTransport.
+  ShuffleTransport shuffle_transport = ShuffleTransport::kSpillFiles;
+  /// kWireStream only: cap on the encoded run bytes each worker retains
+  /// in memory for serving; past it, new runs overflow to worker-private
+  /// files (still served over the wire). 0 = unbounded.
+  std::uint64_t retain_budget_bytes = 0;
   /// Shared shuffle directory; empty = a fresh TempDir under the system
   /// temp dir, removed when the job finishes (unless keep_spills).
   std::string spill_dir;
@@ -172,6 +194,11 @@ struct DistOptions {
   /// coordinator re-issues its tasks; outputs stay byte-identical.
   int kill_worker_index = -1;
   int kill_after_tasks = 1;
+  /// Fault injection (kWireStream): worker `kill_worker_index` raises
+  /// SIGKILL while serving its `kill_after_fetches`-th FetchRun — a death
+  /// mid-stream, with reducers actively pulling from it. 0 = disabled;
+  /// overrides kill_after_tasks when set.
+  int kill_after_fetches = 0;
 };
 
 /// Knobs for Plan::Execute / ExecuteAsync.

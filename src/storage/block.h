@@ -147,6 +147,17 @@ class ByteSlab {
   }
 
   const std::string& bytes() const { return bytes_; }
+  /// The offset column (leading 0 sentinel, size() + 1 entries) — the
+  /// wire shuffle's raw-frame encoder ships it verbatim.
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+
+  /// Replaces the slab wholesale with an already-concatenated payload and
+  /// its offset column (leading 0 sentinel required) — the raw-frame
+  /// decoder's bulk load, skipping size() individual Appends.
+  void AssignConcat(std::string bytes, std::vector<std::uint64_t> offsets) {
+    bytes_ = std::move(bytes);
+    offsets_ = std::move(offsets);
+  }
 
   void Clear() {
     bytes_.clear();

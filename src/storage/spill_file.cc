@@ -1,21 +1,34 @@
 #include "src/storage/spill_file.h"
 
 #include <array>
+#include <cstring>
 
 namespace mrcost::storage {
 namespace {
 
-std::array<std::uint32_t, 256> MakeCrcTable() {
-  // Standard IEEE 802.3 CRC-32, reflected polynomial.
-  std::array<std::uint32_t, 256> table{};
+// Standard IEEE 802.3 CRC-32 (reflected polynomial), computed
+// slicing-by-8: eight derived tables let the hot loop fold eight input
+// bytes per iteration instead of one. Same polynomial, same values as
+// the classic bytewise loop — only the throughput changes (~8x), which
+// matters because every RPC frame and spill-file block is CRC'd on both
+// the write and the read side.
+std::array<std::array<std::uint32_t, 256>, 8> MakeCrcTables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (int t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
 }
 
 /// Reads exactly `n` bytes; false on short read (stream eof/fail set).
@@ -26,14 +39,47 @@ bool ReadExact(std::ifstream& in, char* data, std::size_t n) {
 
 }  // namespace
 
-std::uint32_t Crc32(const void* data, std::size_t n) {
-  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
-  std::uint32_t crc = 0xFFFFFFFFu;
+namespace {
+
+/// The pre/post-inversion-free core: feeds `n` bytes into a running CRC
+/// state. Crc32 and Crc32Resume wrap it with the standard inversions.
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t n) {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      MakeCrcTables();
+  const auto& t = tables;
+  // The 8-byte fold below reads words in memory order, which matches the
+  // reflected CRC bit order only on little-endian hosts.
+  static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__);
   const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+          t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^ t[3][hi & 0xFF] ^
+          t[2][(hi >> 8) & 0xFF] ^ t[1][(hi >> 16) & 0xFF] ^
+          t[0][hi >> 24];
+    p += 8;
+    n -= 8;
   }
-  return crc ^ 0xFFFFFFFFu;
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t n) {
+  return Crc32Update(0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t Crc32Resume(std::uint32_t crc, const void* data,
+                          std::size_t n) {
+  return Crc32Update(crc ^ 0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
 }
 
 common::Result<SpillFileWriter> SpillFileWriter::Create(

@@ -27,6 +27,13 @@ namespace mrcost::storage {
 /// surfaces as a Status instead of garbage groups.
 std::uint32_t Crc32(const void* data, std::size_t n);
 
+/// Extends a finished Crc32 value over more bytes, as if the original
+/// buffer and `data` had been checksummed in one call:
+/// Crc32Resume(Crc32(a), b) == Crc32(a + b). Lets framing layers checksum
+/// a logically concatenated payload without materializing it.
+std::uint32_t Crc32Resume(std::uint32_t crc, const void* data,
+                          std::size_t n);
+
 inline constexpr std::uint32_t kSpillMagic = 0x5053524Du;  // "MRSP"
 inline constexpr std::uint32_t kSpillFormatVersion = 1;
 

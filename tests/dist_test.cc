@@ -1,11 +1,14 @@
 // The multi-process distributed runtime (src/dist/): RPC framing and its
-// corruption Status paths, the coordinator's task-attempt state machine,
-// TempDir, the recipe registry, and — the load-bearing contract — e2e
-// byte-identity of every family driver between the in-process and
-// multi-process backends, across worker counts, in-process shuffle
-// strategies, and a SIGKILL'd worker mid-map.
+// corruption Status paths, the shuffle data-plane messages and raw wire
+// frames, the coordinator's task-attempt state machine, TempDir, the
+// recipe registry, and — the load-bearing contract — e2e byte-identity of
+// every family driver between the in-process and multi-process backends,
+// across worker counts, shuffle transports (spill files and wire
+// streaming), in-process shuffle strategies, and a SIGKILL'd worker both
+// mid-map and mid-fetch.
 
 #include <fcntl.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -39,7 +42,10 @@
 #include "src/matmul/matrix.h"
 #include "src/matmul/mr_multiply.h"
 #include "src/obs/export.h"
+#include "src/storage/block.h"
 #include "src/storage/serde.h"
+#include "src/storage/spill_file.h"
+#include "src/storage/wire_run.h"
 
 namespace mrcost {
 namespace {
@@ -139,6 +145,58 @@ TEST(RpcFrame, OversizeLengthIsInvalidArgument) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(RpcFrame, UncheckedFrameIsAccepted) {
+  // Data-plane frames skip the checksum (kUncheckedCrc); ReadFrame must
+  // pass them through without a CRC complaint.
+  Pipe pipe;
+  ASSERT_TRUE(
+      dist::WriteFrame(pipe.fds[1], "bulk bytes", /*checksum=*/false).ok());
+  std::string got;
+  ASSERT_TRUE(dist::ReadFrame(pipe.fds[0], got).ok());
+  EXPECT_EQ(got, "bulk bytes");
+}
+
+TEST(RpcFrame, PartsFrameArrivesConcatenated) {
+  // WriteFrameParts writevs head and body from separate buffers; the
+  // receiver must see one contiguous payload, and the checksum must cover
+  // the concatenation (Crc32Resume), not just the first part.
+  Pipe pipe;
+  ASSERT_TRUE(
+      dist::WriteFrameParts(pipe.fds[1], "head|", "body bytes").ok());
+  std::string got;
+  ASSERT_TRUE(dist::ReadFrame(pipe.fds[0], got).ok());
+  EXPECT_EQ(got, "head|body bytes");
+}
+
+TEST(RpcFrame, ShortWritesReassembleAcrossSocketpair) {
+  // A frame far larger than a deliberately tiny socket buffer forces
+  // writev to return short over and over; WriteAllV must resume mid-iovec
+  // (and mid-part) until every byte lands, and the reader must stitch the
+  // short reads back into one exact payload.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int tiny = 4 * 1024;
+  ::setsockopt(sv[1], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  ::setsockopt(sv[0], SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  const std::string head = "hdr:";
+  std::string body(1 << 20, '\0');
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<char>('a' + i % 26);
+  }
+  std::thread writer([&] {
+    EXPECT_TRUE(
+        dist::WriteFrameParts(sv[1], head, body, /*checksum=*/false).ok());
+  });
+  std::string got;
+  ASSERT_TRUE(dist::ReadFrame(sv[0], got).ok());
+  writer.join();
+  ASSERT_EQ(got.size(), head.size() + body.size());
+  EXPECT_EQ(got.compare(0, head.size(), head), 0);
+  EXPECT_EQ(got.compare(head.size(), std::string::npos, body), 0);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
 // --------------------------------------------------------------- protocol
 
 TEST(Protocol, HelloRoundTrips) {
@@ -151,6 +209,9 @@ TEST(Protocol, HelloRoundTrips) {
   hello.heartbeat_interval_ms = 12.5;
   hello.self_kill_after_tasks = 2;
   hello.coord_now_us = 987654321;
+  hello.shuffle_transport = 1;
+  hello.retain_budget_bytes = 1 << 20;
+  hello.self_kill_after_fetches = 3;
   const std::string payload = dist::EncodeHello(hello);
   ASSERT_EQ(*dist::PeekType(payload), dist::MsgType::kHello);
   dist::HelloMsg decoded;
@@ -163,6 +224,9 @@ TEST(Protocol, HelloRoundTrips) {
   EXPECT_EQ(decoded.heartbeat_interval_ms, 12.5);
   EXPECT_EQ(decoded.self_kill_after_tasks, 2u);
   EXPECT_EQ(decoded.coord_now_us, 987654321u);
+  EXPECT_EQ(decoded.shuffle_transport, 1);
+  EXPECT_EQ(decoded.retain_budget_bytes, 1u << 20);
+  EXPECT_EQ(decoded.self_kill_after_fetches, 3u);
 }
 
 TEST(Protocol, TaskMessagesRoundTrip) {
@@ -182,23 +246,79 @@ TEST(Protocol, TaskMessagesRoundTrip) {
   reduce.task_id = 43;
   reduce.shard = 2;
   reduce.run_paths = {"/x/a.run", "/x/b.run"};
+  reduce.run_endpoints = {"/x/w0.sock", ""};
+  reduce.fetch_credits = 8;
   reduce.result_path = "/x/s2.res";
   dist::ReduceTaskMsg reduce2;
   ASSERT_TRUE(
       dist::DecodeReduceTask(dist::EncodeReduceTask(reduce), reduce2).ok());
   EXPECT_EQ(reduce2.run_paths, reduce.run_paths);
+  EXPECT_EQ(reduce2.run_endpoints, reduce.run_endpoints);
+  EXPECT_EQ(reduce2.fetch_credits, 8u);
 
   dist::TaskDoneMsg done;
   done.task_id = 43;
   done.ok = 1;
+  done.retryable = 1;
   done.payload = std::string("\x01\x02\x00\x03", 4);
   dist::TaskDoneMsg done2;
   ASSERT_TRUE(dist::DecodeTaskDone(dist::EncodeTaskDone(done), done2).ok());
   EXPECT_EQ(done2.payload, done.payload);
+  EXPECT_EQ(done2.retryable, 1);
 
   const std::string truncated =
       dist::EncodeTaskDone(done).substr(0, 6);
   EXPECT_FALSE(dist::DecodeTaskDone(truncated, done2).ok());
+}
+
+TEST(Protocol, ShuffleMessagesRoundTrip) {
+  dist::FetchRunMsg fetch;
+  fetch.run_id = "r1-c7-a1-s3.wire";
+  fetch.credits = 6;
+  dist::FetchRunMsg fetch2;
+  ASSERT_TRUE(dist::DecodeFetchRun(dist::EncodeFetchRun(fetch), fetch2).ok());
+  EXPECT_EQ(fetch2.run_id, fetch.run_id);
+  EXPECT_EQ(fetch2.credits, 6u);
+
+  dist::RunCreditMsg credit;
+  credit.credits = 2;
+  dist::RunCreditMsg credit2;
+  ASSERT_TRUE(
+      dist::DecodeRunCredit(dist::EncodeRunCredit(credit), credit2).ok());
+  EXPECT_EQ(credit2.credits, 2u);
+
+  dist::RunEndMsg end;
+  end.blocks = 5;
+  end.rows = 1234;
+  end.credit_wait_ms = 1.5;
+  dist::RunEndMsg end2;
+  ASSERT_TRUE(dist::DecodeRunEnd(dist::EncodeRunEnd(end), end2).ok());
+  EXPECT_EQ(end2.blocks, 5u);
+  EXPECT_EQ(end2.rows, 1234u);
+  EXPECT_EQ(end2.credit_wait_ms, 1.5);
+
+  dist::RunErrorMsg error;
+  error.message = "unknown run r9";
+  dist::RunErrorMsg error2;
+  ASSERT_TRUE(
+      dist::DecodeRunError(dist::EncodeRunError(error), error2).ok());
+  EXPECT_EQ(error2.message, error.message);
+}
+
+TEST(Protocol, RunBlockStreamsVerbatim) {
+  // The scatter-write fast path must deliver exactly what EncodeRunBlock
+  // would have: one frame whose payload is the type word + raw block
+  // bytes, viewable in place.
+  Pipe pipe;
+  const std::string frame("\xFF\x01raw\x00block", 10);
+  ASSERT_TRUE(dist::WriteRunBlock(pipe.fds[1], frame).ok());
+  std::string payload;
+  ASSERT_TRUE(dist::ReadFrame(pipe.fds[0], payload).ok());
+  ASSERT_EQ(*dist::PeekType(payload), dist::MsgType::kRunBlock);
+  EXPECT_EQ(payload, dist::EncodeRunBlock(frame));
+  const auto view = dist::RunBlockView(payload);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(*view, frame);
 }
 
 // ----------------------------------------------------- task state machine
@@ -324,6 +444,99 @@ TEST(PlanRegistry, BuildsBuiltinsAndRejectsUnknown) {
   EXPECT_FALSE(registry.Build("shuffle_sweep", "pairs").ok());
 }
 
+// ------------------------------------------------- wire shuffle storage
+
+TEST(WireRun, RawFramesRoundTrip) {
+  storage::ColumnarRun run;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key =
+        "k" + std::string(i % 7, 'x') + std::to_string(i);
+    const std::string value =
+        i % 11 ? std::string(i % 50, static_cast<char>('a' + i % 26))
+               : std::string();
+    run.hashes.push_back(storage::HashBytes(key));
+    run.positions.push_back(static_cast<std::uint64_t>(i));
+    run.keys.Append(key);
+    run.values.Append(value);
+  }
+
+  std::vector<std::string> frames;
+  storage::BlockEncodeStats stats;
+  storage::EncodeRawRunFrames(run, /*block_bytes=*/512, frames, stats);
+  ASSERT_GT(frames.size(), 1u);  // tiny blocks force multiple frames
+  EXPECT_EQ(stats.blocks, frames.size());
+
+  storage::ColumnarRun got;
+  storage::ColumnarRun block;
+  for (const std::string& frame : frames) {
+    ASSERT_TRUE(storage::DecodeAnyBlock(frame, block).ok());
+    for (std::size_t i = 0; i < block.rows(); ++i) {
+      got.hashes.push_back(block.hashes[i]);
+      got.positions.push_back(block.positions[i]);
+      got.keys.Append(block.keys.At(i));
+      got.values.Append(block.values.At(i));
+    }
+  }
+  ASSERT_EQ(got.rows(), run.rows());
+  EXPECT_EQ(got.hashes, run.hashes);
+  EXPECT_EQ(got.positions, run.positions);
+  for (std::size_t i = 0; i < run.rows(); ++i) {
+    EXPECT_EQ(got.keys.At(i), run.keys.At(i)) << i;
+    EXPECT_EQ(got.values.At(i), run.values.At(i)) << i;
+  }
+
+  // A truncated raw frame fails loudly instead of mis-decoding.
+  std::string bad = frames[0];
+  bad.pop_back();
+  EXPECT_FALSE(storage::DecodeAnyBlock(bad, block).ok());
+
+  // DecodeAnyBlock also dispatches codec frames (the overflow-file path).
+  std::vector<std::string> codec_frames;
+  storage::BlockEncodeStats codec_stats;
+  storage::EncodeRunFrames(run, nullptr, /*block_bytes=*/512, codec_frames,
+                           codec_stats);
+  ASSERT_FALSE(codec_frames.empty());
+  ASSERT_TRUE(storage::DecodeAnyBlock(codec_frames[0], block).ok());
+  EXPECT_EQ(block.keys.At(0), run.keys.At(0));
+}
+
+TEST(WireRun, RegistryOverflowsPastBudget) {
+  auto dir = common::TempDir::Create();
+  ASSERT_TRUE(dir.ok());
+  storage::RunRegistry registry(dir->path() + "/ovf",
+                                /*retain_budget_bytes=*/64);
+
+  ASSERT_TRUE(registry.Put("a", {std::string(40, 'x')}, 1).ok());
+  EXPECT_EQ(registry.retained_bytes(), 40u);
+  auto a = registry.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->overflow_path.empty());
+  ASSERT_EQ(a->frames.size(), 1u);
+
+  // The second run would exceed the 64-byte budget: it must land on disk
+  // as a spill-v2 file holding the same frame payloads, not in memory.
+  ASSERT_TRUE(
+      registry.Put("b", {std::string(40, 'y'), std::string(8, 'z')}, 2)
+          .ok());
+  auto b = registry.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(b->overflow_path.empty());
+  EXPECT_TRUE(b->frames.empty());
+  EXPECT_EQ(registry.overflow_bytes(), 48u);
+  auto file = storage::SpillFileReader::Open(b->overflow_path);
+  ASSERT_TRUE(file.ok());
+  std::string payload;
+  bool done = false;
+  ASSERT_TRUE(file->Next(payload, done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_EQ(payload, std::string(40, 'y'));
+  ASSERT_TRUE(file->Next(payload, done).ok());
+  EXPECT_EQ(payload, std::string(8, 'z'));
+
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+  EXPECT_FALSE(registry.Put("a", {}, 0).ok());  // duplicate id
+}
+
 // ------------------------------------------------- e2e backend identity
 
 /// Byte-identity taken literally: outputs serialized through the same
@@ -347,8 +560,8 @@ engine::ExecutionOptions MultiProcessOptions(int workers) {
 
 /// Runs `build()`'s dataset under the in-process backend (with the given
 /// shuffle strategy) and under the multi-process backend for each worker
-/// count, asserting byte-identical outputs. `build` must return a freshly
-/// built, recipe-stamped dataset each call.
+/// count and each shuffle transport, asserting byte-identical outputs.
+/// `build` must return a freshly built, recipe-stamped dataset each call.
 template <typename BuildFn>
 void ExpectBackendsAgree(BuildFn build, const std::string& recipe,
                          const std::string& args) {
@@ -364,10 +577,18 @@ void ExpectBackendsAgree(BuildFn build, const std::string& recipe,
   ASSERT_FALSE(reference.empty());
 
   for (const int workers : {1, 2, 4}) {
-    const auto result = stamped().Execute(MultiProcessOptions(workers));
-    EXPECT_EQ(SerializedBytes(result.outputs), reference)
-        << recipe << " diverged at " << workers << " workers";
-    ASSERT_FALSE(result.metrics.rounds.empty());
+    for (const engine::ShuffleTransport transport :
+         {engine::ShuffleTransport::kSpillFiles,
+          engine::ShuffleTransport::kWireStream}) {
+      engine::ExecutionOptions options = MultiProcessOptions(workers);
+      options.dist.shuffle_transport = transport;
+      const auto result = stamped().Execute(options);
+      EXPECT_EQ(SerializedBytes(result.outputs), reference)
+          << recipe << " diverged at " << workers << " workers over "
+          << (transport == engine::ShuffleTransport::kWireStream ? "wire"
+                                                                 : "spill");
+      ASSERT_FALSE(result.metrics.rounds.empty());
+    }
   }
 }
 
@@ -527,6 +748,56 @@ TEST(DistBackend, SurvivesWorkerKillMidMapByteIdentical) {
   EXPECT_NE(metrics_json.find("\"dist.workers_died\":1"), std::string::npos)
       << metrics_json;
   EXPECT_NE(metrics_json.find("\"dist.reissued_tasks\""), std::string::npos);
+}
+
+TEST(DistBackend, SurvivesWorkerKillMidFetchByteIdentical) {
+  // Wire transport, with worker 0 SIGKILLing itself after sending the
+  // first block of its first served FetchRun: the reducer sees the stream
+  // truncate mid-run, fails retryably, the executor re-runs the dead
+  // worker's maps elsewhere, and the re-fetch must still produce
+  // byte-identical output.
+  auto& registry = dist::PlanRegistry::Global();
+  const std::string args = "pairs=20000,keys=256,seed=9";
+
+  auto reference_plan = registry.Build("shuffle_sweep", args);
+  MRCOST_CHECK_OK(reference_plan.status());
+  reference_plan->Execute({});
+  const auto reference = SerializedBytes(
+      *std::static_pointer_cast<
+          std::vector<std::pair<std::uint64_t, std::uint64_t>>>(
+          reference_plan->graph()->slots.back()));
+
+  auto base = common::TempDir::Create();
+  ASSERT_TRUE(base.ok());
+  const std::string metrics_path = base->path() + "/metrics.json";
+
+  engine::ExecutionOptions options = MultiProcessOptions(2);
+  options.dist.shuffle_transport = engine::ShuffleTransport::kWireStream;
+  options.dist.kill_worker_index = 0;
+  options.dist.kill_after_fetches = 1;
+  options.metrics_out = metrics_path;
+
+  auto killed_plan = registry.Build("shuffle_sweep", args);
+  MRCOST_CHECK_OK(killed_plan.status());
+  killed_plan->Execute(options);
+  const auto survived = SerializedBytes(
+      *std::static_pointer_cast<
+          std::vector<std::pair<std::uint64_t, std::uint64_t>>>(
+          killed_plan->graph()->slots.back()));
+  EXPECT_EQ(survived, reference);
+
+  std::ifstream in(metrics_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string metrics_json = buffer.str();
+  EXPECT_NE(metrics_json.find("\"dist.workers_died\":1"), std::string::npos)
+      << metrics_json;
+  // The executor must have re-run at least one map to replace the dead
+  // worker's unfetchable runs.
+  const std::string key = "\"dist.refetched_runs\":";
+  const auto pos = metrics_json.find(key);
+  ASSERT_NE(pos, std::string::npos) << metrics_json;
+  EXPECT_NE(metrics_json[pos + key.size()], '0') << metrics_json;
 }
 
 TEST(DistBackend, UnstampedPlanFallsBackInProcess) {
